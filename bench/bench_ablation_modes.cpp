@@ -1,0 +1,160 @@
+// Ablations — execution-mode and precision design choices DESIGN.md calls
+// out:
+//   * fp32 vs fp64 (Table 1 runs both): measured time and accuracy cost;
+//   * mgpu (one circuit, many devices) vs mqpu (many circuits, one device
+//     each) for a batch — the paper's Sec. 2.4 "parallel mode";
+//   * encode/decode + qh5 overhead relative to simulation time (the
+//     "minimal coding effort / constant conversion" claim);
+//   * container warm vs cold job startup.
+
+#include "bench/bench_util.hpp"
+#include "qgear/circuits/random_blocks.hpp"
+#include "qgear/common/timer.hpp"
+#include "qgear/core/transformer.hpp"
+#include "qgear/platform/container.hpp"
+#include "qgear/qh5/file.hpp"
+
+using namespace qgear;
+
+namespace {
+
+void report_precision() {
+  bench::heading("Ablation: fp32 vs fp64");
+  bench::Table table({"qubits", "fp32", "fp64", "fp64/fp32",
+                      "fp32 state err"});
+  for (unsigned n : {14u, 16u, 18u}) {
+    const auto qc = circuits::generate_random_circuit(
+        {.num_qubits = n, .num_blocks = 200, .measure = false, .seed = 2});
+    const core::Kernel k = core::Kernel::from_circuit(qc);
+    core::Transformer t32({.target = core::Target::nvidia,
+                           .precision = core::Precision::fp32});
+    core::Transformer t64({.target = core::Target::nvidia,
+                           .precision = core::Precision::fp64});
+    WallTimer w32;
+    const auto r32 = t32.run(k, {.return_state = true});
+    const double s32 = w32.seconds();
+    WallTimer w64;
+    const auto r64 = t64.run(k, {.return_state = true});
+    const double s64 = w64.seconds();
+    double worst = 0;
+    for (std::size_t i = 0; i < r32.state.size(); ++i) {
+      worst = std::max(worst, std::abs(r32.state[i] - r64.state[i]));
+    }
+    table.row({std::to_string(n), human_seconds(s32), human_seconds(s64),
+               strfmt("%.2fx", s64 / s32), strfmt("%.1e", worst)});
+  }
+  table.print();
+  std::printf(
+      "expected shape: fp64 ~2x the bytes -> ~1.5-2x the time; fp32 "
+      "error ~1e-4 after 600 gates (why Table 1 uses fp32 for speed "
+      "runs, fp64 for QCrank fidelity).\n");
+}
+
+void report_mgpu_vs_mqpu() {
+  bench::heading(
+      "Ablation: batch of 8 circuits — mgpu (serialized, 4 ranks each) "
+      "vs mqpu (4-way circuit parallel)");
+  std::vector<core::Kernel> kernels;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    kernels.push_back(
+        core::Kernel::from_circuit(circuits::generate_random_circuit(
+            {.num_qubits = 14, .num_blocks = 150, .measure = false,
+             .seed = s})));
+  }
+  bench::Table table({"mode", "batch wall", "exchange bytes", "note"});
+  {
+    core::Transformer mgpu({.target = core::Target::nvidia_mgpu,
+                            .precision = core::Precision::fp32,
+                            .devices = 4});
+    WallTimer timer;
+    const auto results = mgpu.run_batch(kernels);
+    std::uint64_t comm = 0;
+    for (const auto& r : results) comm += r.comm_bytes;
+    table.row({"mgpu x8 sequential", human_seconds(timer.seconds()),
+               human_bytes(comm), "each circuit split over 4 ranks"});
+  }
+  {
+    core::Transformer mqpu({.target = core::Target::nvidia_mqpu,
+                            .precision = core::Precision::fp32,
+                            .devices = 4});
+    WallTimer timer;
+    const auto results = mqpu.run_batch(kernels);
+    std::uint64_t comm = 0;
+    for (const auto& r : results) comm += r.comm_bytes;
+    table.row({"mqpu 4-way parallel", human_seconds(timer.seconds()),
+               human_bytes(comm), "whole circuits on separate devices"});
+  }
+  table.print();
+  std::printf(
+      "expected shape: mqpu needs ZERO exchange traffic (the paper's "
+      "parallel mode wins for circuits that fit one device); wall times "
+      "here share one host core, so the 4-way parallelism itself only "
+      "pays off on real multi-device hardware.\n");
+}
+
+void report_encode_overhead() {
+  bench::heading(
+      "Ablation: Q-Gear conversion overhead vs simulation time");
+  const auto qc = circuits::generate_random_circuit(
+      {.num_qubits = 18, .num_blocks = 500, .measure = false, .seed = 9});
+  WallTimer enc_timer;
+  const core::GateTensor tensor = core::encode_circuits({&qc, 1});
+  qh5::File f = qh5::File::create("ablation_modes.qh5");
+  core::save_tensor(tensor, f.root().create_group("t"));
+  f.flush();
+  qh5::File g = qh5::File::open("ablation_modes.qh5");
+  const core::Kernel kernel =
+      core::Kernel::from_tensor(core::load_tensor(g.root().group("t")), 0);
+  const double convert_s = enc_timer.seconds();
+
+  core::Transformer t({.target = core::Target::nvidia,
+                       .precision = core::Precision::fp32});
+  WallTimer sim_timer;
+  t.run(kernel);
+  const double sim_s = sim_timer.seconds();
+  std::printf(
+      "encode + qh5 round trip + decode: %s; simulation: %s — conversion "
+      "is %.1f%% of one 18-qubit run (and amortizes across runs).\n",
+      human_seconds(convert_s).c_str(), human_seconds(sim_s).c_str(),
+      100.0 * convert_s / (convert_s + sim_s));
+}
+
+void report_container_startup() {
+  bench::heading("Ablation: container startup, warm vs cold");
+  platform::ContainerRuntime rt(perfmodel::podman_hpc());
+  const auto img = platform::ContainerImage::nersc_podman_image();
+  const auto cold = rt.launch(0, img);
+  const auto warm = rt.launch(0, img);
+  std::printf(
+      "cold: %s (pulled %s) | warm: %s — the Fig. 4b straggler term.\n",
+      human_seconds(cold.startup_seconds).c_str(),
+      human_bytes(cold.bytes_pulled).c_str(),
+      human_seconds(warm.startup_seconds).c_str());
+}
+
+void bm_precision(benchmark::State& state) {
+  const auto qc = circuits::generate_random_circuit(
+      {.num_qubits = 14, .num_blocks = 100, .measure = false, .seed = 2});
+  const core::Kernel k = core::Kernel::from_circuit(qc);
+  const bool fp64 = state.range(0) == 64;
+  core::Transformer t({.target = core::Target::nvidia,
+                       .precision = fp64 ? core::Precision::fp64
+                                         : core::Precision::fp32});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.run(k));
+  }
+  state.counters["bits"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(bm_precision)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_precision();
+  report_mgpu_vs_mqpu();
+  report_encode_overhead();
+  report_container_startup();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

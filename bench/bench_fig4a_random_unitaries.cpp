@@ -1,0 +1,135 @@
+// Fig. 4a — random non-Clifford unitaries: Qiskit-CPU baseline vs Q-Gear
+// on one A100 and on four A100s, for 'short' (100 CX-block) and 'long'
+// (10,000 CX-block) unitaries at 28-34 qubits.
+//
+// Two report sections:
+//   (1) modeled paper-scale series (the figure itself) — per-curve rows
+//       with the memory walls the paper reports (CPU dies at 34, one
+//       40 GB GPU at 32, 4 GPUs reach 34) and the ~400x speedup;
+//   (2) measured local series at 14-20 qubits on this host — the same
+//       engines run for real, demonstrating the exponential 2^n scaling
+//       and the fused-engine advantage the model extrapolates.
+// google-benchmark timers then measure the per-engine sweep kernels.
+
+#include "bench/bench_util.hpp"
+#include "qgear/circuits/random_blocks.hpp"
+#include "qgear/common/timer.hpp"
+#include "qgear/core/transformer.hpp"
+#include "qgear/perfmodel/model.hpp"
+
+using namespace qgear;
+
+namespace {
+
+qiskit::QuantumCircuit blocks(unsigned n, std::uint64_t count) {
+  return circuits::generate_random_circuit(
+      {.num_qubits = n, .num_blocks = count, .measure = false, .seed = 4});
+}
+
+void report_paper_scale() {
+  bench::heading(
+      "Fig 4a (modeled, paper scale): random unitaries, 28-34 qubits");
+  bench::Table table({"qubits", "blocks", "cpu-node(Aer)", "1x A100",
+                      "4x A100", "speedup 1GPU"});
+  for (std::uint64_t nblocks : {100ull, 10000ull}) {
+    for (unsigned n = 28; n <= 34; ++n) {
+      const auto qc = blocks(n, nblocks);
+      const auto cpu = perfmodel::estimate_cpu(
+          qc, {.precision = core::Precision::fp64});
+      perfmodel::ClusterConfig one;
+      one.include_container_start = false;
+      const auto gpu1 = perfmodel::estimate_gpu(qc, one);
+      perfmodel::ClusterConfig four = one;
+      four.devices = 4;
+      const auto gpu4 = perfmodel::estimate_gpu(qc, four);
+      std::string speedup = "-";
+      if (cpu.feasible && gpu1.feasible) {
+        speedup = strfmt("%.0fx", cpu.total_s() / gpu1.total_s());
+      }
+      table.row({std::to_string(n), std::to_string(nblocks),
+                 bench::time_cell(cpu.feasible, cpu.total_s(), "RAM wall"),
+                 bench::time_cell(gpu1.feasible, gpu1.total_s(),
+                                  "VRAM wall"),
+                 bench::time_cell(gpu4.feasible, gpu4.total_s()),
+                 speedup});
+    }
+  }
+  table.print();
+  std::printf(
+      "expected shape: ~2^n growth; long/short ~100x; CPU infeasible at "
+      "34; single GPU wall at 32; 4 GPUs reach 34; GPU speedup O(100x).\n");
+}
+
+void report_measured_local() {
+  bench::heading(
+      "Fig 4a (measured on this host): per-gate baseline vs fused engine");
+  bench::Table table({"qubits", "blocks", "aer-style", "fused(w=3)",
+                      "sweep reduction", "4-rank dist"});
+  for (unsigned n = 14; n <= 20; n += 2) {
+    const auto qc = blocks(n, 100);
+    const core::Kernel kernel = core::Kernel::from_circuit(qc);
+
+    core::Transformer cpu({.target = core::Target::cpu_aer,
+                           .precision = core::Precision::fp32});
+    // Width 3 is the host optimum (bench_ablation_fusion); the A100
+    // model uses the paper's width 5 where sweeps are bandwidth-bound.
+    core::Transformer gpu({.target = core::Target::nvidia,
+                           .precision = core::Precision::fp32,
+                           .fusion_width = 3});
+    core::Transformer mgpu({.target = core::Target::nvidia_mgpu,
+                            .precision = core::Precision::fp32,
+                            .devices = 4});
+    const auto rc = cpu.run(kernel);
+    const auto rg = gpu.run(kernel);
+    const auto rm = mgpu.run(kernel);
+    table.row({std::to_string(n), "100", human_seconds(rc.wall_seconds),
+               human_seconds(rg.wall_seconds),
+               strfmt("%llux fewer sweeps",
+                      static_cast<unsigned long long>(
+                          rc.stats.sweeps /
+                          std::max<std::uint64_t>(1, rg.stats.sweeps))),
+               human_seconds(rm.wall_seconds)});
+  }
+  table.print();
+  std::printf(
+      "expected shape: both curves ~2^n. On this compute-bound single "
+      "core, fused blocks trade memory sweeps for dense-matrix FLOPs, so "
+      "wall time need not drop; on a bandwidth-bound A100 each sweep "
+      "costs 2*state bytes of HBM traffic, and the roofline model turns "
+      "the sweep reduction shown here into the paper-scale speedup "
+      "above.\n");
+}
+
+void bm_aer_baseline(benchmark::State& state) {
+  const auto qc = blocks(static_cast<unsigned>(state.range(0)), 50);
+  core::Transformer t({.target = core::Target::cpu_aer,
+                       .precision = core::Precision::fp32});
+  const core::Kernel k = core::Kernel::from_circuit(qc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.run(k));
+  }
+  state.counters["qubits"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(bm_aer_baseline)->Arg(12)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void bm_fused_engine(benchmark::State& state) {
+  const auto qc = blocks(static_cast<unsigned>(state.range(0)), 50);
+  core::Transformer t({.target = core::Target::nvidia,
+                       .precision = core::Precision::fp32});
+  const core::Kernel k = core::Kernel::from_circuit(qc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.run(k));
+  }
+  state.counters["qubits"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(bm_fused_engine)->Arg(12)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_paper_scale();
+  report_measured_local();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Fig. 5 — QCrank grayscale-image encoding: Qiskit on a CPU node vs
+// Q-Gear on one A100, across the Table 2 image configurations
+// (5k-98k pixels, 3M-98M shots, fp64).
+//
+// The paper's mechanisms, reproduced by the model:
+//   * runtime scales with pixel count on both sides (cx count == pixels);
+//   * the CPU baseline evolves the unitary redundantly per core but
+//     samples on all 128 cores in parallel;
+//   * the GPU evolves fast but samples serially, so the speedup — almost
+//     two orders of magnitude for small images — shrinks as the shot
+//     budget grows with image size.
+// The measured section runs the smallest configuration end-to-end on
+// this host (15-qubit Finger-sized problem, real sampling).
+
+#include "bench/bench_util.hpp"
+#include "qgear/circuits/qcrank.hpp"
+#include "qgear/common/timer.hpp"
+#include "qgear/core/transformer.hpp"
+#include "qgear/perfmodel/model.hpp"
+
+using namespace qgear;
+
+namespace {
+
+void report_paper_scale() {
+  bench::heading(
+      "Fig 5 (modeled): QCrank images, CPU node vs one A100 (fp64)");
+  bench::Table table({"image", "pixels", "qubits", "shots", "cpu-node",
+                      "1x A100", "speedup"});
+  for (const auto& cfg : image::paper_image_table()) {
+    const circuits::QCrank codec({.address_qubits = cfg.address_qubits,
+                                  .data_qubits = cfg.data_qubits});
+    const image::Image img = image::make_paper_image(cfg);
+    // Build the real circuit (cheap: gate list only, no state).
+    std::vector<double> values(img.pixels.begin(), img.pixels.end());
+    const auto qc = codec.encode(values);
+
+    perfmodel::CpuBaselineConfig cpu_cfg;
+    cpu_cfg.precision = core::Precision::fp64;
+    cpu_cfg.mode = perfmodel::CpuBaselineConfig::Mode::per_core_unitary;
+    const auto cpu = perfmodel::estimate_cpu(qc, cpu_cfg, cfg.shots);
+
+    perfmodel::ClusterConfig gpu_cfg;
+    gpu_cfg.precision = core::Precision::fp64;
+    gpu_cfg.include_container_start = false;
+    const auto gpu = perfmodel::estimate_gpu(qc, gpu_cfg, cfg.shots);
+
+    std::string speedup = "-";
+    if (cpu.feasible && gpu.feasible) {
+      speedup = strfmt("%.0fx", cpu.total_s() / gpu.total_s());
+    }
+    table.row({cfg.name, std::to_string(cfg.gray_pixels()),
+               strfmt("%u+%u", cfg.address_qubits, cfg.data_qubits),
+               strfmt("%.0fM", static_cast<double>(cfg.shots) / 1e6),
+               bench::time_cell(cpu.feasible, cpu.total_s()),
+               bench::time_cell(gpu.feasible, gpu.total_s()), speedup});
+  }
+  table.print();
+  std::printf(
+      "expected shape: runtime grows with pixel count on both curves; "
+      "speedup ~O(100x) for the small images, decreasing for the large "
+      "ones as GPU-side sampling grows with the shot budget.\n");
+}
+
+void report_measured_local() {
+  bench::heading(
+      "Fig 5 (measured on this host): Finger-sized QCrank end-to-end");
+  // Finger: 10 address + 5 data qubits, 5120 pixels, 3000 shots/address.
+  const auto cfg = image::paper_image_table()[0];
+  const circuits::QCrank codec({.address_qubits = cfg.address_qubits,
+                                .data_qubits = cfg.data_qubits});
+  const image::Image img = image::make_paper_image(cfg);
+  const auto qc = codec.encode(
+      std::vector<double>(img.pixels.begin(), img.pixels.end()));
+
+  bench::Table table({"engine", "evolve+sample", "sweeps"});
+  // Shots reduced 10x to keep the bench under a few seconds on one core.
+  const std::uint64_t shots = cfg.shots / 10;
+  {
+    core::Transformer cpu({.target = core::Target::cpu_aer,
+                           .precision = core::Precision::fp64});
+    WallTimer timer;
+    const auto r = cpu.run(qc, {.shots = shots});
+    table.row({"aer-style (per-gate)", human_seconds(timer.seconds()),
+               std::to_string(r.stats.sweeps)});
+  }
+  {
+    core::Transformer gpu({.target = core::Target::nvidia,
+                           .precision = core::Precision::fp64});
+    WallTimer timer;
+    const auto r = gpu.run(qc, {.shots = shots});
+    table.row({"fused (w=5)", human_seconds(timer.seconds()),
+               std::to_string(r.stats.sweeps)});
+  }
+  table.print();
+  std::printf("(%llu shots, %zu cx gates == pixel count %llu)\n",
+              static_cast<unsigned long long>(shots), qc.num_2q_gates(),
+              static_cast<unsigned long long>(cfg.gray_pixels()));
+}
+
+void bm_qcrank_encode_circuit(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const circuits::QCrank codec({.address_qubits = m, .data_qubits = 4});
+  std::vector<double> values(codec.capacity(), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(values));
+  }
+  state.counters["pixels"] = static_cast<double>(codec.capacity());
+}
+BENCHMARK(bm_qcrank_encode_circuit)
+    ->Arg(8)
+    ->Arg(10)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_qcrank_decode_counts(benchmark::State& state) {
+  const circuits::QCrank codec({.address_qubits = 8, .data_qubits = 4});
+  sim::Counts counts;
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) ++counts[rng.uniform_u64(pow2(12))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode_counts(counts));
+  }
+}
+BENCHMARK(bm_qcrank_decode_counts)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_paper_scale();
+  report_measured_local();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 2 — quantum circuit configurations for the grayscale images:
+// dimensions, gray pixels, address/data qubit split, and shot budgets
+// (shots = 3000 * 2^m). Each row is validated against the QCrank codec:
+// capacity == pixel count and cx count == pixel count.
+
+#include "bench/bench_util.hpp"
+#include "qgear/circuits/qcrank.hpp"
+
+using namespace qgear;
+
+namespace {
+
+void report_table2() {
+  bench::heading("Table 2: image -> circuit configurations (regenerated)");
+  bench::Table table({"image", "dimensions", "gray pixels", "addr qubits",
+                      "data qubits", "shots", "codec capacity",
+                      "cx gates"});
+  for (const auto& cfg : image::paper_image_table()) {
+    const circuits::QCrank codec({.address_qubits = cfg.address_qubits,
+                                  .data_qubits = cfg.data_qubits});
+    // Build the real circuit to count entangling gates (== pixels).
+    const image::Image img = image::make_paper_image(cfg);
+    const auto qc = codec.encode(
+        std::vector<double>(img.pixels.begin(), img.pixels.end()));
+    table.row({cfg.name, strfmt("%ux%u", cfg.width, cfg.height),
+               std::to_string(cfg.gray_pixels()),
+               std::to_string(cfg.address_qubits),
+               std::to_string(cfg.data_qubits),
+               strfmt("%lluM", static_cast<unsigned long long>(
+                                   cfg.shots / 1000000)),
+               std::to_string(codec.capacity()),
+               std::to_string(qc.num_2q_gates())});
+  }
+  table.print();
+  std::printf("invariants: capacity == pixels == cx gates; shots == "
+              "3000 * 2^addr.\n");
+}
+
+void bm_encode_zebra_15_3(benchmark::State& state) {
+  // The largest Table 2 circuit (15 address + 3 data qubits, 98k gates).
+  const auto cfg = image::paper_image_table().back();
+  const circuits::QCrank codec({.address_qubits = cfg.address_qubits,
+                                .data_qubits = cfg.data_qubits});
+  const image::Image img = image::make_paper_image(cfg);
+  const std::vector<double> values(img.pixels.begin(), img.pixels.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(values));
+  }
+  state.counters["pixels"] = static_cast<double>(cfg.gray_pixels());
+}
+BENCHMARK(bm_encode_zebra_15_3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Theorem B.3 — the claimed scaling separation: CPU-style per-gate
+// simulation time grows exponentially with qubit count, while for a
+// fixed qubit count the (parallel, fused) engine grows linearly in the
+// gate count with a far smaller constant.
+//
+// Measured on this host: (1) time vs qubits at fixed gate count for both
+// engines (both exponential in n — the theorem's "linear in N" reads as
+// linear in *gates* given enough parallel resources, which we report as
+// time-per-gate flatness); (2) time vs gate count at fixed n (linear).
+
+#include "bench/bench_util.hpp"
+#include "qgear/circuits/random_blocks.hpp"
+#include "qgear/common/timer.hpp"
+#include "qgear/core/transformer.hpp"
+
+using namespace qgear;
+
+namespace {
+
+double run_once(core::Target target, unsigned n, std::uint64_t blocks) {
+  const auto qc = circuits::generate_random_circuit(
+      {.num_qubits = n, .num_blocks = blocks, .measure = false,
+       .seed = 11});
+  // Width 3 is this host's optimum (see bench_ablation_fusion): on a
+  // compute-bound core, wide blocks trade bandwidth for FLOPs. The GPU
+  // model uses the paper's width 5, which is optimal when sweeps are
+  // bandwidth-bound.
+  core::Transformer t({.target = target,
+                       .precision = core::Precision::fp32,
+                       .fusion_width = 3});
+  WallTimer timer;
+  t.run(qc);
+  return timer.seconds();
+}
+
+void report_qubit_scaling() {
+  bench::heading("Thm B.3 (measured): time vs qubits, 100 CX blocks");
+  bench::Table table({"qubits", "per-gate engine", "fused engine (w=3)",
+                      "ratio"});
+  for (unsigned n = 12; n <= 20; n += 2) {
+    const double cpu = run_once(core::Target::cpu_aer, n, 100);
+    const double gpu = run_once(core::Target::nvidia, n, 100);
+    table.row({std::to_string(n), human_seconds(cpu), human_seconds(gpu),
+               strfmt("%.1fx", cpu / gpu)});
+  }
+  table.print();
+  std::printf(
+      "expected shape: both engines grow ~2^n (state size) — the CPU "
+      "half of Thm B.3. The per-gate engine's specialized kernels "
+      "(diagonal multiplies, pair flips) already run at this host's "
+      "single-core memory bandwidth, so generic fused matvecs cannot "
+      "beat them on a scalar core (ratio < 1 here is expected); on an "
+      "A100 the same sweeps are bandwidth-bound and fusion's sweep "
+      "reduction converts 1:1 into speedup, which the roofline model "
+      "applies.\n");
+}
+
+void report_gate_scaling() {
+  bench::heading("Thm B.3 (measured): time vs gate count at 16 qubits");
+  bench::Table table({"blocks", "fused engine", "time per block"});
+  double base = 0;
+  for (std::uint64_t blocks : {125ull, 250ull, 500ull, 1000ull}) {
+    const double t = run_once(core::Target::nvidia, 16, blocks);
+    if (base == 0) base = t / static_cast<double>(blocks);
+    table.row({std::to_string(blocks), human_seconds(t),
+               human_seconds(t / static_cast<double>(blocks))});
+  }
+  table.print();
+  std::printf(
+      "expected shape: time per block ~constant — linear scaling in the "
+      "gate count (the GPU-side claim of Thm B.3).\n");
+}
+
+void bm_per_gate_engine(benchmark::State& state) {
+  const auto qc = circuits::generate_random_circuit(
+      {.num_qubits = static_cast<unsigned>(state.range(0)),
+       .num_blocks = 50, .measure = false, .seed = 3});
+  core::Transformer t({.target = core::Target::cpu_aer,
+                       .precision = core::Precision::fp32});
+  const core::Kernel k = core::Kernel::from_circuit(qc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.run(k));
+  }
+}
+BENCHMARK(bm_per_gate_engine)->Arg(12)->Arg(14)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_fused_engine_gates(benchmark::State& state) {
+  const auto qc = circuits::generate_random_circuit(
+      {.num_qubits = 14,
+       .num_blocks = static_cast<std::uint64_t>(state.range(0)),
+       .measure = false, .seed = 3});
+  core::Transformer t({.target = core::Target::nvidia,
+                       .precision = core::Precision::fp32});
+  const core::Kernel k = core::Kernel::from_circuit(qc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.run(k));
+  }
+  state.counters["blocks"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(bm_fused_engine_gates)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_qubit_scaling();
+  report_gate_scaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

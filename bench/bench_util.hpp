@@ -1,0 +1,76 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Each bench binary prints its figure/table as a report (modeled
+// paper-scale series and/or measured local series), then runs its
+// google-benchmark timers for the locally-measured kernels. Conventions:
+// rows are tab-separated "key value" series so they can be plotted
+// directly; EXPERIMENTS.md records the shapes we expect.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "qgear/common/strings.hpp"
+
+namespace qgear::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("--- %s ---\n", title.c_str());
+}
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void row(const std::vector<std::string>& cells) {
+    rows_.push_back(cells);
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : "";
+        std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::vector<std::string> rule;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      rule.push_back(std::string(widths[c], '-'));
+    }
+    print_row(rule);
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.2 s" / "3.4 ms" / "n/a" formatting for estimate cells.
+inline std::string time_cell(bool feasible, double seconds,
+                             const std::string& reason = "") {
+  if (!feasible) return reason.empty() ? "infeasible" : reason;
+  return human_seconds(seconds);
+}
+
+}  // namespace qgear::bench

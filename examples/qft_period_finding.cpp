@@ -1,0 +1,87 @@
+// Period finding with the QFT kernel — the workload family of Fig. 4c.
+//
+// Prepares a state with a hidden period r (amplitude on every r-th basis
+// state), applies the QFT generator from Appendix D.2, samples, and reads
+// the period off the spectral peaks. Demonstrates the kernel generator,
+// the fused engine, and sampling on a domain problem.
+//
+// Run:  ./qft_period_finding [num_qubits] [period]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "qgear/circuits/qft.hpp"
+#include "qgear/core/transformer.hpp"
+
+using namespace qgear;
+
+int main(int argc, char** argv) {
+  const unsigned n = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 10;
+  const std::uint64_t period =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 8;
+  const std::uint64_t dim = pow2(n);
+  QGEAR_CHECK_ARG(period >= 2 && period < dim, "period out of range");
+
+  // Build the periodic state preparation manually: a comb over multiples
+  // of `period` is the superposition QFT turns into peaks at k*dim/period.
+  // We synthesize it by preparing the state vector directly through an
+  // equivalent circuit: H-wall on the "counting" qubits of the comb is
+  // only exact for powers of two, so for generality we inject amplitudes
+  // via a fused engine run on a comb-preparation circuit built from
+  // rotations. For this example a power-of-two period keeps it exact.
+  QGEAR_CHECK_ARG(is_pow2(period), "this demo uses power-of-two periods");
+  const unsigned comb_qubits = n - log2_exact(period);
+
+  qiskit::QuantumCircuit qc(n, "period_finder");
+  // |psi> = sum_j |j * period> : H on the top `comb_qubits` qubits of the
+  // index (little-endian: multiples of `period` vary in the high bits).
+  for (unsigned q = 0; q < comb_qubits; ++q) {
+    qc.h(static_cast<int>(n - 1 - q));
+  }
+  qc.barrier();
+  qc.compose(circuits::build_qft(n));
+  qc.measure_all();
+
+  core::Transformer transformer({.target = core::Target::nvidia,
+                                 .precision = core::Precision::fp64});
+  const core::Result result = transformer.run(qc, {.shots = 20000});
+
+  std::printf("n=%u period=%llu: sampled %zu distinct outcomes\n", n,
+              static_cast<unsigned long long>(period),
+              result.counts.size());
+
+  // QFT of a stride-`period` comb peaks exactly at multiples of
+  // dim/period, spaced dim/period apart — so the smallest nonzero peak
+  // key IS the spacing.
+  const std::uint64_t peak_spacing = dim / period;
+  const std::uint64_t threshold = 20000 / (2 * period);  // half a peak
+  std::uint64_t spacing = 0;
+  std::uint64_t best_key = 0, best_count = 0;
+  for (const auto& [key, count] : result.counts) {
+    if (count > best_count) {
+      best_count = count;
+      best_key = key;
+    }
+    if (count >= threshold && key != 0 && spacing == 0) spacing = key;
+  }
+  QGEAR_CHECK_ARG(spacing != 0, "no nonzero spectral peak found");
+  std::printf(
+      "strongest peak at %llu (hits=%llu); observed spacing %llu, "
+      "expected %llu\n",
+      static_cast<unsigned long long>(best_key),
+      static_cast<unsigned long long>(best_count),
+      static_cast<unsigned long long>(spacing),
+      static_cast<unsigned long long>(peak_spacing));
+
+  // Every sampled outcome should be a multiple of dim/period.
+  std::uint64_t off_peak = 0;
+  for (const auto& [key, count] : result.counts) {
+    if (key % peak_spacing != 0) off_peak += count;
+  }
+  std::printf("off-peak probability: %.4f (expect ~0)\n",
+              static_cast<double>(off_peak) / 20000.0);
+  const std::uint64_t recovered = dim / spacing;
+  std::printf("recovered period: %llu\n",
+              static_cast<unsigned long long>(recovered));
+  return 0;
+}

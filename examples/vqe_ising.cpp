@@ -1,0 +1,92 @@
+// Variational quantum eigensolver on a transverse-field Ising ring —
+// the hybrid quantum-classical workload family the paper's introduction
+// motivates (variational quantum algorithms, Sec. 1).
+//
+// A hardware-efficient ry+cx ansatz is optimized with coordinate descent
+// (sequential single-parameter line search via parameter-shift-style
+// probing), each energy evaluation running through the Q-Gear fused
+// engine with exact expectation values.
+//
+// Run:  ./vqe_ising [num_qubits] [layers]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "qgear/sim/fused.hpp"
+#include "qgear/sim/observable.hpp"
+
+using namespace qgear;
+
+namespace {
+
+qiskit::QuantumCircuit ansatz(unsigned n, unsigned layers,
+                              const std::vector<double>& theta) {
+  qiskit::QuantumCircuit qc(n, "hw_efficient");
+  std::size_t p = 0;
+  for (unsigned layer = 0; layer < layers; ++layer) {
+    for (unsigned q = 0; q < n; ++q) qc.ry(theta.at(p++), static_cast<int>(q));
+    for (unsigned q = 0; q + 1 < n; ++q) {
+      qc.cx(static_cast<int>(q), static_cast<int>(q + 1));
+    }
+  }
+  for (unsigned q = 0; q < n; ++q) qc.ry(theta.at(p++), static_cast<int>(q));
+  return qc;
+}
+
+double energy(const sim::Observable& h, unsigned n, unsigned layers,
+              const std::vector<double>& theta) {
+  sim::FusedEngine<double> engine;
+  const auto state = engine.run(ansatz(n, layers, theta));
+  return sim::expectation(state, h);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned n = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 6;
+  const unsigned layers =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 3;
+  const double J = 1.0, hx = 0.7;
+  const sim::Observable hamiltonian = sim::Observable::ising_ring(n, J, hx);
+  std::printf("TFIM ring: n=%u J=%.1f h=%.1f (%zu Pauli terms), ansatz "
+              "layers=%u\n",
+              n, J, hx, hamiltonian.size(), layers);
+
+  const std::size_t num_params = static_cast<std::size_t>(n) * (layers + 1);
+  std::vector<double> theta(num_params, 0.1);
+  Rng rng(7);
+  for (double& t : theta) t = rng.uniform(-0.3, 0.3);
+
+  double best = energy(hamiltonian, n, layers, theta);
+  std::printf("initial energy: %+.6f\n", best);
+
+  // Coordinate descent with a 3-point quadratic fit per parameter
+  // (rotation gates make the energy sinusoidal in each angle, so the
+  // Rotosolve closed form applies).
+  for (int sweep = 0; sweep < 6; ++sweep) {
+    for (std::size_t p = 0; p < num_params; ++p) {
+      const double t0 = theta[p];
+      const double e0 = energy(hamiltonian, n, layers, theta);
+      theta[p] = t0 + M_PI / 2;
+      const double ep = energy(hamiltonian, n, layers, theta);
+      theta[p] = t0 - M_PI / 2;
+      const double em = energy(hamiltonian, n, layers, theta);
+      // E(t) = a + b sin(t - t0 + phi): minimize in closed form.
+      const double phi = std::atan2(2.0 * e0 - ep - em, ep - em);
+      theta[p] = t0 - M_PI / 2 - phi;
+      const double e_new = energy(hamiltonian, n, layers, theta);
+      if (e_new > e0) theta[p] = t0;  // numerical guard
+    }
+    best = energy(hamiltonian, n, layers, theta);
+    std::printf("sweep %d: energy %+.6f\n", sweep + 1, best);
+  }
+
+  // Compare against exact diagonal bound for small n via brute force over
+  // the Z-basis (only exact when h=0; report it as a reference anchor).
+  double zz_floor = 0.0;
+  for (unsigned q = 0; q < n; ++q) zz_floor -= J;
+  std::printf("converged energy %+.6f (ferromagnetic ZZ floor %+.2f, "
+              "field h=%.1f lowers it further)\n",
+              best, zz_floor, hx);
+  return 0;
+}

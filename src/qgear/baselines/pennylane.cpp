@@ -1,0 +1,47 @@
+#include "qgear/baselines/pennylane.hpp"
+
+#include "qgear/common/timer.hpp"
+
+namespace qgear::baselines {
+
+namespace {
+std::uint64_t countable_gates(const qiskit::QuantumCircuit& qc) {
+  std::uint64_t gates = 0;
+  for (const auto& inst : qc.instructions()) {
+    if (inst.kind != qiskit::GateKind::barrier) ++gates;
+  }
+  return gates;
+}
+}  // namespace
+
+PennylaneTiming run_pennylane_like(const qiskit::QuantumCircuit& qc,
+                                   const core::TransformerOptions& engine,
+                                   const PennylaneOverheadModel& model) {
+  PennylaneTiming timing;
+  core::Transformer transformer(engine);
+  WallTimer timer;
+  transformer.run(qc);
+  timing.engine_s = timer.seconds();
+  timing.transpile_s =
+      model.per_gate_transpile_s * static_cast<double>(countable_gates(qc));
+  timing.init_s = model.framework_init_s;
+  return timing;
+}
+
+perfmodel::Estimate estimate_pennylane(const qiskit::QuantumCircuit& qc,
+                                       const perfmodel::ClusterConfig& cfg,
+                                       std::uint64_t shots,
+                                       const PennylaneOverheadModel& model) {
+  perfmodel::ClusterConfig penny_cfg = cfg;
+  penny_cfg.fusion_width = model.fusion_width;
+  perfmodel::Estimate e = perfmodel::estimate_gpu(qc, penny_cfg, shots);
+  if (!e.feasible) return e;
+  // Lowering overhead lands in the launch bucket; framework init in
+  // startup.
+  e.launch_s +=
+      model.per_gate_transpile_s * static_cast<double>(countable_gates(qc));
+  e.startup_s += model.framework_init_s;
+  return e;
+}
+
+}  // namespace qgear::baselines

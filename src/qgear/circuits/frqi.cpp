@@ -1,0 +1,64 @@
+#include "qgear/circuits/frqi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "qgear/circuits/ucr.hpp"
+#include "qgear/common/bits.hpp"
+
+namespace qgear::circuits {
+
+Frqi::Frqi(unsigned address_qubits) : address_qubits_(address_qubits) {
+  QGEAR_CHECK_ARG(address_qubits >= 1 && address_qubits <= 24,
+                  "frqi: address qubits out of range");
+}
+
+std::uint64_t Frqi::capacity() const { return pow2(address_qubits_); }
+
+qiskit::QuantumCircuit Frqi::encode(std::span<const double> values) const {
+  QGEAR_CHECK_ARG(values.size() == capacity(),
+                  "frqi: value count must equal capacity");
+  qiskit::QuantumCircuit qc(total_qubits(),
+                            "frqi_a" + std::to_string(address_qubits_));
+  for (unsigned q = 0; q < address_qubits_; ++q) qc.h(static_cast<int>(q));
+
+  // UCRy rotates the color qubit by 2*t_a (our Ry(theta) rotates by
+  // theta/2 in the Bloch half-angle convention: Ry(2t)|0> =
+  // cos t |0> + sin t |1>).
+  std::vector<double> alphas(values.size());
+  for (std::size_t a = 0; a < values.size(); ++a) {
+    const double p = values[a];
+    QGEAR_CHECK_ARG(p >= 0.0 && p <= 1.0, "frqi: values must be in [0,1]");
+    alphas[a] = 2.0 * (M_PI / 2.0) * p;
+  }
+  std::vector<unsigned> controls(address_qubits_);
+  std::iota(controls.begin(), controls.end(), 0u);
+  append_ucr(qc, qiskit::GateKind::ry, controls,
+             static_cast<int>(address_qubits_), alphas);
+  qc.measure_all();
+  return qc;
+}
+
+std::vector<double> Frqi::decode_counts(const sim::Counts& counts) const {
+  const std::uint64_t addresses = capacity();
+  const std::uint64_t addr_mask = addresses - 1;
+  std::vector<std::uint64_t> total(addresses, 0), ones(addresses, 0);
+  for (const auto& [key, count] : counts) {
+    const std::uint64_t a = key & addr_mask;
+    total[a] += count;
+    if (test_bit(key, address_qubits_)) ones[a] += count;
+  }
+  std::vector<double> values(addresses, 0.5);
+  for (std::uint64_t a = 0; a < addresses; ++a) {
+    if (total[a] == 0) continue;
+    const double p1 = static_cast<double>(ones[a]) /
+                      static_cast<double>(total[a]);
+    // P(1|a) = sin^2(t_a), t = (pi/2) p.
+    const double t = std::asin(std::sqrt(std::clamp(p1, 0.0, 1.0)));
+    values[a] = std::clamp(t / (M_PI / 2.0), 0.0, 1.0);
+  }
+  return values;
+}
+
+}  // namespace qgear::circuits

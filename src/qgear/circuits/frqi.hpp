@@ -1,0 +1,40 @@
+// FRQI — Flexible Representation of Quantum Images (Le, Dong, Hirota
+// 2011; the paper's ref [34]), implemented as the comparison image
+// encoding to QCrank.
+//
+// FRQI stores 2^m pixels in m address qubits + ONE color qubit:
+//   |I> = 2^{-m/2} sum_a (cos t_a |0> + sin t_a |1>) |a>,  t = (pi/2) p.
+// Structurally it is QCrank with a single data qubit and a different
+// angle map — same cx-per-pixel cost, but no data-qubit parallelism, so
+// its circuit depth is ~n_data times worse for equal pixel budgets
+// (tested in test_frqi.cpp; this is QCrank's headline advantage).
+#pragma once
+
+#include <span>
+
+#include "qgear/image/image.hpp"
+#include "qgear/qiskit/circuit.hpp"
+#include "qgear/sim/sampler.hpp"
+
+namespace qgear::circuits {
+
+class Frqi {
+ public:
+  explicit Frqi(unsigned address_qubits);
+
+  unsigned address_qubits() const { return address_qubits_; }
+  unsigned total_qubits() const { return address_qubits_ + 1; }
+  std::uint64_t capacity() const;
+
+  /// Encodes `values` (each in [0,1]; size 2^m). Appends measure-all.
+  qiskit::QuantumCircuit encode(std::span<const double> values) const;
+
+  /// Recovers values from a measure-all histogram: for each address,
+  /// p = (2/pi) * asin(sqrt(P(color=1|a))).
+  std::vector<double> decode_counts(const sim::Counts& counts) const;
+
+ private:
+  unsigned address_qubits_;
+};
+
+}  // namespace qgear::circuits

@@ -1,0 +1,170 @@
+#include "qgear/circuits/qcrank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "qgear/circuits/ucr.hpp"
+#include "qgear/common/bits.hpp"
+
+namespace qgear::circuits {
+
+QCrank::QCrank(QCrankOptions opts) : opts_(opts) {
+  QGEAR_CHECK_ARG(opts_.address_qubits >= 1 && opts_.address_qubits <= 20,
+                  "qcrank: address qubits out of range");
+  QGEAR_CHECK_ARG(opts_.data_qubits >= 1, "qcrank: need data qubits");
+  QGEAR_CHECK_ARG(total_qubits() <= 34, "qcrank: too many qubits");
+}
+
+std::uint64_t QCrank::capacity() const {
+  return pow2(opts_.address_qubits) * opts_.data_qubits;
+}
+
+std::vector<double> QCrank::ucry_angles(std::span<const double> alphas) {
+  return ucr_angles(alphas);
+}
+
+void QCrank::append_ucry(qiskit::QuantumCircuit& qc, unsigned m, int target,
+                         std::span<const double> alphas,
+                         std::uint64_t start) {
+  std::vector<unsigned> controls(m);
+  std::iota(controls.begin(), controls.end(), 0u);
+  append_ucr(qc, qiskit::GateKind::ry, controls, target, alphas, start);
+}
+
+qiskit::QuantumCircuit QCrank::encode(std::span<const double> values) const {
+  QGEAR_CHECK_ARG(values.size() == capacity(),
+                  "qcrank: value count must equal capacity");
+  const unsigned m = opts_.address_qubits;
+  const std::uint64_t addresses = pow2(m);
+
+  qiskit::QuantumCircuit qc(total_qubits(),
+                            "qcrank_a" + std::to_string(m) + "_d" +
+                                std::to_string(opts_.data_qubits));
+  for (unsigned q = 0; q < m; ++q) qc.h(static_cast<int>(q));
+
+  // One UCRy plan per data qubit. The control-wire assignment is rotated
+  // per chain — chain d's Gray walk uses control qubit (ruler(j)+d) mod m
+  // at step j — so at every step concurrent chains hit DISTINCT address
+  // qubits; emitting the chains step-interleaved then puts each step's
+  // disjoint (control, target) cx pairs in one circuit layer. This is
+  // QCrank's "high parallelism in the execution of the CX gate". The
+  // angle vector is re-indexed to match the permuted address wiring.
+  std::vector<UcrPlan> plans(opts_.data_qubits);
+  std::vector<double> alphas(addresses);
+  for (unsigned d = 0; d < opts_.data_qubits; ++d) {
+    for (std::uint64_t a = 0; a < addresses; ++a) {
+      const double p = values[a * opts_.data_qubits + d];
+      QGEAR_CHECK_ARG(p >= 0.0 && p <= 1.0,
+                      "qcrank: values must lie in [0, 1]");
+      const double v = 2.0 * p - 1.0;
+      alphas[a] = std::acos(std::clamp(v, -1.0, 1.0));
+    }
+    const unsigned rot = d % m;
+    std::vector<unsigned> controls(m);
+    for (unsigned j = 0; j < m; ++j) controls[j] = (j + rot) % m;
+    std::vector<double> rotated(addresses);
+    for (std::uint64_t a = 0; a < addresses; ++a) {
+      std::uint64_t b = 0;
+      for (unsigned j = 0; j < m; ++j) {
+        b |= ((a >> controls[j]) & 1u) << j;
+      }
+      rotated[b] = alphas[a];
+    }
+    plans[d] = plan_ucr(controls, rotated);
+  }
+  for (std::uint64_t step = 0; step < addresses; ++step) {
+    for (unsigned d = 0; d < opts_.data_qubits; ++d) {
+      qc.ry(plans[d].thetas[step], static_cast<int>(m + d));
+    }
+    for (unsigned d = 0; d < opts_.data_qubits; ++d) {
+      qc.cx(static_cast<int>(plans[d].cx_controls[step]),
+            static_cast<int>(m + d));
+    }
+  }
+  qc.measure_all();
+  return qc;
+}
+
+std::vector<double> QCrank::decode_counts(const sim::Counts& counts) const {
+  const unsigned m = opts_.address_qubits;
+  const std::uint64_t addresses = pow2(m);
+  const std::uint64_t addr_mask = addresses - 1;
+
+  std::vector<std::uint64_t> total(addresses, 0);
+  std::vector<std::uint64_t> ones(addresses * opts_.data_qubits, 0);
+  for (const auto& [key, count] : counts) {
+    const std::uint64_t a = key & addr_mask;
+    total[a] += count;
+    for (unsigned d = 0; d < opts_.data_qubits; ++d) {
+      if (test_bit(key, m + d)) {
+        ones[a * opts_.data_qubits + d] += count;
+      }
+    }
+  }
+
+  std::vector<double> values(capacity(), 0.5);
+  for (std::uint64_t a = 0; a < addresses; ++a) {
+    if (total[a] == 0) continue;  // unobserved address: no information
+    for (unsigned d = 0; d < opts_.data_qubits; ++d) {
+      const double p1 = static_cast<double>(ones[a * opts_.data_qubits + d]) /
+                        static_cast<double>(total[a]);
+      const double v = 1.0 - 2.0 * p1;
+      values[a * opts_.data_qubits + d] = std::clamp((v + 1.0) / 2.0, 0.0,
+                                                     1.0);
+    }
+  }
+  return values;
+}
+
+std::vector<double> QCrank::decode_state(
+    std::span<const std::complex<double>> state) const {
+  QGEAR_CHECK_ARG(state.size() == pow2(total_qubits()),
+                  "qcrank: state size mismatch");
+  const unsigned m = opts_.address_qubits;
+  const std::uint64_t addresses = pow2(m);
+  const std::uint64_t addr_mask = addresses - 1;
+
+  std::vector<double> total(addresses, 0.0);
+  std::vector<double> ones(addresses * opts_.data_qubits, 0.0);
+  for (std::uint64_t i = 0; i < state.size(); ++i) {
+    const double p = std::norm(state[i]);
+    if (p == 0.0) continue;
+    const std::uint64_t a = i & addr_mask;
+    total[a] += p;
+    for (unsigned d = 0; d < opts_.data_qubits; ++d) {
+      if (test_bit(i, m + d)) ones[a * opts_.data_qubits + d] += p;
+    }
+  }
+
+  std::vector<double> values(capacity(), 0.5);
+  for (std::uint64_t a = 0; a < addresses; ++a) {
+    if (total[a] <= 0.0) continue;
+    for (unsigned d = 0; d < opts_.data_qubits; ++d) {
+      const double p1 = ones[a * opts_.data_qubits + d] / total[a];
+      const double v = 1.0 - 2.0 * p1;
+      values[a * opts_.data_qubits + d] = std::clamp((v + 1.0) / 2.0, 0.0,
+                                                     1.0);
+    }
+  }
+  return values;
+}
+
+qiskit::QuantumCircuit encode_image(const image::Image& img,
+                                    const QCrankOptions& opts) {
+  const QCrank codec(opts);
+  QGEAR_CHECK_ARG(img.size() == codec.capacity(),
+                  "qcrank: image pixel count must equal codec capacity");
+  return codec.encode(img.pixels);
+}
+
+image::Image decode_to_image(std::span<const double> values, unsigned width,
+                             unsigned height) {
+  QGEAR_CHECK_ARG(values.size() ==
+                      static_cast<std::size_t>(width) * height,
+                  "qcrank: value count does not match image dimensions");
+  image::Image img{width, height, {values.begin(), values.end()}};
+  return img;
+}
+
+}  // namespace qgear::circuits

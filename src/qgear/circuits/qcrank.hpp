@@ -1,0 +1,80 @@
+// QCrank quantum image encoding (paper Appendix D.3; Balewski et al. 2024).
+//
+// Layout: qubits [0, m) are address qubits, qubits [m, m + n_data) are
+// data qubits. The circuit puts the address register into uniform
+// superposition, then applies one uniformly-controlled Ry (UCRy) per data
+// qubit, decomposed into 2^m ry + 2^m cx pairs via the Gray-code /
+// Walsh-transform construction — so the entangling-gate count equals the
+// pixel count, the property Fig. 5 keys on.
+//
+// Value map: pixel p in [0,1] -> v = 2p - 1 in [-1,1] -> angle
+// alpha = arccos(v). Measuring data qubit d given address a estimates
+// P(1|a) = (1 - v)/2, so v_hat = 1 - 2 P_hat.
+// Pixel order: value(a, d) = values[a * n_data + d].
+#pragma once
+
+#include <complex>
+#include <span>
+
+#include "qgear/image/image.hpp"
+#include "qgear/qiskit/circuit.hpp"
+#include "qgear/sim/sampler.hpp"
+
+namespace qgear::circuits {
+
+struct QCrankOptions {
+  unsigned address_qubits = 4;  ///< m
+  unsigned data_qubits = 2;
+};
+
+class QCrank {
+ public:
+  explicit QCrank(QCrankOptions opts);
+
+  unsigned address_qubits() const { return opts_.address_qubits; }
+  unsigned data_qubits() const { return opts_.data_qubits; }
+  unsigned total_qubits() const {
+    return opts_.address_qubits + opts_.data_qubits;
+  }
+  /// Pixels one circuit stores: 2^m * n_data.
+  std::uint64_t capacity() const;
+
+  /// Builds the encoding circuit for `values` (each in [0,1]; size must
+  /// equal capacity()). Appends measure-all.
+  qiskit::QuantumCircuit encode(std::span<const double> values) const;
+
+  /// Recovers values from a measurement histogram (keys = measure-all
+  /// packing: bit q of the key is qubit q). Addresses that received no
+  /// shots decode to 0.5 (no information).
+  std::vector<double> decode_counts(const sim::Counts& counts) const;
+
+  /// Noise-free decode straight from the final state vector.
+  std::vector<double> decode_state(
+      std::span<const std::complex<double>> state) const;
+
+  /// The Gray-code UCRy rotation angles for target angle vector `alphas`
+  /// (size 2^m). Exposed for tests: theta = 2^-m * WHT(alpha) in Gray
+  /// order.
+  static std::vector<double> ucry_angles(std::span<const double> alphas);
+
+  /// Appends UCRy(alphas) controlled on qubits [0, m), targeting
+  /// `target`. `start` rotates the Gray walk (see ucr.hpp); QCrank gives
+  /// every data qubit a distinct start so their cx layers interleave.
+  static void append_ucry(qiskit::QuantumCircuit& qc, unsigned m,
+                          int target, std::span<const double> alphas,
+                          std::uint64_t start = 0);
+
+ private:
+  QCrankOptions opts_;
+};
+
+/// Flattens an image into QCrank value order for `config` and encodes it.
+/// The image pixel count must equal the config capacity.
+qiskit::QuantumCircuit encode_image(const image::Image& img,
+                                    const QCrankOptions& opts);
+
+/// Rebuilds an image from decoded values.
+image::Image decode_to_image(std::span<const double> values, unsigned width,
+                             unsigned height);
+
+}  // namespace qgear::circuits

@@ -1,0 +1,56 @@
+#include "qgear/circuits/qft.hpp"
+
+#include <cmath>
+
+#include "qgear/common/bits.hpp"
+#include "qgear/common/error.hpp"
+
+namespace qgear::circuits {
+
+qiskit::QuantumCircuit build_qft(unsigned num_qubits, QftOptions opts) {
+  QGEAR_CHECK_ARG(num_qubits >= 1, "qft: need at least one qubit");
+  qiskit::QuantumCircuit qc(num_qubits,
+                            std::string(opts.inverse ? "iqft" : "qft") +
+                                std::to_string(num_qubits));
+  // Standard little-endian construction: process qubits high to low; each
+  // cr1 angle is pi / 2^(distance).
+  for (int j = static_cast<int>(num_qubits) - 1; j >= 0; --j) {
+    qc.h(j);
+    for (int k = j - 1; k >= 0; --k) {
+      const double angle = M_PI / static_cast<double>(pow2(j - k));
+      if (opts.angle_threshold > 0 && std::abs(angle) < opts.angle_threshold) {
+        continue;  // the paper's negligible-rotation approximation
+      }
+      qc.cr1(angle, k, j);
+    }
+  }
+  if (opts.do_swaps) {
+    for (unsigned i = 0; i < num_qubits / 2; ++i) {
+      qc.swap(static_cast<int>(i), static_cast<int>(num_qubits - 1 - i));
+    }
+  }
+  if (opts.inverse) {
+    return qc.inverse();
+  }
+  return qc;
+}
+
+std::vector<std::complex<double>> qft_of_basis_state(unsigned num_qubits,
+                                                     std::uint64_t x) {
+  const std::uint64_t dim = pow2(num_qubits);
+  QGEAR_CHECK_ARG(x < dim, "qft oracle: basis state out of range");
+  std::vector<std::complex<double>> amps(dim);
+  const double norm = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (std::uint64_t k = 0; k < dim; ++k) {
+    const double phase = 2.0 * M_PI * static_cast<double>(x) *
+                         static_cast<double>(k) / static_cast<double>(dim);
+    amps[k] = std::polar(norm, phase);
+  }
+  return amps;
+}
+
+std::uint64_t qft_cp_gate_count(unsigned num_qubits) {
+  return static_cast<std::uint64_t>(num_qubits) * (num_qubits - 1) / 2;
+}
+
+}  // namespace qgear::circuits

@@ -1,0 +1,37 @@
+// Quantum Fourier Transform kernel generator (paper Appendix D.2).
+//
+// A Hadamard layer interleaved with controlled phase (cr1) gates whose
+// angles halve with distance, plus optional output bit-reversal swaps and
+// the paper's negligible-angle approximation knob.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::circuits {
+
+struct QftOptions {
+  /// Append the bit-reversal swap network so outputs land in natural
+  /// order. Off matches the paper's "QFT circuit reverse activation" flag.
+  bool do_swaps = true;
+  /// Build the inverse QFT instead.
+  bool inverse = false;
+  /// Drop cr1 gates with |angle| below this (0 keeps everything); the
+  /// paper uses this approximation to cut execution overhead.
+  double angle_threshold = 0.0;
+};
+
+/// Builds the n-qubit QFT circuit.
+qiskit::QuantumCircuit build_qft(unsigned num_qubits, QftOptions opts = {});
+
+/// Analytic QFT of basis state |x>: amplitude k is
+/// exp(2*pi*i*x*k / 2^n) / sqrt(2^n). Used as the test oracle.
+std::vector<std::complex<double>> qft_of_basis_state(unsigned num_qubits,
+                                                     std::uint64_t x);
+
+/// Exact cr1-gate count of the full n-qubit QFT: n(n-1)/2.
+std::uint64_t qft_cp_gate_count(unsigned num_qubits);
+
+}  // namespace qgear::circuits

@@ -1,0 +1,58 @@
+#include "qgear/circuits/random_blocks.hpp"
+
+#include <cmath>
+
+namespace qgear::circuits {
+
+std::vector<std::pair<int, int>> random_qubit_pairs(unsigned num_qubits,
+                                                    std::size_t count,
+                                                    Rng& rng) {
+  QGEAR_CHECK_ARG(num_qubits >= 2, "random_qubit_pairs: need >= 2 qubits");
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int c = static_cast<int>(rng.uniform_u64(num_qubits));
+    int t = c;
+    while (t == c) t = static_cast<int>(rng.uniform_u64(num_qubits));
+    pairs.emplace_back(c, t);
+  }
+  return pairs;
+}
+
+qiskit::QuantumCircuit generate_random_circuit(
+    const RandomBlocksOptions& opts) {
+  QGEAR_CHECK_ARG(opts.num_qubits >= 2,
+                  "generate_random_circuit: need >= 2 qubits");
+  Rng rng(opts.seed);
+  qiskit::QuantumCircuit qc(opts.num_qubits,
+                            "cxblock_n" + std::to_string(opts.num_qubits) +
+                                "_b" + std::to_string(opts.num_blocks));
+  const auto pairs =
+      random_qubit_pairs(opts.num_qubits, opts.num_blocks, rng);
+  for (const auto& [c, t] : pairs) {
+    // Two random paired rotations, theta ~ U[0, 2pi] (Algorithm 1), then
+    // the entangling gate.
+    qc.ry(rng.uniform(0, 2 * M_PI), c);
+    qc.rz(rng.uniform(0, 2 * M_PI), t);
+    qc.cx(c, t);
+  }
+  if (opts.measure) qc.measure_all();
+  return qc;
+}
+
+core::GateTensor generate_random_gate_list(std::size_t num_circuits,
+                                           const RandomBlocksOptions& opts) {
+  QGEAR_CHECK_ARG(num_circuits >= 1,
+                  "generate_random_gate_list: need >= 1 circuit");
+  std::vector<qiskit::QuantumCircuit> batch;
+  batch.reserve(num_circuits);
+  for (std::size_t i = 0; i < num_circuits; ++i) {
+    RandomBlocksOptions per = opts;
+    per.seed = opts.seed + i;
+    batch.push_back(generate_random_circuit(per));
+  }
+  // Circuits are already native-basis; skip re-transpilation.
+  return core::encode_circuits(batch, {.transpile = false});
+}
+
+}  // namespace qgear::circuits

@@ -1,0 +1,40 @@
+// Random non-Clifford CX-block circuits (paper Appendix D.1).
+//
+// Each block applies two random single-qubit rotations (a paired ry/rz)
+// followed by an entangling cx on a randomly drawn qubit pair — the
+// workload behind Fig. 4a ("short" = 100 blocks, "long" = 10,000 blocks)
+// and Fig. 4b (3,000 blocks).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "qgear/common/rng.hpp"
+#include "qgear/core/tensor.hpp"
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::circuits {
+
+struct RandomBlocksOptions {
+  unsigned num_qubits = 4;
+  std::uint64_t num_blocks = 100;  ///< CX blocks (paper: 100 / 3k / 10k)
+  bool measure = true;             ///< append measure-all
+  std::uint64_t seed = 1;
+};
+
+/// Draws `count` ordered qubit pairs (control, target), control != target,
+/// uniformly with replacement — the paper's random_qubit_pairs.
+std::vector<std::pair<int, int>> random_qubit_pairs(unsigned num_qubits,
+                                                    std::size_t count,
+                                                    Rng& rng);
+
+/// Builds one random CX-block circuit (Algorithm 1).
+qiskit::QuantumCircuit generate_random_circuit(
+    const RandomBlocksOptions& opts);
+
+/// Builds a batch of random circuits and encodes them into one gate tensor
+/// — the paper's generate_random_gateList.
+core::GateTensor generate_random_gate_list(std::size_t num_circuits,
+                                           const RandomBlocksOptions& opts);
+
+}  // namespace qgear::circuits

@@ -1,0 +1,73 @@
+#include "qgear/circuits/state_prep.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "qgear/circuits/ucr.hpp"
+#include "qgear/common/bits.hpp"
+#include "qgear/common/error.hpp"
+
+namespace qgear::circuits {
+
+qiskit::QuantumCircuit prepare_state(
+    std::span<const std::complex<double>> amplitudes) {
+  QGEAR_CHECK_ARG(is_pow2(amplitudes.size()) && amplitudes.size() >= 2,
+                  "prepare_state: need 2^n amplitudes, n >= 1");
+  const unsigned n = log2_exact(amplitudes.size());
+
+  std::vector<std::complex<double>> current(amplitudes.begin(),
+                                            amplitudes.end());
+  double norm2 = 0;
+  for (const auto& a : current) norm2 += std::norm(a);
+  QGEAR_CHECK_ARG(norm2 > 0, "prepare_state: zero state vector");
+  const double inv_norm = 1.0 / std::sqrt(norm2);
+  for (auto& a : current) a *= inv_norm;
+
+  // Disentangler D with D|psi> = |0...0>: per round k, equalize the pair
+  // phases with UCRz, rotate the pair magnitudes onto the first component
+  // with UCRy, both targeting qubit k and controlled by qubits k+1..n-1.
+  qiskit::QuantumCircuit disentangler(n, "state_prep_dg");
+  for (unsigned k = 0; k < n; ++k) {
+    const std::uint64_t pairs = current.size() / 2;
+    std::vector<double> gamma(pairs);  // rz angles
+    std::vector<double> beta(pairs);   // ry angles
+    std::vector<std::complex<double>> next(pairs);
+    for (std::uint64_t a = 0; a < pairs; ++a) {
+      const std::complex<double> x = current[2 * a];
+      const std::complex<double> y = current[2 * a + 1];
+      const double ax = std::abs(x);
+      const double ay = std::abs(y);
+      const double px = ax > 0 ? std::arg(x) : 0.0;
+      const double py = ay > 0 ? std::arg(y) : 0.0;
+      // Rz(px - py) maps both components to the common phase (px+py)/2.
+      gamma[a] = px - py;
+      // Ry(-beta) with tan(beta/2) = |y|/|x| zeroes the second component.
+      beta[a] = 2.0 * std::atan2(ay, ax);
+      const double r = std::sqrt(ax * ax + ay * ay);
+      const double mu = (ax > 0 || ay > 0) ? (px + py) / 2.0 : 0.0;
+      next[a] = std::polar(r, mu);
+    }
+    std::vector<unsigned> controls(n - 1 - k);
+    std::iota(controls.begin(), controls.end(), k + 1);
+    // D applies Rz first, then Ry.
+    append_ucr(disentangler, qiskit::GateKind::rz, controls,
+               static_cast<int>(k), gamma);
+    for (double& b : beta) b = -b;
+    append_ucr(disentangler, qiskit::GateKind::ry, controls,
+               static_cast<int>(k), beta);
+    current = std::move(next);
+  }
+  // current is now a single complex of magnitude 1 (a global phase).
+
+  qiskit::QuantumCircuit prep = disentangler.inverse();
+  prep.set_name("state_prep");
+  return prep;
+}
+
+std::uint64_t prepare_state_gate_bound(unsigned num_qubits) {
+  // Each round k emits two UCRs of 2^(n-1-k) rotations each (plus the
+  // same number of cx when controls exist); summed: 2 * (2^n - 1).
+  return 2 * (pow2(num_qubits) - 1);
+}
+
+}  // namespace qgear::circuits

@@ -1,0 +1,28 @@
+// Arbitrary state preparation (Möttönen et al. 2004 — the paper's ref
+// [27], "quantum circuits for general multiqubit gates").
+//
+// Builds a circuit C with C|0...0> = |psi> (up to global phase) for any
+// target amplitude vector, via the disentangling construction: uniformly
+// controlled Rz (phase equalization) and Ry (magnitude rotation) per
+// qubit, each decomposed with the Gray-code UCR primitive. Gate cost is
+// O(2^n), the known optimum for exact dense states.
+#pragma once
+
+#include <complex>
+#include <span>
+
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::circuits {
+
+/// Builds the preparation circuit for `amplitudes` (size 2^n, n >= 1).
+/// The vector is normalized internally; an all-zero vector is rejected.
+/// The result satisfies |<psi|C|0>|^2 == 1.
+qiskit::QuantumCircuit prepare_state(
+    std::span<const std::complex<double>> amplitudes);
+
+/// Exact rotation/cx gate count of prepare_state for n qubits:
+/// 2 * (2^n - 1) rotations and the matching cx chains.
+std::uint64_t prepare_state_gate_bound(unsigned num_qubits);
+
+}  // namespace qgear::circuits

@@ -1,0 +1,110 @@
+#include "qgear/circuits/ucr.hpp"
+
+#include "qgear/common/bits.hpp"
+#include "qgear/common/error.hpp"
+
+namespace qgear::circuits {
+
+namespace {
+std::uint64_t gray(std::uint64_t i) { return i ^ (i >> 1); }
+}  // namespace
+
+std::vector<double> ucr_angles(std::span<const double> alphas) {
+  QGEAR_CHECK_ARG(is_pow2(alphas.size()), "ucr: need 2^m angles");
+  const unsigned m = log2_exact(alphas.size());
+  std::vector<double> w(alphas.begin(), alphas.end());
+  // Fast Walsh-Hadamard butterfly.
+  for (unsigned bit = 0; bit < m; ++bit) {
+    const std::uint64_t stride = pow2(bit);
+    for (std::uint64_t i = 0; i < w.size(); i += 2 * stride) {
+      for (std::uint64_t j = i; j < i + stride; ++j) {
+        const double a = w[j];
+        const double b = w[j + stride];
+        w[j] = a + b;
+        w[j + stride] = a - b;
+      }
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(pow2(m));
+  std::vector<double> theta(w.size());
+  for (std::uint64_t i = 0; i < w.size(); ++i) {
+    theta[i] = scale * w[gray(i)];
+  }
+  return theta;
+}
+
+void append_ucr(qiskit::QuantumCircuit& qc, qiskit::GateKind axis,
+                std::span<const unsigned> controls, int target,
+                std::span<const double> alphas, std::uint64_t start) {
+  using qiskit::GateKind;
+  QGEAR_CHECK_ARG(axis == GateKind::ry || axis == GateKind::rz,
+                  "ucr: axis must be ry or rz");
+  const unsigned m = static_cast<unsigned>(controls.size());
+  QGEAR_CHECK_ARG(alphas.size() == pow2(m), "ucr: angle count != 2^m");
+  for (unsigned c : controls) {
+    QGEAR_CHECK_ARG(static_cast<int>(c) != target,
+                    "ucr: target cannot be a control");
+  }
+
+  auto rotate = [&](double theta) {
+    if (axis == GateKind::ry) {
+      qc.ry(theta, target);
+    } else {
+      qc.rz(theta, target);
+    }
+  };
+
+  if (m == 0) {
+    rotate(alphas[0]);
+    return;
+  }
+  const UcrPlan plan = plan_ucr(controls, alphas, start);
+  for (std::size_t j = 0; j < plan.thetas.size(); ++j) {
+    rotate(plan.thetas[j]);
+    qc.cx(static_cast<int>(plan.cx_controls[j]), target);
+  }
+}
+
+UcrPlan plan_ucr(std::span<const unsigned> controls,
+                 std::span<const double> alphas, std::uint64_t start) {
+  const unsigned m = static_cast<unsigned>(controls.size());
+  QGEAR_CHECK_ARG(m >= 1, "ucr plan: need at least one control");
+  QGEAR_CHECK_ARG(alphas.size() == pow2(m), "ucr: angle count != 2^m");
+  const std::uint64_t count = pow2(m);
+  start &= count - 1;
+
+  // Walsh transform W[b] = sum_a (-1)^{<a,b>} alpha_a (before the Gray
+  // reindexing that ucr_angles applies).
+  std::vector<double> w(alphas.begin(), alphas.end());
+  for (unsigned bit = 0; bit < m; ++bit) {
+    const std::uint64_t stride = pow2(bit);
+    for (std::uint64_t i = 0; i < w.size(); i += 2 * stride) {
+      for (std::uint64_t j = i; j < i + stride; ++j) {
+        const double a = w[j];
+        const double b = w[j + stride];
+        w[j] = a + b;
+        w[j + stride] = a - b;
+      }
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(count);
+
+  // Rotated Gray walk: at step j we sit at cycle position i = start + j.
+  // The cx mask accumulated before rotation j is gray(i) ^ gray(start),
+  // so the angle solves to scale * W[gray(i) ^ gray(start)]. The control
+  // bit after rotation j links gray(i) to gray(i+1) (cyclically).
+  UcrPlan plan;
+  plan.thetas.resize(count);
+  plan.cx_controls.resize(count);
+  const std::uint64_t g0 = gray(start);
+  for (std::uint64_t j = 0; j < count; ++j) {
+    const std::uint64_t i = (start + j) & (count - 1);
+    const std::uint64_t next = (i + 1) & (count - 1);
+    plan.thetas[j] = scale * w[gray(i) ^ g0];
+    const std::uint64_t diff = gray(i) ^ gray(next);
+    plan.cx_controls[j] = controls[log2_exact(diff)];
+  }
+  return plan;
+}
+
+}  // namespace qgear::circuits

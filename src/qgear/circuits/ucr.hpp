@@ -1,0 +1,46 @@
+// Uniformly controlled rotations (Möttönen et al., the paper's ref [27]).
+//
+// UCR(axis, alphas) applies R_axis(alpha_a) to a target qubit, selected
+// by the basis state |a> of a control register. The Gray-code
+// decomposition costs exactly 2^m rotations + 2^m cx for m controls —
+// the primitive behind QCrank, FRQI and general state preparation.
+#pragma once
+
+#include <span>
+
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::circuits {
+
+/// Appends UCR_axis(alphas) to `qc`. `controls` lists the control qubits
+/// in ascending address-bit order (bit j of the address a = controls[j]);
+/// axis must be ry or rz. alphas.size() == 2^controls.size(); zero
+/// controls degenerate to a plain rotation.
+///
+/// `start` rotates the Gray-code walk to begin at step `start` of the
+/// cycle (angles are re-solved so the net operator is identical). QCrank
+/// assigns each data qubit a different start so concurrent chains use
+/// different control qubits at the same time step and the cx layers
+/// interleave — the source of its depth advantage over FRQI.
+void append_ucr(qiskit::QuantumCircuit& qc, qiskit::GateKind axis,
+                std::span<const unsigned> controls, int target,
+                std::span<const double> alphas, std::uint64_t start = 0);
+
+/// The materialized gate sequence of one UCR: step j applies
+/// R(thetas[j]) on the target followed by cx(cx_controls[j], target).
+/// Callers that interleave several UCR chains (QCrank) emit the steps of
+/// all chains round-robin so disjoint (control, target) pairs land in
+/// the same circuit layer.
+struct UcrPlan {
+  std::vector<double> thetas;
+  std::vector<unsigned> cx_controls;  ///< physical control qubit per step
+};
+
+UcrPlan plan_ucr(std::span<const unsigned> controls,
+                 std::span<const double> alphas, std::uint64_t start = 0);
+
+/// The Walsh/Gray angle transform shared by every UCR instance:
+/// theta_i = 2^-m * sum_a (-1)^{popcount(a & gray(i))} alpha_a.
+std::vector<double> ucr_angles(std::span<const double> alphas);
+
+}  // namespace qgear::circuits

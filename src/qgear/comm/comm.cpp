@@ -1,0 +1,179 @@
+#include "qgear/comm/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+namespace qgear::comm {
+
+// ---- Communicator ------------------------------------------------------
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::send(int dest, int tag,
+                        std::span<const std::uint8_t> data) {
+  QGEAR_CHECK_ARG(dest >= 0 && dest < size(), "comm: destination out of range");
+  QGEAR_CHECK_ARG(dest != rank_, "comm: self-send is not supported");
+  world_->deliver(rank_, dest, tag, data);
+  bytes_sent_ += data.size();
+}
+
+std::vector<std::uint8_t> Communicator::recv(int src, int tag) {
+  QGEAR_CHECK_ARG(src >= 0 && src < size(), "comm: source out of range");
+  QGEAR_CHECK_ARG(src != rank_, "comm: self-receive is not supported");
+  return world_->take(src, rank_, tag);
+}
+
+std::vector<std::uint8_t> Communicator::sendrecv(
+    int peer, int tag, std::span<const std::uint8_t> data) {
+  // Buffered sends make matched sendrecv pairs deadlock-free.
+  send(peer, tag, data);
+  return recv(peer, tag);
+}
+
+void Communicator::barrier() {
+  std::unique_lock<std::mutex> lock(world_->mutex_);
+  world_->check_alive(rank_);
+  const std::uint64_t gen = world_->barrier_generation_;
+  const int live = size() - static_cast<int>(std::count(
+                                world_->failed_.begin(),
+                                world_->failed_.end(), true));
+  if (++world_->barrier_waiting_ >= live) {
+    world_->barrier_waiting_ = 0;
+    ++world_->barrier_generation_;
+    world_->cv_.notify_all();
+    return;
+  }
+  world_->cv_.wait(lock, [&] {
+    return world_->barrier_generation_ != gen || world_->failed_[rank_];
+  });
+  if (world_->failed_[rank_]) throw CommError("comm: rank failed in barrier");
+}
+
+double Communicator::allreduce_sum(double local) {
+  std::unique_lock<std::mutex> lock(world_->mutex_);
+  world_->check_alive(rank_);
+  const std::uint64_t gen = world_->reduce_generation_;
+  world_->reduce_accum_ += local;
+  if (++world_->reduce_count_ >= size()) {
+    world_->reduce_result_ = world_->reduce_accum_;
+    world_->reduce_accum_ = 0.0;
+    world_->reduce_count_ = 0;
+    ++world_->reduce_generation_;
+    world_->cv_.notify_all();
+    return world_->reduce_result_;
+  }
+  world_->cv_.wait(lock, [&] {
+    return world_->reduce_generation_ != gen || world_->failed_[rank_];
+  });
+  if (world_->failed_[rank_])
+    throw CommError("comm: rank failed in allreduce");
+  return world_->reduce_result_;
+}
+
+void Communicator::broadcast(std::vector<std::uint8_t>& data, int root) {
+  QGEAR_CHECK_ARG(root >= 0 && root < size(), "comm: root out of range");
+  constexpr int kBcastTag = -42;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, kBcastTag, data);
+    }
+  } else {
+    data = recv(root, kBcastTag);
+  }
+}
+
+// ---- World -------------------------------------------------------------
+
+World::World(int size) : size_(size) {
+  QGEAR_CHECK_ARG(size >= 1, "comm: world size must be >= 1");
+  mailboxes_.resize(static_cast<std::size_t>(size) * size);
+  failed_.assign(size, false);
+}
+
+void World::run(const std::function<void(Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(size_);
+  std::vector<std::exception_ptr> errors(size_);
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      Communicator c(this, r);
+      try {
+        fn(c);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        // Unblock peers that might be waiting on this rank forever.
+        inject_failure(r);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void World::execute(int size, const std::function<void(Communicator&)>& fn) {
+  World w(size);
+  w.run(fn);
+}
+
+void World::inject_failure(int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QGEAR_CHECK_ARG(rank >= 0 && rank < size_, "comm: rank out of range");
+  failed_[rank] = true;
+  // Release a barrier that is now satisfiable with fewer live ranks.
+  const int live = size_ - static_cast<int>(std::count(
+                               failed_.begin(), failed_.end(), true));
+  if (barrier_waiting_ > 0 && barrier_waiting_ >= live) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+  }
+  cv_.notify_all();
+}
+
+void World::clear_trace() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_.entries.clear();
+  trace_.total_bytes = 0;
+}
+
+void World::deliver(int src, int dst, int tag,
+                    std::span<const std::uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_alive(src);
+  check_alive(dst);
+  Mailbox& box = mailbox(src, dst);
+  box.queue.push_back({tag, {data.begin(), data.end()}});
+  trace_.record(src, dst, data.size(), tag);
+  cv_.notify_all();
+}
+
+std::vector<std::uint8_t> World::take(int src, int dst, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  check_alive(dst);
+  Mailbox& box = mailbox(src, dst);
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [tag](const Message& m) { return m.tag == tag; });
+    if (it != box.queue.end()) {
+      std::vector<std::uint8_t> data = std::move(it->data);
+      box.queue.erase(it);
+      return data;
+    }
+    if (failed_[src]) {
+      throw CommError("comm: receive from failed rank " +
+                      std::to_string(src));
+    }
+    cv_.wait(lock);
+    if (failed_[dst]) throw CommError("comm: receiving rank failed");
+  }
+}
+
+void World::check_alive(int rank) const {
+  if (failed_[rank]) {
+    throw CommError("comm: rank " + std::to_string(rank) + " has failed");
+  }
+}
+
+}  // namespace qgear::comm

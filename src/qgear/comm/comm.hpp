@@ -1,0 +1,183 @@
+// In-process MPI-like message passing.
+//
+// The paper distributes the state vector over GPUs with CUDA-aware Cray
+// MPICH. We reproduce the subset the distributed engine needs — ranked
+// SPMD execution, tagged point-to-point messages with per-pair FIFO
+// ordering, sendrecv, barrier, broadcast and allreduce — as an in-process
+// library: each rank is a thread, each (src,dst) pair a mailbox.
+//
+// Every transfer is recorded in a CommTrace so the interconnect performance
+// model (src/qgear/perfmodel) can price the exact communication schedule a
+// run produced.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::comm {
+
+/// Raised when a peer rank was marked failed (failure-injection tests) or a
+/// collective is used inconsistently.
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+/// One recorded point-to-point transfer.
+struct TraceEntry {
+  int src = 0;
+  int dst = 0;
+  std::uint64_t bytes = 0;
+  int tag = 0;
+};
+
+/// Aggregated transfer log for one World.
+struct CommTrace {
+  std::vector<TraceEntry> entries;
+  std::uint64_t total_bytes = 0;
+
+  void record(int src, int dst, std::uint64_t bytes, int tag) {
+    entries.push_back({src, dst, bytes, tag});
+    total_bytes += bytes;
+  }
+};
+
+class World;
+
+/// Per-rank handle; all operations are called from that rank's thread.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocking tagged send (buffered: copies and returns).
+  void send(int dest, int tag, std::span<const std::uint8_t> data);
+
+  /// Blocking receive of the next message from `src` with `tag`.
+  std::vector<std::uint8_t> recv(int src, int tag);
+
+  /// Simultaneous exchange with `peer` (deadlock-free for matched calls).
+  std::vector<std::uint8_t> sendrecv(int peer, int tag,
+                                     std::span<const std::uint8_t> data);
+
+  /// Typed conveniences.
+  template <typename T>
+  void send_vec(int dest, int tag, std::span<const T> values) {
+    send(dest, tag,
+         {reinterpret_cast<const std::uint8_t*>(values.data()),
+          values.size_bytes()});
+  }
+
+  template <typename T>
+  std::vector<T> recv_vec(int src, int tag) {
+    const std::vector<std::uint8_t> raw = recv(src, tag);
+    QGEAR_CHECK_FORMAT(raw.size() % sizeof(T) == 0,
+                       "comm: message size not a multiple of element size");
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  template <typename T>
+  std::vector<T> sendrecv_vec(int peer, int tag, std::span<const T> values) {
+    const std::vector<std::uint8_t> raw = sendrecv(
+        peer, tag,
+        {reinterpret_cast<const std::uint8_t*>(values.data()),
+         values.size_bytes()});
+    QGEAR_CHECK_FORMAT(raw.size() % sizeof(T) == 0,
+                       "comm: message size not a multiple of element size");
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// Synchronizes all live ranks.
+  void barrier();
+
+  /// Sum-reduction of one double across ranks; every rank gets the total.
+  double allreduce_sum(double local);
+
+  /// Root's buffer is copied to every rank.
+  void broadcast(std::vector<std::uint8_t>& data, int root);
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  friend class World;
+  Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// Owns the mailboxes and synchronization state for a fixed rank count.
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return size_; }
+
+  /// Runs fn as an SPMD program: one thread per rank. Exceptions from any
+  /// rank are rethrown (the first one) after all threads join.
+  void run(const std::function<void(Communicator&)>& fn);
+
+  /// Convenience: construct a World and run in one call.
+  static void execute(int size, const std::function<void(Communicator&)>& fn);
+
+  /// Marks a rank failed: blocking operations involving it throw CommError.
+  void inject_failure(int rank);
+
+  const CommTrace& trace() const { return trace_; }
+  void clear_trace();
+
+ private:
+  friend class Communicator;
+
+  struct Message {
+    int tag;
+    std::vector<std::uint8_t> data;
+  };
+
+  struct Mailbox {
+    std::deque<Message> queue;
+  };
+
+  Mailbox& mailbox(int src, int dst) {
+    return mailboxes_[static_cast<std::size_t>(src) * size_ + dst];
+  }
+
+  void deliver(int src, int dst, int tag,
+               std::span<const std::uint8_t> data);
+  std::vector<std::uint8_t> take(int src, int dst, int tag);
+  void check_alive(int rank) const;
+
+  int size_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<bool> failed_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+
+  // Reusable counting barrier.
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Allreduce scratch.
+  double reduce_accum_ = 0.0;
+  int reduce_count_ = 0;
+  double reduce_result_ = 0.0;
+  std::uint64_t reduce_generation_ = 0;
+
+  CommTrace trace_;
+};
+
+}  // namespace qgear::comm

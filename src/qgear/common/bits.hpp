@@ -1,0 +1,89 @@
+// Bit-manipulation helpers used throughout the state-vector engines.
+//
+// Amplitude indices are 64-bit; qubit k corresponds to bit k of the index
+// (little-endian qubit ordering, matching Qiskit's convention).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear {
+
+/// 2^n as an unsigned 64-bit value. Requires n < 64.
+constexpr std::uint64_t pow2(unsigned n) {
+  return std::uint64_t{1} << n;
+}
+
+/// True iff v is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// floor(log2(v)) for v > 0.
+constexpr unsigned log2_floor(std::uint64_t v) {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/// Exact log2 of a power of two.
+inline unsigned log2_exact(std::uint64_t v) {
+  QGEAR_EXPECTS(is_pow2(v));
+  return log2_floor(v);
+}
+
+/// Inserts a zero bit at position `pos`, shifting higher bits left by one.
+/// Example: insert_zero_bit(0b1011, 1) == 0b10101.
+constexpr std::uint64_t insert_zero_bit(std::uint64_t v, unsigned pos) {
+  const std::uint64_t low_mask = (std::uint64_t{1} << pos) - 1;
+  return ((v & ~low_mask) << 1) | (v & low_mask);
+}
+
+/// Inserts two zero bits at positions p_lo < p_hi (positions in the result).
+constexpr std::uint64_t insert_two_zero_bits(std::uint64_t v, unsigned p_lo,
+                                             unsigned p_hi) {
+  return insert_zero_bit(insert_zero_bit(v, p_lo), p_hi);
+}
+
+/// Tests bit `pos` of v.
+constexpr bool test_bit(std::uint64_t v, unsigned pos) {
+  return ((v >> pos) & 1u) != 0;
+}
+
+/// Sets bit `pos` of v.
+constexpr std::uint64_t set_bit(std::uint64_t v, unsigned pos) {
+  return v | (std::uint64_t{1} << pos);
+}
+
+/// Clears bit `pos` of v.
+constexpr std::uint64_t clear_bit(std::uint64_t v, unsigned pos) {
+  return v & ~(std::uint64_t{1} << pos);
+}
+
+/// Flips bit `pos` of v.
+constexpr std::uint64_t flip_bit(std::uint64_t v, unsigned pos) {
+  return v ^ (std::uint64_t{1} << pos);
+}
+
+/// Reverses the lowest n bits of v (used by QFT output ordering).
+constexpr std::uint64_t reverse_bits(std::uint64_t v, unsigned n) {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    out = (out << 1) | ((v >> i) & 1u);
+  }
+  return out;
+}
+
+/// Scatters the bits of `compact` into the positions given by the sorted
+/// list `positions` (ascending), leaving other bits zero. Used to enumerate
+/// amplitude groups for multi-qubit fused gates.
+inline std::uint64_t deposit_bits(std::uint64_t compact,
+                                  const unsigned* positions, unsigned count) {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    out |= ((compact >> i) & 1u) << positions[i];
+  }
+  return out;
+}
+
+}  // namespace qgear

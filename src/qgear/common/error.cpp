@@ -1,0 +1,16 @@
+#include "qgear/common/error.hpp"
+
+#include <sstream>
+
+namespace qgear::detail {
+
+void throw_contract_failure(const char* kind, const char* expr,
+                            const char* file, int line,
+                            const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: `" << expr << "` at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw LogicViolation(os.str());
+}
+
+}  // namespace qgear::detail

@@ -1,0 +1,78 @@
+// Error handling primitives for qgear.
+//
+// All recoverable failures throw qgear::Error (invalid user input, bad
+// files, resource exhaustion). Programming-contract violations use
+// QGEAR_EXPECTS / QGEAR_ENSURES, which also throw so tests can assert on
+// them, but carry file:line context for debugging.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qgear {
+
+/// Base exception for all qgear failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Input supplied by the caller violated a documented requirement.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A file or serialized payload was malformed or truncated.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// A simulation would exceed the configured memory budget.
+class OutOfMemoryBudget : public Error {
+ public:
+  explicit OutOfMemoryBudget(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violated (a bug in qgear itself).
+class LogicViolation : public Error {
+ public:
+  explicit LogicViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_contract_failure(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const std::string& msg);
+}  // namespace detail
+
+}  // namespace qgear
+
+/// Precondition check: throws qgear::LogicViolation when violated.
+#define QGEAR_EXPECTS(cond)                                                 \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::qgear::detail::throw_contract_failure("Precondition", #cond,       \
+                                              __FILE__, __LINE__, "");     \
+  } while (false)
+
+/// Postcondition check: throws qgear::LogicViolation when violated.
+#define QGEAR_ENSURES(cond)                                                 \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::qgear::detail::throw_contract_failure("Postcondition", #cond,      \
+                                              __FILE__, __LINE__, "");     \
+  } while (false)
+
+/// Validates user-facing input; throws qgear::InvalidArgument with `msg`.
+#define QGEAR_CHECK_ARG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) throw ::qgear::InvalidArgument(msg);                       \
+  } while (false)
+
+/// Validates serialized data; throws qgear::FormatError with `msg`.
+#define QGEAR_CHECK_FORMAT(cond, msg)                                       \
+  do {                                                                      \
+    if (!(cond)) throw ::qgear::FormatError(msg);                           \
+  } while (false)

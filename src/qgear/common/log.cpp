@@ -1,0 +1,34 @@
+#include "qgear/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace qgear::log {
+
+namespace {
+std::atomic<Level> g_level{Level::warn};
+std::mutex g_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::debug: return "DEBUG";
+    case Level::info: return "INFO";
+    case Level::warn: return "WARN";
+    case Level::error: return "ERROR";
+    case Level::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level); }
+Level level() { return g_level.load(); }
+
+void write(Level lvl, const std::string& msg) {
+  if (lvl < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[qgear %s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace qgear::log

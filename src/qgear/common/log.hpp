@@ -1,0 +1,21 @@
+// Minimal leveled logger. Benches and the platform simulators use it to
+// narrate pipeline stages; tests silence it via set_level(Level::off).
+#pragma once
+
+#include <string>
+
+namespace qgear::log {
+
+enum class Level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+void set_level(Level level);
+Level level();
+
+void write(Level level, const std::string& msg);
+
+inline void debug(const std::string& msg) { write(Level::debug, msg); }
+inline void info(const std::string& msg) { write(Level::info, msg); }
+inline void warn(const std::string& msg) { write(Level::warn, msg); }
+inline void error(const std::string& msg) { write(Level::error, msg); }
+
+}  // namespace qgear::log

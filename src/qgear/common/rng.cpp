@@ -1,0 +1,78 @@
+#include "qgear/common/rng.hpp"
+
+#include <cmath>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear {
+
+namespace {
+constexpr unsigned __int128 kMultiplier =
+    (static_cast<unsigned __int128>(2549297995355413924ULL) << 64) |
+    4865540595714422341ULL;
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  inc_ = (static_cast<unsigned __int128>(stream) << 1) | 1;
+  state_ = 0;
+  (*this)();
+  state_ += static_cast<unsigned __int128>(seed);
+  (*this)();
+}
+
+Rng::result_type Rng::operator()() {
+  state_ = state_ * kMultiplier + inc_;
+  // XSL-RR output function.
+  const std::uint64_t xored =
+      static_cast<std::uint64_t>(state_ >> 64) ^
+      static_cast<std::uint64_t>(state_);
+  const unsigned rot = static_cast<unsigned>(state_ >> 122);
+  return (xored >> rot) | (xored << ((64u - rot) & 63u));
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  QGEAR_EXPECTS(bound > 0);
+  // Lemire's rejection method for unbiased bounded integers.
+  std::uint64_t x = (*this)();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<unsigned __int128>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+Rng Rng::split() {
+  return Rng((*this)(), (*this)());
+}
+
+}  // namespace qgear

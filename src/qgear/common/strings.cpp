@@ -1,0 +1,82 @@
+#include "qgear/common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace qgear {
+
+std::string human_bytes(std::uint64_t bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 5) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+std::string human_seconds(double seconds) {
+  char buf[32];
+  if (seconds >= 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.2f h", seconds / 3600.0);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof buf, "%.2f min", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(s);
+  while (std::getline(is, item, delim)) out.push_back(item);
+  if (!s.empty() && s.back() == delim) out.push_back("");
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& delim) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+}  // namespace qgear

@@ -1,0 +1,29 @@
+// Small string/formatting helpers shared by benches and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qgear {
+
+/// "1.50 GB", "320 MB", "42 B" — 1024-based units.
+std::string human_bytes(std::uint64_t bytes);
+
+/// "1.2 s", "340 ms", "12 us" — scales to the dominant unit.
+std::string human_seconds(double seconds);
+
+/// Splits on a delimiter; empty fields are preserved.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Joins with a delimiter.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& delim);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// printf-style formatting into std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace qgear

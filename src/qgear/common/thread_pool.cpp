@@ -1,0 +1,86 @@
+#include "qgear/common/thread_pool.hpp"
+
+#include "qgear/common/error.hpp"
+
+namespace qgear {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  tasks_.resize(threads);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) {
+  if (begin >= end) return;
+  const std::uint64_t count = end - begin;
+  const unsigned workers = size();
+  // Small ranges are not worth the hand-off latency.
+  if (workers <= 1 || count < 4096) {
+    fn(begin, end);
+    return;
+  }
+  const std::uint64_t chunk = (count + workers - 1) / workers;
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    unsigned issued = 0;
+    for (unsigned i = 0; i < workers; ++i) {
+      const std::uint64_t b = begin + chunk * i;
+      if (b >= end) break;
+      const std::uint64_t e = std::min(end, b + chunk);
+      tasks_[i] = Task{&fn, b, e};
+      ++issued;
+    }
+    pending_ = issued;
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+}
+
+void ThreadPool::worker_loop(unsigned worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (generation_ != seen_generation &&
+                         tasks_[worker_index].fn != nullptr);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = tasks_[worker_index];
+      tasks_[worker_index].fn = nullptr;
+    }
+    if (task.fn != nullptr) {
+      (*task.fn)(task.begin, task.end);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace qgear

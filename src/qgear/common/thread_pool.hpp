@@ -1,0 +1,58 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// Stands in for the GPU's SM/warp parallelism in the fused engine and for
+// per-rank worker threads in the in-process communicator. parallel_for
+// partitions [begin, end) into contiguous chunks, one per worker, which is
+// the right shape for bandwidth-bound amplitude sweeps.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qgear {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(chunk_begin, chunk_end) over a partition of [begin, end),
+  /// blocking until every chunk completes. Runs inline when the range is
+  /// small or the pool has a single worker.
+  void parallel_for(std::uint64_t begin, std::uint64_t end,
+                    const std::function<void(std::uint64_t, std::uint64_t)>& fn);
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::uint64_t, std::uint64_t)>* fn = nullptr;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+
+  void worker_loop(unsigned worker_index);
+
+  std::mutex submit_mutex_;  // serializes concurrent parallel_for callers
+  std::vector<std::thread> workers_;
+  std::vector<Task> tasks_;          // one slot per worker
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;     // bumped per parallel_for round
+  unsigned pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace qgear

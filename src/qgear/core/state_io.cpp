@@ -1,0 +1,57 @@
+#include "qgear/core/state_io.hpp"
+
+#include <string>
+
+namespace qgear::core {
+
+namespace {
+template <typename T>
+const char* precision_tag() {
+  return sizeof(T) == 4 ? "fp32" : "fp64";
+}
+}  // namespace
+
+template <typename T>
+void save_state(const sim::StateVector<T>& state, qh5::Group& group) {
+  group.set_attr("format", std::string("qgear.state_vector"));
+  group.set_attr("num_qubits", static_cast<std::int64_t>(state.num_qubits()));
+  group.set_attr("precision", std::string(precision_tag<T>()));
+
+  const std::uint64_t n = state.size();
+  std::vector<T> re(n), im(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    re[i] = state[i].real();
+    im[i] = state[i].imag();
+  }
+  group.create_dataset<T>("re", {n}, re);
+  group.create_dataset<T>("im", {n}, im);
+}
+
+template <typename T>
+sim::StateVector<T> load_state(const qh5::Group& group) {
+  QGEAR_CHECK_FORMAT(group.has_attr("format") &&
+                         group.attr_str("format") == "qgear.state_vector",
+                     "state_io: group is not a state vector");
+  QGEAR_CHECK_FORMAT(group.attr_str("precision") == precision_tag<T>(),
+                     "state_io: stored precision does not match request");
+  const auto num_qubits =
+      static_cast<unsigned>(group.attr_i64("num_qubits"));
+  sim::StateVector<T> state(num_qubits);
+  const auto re = group.dataset("re").read<T>();
+  const auto im = group.dataset("im").read<T>();
+  QGEAR_CHECK_FORMAT(re.size() == state.size() && im.size() == state.size(),
+                     "state_io: amplitude plane size mismatch");
+  for (std::uint64_t i = 0; i < state.size(); ++i) {
+    state[i] = std::complex<T>(re[i], im[i]);
+  }
+  return state;
+}
+
+template void save_state<float>(const sim::StateVector<float>&,
+                                qh5::Group&);
+template void save_state<double>(const sim::StateVector<double>&,
+                                 qh5::Group&);
+template sim::StateVector<float> load_state<float>(const qh5::Group&);
+template sim::StateVector<double> load_state<double>(const qh5::Group&);
+
+}  // namespace qgear::core

@@ -1,0 +1,32 @@
+// State-vector checkpointing in qh5 containers.
+//
+// Multi-stage pipelines (App. E) evolve a circuit in one Slurm job and
+// sample or extend it in another; that requires persisting 2^n amplitudes
+// between jobs. States are stored as separate real/imaginary planes so
+// the byte-shuffle compressor can exploit exponent locality.
+#pragma once
+
+#include "qgear/qh5/node.hpp"
+#include "qgear/sim/state.hpp"
+
+namespace qgear::core {
+
+/// Writes `state` into `group` (datasets "re", "im" + metadata attrs).
+template <typename T>
+void save_state(const sim::StateVector<T>& state, qh5::Group& group);
+
+/// Reads a state previously written by save_state. The stored precision
+/// must match T exactly (no silent narrowing).
+template <typename T>
+sim::StateVector<T> load_state(const qh5::Group& group);
+
+extern template void save_state<float>(const sim::StateVector<float>&,
+                                       qh5::Group&);
+extern template void save_state<double>(const sim::StateVector<double>&,
+                                        qh5::Group&);
+extern template sim::StateVector<float> load_state<float>(
+    const qh5::Group&);
+extern template sim::StateVector<double> load_state<double>(
+    const qh5::Group&);
+
+}  // namespace qgear::core

@@ -1,0 +1,275 @@
+#include "qgear/core/tensor.hpp"
+
+#include <algorithm>
+
+#include "qgear/common/strings.hpp"
+#include "qgear/qiskit/transpile.hpp"
+
+namespace qgear::core {
+
+std::vector<std::uint8_t> one_hot_matrix() {
+  std::vector<std::uint8_t> m(kNumTensorGates * kNumTensorGates, 0);
+  for (int g = 0; g < kNumTensorGates; ++g) {
+    m[static_cast<std::size_t>(g) * kNumTensorGates + g] = 1;
+  }
+  return m;
+}
+
+TensorGate tensor_gate_from_kind(qiskit::GateKind kind) {
+  using qiskit::GateKind;
+  switch (kind) {
+    case GateKind::h: return TensorGate::h;
+    case GateKind::ry: return TensorGate::ry;
+    case GateKind::rz: return TensorGate::rz;
+    case GateKind::cx: return TensorGate::cx;
+    case GateKind::measure: return TensorGate::measure;
+    case GateKind::rx: return TensorGate::rx;
+    case GateKind::cp: return TensorGate::cp;
+    default:
+      throw InvalidArgument(
+          std::string("tensor: gate '") + qiskit::gate_info(kind).name +
+          "' is not in the native encoding set (transpile first)");
+  }
+}
+
+qiskit::GateKind kind_from_tensor_gate(TensorGate g) {
+  using qiskit::GateKind;
+  switch (g) {
+    case TensorGate::h: return GateKind::h;
+    case TensorGate::ry: return GateKind::ry;
+    case TensorGate::rz: return GateKind::rz;
+    case TensorGate::cx: return GateKind::cx;
+    case TensorGate::measure: return GateKind::measure;
+    case TensorGate::rx: return GateKind::rx;
+    case TensorGate::cp: return GateKind::cp;
+  }
+  throw FormatError("tensor: invalid gate category");
+}
+
+GateTensor::GateTensor(std::uint32_t num_circuits, std::uint32_t capacity)
+    : num_circuits_(num_circuits), capacity_(capacity) {
+  QGEAR_CHECK_ARG(num_circuits >= 1, "tensor: need at least one circuit");
+  QGEAR_CHECK_ARG(capacity >= 1, "tensor: capacity must be positive");
+  qubits_.assign(num_circuits, 0);
+  gate_count_.assign(num_circuits, 0);
+  names_.assign(num_circuits, "");
+  const std::size_t slots =
+      static_cast<std::size_t>(num_circuits) * capacity;
+  gate_type_.assign(slots, kEmptySlot);
+  control_.assign(slots, -1);
+  target_.assign(slots, -1);
+  param_.assign(slots, 0.0);
+}
+
+std::uint32_t GateTensor::circuit_qubits(std::uint32_t c) const {
+  QGEAR_CHECK_ARG(c < num_circuits_, "tensor: circuit index out of range");
+  return qubits_[c];
+}
+
+std::uint32_t GateTensor::circuit_gates(std::uint32_t c) const {
+  QGEAR_CHECK_ARG(c < num_circuits_, "tensor: circuit index out of range");
+  return gate_count_[c];
+}
+
+const std::string& GateTensor::circuit_name(std::uint32_t c) const {
+  QGEAR_CHECK_ARG(c < num_circuits_, "tensor: circuit index out of range");
+  return names_[c];
+}
+
+void GateTensor::set_circuit_meta(std::uint32_t c, std::uint32_t qubits,
+                                  std::string name) {
+  QGEAR_CHECK_ARG(c < num_circuits_, "tensor: circuit index out of range");
+  qubits_[c] = qubits;
+  names_[c] = std::move(name);
+}
+
+void GateTensor::push_gate(std::uint32_t c, TensorGate type,
+                           std::int32_t control, std::int32_t target,
+                           double param) {
+  QGEAR_CHECK_ARG(c < num_circuits_, "tensor: circuit index out of range");
+  QGEAR_CHECK_ARG(gate_count_[c] < capacity_,
+                  "tensor: circuit exceeds tensor capacity (Lemma B.2)");
+  const std::size_t s = slot(c, gate_count_[c]);
+  gate_type_[s] = static_cast<std::int8_t>(type);
+  control_[s] = control;
+  target_[s] = target;
+  param_[s] = param;
+  ++gate_count_[c];
+}
+
+std::uint64_t GateTensor::byte_size() const {
+  const std::uint64_t slots =
+      static_cast<std::uint64_t>(num_circuits_) * capacity_;
+  return slots * (sizeof(std::int8_t) + 2 * sizeof(std::int32_t) +
+                  sizeof(double)) +
+         num_circuits_ * 2 * sizeof(std::uint32_t);
+}
+
+GateTensor encode_circuits(std::span<const qiskit::QuantumCircuit> circuits,
+                           EncodeOptions opts) {
+  QGEAR_CHECK_ARG(!circuits.empty(), "encode: no circuits given");
+
+  std::vector<qiskit::QuantumCircuit> native;
+  native.reserve(circuits.size());
+  for (const auto& qc : circuits) {
+    native.push_back(opts.transpile ? qiskit::to_native_basis(qc) : qc);
+  }
+
+  // Lemma B.2 capacity: d >= max(|G|, |C|), counting encodable slots
+  // (barriers carry no tensor entry).
+  std::uint32_t max_gates = 0;
+  for (const auto& qc : native) {
+    std::uint32_t n = 0;
+    for (const auto& inst : qc.instructions()) {
+      if (inst.kind != qiskit::GateKind::barrier) ++n;
+    }
+    max_gates = std::max(max_gates, n);
+  }
+  const std::uint32_t auto_d =
+      std::max<std::uint32_t>({max_gates, static_cast<std::uint32_t>(
+                                              native.size()),
+                               1});
+  const std::uint32_t d = opts.capacity == 0 ? auto_d : opts.capacity;
+  QGEAR_CHECK_ARG(d >= auto_d,
+                  "encode: requested capacity violates Lemma B.2");
+
+  GateTensor tensor(static_cast<std::uint32_t>(native.size()), d);
+  for (std::uint32_t c = 0; c < native.size(); ++c) {
+    const auto& qc = native[c];
+    tensor.set_circuit_meta(c, qc.num_qubits(), qc.name());
+    for (const auto& inst : qc.instructions()) {
+      if (inst.kind == qiskit::GateKind::barrier) continue;
+      const TensorGate g = tensor_gate_from_kind(inst.kind);
+      const qiskit::GateInfo& info = qiskit::gate_info(inst.kind);
+      if (info.num_qubits == 2) {
+        tensor.push_gate(c, g, inst.q0, inst.q1, inst.param);
+      } else {
+        // Single-qubit gates store the qubit in the target plane; control
+        // stays -1 (the paper's "control qubit indices" slot).
+        tensor.push_gate(c, g, -1, inst.q0, inst.param);
+      }
+    }
+  }
+  return tensor;
+}
+
+qiskit::QuantumCircuit decode_circuit(const GateTensor& tensor,
+                                      std::uint32_t index) {
+  QGEAR_CHECK_ARG(index < tensor.num_circuits(),
+                  "decode: circuit index out of range");
+  const std::uint32_t nq = tensor.circuit_qubits(index);
+  QGEAR_CHECK_FORMAT(nq >= 1 && nq <= 64, "decode: invalid qubit count");
+  qiskit::QuantumCircuit qc(nq, tensor.circuit_name(index));
+  for (std::uint32_t g = 0; g < tensor.circuit_gates(index); ++g) {
+    const std::int8_t raw = tensor.gate_type(index, g);
+    QGEAR_CHECK_FORMAT(raw >= 0 && raw < kNumTensorGates,
+                       "decode: invalid gate category");
+    const qiskit::GateKind kind =
+        kind_from_tensor_gate(static_cast<TensorGate>(raw));
+    const qiskit::GateInfo& info = qiskit::gate_info(kind);
+    qiskit::Instruction inst;
+    inst.kind = kind;
+    inst.param = tensor.param(index, g);
+    if (info.num_qubits == 2) {
+      inst.q0 = tensor.control(index, g);
+      inst.q1 = tensor.target(index, g);
+    } else {
+      inst.q0 = tensor.target(index, g);
+      inst.q1 = -1;
+    }
+    try {
+      qc.append(inst);
+    } catch (const InvalidArgument& e) {
+      throw FormatError(std::string("decode: invalid tensor slot: ") +
+                        e.what());
+    }
+  }
+  return qc;
+}
+
+void save_tensor(const GateTensor& tensor, qh5::Group& group) {
+  group.set_attr("format", std::string("qgear.gate_tensor"));
+  group.set_attr("version", std::int64_t{1});
+  group.set_attr("num_circuits", static_cast<std::int64_t>(
+                                     tensor.num_circuits()));
+  group.set_attr("capacity", static_cast<std::int64_t>(tensor.capacity()));
+
+  const std::uint64_t n = tensor.num_circuits();
+  const std::uint64_t d = tensor.capacity();
+
+  std::vector<std::int64_t> qubits(n), gates(n);
+  std::vector<std::string> names(n);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    qubits[c] = tensor.circuit_qubits(c);
+    gates[c] = tensor.circuit_gates(c);
+    names[c] = tensor.circuit_name(c);
+  }
+  group.create_dataset<std::int64_t>("num_qubits", {n}, qubits);
+  group.create_dataset<std::int64_t>("gate_count", {n}, gates);
+  // Names are packed newline-separated (qh5 has no string datasets).
+  std::string packed;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    QGEAR_CHECK_ARG(names[c].find('\n') == std::string::npos,
+                    "save_tensor: circuit name contains newline");
+    packed += names[c];
+    packed += '\n';
+  }
+  std::vector<std::uint8_t> name_bytes(packed.begin(), packed.end());
+  if (name_bytes.empty()) name_bytes.push_back('\n');
+  group.create_dataset<std::uint8_t>("names", {name_bytes.size()},
+                                     name_bytes);
+
+  group.create_dataset<std::int8_t>("gate_type", {n, d},
+                                    tensor.gate_type_plane());
+  group.create_dataset<std::int32_t>("control", {n, d},
+                                     tensor.control_plane());
+  group.create_dataset<std::int32_t>("target", {n, d},
+                                     tensor.target_plane());
+  group.create_dataset<double>("gate_param", {n, d}, tensor.param_plane());
+}
+
+GateTensor load_tensor(const qh5::Group& group) {
+  QGEAR_CHECK_FORMAT(group.has_attr("format") &&
+                         group.attr_str("format") == "qgear.gate_tensor",
+                     "load_tensor: group is not a gate tensor");
+  const auto n = static_cast<std::uint32_t>(group.attr_i64("num_circuits"));
+  const auto d = static_cast<std::uint32_t>(group.attr_i64("capacity"));
+  QGEAR_CHECK_FORMAT(n >= 1 && d >= 1, "load_tensor: bad shape attributes");
+
+  const auto qubits = group.dataset("num_qubits").read<std::int64_t>();
+  const auto gates = group.dataset("gate_count").read<std::int64_t>();
+  QGEAR_CHECK_FORMAT(qubits.size() == n && gates.size() == n,
+                     "load_tensor: metadata length mismatch");
+  const auto name_bytes = group.dataset("names").read<std::uint8_t>();
+  const std::vector<std::string> names =
+      split(std::string(name_bytes.begin(), name_bytes.end()), '\n');
+
+  const auto gate_type = group.dataset("gate_type").read<std::int8_t>();
+  const auto control = group.dataset("control").read<std::int32_t>();
+  const auto target = group.dataset("target").read<std::int32_t>();
+  const auto param = group.dataset("gate_param").read<double>();
+  const std::size_t slots = static_cast<std::size_t>(n) * d;
+  QGEAR_CHECK_FORMAT(gate_type.size() == slots && control.size() == slots &&
+                         target.size() == slots && param.size() == slots,
+                     "load_tensor: plane size mismatch");
+
+  GateTensor tensor(n, d);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    QGEAR_CHECK_FORMAT(gates[c] >= 0 && gates[c] <= d,
+                       "load_tensor: gate count exceeds capacity");
+    tensor.set_circuit_meta(c, static_cast<std::uint32_t>(qubits[c]),
+                            c < names.size() ? names[c] : "");
+    for (std::uint32_t g = 0; g < static_cast<std::uint32_t>(gates[c]);
+         ++g) {
+      const std::size_t s = static_cast<std::size_t>(c) * d + g;
+      QGEAR_CHECK_FORMAT(
+          gate_type[s] >= 0 && gate_type[s] < kNumTensorGates,
+          "load_tensor: invalid gate category in plane");
+      tensor.push_gate(c, static_cast<TensorGate>(gate_type[s]), control[s],
+                       target[s], param[s]);
+    }
+  }
+  return tensor;
+}
+
+}  // namespace qgear::core

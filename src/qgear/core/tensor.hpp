@@ -1,0 +1,135 @@
+// Q-Gear's circuit encoding (paper Sec. 2.1, Appendix B).
+//
+// A batch of circuits is stored as one fixed-shape 3-D tensor:
+//   dim 1 — per-circuit metadata: circuit type/name, qubit count, gate count;
+//   dim 2 — per-gate integer planes: gate category, control qubit index,
+//           target qubit index (shape [num_circuits][capacity]);
+//   dim 3 — the unified gate-parameter plane (same shape, doubles).
+//
+// Capacity d satisfies Lemma B.2: d >= max(|G|, |C|); unused slots carry
+// the sentinel kEmptySlot. Gate categories follow the paper's one-hot
+// matrix M = (h, ry, rz, cx, measure) (Eq. 8), extended with rx and cp
+// (cr1), which the paper's own workloads require (App. D.1, D.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qgear/qh5/node.hpp"
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::core {
+
+/// Gate categories of the tensor encoding, in one-hot matrix order.
+enum class TensorGate : std::int8_t {
+  h = 0,
+  ry = 1,
+  rz = 2,
+  cx = 3,
+  measure = 4,
+  // Extensions beyond Eq. 8's canonical five:
+  rx = 5,
+  cp = 6,
+};
+
+constexpr int kNumTensorGates = 7;
+constexpr std::int8_t kEmptySlot = -1;
+
+/// Returns the one-hot encoding matrix M^T (Eq. 8) for the gate
+/// categories: row g is the one-hot vector of category g.
+std::vector<std::uint8_t> one_hot_matrix();
+
+/// Maps a native-basis instruction kind to its tensor category.
+TensorGate tensor_gate_from_kind(qiskit::GateKind kind);
+qiskit::GateKind kind_from_tensor_gate(TensorGate g);
+
+/// The fixed-shape gate tensor for a batch of circuits.
+class GateTensor {
+ public:
+  GateTensor() = default;
+  GateTensor(std::uint32_t num_circuits, std::uint32_t capacity);
+
+  std::uint32_t num_circuits() const { return num_circuits_; }
+  std::uint32_t capacity() const { return capacity_; }
+
+  // ---- dim 1: per-circuit metadata ------------------------------------
+  std::uint32_t circuit_qubits(std::uint32_t c) const;
+  std::uint32_t circuit_gates(std::uint32_t c) const;
+  const std::string& circuit_name(std::uint32_t c) const;
+  void set_circuit_meta(std::uint32_t c, std::uint32_t qubits,
+                        std::string name);
+
+  // ---- dim 2/3: per-gate planes ----------------------------------------
+  std::int8_t gate_type(std::uint32_t c, std::uint32_t g) const {
+    return gate_type_[slot(c, g)];
+  }
+  std::int32_t control(std::uint32_t c, std::uint32_t g) const {
+    return control_[slot(c, g)];
+  }
+  std::int32_t target(std::uint32_t c, std::uint32_t g) const {
+    return target_[slot(c, g)];
+  }
+  double param(std::uint32_t c, std::uint32_t g) const {
+    return param_[slot(c, g)];
+  }
+
+  /// Appends one gate to circuit c (next free slot). Throws when full.
+  void push_gate(std::uint32_t c, TensorGate type, std::int32_t control,
+                 std::int32_t target, double param);
+
+  /// Raw plane access for persistence.
+  const std::vector<std::int8_t>& gate_type_plane() const {
+    return gate_type_;
+  }
+  const std::vector<std::int32_t>& control_plane() const { return control_; }
+  const std::vector<std::int32_t>& target_plane() const { return target_; }
+  const std::vector<double>& param_plane() const { return param_; }
+
+  /// Total tensor bytes (all planes), the quantity Appendix C stores.
+  std::uint64_t byte_size() const;
+
+  bool operator==(const GateTensor&) const = default;
+
+ private:
+  std::size_t slot(std::uint32_t c, std::uint32_t g) const {
+    QGEAR_EXPECTS(c < num_circuits_ && g < capacity_);
+    return static_cast<std::size_t>(c) * capacity_ + g;
+  }
+
+  std::uint32_t num_circuits_ = 0;
+  std::uint32_t capacity_ = 0;
+  std::vector<std::uint32_t> qubits_;
+  std::vector<std::uint32_t> gate_count_;
+  std::vector<std::string> names_;
+  std::vector<std::int8_t> gate_type_;
+  std::vector<std::int32_t> control_;
+  std::vector<std::int32_t> target_;
+  std::vector<double> param_;
+};
+
+struct EncodeOptions {
+  /// 0 = auto: the smallest d satisfying Lemma B.2.
+  std::uint32_t capacity = 0;
+  /// Rewrite non-native gates before encoding (off only when the caller
+  /// guarantees native-basis input).
+  bool transpile = true;
+};
+
+/// Encodes a batch of circuits into one gate tensor (Sec. 2.1).
+GateTensor encode_circuits(std::span<const qiskit::QuantumCircuit> circuits,
+                           EncodeOptions opts = {});
+
+/// Reconstructs circuit `index` from the tensor. decode(encode(qc)) is
+/// gate-for-gate identical for native-basis circuits.
+qiskit::QuantumCircuit decode_circuit(const GateTensor& tensor,
+                                      std::uint32_t index);
+
+/// Persists the tensor into a qh5 group (Appendix C layout).
+void save_tensor(const GateTensor& tensor, qh5::Group& group);
+
+/// Loads a tensor previously written by save_tensor.
+GateTensor load_tensor(const qh5::Group& group);
+
+}  // namespace qgear::core

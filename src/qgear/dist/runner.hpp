@@ -1,0 +1,185 @@
+// SPMD driver for the distributed engine: spins up a rank-per-thread
+// World, evolves the partitioned state, optionally samples shots with a
+// distributed multinomial, and returns the results plus the exact
+// communication trace (which perfmodel prices at paper scale).
+#pragma once
+
+#include <mutex>
+#include <numeric>
+
+#include "qgear/comm/comm.hpp"
+#include "qgear/dist/dist_state.hpp"
+#include "qgear/sim/sampler.hpp"
+
+namespace qgear::dist {
+
+struct RunOptions {
+  int num_ranks = 4;            ///< must be a power of two
+  std::uint64_t shots = 0;      ///< 0 = no sampling
+  bool gather_state = false;    ///< collect the full state (small n only)
+  std::uint64_t seed = 12345;   ///< sampling seed
+  /// Fuse local-qubit gate runs into blocked sweeps (0 = per-gate).
+  unsigned fusion_width = 0;
+};
+
+template <typename T>
+struct RunResult {
+  /// Full final state (only when gather_state was set).
+  std::vector<std::complex<T>> state;
+  /// Aggregated measurement histogram (key = packed measured bits).
+  sim::Counts counts;
+  /// Measured qubits in program order.
+  std::vector<unsigned> measured;
+  /// Exact point-to-point transfer log of the run.
+  comm::CommTrace trace;
+  /// Per-rank engine statistics (index = rank).
+  std::vector<sim::EngineStats> rank_stats;
+  double norm = 0.0;
+};
+
+/// Distributed multinomial sampling: rank weights are the local norm of
+/// each slab; the root partitions the shot budget across ranks by their
+/// weight, each rank samples its local alias table, and results merge at
+/// the root keyed by the *global* basis index bits of the measured qubits.
+template <typename T>
+sim::Counts sample_distributed(DistStateVector<T>& state,
+                               comm::Communicator& comm,
+                               const std::vector<unsigned>& measured,
+                               std::uint64_t shots, std::uint64_t seed);
+
+/// Runs `qc` across opts.num_ranks SPMD ranks and returns the merged
+/// result (state/counts live at rank 0's view of the world).
+template <typename T>
+RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
+                             const RunOptions& opts);
+
+// ---- implementation ----------------------------------------------------
+
+template <typename T>
+sim::Counts sample_distributed(DistStateVector<T>& state,
+                               comm::Communicator& comm,
+                               const std::vector<unsigned>& measured,
+                               std::uint64_t shots, std::uint64_t seed) {
+  constexpr int kWeightTag = 1 << 29;
+  constexpr int kBudgetTag = kWeightTag + 1;
+  constexpr int kCountsTag = kWeightTag + 2;
+
+  const int rank = comm.rank();
+  const int size = comm.size();
+  const double local_weight = state.local_norm();
+
+  // Root collects rank weights and draws the per-rank multinomial split.
+  std::vector<std::uint64_t> budget(size, 0);
+  if (rank == 0) {
+    std::vector<double> weights(size);
+    weights[0] = local_weight;
+    for (int src = 1; src < size; ++src) {
+      weights[src] = comm.recv_vec<double>(src, kWeightTag).at(0);
+    }
+    Rng rng(seed);
+    const sim::AliasSampler rank_sampler(weights);
+    for (std::uint64_t s = 0; s < shots; ++s) {
+      ++budget[rank_sampler.sample(rng)];
+    }
+    for (int dst = 1; dst < size; ++dst) {
+      const std::vector<std::uint64_t> one = {budget[dst]};
+      comm.send_vec<std::uint64_t>(dst, kBudgetTag, one);
+    }
+  } else {
+    const std::vector<double> w = {local_weight};
+    comm.send_vec<double>(0, kWeightTag, w);
+    budget[rank] = comm.recv_vec<std::uint64_t>(0, kBudgetTag).at(0);
+  }
+
+  // Sample locally; keys are packed from the *full* index (local bits plus
+  // this rank's global bits).
+  const std::uint64_t my_shots = budget[rank];
+  sim::Counts local_counts;
+  if (my_shots > 0) {
+    std::vector<double> probs(state.local_size());
+    for (std::uint64_t i = 0; i < probs.size(); ++i) {
+      probs[i] = std::norm(state.local_amps()[i]);
+    }
+    const sim::AliasSampler sampler(probs);
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (rank + 1)));
+    const std::uint64_t rank_bits = static_cast<std::uint64_t>(rank)
+                                    << state.local_qubits();
+    for (std::uint64_t s = 0; s < my_shots; ++s) {
+      const std::uint64_t full = rank_bits | sampler.sample(rng);
+      std::uint64_t key = 0;
+      for (std::size_t j = 0; j < measured.size(); ++j) {
+        key |= ((full >> measured[j]) & 1u) << j;
+      }
+      ++local_counts[key];
+    }
+  }
+
+  // Merge at root as (key, count) pairs.
+  if (rank == 0) {
+    sim::Counts merged = std::move(local_counts);
+    for (int src = 1; src < size; ++src) {
+      const auto pairs = comm.recv_vec<std::uint64_t>(src, kCountsTag);
+      QGEAR_CHECK_FORMAT(pairs.size() % 2 == 0,
+                         "dist: malformed counts payload");
+      for (std::size_t i = 0; i < pairs.size(); i += 2) {
+        merged[pairs[i]] += pairs[i + 1];
+      }
+    }
+    return merged;
+  }
+  std::vector<std::uint64_t> pairs;
+  pairs.reserve(local_counts.size() * 2);
+  for (const auto& [key, count] : local_counts) {
+    pairs.push_back(key);
+    pairs.push_back(count);
+  }
+  comm.send_vec<std::uint64_t>(0, kCountsTag, pairs);
+  return {};
+}
+
+template <typename T>
+RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
+                             const RunOptions& opts) {
+  QGEAR_CHECK_ARG(opts.num_ranks >= 1 && is_pow2(opts.num_ranks),
+                  "dist: num_ranks must be a power of two");
+  comm::World world(opts.num_ranks);
+  RunResult<T> result;
+  result.rank_stats.resize(opts.num_ranks);
+  std::mutex result_mutex;
+
+  world.run([&](comm::Communicator& c) {
+    DistStateVector<T> state(qc.num_qubits(), c);
+    std::vector<unsigned> measured;
+    if (opts.fusion_width > 0) {
+      state.apply_circuit_fused(qc, opts.fusion_width, &measured);
+    } else {
+      state.apply_circuit(qc, &measured);
+    }
+    if (measured.empty() && opts.shots > 0) {
+      // Implicit full measurement, matching the single-device engines.
+      measured.resize(qc.num_qubits());
+      std::iota(measured.begin(), measured.end(), 0u);
+    }
+    const double norm = state.norm();
+
+    sim::Counts counts;
+    if (opts.shots > 0) {
+      counts = sample_distributed(state, c, measured, opts.shots, opts.seed);
+    }
+    std::vector<std::complex<T>> full;
+    if (opts.gather_state) full = state.gather(0);
+
+    std::lock_guard<std::mutex> lock(result_mutex);
+    result.rank_stats[c.rank()] = state.stats();
+    if (c.rank() == 0) {
+      result.state = std::move(full);
+      result.counts = std::move(counts);
+      result.measured = std::move(measured);
+      result.norm = norm;
+    }
+  });
+  result.trace = world.trace();
+  return result;
+}
+
+}  // namespace qgear::dist

@@ -1,0 +1,140 @@
+#include "qgear/image/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "qgear/common/rng.hpp"
+
+namespace qgear::image {
+
+Image make_synthetic(unsigned width, unsigned height, std::uint64_t seed) {
+  QGEAR_CHECK_ARG(width >= 1 && height >= 1, "image: empty dimensions");
+  Rng rng(seed);
+  Image img{width, height,
+            std::vector<double>(static_cast<std::size_t>(width) * height)};
+
+  // Base: diagonal gradient with a seeded orientation.
+  const double gx = rng.uniform(0.4, 1.0);
+  const double gy = rng.uniform(0.4, 1.0);
+
+  // A few random soft discs and stripe bands.
+  struct Disc {
+    double cx, cy, r, gain;
+  };
+  std::vector<Disc> discs;
+  for (int i = 0; i < 4; ++i) {
+    discs.push_back({rng.uniform(0, width), rng.uniform(0, height),
+                     rng.uniform(0.1, 0.35) * std::min(width, height),
+                     rng.uniform(-0.5, 0.5)});
+  }
+  const double stripe_period = rng.uniform(8.0, 24.0);
+  const double stripe_gain = rng.uniform(0.05, 0.2);
+
+  for (unsigned y = 0; y < height; ++y) {
+    for (unsigned x = 0; x < width; ++x) {
+      double v = 0.5 * (gx * x / width + gy * y / height);
+      for (const Disc& d : discs) {
+        const double dx = x - d.cx, dy = y - d.cy;
+        const double dist2 = dx * dx + dy * dy;
+        v += d.gain * std::exp(-dist2 / (2 * d.r * d.r));
+      }
+      v += stripe_gain * std::sin(2 * M_PI * x / stripe_period);
+      img.at(x, y) = std::clamp(v, 0.0, 1.0);
+    }
+  }
+  return img;
+}
+
+void save_pgm(const Image& img, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  QGEAR_CHECK_ARG(os.good(), "image: cannot write " + path);
+  os << "P5\n" << img.width << " " << img.height << "\n255\n";
+  for (double v : img.pixels) {
+    const int byte = static_cast<int>(
+        std::lround(std::clamp(v, 0.0, 1.0) * 255.0));
+    os.put(static_cast<char>(byte));
+  }
+  QGEAR_CHECK_ARG(os.good(), "image: short write to " + path);
+}
+
+Image load_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QGEAR_CHECK_ARG(in.good(), "image: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  QGEAR_CHECK_FORMAT(magic == "P5", "image: not a binary PGM file");
+  unsigned width = 0, height = 0;
+  int maxval = 0;
+  in >> width >> height >> maxval;
+  QGEAR_CHECK_FORMAT(width >= 1 && height >= 1 && maxval == 255,
+                     "image: unsupported PGM header");
+  in.get();  // single whitespace after header
+  Image img{width, height,
+            std::vector<double>(static_cast<std::size_t>(width) * height)};
+  for (double& v : img.pixels) {
+    const int byte = in.get();
+    QGEAR_CHECK_FORMAT(byte != EOF, "image: truncated PGM payload");
+    v = byte / 255.0;
+  }
+  return img;
+}
+
+std::vector<PaperImageConfig> paper_image_table() {
+  // Table 2 verbatim: shots = 3000 * 2^m.
+  return {
+      {"Finger", 64, 80, 10, 5, 3'072'000},
+      {"Shoes", 128, 128, 11, 8, 6'144'000},
+      {"Building", 192, 128, 12, 6, 12'288'000},
+      {"Zebra", 384, 256, 13, 12, 24'576'000},
+      {"Zebra", 384, 256, 14, 6, 49'152'000},
+      {"Zebra", 384, 256, 15, 3, 98'304'000},
+  };
+}
+
+Image make_paper_image(const PaperImageConfig& config) {
+  // Seed by name so the three Zebra rows share one image.
+  std::uint64_t seed = 0xC0FFEE;
+  for (char c : config.name) seed = seed * 131 + static_cast<unsigned char>(c);
+  return make_synthetic(config.width, config.height, seed);
+}
+
+ReconstructionMetrics compare_images(const Image& original,
+                                     const Image& reconstructed) {
+  QGEAR_CHECK_ARG(original.width == reconstructed.width &&
+                      original.height == reconstructed.height,
+                  "image: dimension mismatch");
+  const std::size_t n = original.size();
+  QGEAR_CHECK_ARG(n > 0, "image: empty image");
+
+  double sum_a = 0, sum_b = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_a += original.pixels[i];
+    sum_b += reconstructed.pixels[i];
+  }
+  const double mean_a = sum_a / static_cast<double>(n);
+  const double mean_b = sum_b / static_cast<double>(n);
+
+  double cov = 0, var_a = 0, var_b = 0, sse = 0, worst = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = original.pixels[i] - mean_a;
+    const double db = reconstructed.pixels[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+    const double err = original.pixels[i] - reconstructed.pixels[i];
+    sse += err * err;
+    worst = std::max(worst, std::abs(err));
+  }
+
+  ReconstructionMetrics m;
+  m.correlation = (var_a > 0 && var_b > 0)
+                      ? cov / std::sqrt(var_a * var_b)
+                      : (sse == 0 ? 1.0 : 0.0);
+  m.mse = sse / static_cast<double>(n);
+  m.max_abs_error = worst;
+  m.psnr_db = m.mse > 0 ? 10.0 * std::log10(1.0 / m.mse) : 99.0;
+  return m;
+}
+
+}  // namespace qgear::image

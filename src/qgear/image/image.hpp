@@ -1,0 +1,74 @@
+// Grayscale images for the QCrank experiments.
+//
+// The paper encodes four real photographs (Finger/Shoes/Building/Zebra,
+// Table 2). Those files are not redistributable, so we generate
+// deterministic synthetic images with the same dimensions — QCrank only
+// consumes pixel values, so the circuits, qubit counts and shot budgets
+// are identical (see DESIGN.md, substitution table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::image {
+
+/// Row-major grayscale image; pixel values in [0, 1].
+struct Image {
+  unsigned width = 0;
+  unsigned height = 0;
+  std::vector<double> pixels;
+
+  std::size_t size() const { return pixels.size(); }
+  double& at(unsigned x, unsigned y) {
+    QGEAR_EXPECTS(x < width && y < height);
+    return pixels[static_cast<std::size_t>(y) * width + x];
+  }
+  double at(unsigned x, unsigned y) const {
+    QGEAR_EXPECTS(x < width && y < height);
+    return pixels[static_cast<std::size_t>(y) * width + x];
+  }
+};
+
+/// Deterministic synthetic grayscale image: smooth gradients plus circles
+/// and stripes, so reconstructions have visible structure to correlate.
+Image make_synthetic(unsigned width, unsigned height, std::uint64_t seed);
+
+/// Binary PGM (P5, 8-bit) writer/reader.
+void save_pgm(const Image& img, const std::string& path);
+Image load_pgm(const std::string& path);
+
+/// One Table 2 row: image -> qubit/shot configuration.
+struct PaperImageConfig {
+  std::string name;
+  unsigned width;
+  unsigned height;
+  unsigned address_qubits;  ///< m
+  unsigned data_qubits;
+  std::uint64_t shots;      ///< s * 2^m with s = 3000
+  std::uint64_t gray_pixels() const {
+    return static_cast<std::uint64_t>(width) * height;
+  }
+  unsigned total_qubits() const { return address_qubits + data_qubits; }
+};
+
+/// The six rows of Table 2 (Zebra appears with three qubit splits).
+std::vector<PaperImageConfig> paper_image_table();
+
+/// Synthetic stand-in for a Table 2 image (seeded by its row).
+Image make_paper_image(const PaperImageConfig& config);
+
+/// Reconstruction quality metrics (Fig. 6's panels).
+struct ReconstructionMetrics {
+  double correlation = 0.0;   ///< Pearson correlation of pixel values
+  double mse = 0.0;           ///< mean squared error
+  double max_abs_error = 0.0;
+  double psnr_db = 0.0;       ///< peak signal-to-noise ratio (peak = 1.0)
+};
+
+ReconstructionMetrics compare_images(const Image& original,
+                                     const Image& reconstructed);
+
+}  // namespace qgear::image

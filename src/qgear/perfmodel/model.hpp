@@ -1,0 +1,84 @@
+// Analytic performance model for paper-scale runs.
+//
+// The engines in sim/ and dist/ are exact but bounded by this machine's
+// memory; the paper evaluates 28-42 qubits on A100 clusters. This model
+// prices the *same* execution schedule the real engines use — fused-sweep
+// counts come from the real fusion planner, communication volume from the
+// distributed engine's own exchange_bytes_for — on the paper's hardware
+// specs. Benches print measured small-scale times next to modeled
+// paper-scale times; EXPERIMENTS.md records both.
+#pragma once
+
+#include <string>
+
+#include "qgear/core/transformer.hpp"
+#include "qgear/perfmodel/specs.hpp"
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::perfmodel {
+
+/// GPU cluster configuration for an estimate.
+struct ClusterConfig {
+  DeviceSpec gpu = a100_40gb();
+  InterconnectSpec net = perlmutter_interconnect();
+  ContainerSpec container = podman_hpc();
+  int devices = 1;                      ///< power of two
+  core::Precision precision = core::Precision::fp32;
+  unsigned fusion_width = 5;
+  bool include_container_start = true;
+};
+
+/// CPU-node baseline configuration.
+struct CpuBaselineConfig {
+  CpuNodeSpec node = perlmutter_cpu_node();
+  core::Precision precision = core::Precision::fp32;
+  /// node_parallel: Aer sweeps each gate across all cores (Fig. 4a
+  /// baseline). per_core_unitary: each core redundantly evolves the state
+  /// and only sampling parallelizes (the paper's Fig. 5 CPU mode).
+  enum class Mode { node_parallel, per_core_unitary };
+  Mode mode = Mode::node_parallel;
+};
+
+/// Cost breakdown of one estimated run.
+struct Estimate {
+  bool feasible = true;
+  std::string infeasible_reason;
+  double compute_s = 0.0;   ///< amplitude sweeps
+  double launch_s = 0.0;    ///< kernel launch / gate dispatch overhead
+  double comm_s = 0.0;      ///< inter-device exchanges
+  double sample_s = 0.0;    ///< shot sampling
+  double startup_s = 0.0;   ///< container start (and cold-node straggler)
+  std::uint64_t sweeps = 0;
+  std::uint64_t comm_bytes_per_device = 0;
+  /// Total electrical energy of the run (all devices/nodes busy for
+  /// total_s) — the paper's Fig. 4b "energy trade-off" observation: a
+  /// 1024-GPU run that is barely faster than 256 GPUs costs ~4x the
+  /// energy.
+  double energy_joules = 0.0;
+
+  double total_s() const {
+    return compute_s + launch_s + comm_s + sample_s + startup_s;
+  }
+};
+
+/// Prices `qc` on a GPU cluster. Walks the real instruction list: fusion
+/// plan for sweep counts, per-gate schedule for communication.
+Estimate estimate_gpu(const qiskit::QuantumCircuit& qc,
+                      const ClusterConfig& config, std::uint64_t shots = 0);
+
+/// Prices `qc` on the CPU-node baseline.
+Estimate estimate_cpu(const qiskit::QuantumCircuit& qc,
+                      const CpuBaselineConfig& config,
+                      std::uint64_t shots = 0);
+
+/// Link class between exchange partners `gbit` global-qubit levels apart.
+enum class LinkClass { nvlink, slingshot, cross_rack };
+LinkClass link_class_for(unsigned gbit, const InterconnectSpec& net);
+
+/// Measures this host's sustained amplitude-sweep bandwidth (bytes/s) by
+/// timing the fused engine on a calibration circuit. Benches use it to
+/// relate local measured times to modeled device times.
+double measure_local_sweep_bandwidth(unsigned num_qubits = 18,
+                                     unsigned blocks = 40);
+
+}  // namespace qgear::perfmodel

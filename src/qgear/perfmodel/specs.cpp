@@ -1,0 +1,73 @@
+#include "qgear/perfmodel/specs.hpp"
+
+namespace qgear::perfmodel {
+
+namespace {
+constexpr double kGB = 1e9;  // vendor bandwidth figures are decimal GB
+}
+
+DeviceSpec a100_40gb() {
+  return {
+      .name = "A100-SXM4-40GB",
+      .mem_bandwidth_bps = 2039.0 * kGB,  // HBM2e peak (Sec. 2.3)
+      .efficiency = 0.75,
+      .memory_bytes = 40ull << 30,
+      .kernel_launch_s = 5e-6,
+      .shot_unit_s = 12e-9,
+      .power_watts = 400.0,  // SXM4 board power
+  };
+}
+
+DeviceSpec a100_80gb() {
+  DeviceSpec d = a100_40gb();
+  d.name = "A100-SXM4-80GB";
+  d.memory_bytes = 80ull << 30;
+  return d;
+}
+
+CpuNodeSpec perlmutter_cpu_node() {
+  return {
+      .name = "2x EPYC 7763 (128 cores, 512 GB DDR4)",
+      .cores = 128,
+      // 204.8 GB/s per socket x 2 (Sec. 2.3).
+      .node_bandwidth_bps = 2 * 204.8 * kGB,
+      // Single-core sustained stream bandwidth on Milan.
+      .core_bandwidth_bps = 4.0 * kGB,
+      // Aer's multithreaded state-vector sweeps reach a small fraction of
+      // peak node bandwidth (per-gate dispatch, NUMA, no fusion). This is
+      // the constant calibrated against the paper's ~400x Fig. 4a ratio.
+      .node_efficiency = 0.115,
+      // 512 GB installed; ~460 GB usable for the job (App. E.3's script).
+      .memory_bytes = 460ull << 30,
+      .gate_dispatch_s = 40e-6,
+      .shot_s = 25e-9,
+      .power_watts = 560.0,  // 2 x 280 W TDP sockets
+  };
+}
+
+InterconnectSpec perlmutter_interconnect() {
+  return {
+      // 4 third-gen NVLinks x 25 GB/s per direction (Sec. 2.3).
+      .nvlink_bps = 4 * 25.0 * kGB,
+      .nvlink_latency_s = 2e-6,
+      // One Slingshot 11 NIC per GPU, ~25 GB/s each.
+      .slingshot_bps = 25.0 * kGB,
+      .slingshot_latency_s = 10e-6,
+      .gpus_per_node = 4,
+      .nodes_per_rack = 64,  // 256 GPUs fill one rack
+      .rack_bandwidth_factor = 0.35,
+      .rack_extra_latency_s = 30e-6,
+      .spine_bps = 3e12,
+      .spine_congestion_window_s = 0.7,
+  };
+}
+
+ContainerSpec podman_hpc() {
+  return {
+      .warm_start_s = 0.6,
+      .cold_start_s = 25.0,
+      .warm_node_probability = 0.995,
+  };
+}
+
+}  // namespace qgear::perfmodel

@@ -1,0 +1,118 @@
+#include "qgear/platform/container.hpp"
+
+#include <algorithm>
+
+namespace qgear::platform {
+
+ContainerImage::ContainerImage(std::string name, std::string tag,
+                               std::vector<ImageLayer> layers)
+    : name_(std::move(name)), tag_(std::move(tag)),
+      layers_(std::move(layers)) {
+  QGEAR_CHECK_ARG(!name_.empty(), "container: image name required");
+  QGEAR_CHECK_ARG(!layers_.empty(), "container: image needs layers");
+}
+
+std::uint64_t ContainerImage::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const ImageLayer& l : layers_) total += l.size_bytes;
+  return total;
+}
+
+void ContainerImage::set_env(const std::string& key,
+                             const std::string& value) {
+  env_[key] = value;
+}
+
+ContainerImage ContainerImage::nersc_podman_image() {
+  ContainerImage img("nersc/qgear-cudaq", "24.03",
+                     {
+                         {"cu12-devops-base", 4ull << 30},
+                         {"cray-mpich", 800ull << 20},
+                         {"qiskit+h5py", 500ull << 20},
+                         {"cudaq-runtime", 2ull << 30},
+                         {"qgear", 60ull << 20},
+                     });
+  img.set_env("MPICH_GPU_SUPPORT_ENABLED", "1");
+  img.set_env("CUDAQ_DEFAULT_TARGET", "nvidia-mgpu");
+  return img;
+}
+
+ContainerImage ContainerImage::shifter_multinode_image() {
+  ContainerImage img("nersc/cudaq-nightly", "latest",
+                     {
+                         {"cudaq-nightly", 5ull << 30},
+                         {"qiskit-aer+ibm-experiment", 700ull << 20},
+                         {"qgear", 60ull << 20},
+                     });
+  img.set_env("SLURM_MPI_TYPE", "cray_shasta");
+  return img;
+}
+
+ContainerRuntime::ContainerRuntime(perfmodel::ContainerSpec timing,
+                                   double pull_bandwidth_bps)
+    : timing_(timing), pull_bandwidth_bps_(pull_bandwidth_bps) {
+  QGEAR_CHECK_ARG(pull_bandwidth_bps > 0,
+                  "container: pull bandwidth must be positive");
+}
+
+bool ContainerRuntime::is_cached(unsigned node,
+                                 const ContainerImage& image) const {
+  const auto it = node_cache_.find(node);
+  if (it == node_cache_.end()) return false;
+  return std::all_of(image.layers().begin(), image.layers().end(),
+                     [&](const ImageLayer& l) {
+                       return it->second.count(l.id) != 0;
+                     });
+}
+
+void ContainerRuntime::warm(unsigned node, const ContainerImage& image) {
+  auto& cache = node_cache_[node];
+  for (const ImageLayer& l : image.layers()) cache.insert(l.id);
+}
+
+LaunchResult ContainerRuntime::launch(unsigned node,
+                                      const ContainerImage& image) {
+  LaunchResult result;
+  auto& cache = node_cache_[node];
+  std::uint64_t missing = 0;
+  for (const ImageLayer& l : image.layers()) {
+    if (cache.count(l.id) == 0) missing += l.size_bytes;
+  }
+  if (missing == 0) {
+    result.startup_seconds = timing_.warm_start_s;
+    return result;
+  }
+  result.was_cold = true;
+  result.bytes_pulled = missing;
+  // Cold start = fixed extraction cost + proportional pull time for the
+  // layers this node lacks (layer dedup: cached layers are free).
+  result.startup_seconds =
+      timing_.cold_start_s +
+      static_cast<double>(missing) / pull_bandwidth_bps_;
+  warm(node, image);
+  return result;
+}
+
+LaunchResult ContainerRuntime::launch_allocation(
+    const std::vector<unsigned>& nodes, const ContainerImage& image) {
+  QGEAR_CHECK_ARG(!nodes.empty(), "container: empty allocation");
+  LaunchResult worst;
+  std::uint64_t pulled = 0;
+  for (unsigned node : nodes) {
+    const LaunchResult r = launch(node, image);
+    pulled += r.bytes_pulled;
+    if (r.startup_seconds > worst.startup_seconds) {
+      worst.startup_seconds = r.startup_seconds;
+      worst.was_cold = r.was_cold;
+    }
+  }
+  worst.bytes_pulled = pulled;
+  return worst;
+}
+
+std::size_t ContainerRuntime::cached_layer_count(unsigned node) const {
+  const auto it = node_cache_.find(node);
+  return it == node_cache_.end() ? 0 : it->second.size();
+}
+
+}  // namespace qgear::platform

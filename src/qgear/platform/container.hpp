@@ -1,0 +1,91 @@
+// Container runtime simulation (Podman-HPC / Shifter, paper App. E).
+//
+// In the paper the container layer affects two measurable things: job
+// startup latency (warm vs cold image caches across nodes) and environment
+// reproducibility. We model exactly that: images are layer stacks with
+// sizes, nodes keep an image cache, and launching a container returns the
+// simulated startup delay. No real containers are involved — this feeds
+// the pipeline driver and the Fig. 4b straggler analysis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qgear/common/error.hpp"
+#include "qgear/perfmodel/specs.hpp"
+
+namespace qgear::platform {
+
+struct ImageLayer {
+  std::string id;
+  std::uint64_t size_bytes;
+};
+
+/// An OCI-style image: ordered layer stack plus environment defaults.
+class ContainerImage {
+ public:
+  ContainerImage(std::string name, std::string tag,
+                 std::vector<ImageLayer> layers);
+
+  const std::string& name() const { return name_; }
+  const std::string& tag() const { return tag_; }
+  std::string reference() const { return name_ + ":" + tag_; }
+  const std::vector<ImageLayer>& layers() const { return layers_; }
+  std::uint64_t total_bytes() const;
+
+  void set_env(const std::string& key, const std::string& value);
+  const std::map<std::string, std::string>& env() const { return env_; }
+
+  /// The image the paper deploys at NERSC: NVIDIA cu12 DevOps base plus
+  /// Cray-MPICH, Qiskit, CUDA-Q and qgear layers (App. E.1).
+  static ContainerImage nersc_podman_image();
+  /// The cuda-quantum nightly Shifter image for multi-node mode (E.2).
+  static ContainerImage shifter_multinode_image();
+
+ private:
+  std::string name_;
+  std::string tag_;
+  std::vector<ImageLayer> layers_;
+  std::map<std::string, std::string> env_;
+};
+
+/// Result of launching one container on one node.
+struct LaunchResult {
+  double startup_seconds = 0.0;
+  bool was_cold = false;
+  std::uint64_t bytes_pulled = 0;
+};
+
+/// Per-node image cache + launch timing.
+class ContainerRuntime {
+ public:
+  explicit ContainerRuntime(perfmodel::ContainerSpec timing,
+                            double pull_bandwidth_bps = 1.2e9);
+
+  /// True when every layer of `image` is cached on `node`.
+  bool is_cached(unsigned node, const ContainerImage& image) const;
+
+  /// Pre-pulls the image on a node (the paper's warm-up pass).
+  void warm(unsigned node, const ContainerImage& image);
+
+  /// Launches a container; cold nodes pay the pull + extraction cost and
+  /// become warm. Deterministic — no wall-clock sleeps.
+  LaunchResult launch(unsigned node, const ContainerImage& image);
+
+  /// Worst-case startup over a whole allocation (a job waits for its
+  /// slowest node).
+  LaunchResult launch_allocation(const std::vector<unsigned>& nodes,
+                                 const ContainerImage& image);
+
+  std::size_t cached_layer_count(unsigned node) const;
+
+ private:
+  perfmodel::ContainerSpec timing_;
+  double pull_bandwidth_bps_;
+  std::map<unsigned, std::set<std::string>> node_cache_;
+};
+
+}  // namespace qgear::platform

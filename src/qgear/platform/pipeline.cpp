@@ -1,0 +1,84 @@
+#include "qgear/platform/pipeline.hpp"
+
+#include "qgear/common/log.hpp"
+#include "qgear/common/strings.hpp"
+
+namespace qgear::platform {
+
+PipelineReport run_pipeline(std::span<const qiskit::QuantumCircuit> circuits,
+                            const PipelineConfig& config,
+                            unsigned gpu_nodes) {
+  QGEAR_CHECK_ARG(!circuits.empty(), "pipeline: no circuits");
+  const unsigned gpn = config.cluster.net.gpus_per_node;
+
+  SlurmCluster slurm(gpu_nodes, gpn, /*hbm80_nodes=*/gpu_nodes,
+                     /*cpu_nodes=*/1);
+  ContainerRuntime runtime(config.cluster.container);
+  if (config.prewarm_containers) {
+    for (unsigned node = 0; node < gpu_nodes + 1; ++node) {
+      runtime.warm(node, config.image);
+    }
+  }
+
+  PipelineReport report;
+  report.circuits.reserve(circuits.size());
+
+  for (const auto& qc : circuits) {
+    CircuitJobReport cj;
+    cj.circuit_name = qc.name();
+
+    JobRequest req;
+    req.name = qc.name();
+    if (config.mode == PipelineMode::distributed) {
+      // One circuit over all requested devices: -N nodes, all GPUs each.
+      const unsigned devices =
+          static_cast<unsigned>(config.cluster.devices);
+      req.nodes = std::max(1u, devices / gpn);
+      req.tasks_per_node = std::min(devices, gpn);
+      req.gpus_per_task = 1;
+      cj.estimate = perfmodel::estimate_gpu(qc, config.cluster,
+                                            config.shots);
+    } else {
+      // Parallel mode: one GPU per circuit.
+      req.nodes = 1;
+      req.tasks_per_node = 1;
+      req.gpus_per_task = 1;
+      perfmodel::ClusterConfig single = config.cluster;
+      single.devices = 1;
+      cj.estimate = perfmodel::estimate_gpu(qc, single, config.shots);
+    }
+
+    std::vector<unsigned> alloc(req.nodes);
+    for (unsigned i = 0; i < req.nodes; ++i) alloc[i] = i % gpu_nodes;
+    const LaunchResult launch =
+        runtime.launch_allocation(alloc, config.image);
+    cj.container_startup_s = launch.startup_seconds;
+
+    req.duration_s = cj.estimate.feasible
+                         ? cj.estimate.total_s() + cj.container_startup_s
+                         : 0.0;
+    if (!cj.estimate.feasible) {
+      log::warn("pipeline: circuit '" + qc.name() + "' infeasible: " +
+                cj.estimate.infeasible_reason);
+      report.circuits.push_back(std::move(cj));
+      continue;
+    }
+    cj.job_id = slurm.submit(req);
+    report.circuits.push_back(std::move(cj));
+  }
+
+  slurm.run_until_idle();
+
+  for (CircuitJobReport& cj : report.circuits) {
+    if (!cj.estimate.feasible) continue;
+    const JobRecord& job = slurm.job(cj.job_id);
+    if (job.state != JobState::completed) continue;
+    cj.queue_wait_s = job.start_time - job.submit_time;
+    cj.end_to_end_s = job.end_time - job.submit_time;
+  }
+  report.utilization = slurm.utilization();
+  report.makespan_s = report.utilization.makespan_s;
+  return report;
+}
+
+}  // namespace qgear::platform

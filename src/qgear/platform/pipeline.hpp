@@ -1,0 +1,49 @@
+// End-to-end workflow driver (paper Fig. 2c and Sec. 2.4).
+//
+// Ties the pieces together the way the paper's Slurm scripts do: a batch
+// of circuits becomes container launches + scheduler jobs on a modeled
+// cluster, with per-job durations from the performance model. Two modes:
+//   distributed — one circuit spread over all devices (nvidia-mgpu jobs)
+//   parallel    — many circuits on separate single GPUs (nvidia-mqpu)
+#pragma once
+
+#include <span>
+
+#include "qgear/perfmodel/model.hpp"
+#include "qgear/platform/container.hpp"
+#include "qgear/platform/slurm.hpp"
+
+namespace qgear::platform {
+
+enum class PipelineMode { distributed, parallel };
+
+struct PipelineConfig {
+  PipelineMode mode = PipelineMode::parallel;
+  perfmodel::ClusterConfig cluster;   ///< devices = GPUs per circuit (mgpu)
+  std::uint64_t shots = 0;
+  bool prewarm_containers = true;     ///< warm every node's image cache
+  ContainerImage image = ContainerImage::nersc_podman_image();
+};
+
+struct CircuitJobReport {
+  std::string circuit_name;
+  std::uint64_t job_id = 0;
+  perfmodel::Estimate estimate;       ///< modeled simulation cost
+  double container_startup_s = 0.0;
+  double queue_wait_s = 0.0;
+  double end_to_end_s = 0.0;          ///< startup + wait + run
+};
+
+struct PipelineReport {
+  std::vector<CircuitJobReport> circuits;
+  UtilizationReport utilization;
+  double makespan_s = 0.0;
+};
+
+/// Simulates running `circuits` through the containerized Slurm pipeline
+/// on a cluster sized `gpu_nodes * gpus_per_node`.
+PipelineReport run_pipeline(std::span<const qiskit::QuantumCircuit> circuits,
+                            const PipelineConfig& config,
+                            unsigned gpu_nodes = 2);
+
+}  // namespace qgear::platform

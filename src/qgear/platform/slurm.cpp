@@ -1,0 +1,168 @@
+#include "qgear/platform/slurm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qgear::platform {
+
+SlurmCluster::SlurmCluster(unsigned gpu_nodes, unsigned gpus_per_node,
+                           unsigned hbm80_nodes, unsigned cpu_nodes) {
+  QGEAR_CHECK_ARG(hbm80_nodes <= gpu_nodes,
+                  "slurm: hbm80 nodes exceed gpu nodes");
+  unsigned id = 0;
+  for (unsigned i = 0; i < gpu_nodes; ++i) {
+    nodes_.push_back({.id = id++, .gpus = gpus_per_node,
+                      .hbm80g = i < hbm80_nodes});
+    total_gpus_ += gpus_per_node;
+  }
+  for (unsigned i = 0; i < cpu_nodes; ++i) {
+    nodes_.push_back({.id = id++, .gpus = 0, .hbm80g = false});
+  }
+  QGEAR_CHECK_ARG(!nodes_.empty(), "slurm: empty cluster");
+}
+
+std::uint64_t SlurmCluster::submit(JobRequest request) {
+  QGEAR_CHECK_ARG(request.nodes >= 1, "slurm: job needs at least one node");
+  QGEAR_CHECK_ARG(request.duration_s >= 0, "slurm: negative duration");
+  JobRecord record;
+  record.id = jobs_.size();
+  record.request = std::move(request);
+  record.submit_time = now_;
+  jobs_.push_back(record);
+  pending_.push_back(record.id);
+  return record.id;
+}
+
+bool SlurmCluster::satisfies(const NodeState& node,
+                             const JobRequest& req) const {
+  const unsigned gpus_needed = req.tasks_per_node * req.gpus_per_task;
+  if (req.constraint == "cpu") {
+    return node.gpus == 0 && !node.busy_cpu;
+  }
+  if (req.constraint == "gpu" || req.constraint == "gpu&hbm80g") {
+    if (node.gpus == 0) return false;
+    if (req.constraint == "gpu&hbm80g" && !node.hbm80g) return false;
+    return node.gpus - node.busy_gpus >= gpus_needed;
+  }
+  return false;
+}
+
+std::optional<std::vector<unsigned>> SlurmCluster::find_nodes(
+    const JobRequest& req) const {
+  std::vector<unsigned> chosen;
+  for (const NodeState& node : nodes_) {
+    if (satisfies(node, req)) {
+      chosen.push_back(node.id);
+      if (chosen.size() == req.nodes) return chosen;
+    }
+  }
+  return std::nullopt;
+}
+
+void SlurmCluster::try_start_pending() {
+  // FIFO with first-fit backfill: later jobs may start around a blocked
+  // head job as long as resources allow.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    JobRecord& job = jobs_[*it];
+    // Jobs that can never fit on an empty cluster fail immediately.
+    const JobRequest& req = job.request;
+    const auto placement = find_nodes(req);
+    if (!placement) {
+      // Check structural impossibility (more nodes than exist that could
+      // ever satisfy it).
+      unsigned eligible = 0;
+      for (const NodeState& node : nodes_) {
+        NodeState idle = node;
+        idle.busy_gpus = 0;
+        idle.busy_cpu = false;
+        if (satisfies(idle, req)) ++eligible;
+      }
+      if (eligible < req.nodes) {
+        job.state = JobState::failed;
+        job.fail_reason = "unsatisfiable resource request";
+        job.end_time = now_;
+        it = pending_.erase(it);
+        continue;
+      }
+      ++it;
+      continue;
+    }
+    job.state = JobState::running;
+    job.start_time = now_;
+    job.end_time = now_ + req.duration_s;
+    job.node_ids = *placement;
+    const unsigned gpus_needed = req.tasks_per_node * req.gpus_per_task;
+    for (unsigned node_id : job.node_ids) {
+      if (req.constraint == "cpu") {
+        nodes_[node_id].busy_cpu = true;
+      } else {
+        nodes_[node_id].busy_gpus += gpus_needed;
+      }
+    }
+    it = pending_.erase(it);
+  }
+}
+
+void SlurmCluster::run_until_idle() {
+  try_start_pending();
+  for (;;) {
+    // Next completion event.
+    double next_end = std::numeric_limits<double>::infinity();
+    for (const JobRecord& job : jobs_) {
+      if (job.state == JobState::running) {
+        next_end = std::min(next_end, job.end_time);
+      }
+    }
+    if (!std::isfinite(next_end)) break;  // nothing running
+    now_ = next_end;
+    for (JobRecord& job : jobs_) {
+      if (job.state == JobState::running && job.end_time <= now_) {
+        job.state = JobState::completed;
+        const unsigned gpus_needed =
+            job.request.tasks_per_node * job.request.gpus_per_task;
+        for (unsigned node_id : job.node_ids) {
+          if (job.request.constraint == "cpu") {
+            nodes_[node_id].busy_cpu = false;
+          } else {
+            QGEAR_ENSURES(nodes_[node_id].busy_gpus >= gpus_needed);
+            nodes_[node_id].busy_gpus -= gpus_needed;
+          }
+        }
+      }
+    }
+    try_start_pending();
+  }
+  QGEAR_ENSURES(pending_.empty());
+}
+
+const JobRecord& SlurmCluster::job(std::uint64_t id) const {
+  QGEAR_CHECK_ARG(id < jobs_.size(), "slurm: unknown job id");
+  return jobs_[id];
+}
+
+UtilizationReport SlurmCluster::utilization() const {
+  UtilizationReport report;
+  double gpu_busy_seconds = 0.0;
+  for (const JobRecord& job : jobs_) {
+    if (job.state == JobState::completed) {
+      ++report.completed;
+      report.makespan_s = std::max(report.makespan_s, job.end_time);
+      if (job.request.constraint != "cpu") {
+        const double gpus = static_cast<double>(
+            job.request.nodes * job.request.tasks_per_node *
+            job.request.gpus_per_task);
+        gpu_busy_seconds += gpus * (job.end_time - job.start_time);
+      }
+    } else if (job.state == JobState::failed) {
+      ++report.failed;
+    }
+  }
+  if (report.makespan_s > 0 && total_gpus_ > 0) {
+    report.gpu_busy_fraction =
+        gpu_busy_seconds / (report.makespan_s * total_gpus_);
+  }
+  return report;
+}
+
+}  // namespace qgear::platform

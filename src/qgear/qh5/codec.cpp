@@ -1,0 +1,108 @@
+#include "qgear/qh5/codec.hpp"
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::qh5 {
+
+namespace {
+
+constexpr std::uint8_t kModeRaw = 0;
+constexpr std::uint8_t kModeShuffleRle = 1;
+
+// Byte shuffle: for N elements of size S, output all byte-0s, then all
+// byte-1s, ... Leftover tail bytes (size % elem_size) are appended verbatim.
+std::vector<std::uint8_t> shuffle(const std::uint8_t* raw, std::size_t size,
+                                  std::size_t elem_size) {
+  std::vector<std::uint8_t> out(size);
+  const std::size_t n = size / elem_size;
+  std::size_t pos = 0;
+  for (std::size_t b = 0; b < elem_size; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[pos++] = raw[i * elem_size + b];
+    }
+  }
+  for (std::size_t i = n * elem_size; i < size; ++i) out[pos++] = raw[i];
+  return out;
+}
+
+std::vector<std::uint8_t> unshuffle(const std::uint8_t* shuf,
+                                    std::size_t size, std::size_t elem_size) {
+  std::vector<std::uint8_t> out(size);
+  const std::size_t n = size / elem_size;
+  std::size_t pos = 0;
+  for (std::size_t b = 0; b < elem_size; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i * elem_size + b] = shuf[pos++];
+    }
+  }
+  for (std::size_t i = n * elem_size; i < size; ++i) out[i] = shuf[pos++];
+  return out;
+}
+
+// RLE: pairs of (count, byte) with count in [1, 255].
+void rle_encode(const std::vector<std::uint8_t>& in,
+                std::vector<std::uint8_t>& out) {
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const std::uint8_t byte = in[i];
+    std::size_t run = 1;
+    while (i + run < in.size() && in[i + run] == byte && run < 255) ++run;
+    out.push_back(static_cast<std::uint8_t>(run));
+    out.push_back(byte);
+    i += run;
+  }
+}
+
+std::vector<std::uint8_t> rle_decode(const std::uint8_t* in, std::size_t size,
+                                     std::size_t expected) {
+  QGEAR_CHECK_FORMAT(size % 2 == 0, "qh5: RLE stream has odd length");
+  std::vector<std::uint8_t> out;
+  out.reserve(expected);
+  for (std::size_t i = 0; i < size; i += 2) {
+    const std::size_t run = in[i];
+    QGEAR_CHECK_FORMAT(run >= 1, "qh5: RLE run of zero");
+    QGEAR_CHECK_FORMAT(out.size() + run <= expected,
+                       "qh5: RLE stream overflows chunk");
+    out.insert(out.end(), run, in[i + 1]);
+  }
+  QGEAR_CHECK_FORMAT(out.size() == expected, "qh5: RLE stream truncated");
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_chunk(const std::uint8_t* raw,
+                                         std::size_t size,
+                                         std::size_t elem_size) {
+  QGEAR_EXPECTS(elem_size >= 1);
+  const std::vector<std::uint8_t> shuffled = shuffle(raw, size, elem_size);
+  std::vector<std::uint8_t> packed;
+  packed.reserve(size / 2 + 16);
+  packed.push_back(kModeShuffleRle);
+  rle_encode(shuffled, packed);
+  if (packed.size() >= size + 1) {
+    // Incompressible: store verbatim.
+    packed.assign(1, kModeRaw);
+    packed.insert(packed.end(), raw, raw + size);
+  }
+  return packed;
+}
+
+std::vector<std::uint8_t> decompress_chunk(const std::uint8_t* packed,
+                                           std::size_t size,
+                                           std::size_t elem_size,
+                                           std::size_t expected_size) {
+  QGEAR_CHECK_FORMAT(size >= 1, "qh5: empty chunk payload");
+  const std::uint8_t mode = packed[0];
+  if (mode == kModeRaw) {
+    QGEAR_CHECK_FORMAT(size - 1 == expected_size,
+                       "qh5: raw chunk size mismatch");
+    return std::vector<std::uint8_t>(packed + 1, packed + size);
+  }
+  QGEAR_CHECK_FORMAT(mode == kModeShuffleRle, "qh5: unknown chunk mode");
+  const std::vector<std::uint8_t> shuffled =
+      rle_decode(packed + 1, size - 1, expected_size);
+  return unshuffle(shuffled.data(), shuffled.size(), elem_size);
+}
+
+}  // namespace qgear::qh5

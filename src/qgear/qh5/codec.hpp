@@ -1,0 +1,29 @@
+// Lossless chunk codec for qh5 datasets.
+//
+// Pipeline: byte-shuffle (per element-size transposition, groups equal
+// significance bytes so runs form) followed by run-length encoding. This is
+// the same idea as HDF5's shuffle+deflate filter chain, simplified to stay
+// dependency-free. The codec never expands beyond a 1-byte-per-run-worst-
+// case bound; chunks that would grow are stored raw.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qgear::qh5 {
+
+/// Compresses `raw` (elements of `elem_size` bytes). The output embeds the
+/// mode byte (raw vs shuffled-RLE) so decompress needs only elem_size.
+std::vector<std::uint8_t> compress_chunk(const std::uint8_t* raw,
+                                         std::size_t size,
+                                         std::size_t elem_size);
+
+/// Inverse of compress_chunk. `expected_size` is the decoded byte count
+/// (known from the dataset header); throws FormatError on malformed input.
+std::vector<std::uint8_t> decompress_chunk(const std::uint8_t* packed,
+                                           std::size_t size,
+                                           std::size_t elem_size,
+                                           std::size_t expected_size);
+
+}  // namespace qgear::qh5

@@ -1,0 +1,43 @@
+#include "qgear/qh5/dtype.hpp"
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::qh5 {
+
+std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::i8:
+    case DType::u8:
+      return 1;
+    case DType::i16:
+      return 2;
+    case DType::i32:
+    case DType::f32:
+      return 4;
+    case DType::i64:
+    case DType::u64:
+    case DType::f64:
+      return 8;
+  }
+  throw LogicViolation("dtype_size: unknown dtype");
+}
+
+std::string dtype_name(DType t) {
+  switch (t) {
+    case DType::i8: return "i8";
+    case DType::u8: return "u8";
+    case DType::i16: return "i16";
+    case DType::i32: return "i32";
+    case DType::i64: return "i64";
+    case DType::u64: return "u64";
+    case DType::f32: return "f32";
+    case DType::f64: return "f64";
+  }
+  return "?";
+}
+
+bool dtype_valid(std::uint8_t raw) {
+  return raw <= static_cast<std::uint8_t>(DType::f64);
+}
+
+}  // namespace qgear::qh5

@@ -1,0 +1,43 @@
+// Element types supported by qh5 datasets, with C++ type mapping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qgear::qh5 {
+
+enum class DType : std::uint8_t {
+  i8 = 0,
+  u8 = 1,
+  i16 = 2,
+  i32 = 3,
+  i64 = 4,
+  u64 = 5,
+  f32 = 6,
+  f64 = 7,
+};
+
+/// Size in bytes of one element of `t`.
+std::size_t dtype_size(DType t);
+
+/// Human-readable name ("f64", ...).
+std::string dtype_name(DType t);
+
+/// True if the raw byte value encodes a valid DType.
+bool dtype_valid(std::uint8_t raw);
+
+/// Maps C++ scalar types to their DType tag.
+template <typename T>
+struct dtype_of;
+
+template <> struct dtype_of<std::int8_t>   { static constexpr DType value = DType::i8; };
+template <> struct dtype_of<std::uint8_t>  { static constexpr DType value = DType::u8; };
+template <> struct dtype_of<std::int16_t>  { static constexpr DType value = DType::i16; };
+template <> struct dtype_of<std::int32_t>  { static constexpr DType value = DType::i32; };
+template <> struct dtype_of<std::int64_t>  { static constexpr DType value = DType::i64; };
+template <> struct dtype_of<std::uint64_t> { static constexpr DType value = DType::u64; };
+template <> struct dtype_of<float>         { static constexpr DType value = DType::f32; };
+template <> struct dtype_of<double>        { static constexpr DType value = DType::f64; };
+
+}  // namespace qgear::qh5

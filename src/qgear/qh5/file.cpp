@@ -1,0 +1,304 @@
+#include "qgear/qh5/file.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "qgear/qh5/codec.hpp"
+
+namespace qgear::qh5 {
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'H', '5', 'F'};
+constexpr std::uint16_t kVersion = 1;
+
+constexpr std::uint8_t kAttrI64 = 0;
+constexpr std::uint8_t kAttrF64 = 1;
+constexpr std::uint8_t kAttrStr = 2;
+
+// ---- writer ----------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t pos = out_.size();
+    out_.resize(pos + sizeof(T));
+    std::memcpy(out_.data() + pos, &v, sizeof(T));
+  }
+
+  void put_bytes(const std::uint8_t* data, std::size_t size) {
+    out_.insert(out_.end(), data, data + size);
+  }
+
+  void put_str(const std::string& s) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    put_bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+// ---- reader ----------------------------------------------------------
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    QGEAR_CHECK_FORMAT(pos_ + sizeof(T) <= size_, "qh5: truncated file");
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* get_bytes(std::size_t n) {
+    QGEAR_CHECK_FORMAT(pos_ + n <= size_, "qh5: truncated file");
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  std::string get_str() {
+    const std::uint32_t len = get<std::uint32_t>();
+    QGEAR_CHECK_FORMAT(len <= size_ - pos_, "qh5: truncated string");
+    const std::uint8_t* p = get_bytes(len);
+    return std::string(reinterpret_cast<const char*>(p), len);
+  }
+
+  bool at_end() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---- tree serialization ----------------------------------------------
+
+void write_attrs(Writer& w, const AttrHolder& holder) {
+  const auto& attrs = holder.attrs();
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(attrs.size()));
+  for (const auto& [name, value] : attrs) {
+    w.put_str(name);
+    if (std::holds_alternative<std::int64_t>(value)) {
+      w.put<std::uint8_t>(kAttrI64);
+      w.put<std::int64_t>(std::get<std::int64_t>(value));
+    } else if (std::holds_alternative<double>(value)) {
+      w.put<std::uint8_t>(kAttrF64);
+      w.put<double>(std::get<double>(value));
+    } else {
+      w.put<std::uint8_t>(kAttrStr);
+      w.put_str(std::get<std::string>(value));
+    }
+  }
+}
+
+void read_attrs(Reader& r, AttrHolder& holder) {
+  const std::uint32_t n = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string name = r.get_str();
+    const std::uint8_t tag = r.get<std::uint8_t>();
+    switch (tag) {
+      case kAttrI64:
+        holder.set_attr(name, r.get<std::int64_t>());
+        break;
+      case kAttrF64:
+        holder.set_attr(name, r.get<double>());
+        break;
+      case kAttrStr:
+        holder.set_attr(name, r.get_str());
+        break;
+      default:
+        throw FormatError("qh5: unknown attribute tag");
+    }
+  }
+}
+
+void write_dataset(Writer& w, const Dataset& ds, FileStats& stats) {
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(ds.dtype()));
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(ds.shape().size()));
+  for (std::uint64_t d : ds.shape()) w.put<std::uint64_t>(d);
+  write_attrs(w, ds);
+
+  const std::vector<std::uint8_t>& raw = ds.raw();
+  w.put<std::uint64_t>(raw.size());
+  const std::size_t elem = dtype_size(ds.dtype());
+  const std::size_t n_chunks =
+      raw.empty() ? 0 : (raw.size() + File::kChunkBytes - 1) / File::kChunkBytes;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(n_chunks));
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t begin = c * File::kChunkBytes;
+    const std::size_t len = std::min(File::kChunkBytes, raw.size() - begin);
+    const std::vector<std::uint8_t> packed =
+        compress_chunk(raw.data() + begin, len, elem);
+    w.put<std::uint64_t>(packed.size());
+    w.put_bytes(packed.data(), packed.size());
+    stats.compressed_bytes += packed.size();
+  }
+  stats.uncompressed_bytes += raw.size();
+}
+
+void read_dataset(Reader& r, Group& parent, const std::string& name,
+                  FileStats& stats) {
+  const std::uint8_t raw_dtype = r.get<std::uint8_t>();
+  QGEAR_CHECK_FORMAT(dtype_valid(raw_dtype), "qh5: invalid dtype");
+  const DType dtype = static_cast<DType>(raw_dtype);
+  const std::uint8_t ndim = r.get<std::uint8_t>();
+  QGEAR_CHECK_FORMAT(ndim >= 1 && ndim <= 32, "qh5: invalid rank");
+  std::vector<std::uint64_t> shape(ndim);
+  std::uint64_t elements = 1;
+  for (auto& d : shape) {
+    d = r.get<std::uint64_t>();
+    // Guard untrusted shapes: bound each dimension and the running
+    // product so a corrupted header can never trigger a huge allocation
+    // or an overflowing element count.
+    QGEAR_CHECK_FORMAT(d <= (std::uint64_t{1} << 48), "qh5: dimension too large");
+    QGEAR_CHECK_FORMAT(elements <= (std::uint64_t{1} << 48) / std::max<std::uint64_t>(d, 1),
+                       "qh5: element count overflows");
+    elements *= d;
+  }
+
+  Dataset& ds = parent.create_dataset_raw(name, dtype, shape);
+  read_attrs(r, ds);
+
+  const std::uint64_t raw_bytes = r.get<std::uint64_t>();
+  QGEAR_CHECK_FORMAT(raw_bytes == elements * dtype_size(dtype),
+                     "qh5: dataset byte count does not match shape");
+  const std::uint32_t n_chunks = r.get<std::uint32_t>();
+  const std::uint64_t expected_chunks =
+      raw_bytes == 0 ? 0
+                     : (raw_bytes + File::kChunkBytes - 1) / File::kChunkBytes;
+  QGEAR_CHECK_FORMAT(n_chunks == expected_chunks,
+                     "qh5: chunk count does not match dataset size");
+  std::vector<std::uint8_t>& out = ds.raw();
+  out.clear();
+  const std::size_t elem = dtype_size(dtype);
+  for (std::uint32_t c = 0; c < n_chunks; ++c) {
+    const std::uint64_t packed_size = r.get<std::uint64_t>();
+    const std::uint8_t* packed = r.get_bytes(packed_size);
+    const std::size_t remaining = raw_bytes - out.size();
+    const std::size_t expected = std::min<std::size_t>(
+        File::kChunkBytes, remaining);
+    std::vector<std::uint8_t> chunk =
+        decompress_chunk(packed, packed_size, elem, expected);
+    out.insert(out.end(), chunk.begin(), chunk.end());
+    stats.compressed_bytes += packed_size;
+  }
+  QGEAR_CHECK_FORMAT(out.size() == raw_bytes, "qh5: dataset data truncated");
+  stats.uncompressed_bytes += raw_bytes;
+}
+
+void write_group(Writer& w, const Group& g, FileStats& stats) {
+  write_attrs(w, g);
+  const auto group_names = g.group_names();
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(group_names.size()));
+  for (const auto& name : group_names) {
+    w.put_str(name);
+    write_group(w, g.group(name), stats);
+  }
+  const auto ds_names = g.dataset_names();
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(ds_names.size()));
+  for (const auto& name : ds_names) {
+    w.put_str(name);
+    write_dataset(w, g.dataset(name), stats);
+  }
+}
+
+void read_group(Reader& r, Group& g, FileStats& stats, int depth) {
+  QGEAR_CHECK_FORMAT(depth <= 64, "qh5: group nesting too deep");
+  read_attrs(r, g);
+  const std::uint32_t n_groups = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_groups; ++i) {
+    const std::string name = r.get_str();
+    Group& child = g.create_group(name);
+    read_group(r, child, stats, depth + 1);
+  }
+  const std::uint32_t n_datasets = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_datasets; ++i) {
+    const std::string name = r.get_str();
+    read_dataset(r, g, name, stats);
+  }
+}
+
+}  // namespace
+
+File File::create(std::string path) {
+  File f;
+  f.path_ = std::move(path);
+  return f;
+}
+
+File File::open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QGEAR_CHECK_ARG(in.good(), "qh5: cannot open file: " + path);
+  std::vector<std::uint8_t> buf(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  File f;
+  f.path_ = path;
+
+  Reader r(buf.data(), buf.size());
+  char magic[4];
+  std::memcpy(magic, r.get_bytes(4), 4);
+  QGEAR_CHECK_FORMAT(std::memcmp(magic, kMagic, 4) == 0,
+                     "qh5: bad magic (not a qh5 file)");
+  const std::uint16_t version = r.get<std::uint16_t>();
+  QGEAR_CHECK_FORMAT(version == kVersion, "qh5: unsupported version");
+  read_group(r, f.root_, f.stats_, 0);
+  QGEAR_CHECK_FORMAT(r.at_end(), "qh5: trailing bytes after root group");
+  f.stats_.file_bytes = buf.size();
+  return f;
+}
+
+std::vector<std::uint8_t> File::serialize(const Group& root) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.put_bytes(reinterpret_cast<const std::uint8_t*>(kMagic), 4);
+  w.put<std::uint16_t>(kVersion);
+  FileStats ignored;
+  write_group(w, root, ignored);
+  return out;
+}
+
+Group File::deserialize(const std::uint8_t* data, std::size_t size) {
+  Reader r(data, size);
+  char magic[4];
+  std::memcpy(magic, r.get_bytes(4), 4);
+  QGEAR_CHECK_FORMAT(std::memcmp(magic, kMagic, 4) == 0,
+                     "qh5: bad magic (not a qh5 buffer)");
+  const std::uint16_t version = r.get<std::uint16_t>();
+  QGEAR_CHECK_FORMAT(version == kVersion, "qh5: unsupported version");
+  Group root;
+  FileStats ignored;
+  read_group(r, root, ignored, 0);
+  QGEAR_CHECK_FORMAT(r.at_end(), "qh5: trailing bytes after root group");
+  return root;
+}
+
+void File::flush() {
+  QGEAR_CHECK_ARG(!path_.empty(), "qh5: file has no path");
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.put_bytes(reinterpret_cast<const std::uint8_t*>(kMagic), 4);
+  w.put<std::uint16_t>(kVersion);
+  stats_ = FileStats{};
+  write_group(w, root_, stats_);
+  stats_.file_bytes = out.size();
+
+  std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+  QGEAR_CHECK_ARG(os.good(), "qh5: cannot write file: " + path_);
+  os.write(reinterpret_cast<const char*>(out.data()),
+           static_cast<std::streamsize>(out.size()));
+  QGEAR_CHECK_ARG(os.good(), "qh5: short write to " + path_);
+}
+
+}  // namespace qgear::qh5

@@ -1,0 +1,68 @@
+// qh5 container file: serialization of a qh5 object tree with per-chunk
+// lossless compression (see codec.hpp).
+//
+// Layout (all integers little-endian):
+//   magic "QH5F" | u16 version | root group
+//   group   := attrs | u32 n_groups   { str name | group }
+//                     | u32 n_datasets { str name | dataset }
+//   attrs   := u32 n { str name | u8 tag | payload }
+//   dataset := u8 dtype | u8 ndim | u64 dims[ndim] | attrs
+//              | u64 raw_bytes | u32 n_chunks { u64 packed_bytes | bytes }
+//   str     := u32 len | bytes
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qgear/qh5/node.hpp"
+
+namespace qgear::qh5 {
+
+/// Statistics from the most recent flush() or open().
+struct FileStats {
+  std::uint64_t uncompressed_bytes = 0;  ///< total dataset payload
+  std::uint64_t compressed_bytes = 0;    ///< payload bytes on disk
+  std::uint64_t file_bytes = 0;          ///< full file size
+  double compression_ratio() const {
+    return compressed_bytes == 0
+               ? 1.0
+               : static_cast<double>(uncompressed_bytes) /
+                     static_cast<double>(compressed_bytes);
+  }
+};
+
+/// A qh5 container bound to a filesystem path.
+class File {
+ public:
+  /// Creates a new (empty) container; flush() writes it out.
+  static File create(std::string path);
+
+  /// Opens and fully parses an existing container.
+  static File open(const std::string& path);
+
+  /// Serializes the whole tree from scratch into a byte buffer.
+  static std::vector<std::uint8_t> serialize(const Group& root);
+
+  /// Parses a serialized buffer into a tree (throws FormatError).
+  static Group deserialize(const std::uint8_t* data, std::size_t size);
+
+  Group& root() { return root_; }
+  const Group& root() const { return root_; }
+  const std::string& path() const { return path_; }
+  const FileStats& stats() const { return stats_; }
+
+  /// Writes the tree to `path()` and refreshes stats().
+  void flush();
+
+  /// Chunk size used for compression (bytes of raw data per chunk).
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+ private:
+  File() = default;
+
+  std::string path_;
+  Group root_;
+  FileStats stats_;
+};
+
+}  // namespace qgear::qh5

@@ -1,0 +1,154 @@
+#include "qgear/qh5/node.hpp"
+
+#include <cstring>
+
+#include "qgear/common/strings.hpp"
+
+namespace qgear::qh5 {
+
+void AttrHolder::set_attr(const std::string& name, AttrValue value) {
+  attrs_[name] = std::move(value);
+}
+
+bool AttrHolder::has_attr(const std::string& name) const {
+  return attrs_.count(name) != 0;
+}
+
+const AttrValue& AttrHolder::attr(const std::string& name) const {
+  auto it = attrs_.find(name);
+  QGEAR_CHECK_ARG(it != attrs_.end(), "qh5: missing attribute '" + name + "'");
+  return it->second;
+}
+
+std::int64_t AttrHolder::attr_i64(const std::string& name) const {
+  const AttrValue& v = attr(name);
+  QGEAR_CHECK_ARG(std::holds_alternative<std::int64_t>(v),
+                  "qh5: attribute '" + name + "' is not an integer");
+  return std::get<std::int64_t>(v);
+}
+
+double AttrHolder::attr_f64(const std::string& name) const {
+  const AttrValue& v = attr(name);
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return static_cast<double>(std::get<std::int64_t>(v));
+  }
+  QGEAR_CHECK_ARG(std::holds_alternative<double>(v),
+                  "qh5: attribute '" + name + "' is not numeric");
+  return std::get<double>(v);
+}
+
+const std::string& AttrHolder::attr_str(const std::string& name) const {
+  const AttrValue& v = attr(name);
+  QGEAR_CHECK_ARG(std::holds_alternative<std::string>(v),
+                  "qh5: attribute '" + name + "' is not a string");
+  return std::get<std::string>(v);
+}
+
+Dataset::Dataset(DType dtype, std::vector<std::uint64_t> shape)
+    : dtype_(dtype), shape_(std::move(shape)) {
+  QGEAR_CHECK_ARG(!shape_.empty(), "qh5: dataset shape must be non-empty");
+}
+
+std::uint64_t Dataset::element_count() const {
+  std::uint64_t n = 1;
+  for (std::uint64_t d : shape_) n *= d;
+  return n;
+}
+
+void Group::validate_name(const std::string& name) {
+  QGEAR_CHECK_ARG(!name.empty(), "qh5: empty object name");
+  QGEAR_CHECK_ARG(name.find('/') == std::string::npos,
+                  "qh5: object name may not contain '/': " + name);
+}
+
+Group& Group::create_group(const std::string& name) {
+  validate_name(name);
+  QGEAR_CHECK_ARG(groups_.count(name) == 0 && datasets_.count(name) == 0,
+                  "qh5: object '" + name + "' already exists");
+  auto [it, inserted] = groups_.emplace(name, std::make_unique<Group>());
+  QGEAR_ENSURES(inserted);
+  return *it->second;
+}
+
+Dataset& Group::create_dataset_raw(const std::string& name, DType dtype,
+                                   std::vector<std::uint64_t> shape) {
+  validate_name(name);
+  QGEAR_CHECK_ARG(groups_.count(name) == 0 && datasets_.count(name) == 0,
+                  "qh5: object '" + name + "' already exists");
+  auto [it, inserted] =
+      datasets_.emplace(name, std::make_unique<Dataset>(dtype, std::move(shape)));
+  QGEAR_ENSURES(inserted);
+  return *it->second;
+}
+
+bool Group::has_group(const std::string& name) const {
+  return groups_.count(name) != 0;
+}
+
+bool Group::has_dataset(const std::string& name) const {
+  return datasets_.count(name) != 0;
+}
+
+Group& Group::group(const std::string& name) {
+  auto it = groups_.find(name);
+  QGEAR_CHECK_ARG(it != groups_.end(), "qh5: missing group '" + name + "'");
+  return *it->second;
+}
+
+const Group& Group::group(const std::string& name) const {
+  auto it = groups_.find(name);
+  QGEAR_CHECK_ARG(it != groups_.end(), "qh5: missing group '" + name + "'");
+  return *it->second;
+}
+
+Dataset& Group::dataset(const std::string& name) {
+  auto it = datasets_.find(name);
+  QGEAR_CHECK_ARG(it != datasets_.end(),
+                  "qh5: missing dataset '" + name + "'");
+  return *it->second;
+}
+
+const Dataset& Group::dataset(const std::string& name) const {
+  auto it = datasets_.find(name);
+  QGEAR_CHECK_ARG(it != datasets_.end(),
+                  "qh5: missing dataset '" + name + "'");
+  return *it->second;
+}
+
+Dataset& Group::dataset_at(const std::string& path) {
+  return const_cast<Dataset&>(
+      static_cast<const Group*>(this)->dataset_at(path));
+}
+
+const Dataset& Group::dataset_at(const std::string& path) const {
+  const std::vector<std::string> parts = split(path, '/');
+  QGEAR_CHECK_ARG(!parts.empty(), "qh5: empty dataset path");
+  const Group* cur = this;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    cur = &cur->group(parts[i]);
+  }
+  return cur->dataset(parts.back());
+}
+
+std::vector<std::string> Group::group_names() const {
+  std::vector<std::string> out;
+  out.reserve(groups_.size());
+  for (const auto& [name, g] : groups_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Group::dataset_names() const {
+  std::vector<std::string> out;
+  out.reserve(datasets_.size());
+  for (const auto& [name, d] : datasets_) out.push_back(name);
+  return out;
+}
+
+std::uint64_t Group::subtree_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, d] : datasets_) total += d->byte_size();
+  for (const auto& [name, g] : groups_) total += g->subtree_bytes();
+  return total;
+}
+
+}  // namespace qgear::qh5

@@ -1,0 +1,136 @@
+// In-memory qh5 object tree: groups, datasets, attributes.
+//
+// Mirrors the HDF5 object model the paper relies on (Appendix C):
+// hierarchical groups, typed N-dimensional datasets, and key/value
+// attributes for metadata. Data lives uncompressed in memory; compression
+// is applied per chunk at file-serialization time (see file.hpp).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "qgear/common/error.hpp"
+#include "qgear/qh5/dtype.hpp"
+
+namespace qgear::qh5 {
+
+/// Attribute payloads: integers, reals, or short strings.
+using AttrValue = std::variant<std::int64_t, double, std::string>;
+
+/// Attribute map shared by groups and datasets.
+class AttrHolder {
+ public:
+  void set_attr(const std::string& name, AttrValue value);
+  bool has_attr(const std::string& name) const;
+  const AttrValue& attr(const std::string& name) const;
+
+  std::int64_t attr_i64(const std::string& name) const;
+  double attr_f64(const std::string& name) const;
+  const std::string& attr_str(const std::string& name) const;
+
+  const std::map<std::string, AttrValue>& attrs() const { return attrs_; }
+
+ private:
+  std::map<std::string, AttrValue> attrs_;
+};
+
+/// A typed N-dimensional array. Element data is stored as little-endian
+/// bytes; read<T>()/write<T>() require T to match the dataset dtype.
+class Dataset : public AttrHolder {
+ public:
+  Dataset(DType dtype, std::vector<std::uint64_t> shape);
+
+  DType dtype() const { return dtype_; }
+  const std::vector<std::uint64_t>& shape() const { return shape_; }
+  std::uint64_t element_count() const;
+  std::uint64_t byte_size() const { return data_.size(); }
+  const std::vector<std::uint8_t>& raw() const { return data_; }
+  std::vector<std::uint8_t>& raw() { return data_; }
+
+  /// Replaces the contents. values.size() must equal element_count().
+  template <typename T>
+  void write(std::span<const T> values) {
+    QGEAR_CHECK_ARG(dtype_of<T>::value == dtype_,
+                    "qh5: write element type does not match dataset dtype");
+    QGEAR_CHECK_ARG(values.size() == element_count(),
+                    "qh5: write size does not match dataset shape");
+    data_.resize(values.size_bytes());
+    std::memcpy(data_.data(), values.data(), values.size_bytes());
+  }
+
+  /// Reads the full dataset as a flat vector.
+  template <typename T>
+  std::vector<T> read() const {
+    QGEAR_CHECK_ARG(dtype_of<T>::value == dtype_,
+                    "qh5: read element type does not match dataset dtype");
+    std::vector<T> out(element_count());
+    QGEAR_ENSURES(out.size() * sizeof(T) == data_.size());
+    std::memcpy(out.data(), data_.data(), data_.size());
+    return out;
+  }
+
+ private:
+  DType dtype_;
+  std::vector<std::uint64_t> shape_;
+  std::vector<std::uint8_t> data_;
+};
+
+/// A named collection of child groups and datasets.
+class Group : public AttrHolder {
+ public:
+  Group() = default;
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+  Group(Group&&) = default;
+  Group& operator=(Group&&) = default;
+
+  /// Creates a child group. Throws if the name exists or contains '/'.
+  Group& create_group(const std::string& name);
+
+  /// Creates a typed dataset and fills it with `values`.
+  template <typename T>
+  Dataset& create_dataset(const std::string& name,
+                          std::vector<std::uint64_t> shape,
+                          std::span<const T> values) {
+    Dataset& ds = create_dataset_raw(name, dtype_of<T>::value,
+                                     std::move(shape));
+    ds.write<T>(values);
+    return ds;
+  }
+
+  /// Creates an empty dataset of the given dtype/shape (filled later).
+  Dataset& create_dataset_raw(const std::string& name, DType dtype,
+                              std::vector<std::uint64_t> shape);
+
+  bool has_group(const std::string& name) const;
+  bool has_dataset(const std::string& name) const;
+
+  Group& group(const std::string& name);
+  const Group& group(const std::string& name) const;
+  Dataset& dataset(const std::string& name);
+  const Dataset& dataset(const std::string& name) const;
+
+  /// Resolves a '/'-separated path ("circuits/0/gate_type").
+  Dataset& dataset_at(const std::string& path);
+  const Dataset& dataset_at(const std::string& path) const;
+
+  std::vector<std::string> group_names() const;
+  std::vector<std::string> dataset_names() const;
+
+  /// Total uncompressed payload bytes in this subtree.
+  std::uint64_t subtree_bytes() const;
+
+ private:
+  static void validate_name(const std::string& name);
+
+  std::map<std::string, std::unique_ptr<Group>> groups_;
+  std::map<std::string, std::unique_ptr<Dataset>> datasets_;
+};
+
+}  // namespace qgear::qh5

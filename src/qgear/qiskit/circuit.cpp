@@ -1,0 +1,191 @@
+#include "qgear/qiskit/circuit.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::qiskit {
+
+QuantumCircuit::QuantumCircuit(unsigned num_qubits, std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name)) {
+  QGEAR_CHECK_ARG(num_qubits >= 1, "circuit needs at least one qubit");
+  QGEAR_CHECK_ARG(num_qubits <= 64, "circuits above 64 qubits unsupported");
+}
+
+void QuantumCircuit::check_qubit(int q) const {
+  QGEAR_CHECK_ARG(q >= 0 && static_cast<unsigned>(q) < num_qubits_,
+                  "qubit index out of range");
+}
+
+QuantumCircuit& QuantumCircuit::add1(GateKind kind, int q) {
+  check_qubit(q);
+  ops_.push_back({kind, q, -1, 0.0});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::add1p(GateKind kind, double param, int q) {
+  check_qubit(q);
+  ops_.push_back({kind, q, -1, param});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::add2(GateKind kind, int q0, int q1) {
+  check_qubit(q0);
+  check_qubit(q1);
+  QGEAR_CHECK_ARG(q0 != q1, "two-qubit gate needs distinct qubits");
+  ops_.push_back({kind, q0, q1, 0.0});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::cp(double lambda, int c, int t) {
+  check_qubit(c);
+  check_qubit(t);
+  QGEAR_CHECK_ARG(c != t, "two-qubit gate needs distinct qubits");
+  ops_.push_back({GateKind::cp, c, t, lambda});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::measure_all() {
+  for (unsigned q = 0; q < num_qubits_; ++q) measure(static_cast<int>(q));
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::barrier() {
+  ops_.push_back({GateKind::barrier, -1, -1, 0.0});
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::append(const Instruction& inst) {
+  const GateInfo& info = gate_info(inst.kind);
+  if (info.num_qubits >= 1) check_qubit(inst.q0);
+  if (info.num_qubits == 2) {
+    check_qubit(inst.q1);
+    QGEAR_CHECK_ARG(inst.q0 != inst.q1,
+                    "two-qubit gate needs distinct qubits");
+  }
+  ops_.push_back(inst);
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::compose(const QuantumCircuit& other) {
+  QGEAR_CHECK_ARG(other.num_qubits_ == num_qubits_,
+                  "compose: qubit counts differ");
+  ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+  return *this;
+}
+
+namespace {
+Instruction invert(const Instruction& inst) {
+  Instruction out = inst;
+  switch (inst.kind) {
+    case GateKind::h:
+    case GateKind::x:
+    case GateKind::y:
+    case GateKind::z:
+    case GateKind::cx:
+    case GateKind::cz:
+    case GateKind::swap:
+    case GateKind::barrier:
+      return out;  // self-inverse
+    case GateKind::s:
+      out.kind = GateKind::sdg;
+      return out;
+    case GateKind::sdg:
+      out.kind = GateKind::s;
+      return out;
+    case GateKind::t:
+      out.kind = GateKind::tdg;
+      return out;
+    case GateKind::tdg:
+      out.kind = GateKind::t;
+      return out;
+    case GateKind::rx:
+    case GateKind::ry:
+    case GateKind::rz:
+    case GateKind::p:
+    case GateKind::cp:
+      out.param = -inst.param;
+      return out;
+    case GateKind::measure:
+      throw InvalidArgument("inverse: circuit contains measurements");
+  }
+  throw LogicViolation("invert: unhandled gate kind");
+}
+}  // namespace
+
+QuantumCircuit QuantumCircuit::inverse() const {
+  QuantumCircuit out(num_qubits_, name_ + "_dg");
+  out.ops_.reserve(ops_.size());
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    out.ops_.push_back(invert(*it));
+  }
+  return out;
+}
+
+unsigned QuantumCircuit::depth() const {
+  std::vector<unsigned> level(num_qubits_, 0);
+  for (const Instruction& inst : ops_) {
+    if (inst.kind == GateKind::barrier) {
+      const unsigned top = *std::max_element(level.begin(), level.end());
+      std::fill(level.begin(), level.end(), top);
+      continue;
+    }
+    const GateInfo& info = gate_info(inst.kind);
+    unsigned start = level[inst.q0];
+    if (info.num_qubits == 2) start = std::max(start, level[inst.q1]);
+    level[inst.q0] = start + 1;
+    if (info.num_qubits == 2) level[inst.q1] = start + 1;
+  }
+  return *std::max_element(level.begin(), level.end());
+}
+
+std::map<std::string, std::size_t> QuantumCircuit::count_ops() const {
+  std::map<std::string, std::size_t> counts;
+  for (const Instruction& inst : ops_) {
+    ++counts[gate_info(inst.kind).name];
+  }
+  return counts;
+}
+
+std::size_t QuantumCircuit::num_2q_gates() const {
+  return static_cast<std::size_t>(std::count_if(
+      ops_.begin(), ops_.end(), [](const Instruction& inst) {
+        return gate_info(inst.kind).num_qubits == 2;
+      }));
+}
+
+std::string QuantumCircuit::to_string(std::size_t max_lines) const {
+  std::string out = name_ + " (" + std::to_string(num_qubits_) +
+                    " qubits, " + std::to_string(ops_.size()) + " ops)\n";
+  std::size_t lines = 0;
+  for (const Instruction& inst : ops_) {
+    if (max_lines > 0 && lines >= max_lines) {
+      out += "  ... " + std::to_string(ops_.size() - lines) +
+             " more instructions\n";
+      break;
+    }
+    const GateInfo& info = gate_info(inst.kind);
+    out += "  ";
+    out += info.name;
+    if (info.num_params == 1) {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "(%.4f)", inst.param);
+      out += buf;
+    }
+    if (info.num_qubits >= 1) out += " q" + std::to_string(inst.q0);
+    if (info.num_qubits == 2) out += ", q" + std::to_string(inst.q1);
+    out += "\n";
+    ++lines;
+  }
+  return out;
+}
+
+std::size_t QuantumCircuit::num_measurements() const {
+  return static_cast<std::size_t>(std::count_if(
+      ops_.begin(), ops_.end(), [](const Instruction& inst) {
+        return inst.kind == GateKind::measure;
+      }));
+}
+
+}  // namespace qgear::qiskit

@@ -1,0 +1,105 @@
+// QuantumCircuit: the high-level, Qiskit-like circuit IR that Q-Gear
+// consumes. Circuits are ordered gate lists over a fixed qubit register,
+// built through a fluent gate API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qgear/common/error.hpp"
+#include "qgear/qiskit/gates.hpp"
+
+namespace qgear::qiskit {
+
+/// One gate application. For two-qubit gates q0 is the control (or first
+/// swap operand) and q1 the target; single-qubit gates use q0 only
+/// (q1 == -1). `param` is the rotation angle where applicable.
+struct Instruction {
+  GateKind kind = GateKind::h;
+  int q0 = 0;
+  int q1 = -1;
+  double param = 0.0;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+class QuantumCircuit {
+ public:
+  explicit QuantumCircuit(unsigned num_qubits, std::string name = "circuit");
+
+  unsigned num_qubits() const { return num_qubits_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Instruction>& instructions() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  // ---- gate builders -------------------------------------------------
+  QuantumCircuit& h(int q) { return add1(GateKind::h, q); }
+  QuantumCircuit& x(int q) { return add1(GateKind::x, q); }
+  QuantumCircuit& y(int q) { return add1(GateKind::y, q); }
+  QuantumCircuit& z(int q) { return add1(GateKind::z, q); }
+  QuantumCircuit& s(int q) { return add1(GateKind::s, q); }
+  QuantumCircuit& sdg(int q) { return add1(GateKind::sdg, q); }
+  QuantumCircuit& t(int q) { return add1(GateKind::t, q); }
+  QuantumCircuit& tdg(int q) { return add1(GateKind::tdg, q); }
+  QuantumCircuit& rx(double theta, int q) { return add1p(GateKind::rx, theta, q); }
+  QuantumCircuit& ry(double theta, int q) { return add1p(GateKind::ry, theta, q); }
+  QuantumCircuit& rz(double theta, int q) { return add1p(GateKind::rz, theta, q); }
+  QuantumCircuit& p(double lambda, int q) { return add1p(GateKind::p, lambda, q); }
+  QuantumCircuit& cx(int c, int t) { return add2(GateKind::cx, c, t); }
+  QuantumCircuit& cz(int c, int t) { return add2(GateKind::cz, c, t); }
+  QuantumCircuit& cp(double lambda, int c, int t);
+  /// Alias matching the paper's QFT kernel naming (Appendix D.2).
+  QuantumCircuit& cr1(double lambda, int c, int t) { return cp(lambda, c, t); }
+  QuantumCircuit& swap(int a, int b) { return add2(GateKind::swap, a, b); }
+  QuantumCircuit& measure(int q) { return add1(GateKind::measure, q); }
+  QuantumCircuit& measure_all();
+  QuantumCircuit& barrier();
+
+  /// Appends a pre-built instruction (validated).
+  QuantumCircuit& append(const Instruction& inst);
+
+  /// Appends every instruction of `other` (qubit counts must match).
+  QuantumCircuit& compose(const QuantumCircuit& other);
+
+  /// Appends the adjoint of this circuit's unitary part (reversed order,
+  /// inverted gates). Throws if the circuit contains measurements.
+  QuantumCircuit inverse() const;
+
+  // ---- analysis --------------------------------------------------------
+  /// Circuit depth: longest chain of instructions over shared qubits
+  /// (barriers synchronize all qubits, measurements count).
+  unsigned depth() const;
+
+  /// Gate-count histogram by mnemonic.
+  std::map<std::string, std::size_t> count_ops() const;
+
+  /// Number of two-qubit (entangling) gates.
+  std::size_t num_2q_gates() const;
+
+  /// Number of measure instructions.
+  std::size_t num_measurements() const;
+
+  /// Human-readable listing: one instruction per line, e.g.
+  /// "ry(0.5000) q2" / "cx q0, q3". `max_lines` truncates long circuits
+  /// with an ellipsis summary (0 = unlimited).
+  std::string to_string(std::size_t max_lines = 0) const;
+
+  bool operator==(const QuantumCircuit&) const = default;
+
+ private:
+  QuantumCircuit& add1(GateKind kind, int q);
+  QuantumCircuit& add1p(GateKind kind, double param, int q);
+  QuantumCircuit& add2(GateKind kind, int q0, int q1);
+  void check_qubit(int q) const;
+
+  unsigned num_qubits_;
+  std::string name_;
+  std::vector<Instruction> ops_;
+};
+
+}  // namespace qgear::qiskit

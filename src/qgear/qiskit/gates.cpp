@@ -1,0 +1,110 @@
+#include "qgear/qiskit/gates.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::qiskit {
+
+namespace {
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+const GateInfo kInfos[] = {
+    {"h", 1, 0, true},        // h
+    {"x", 1, 0, true},        // x
+    {"y", 1, 0, true},        // y
+    {"z", 1, 0, true},        // z
+    {"s", 1, 0, true},        // s
+    {"sdg", 1, 0, true},      // sdg
+    {"t", 1, 0, true},        // t
+    {"tdg", 1, 0, true},      // tdg
+    {"rx", 1, 1, true},       // rx
+    {"ry", 1, 1, true},       // ry
+    {"rz", 1, 1, true},       // rz
+    {"p", 1, 1, true},        // p
+    {"cx", 2, 0, true},       // cx
+    {"cz", 2, 0, true},       // cz
+    {"cp", 2, 1, true},       // cp (the paper's cr1)
+    {"swap", 2, 0, true},     // swap
+    {"measure", 1, 0, false}, // measure
+    {"barrier", 0, 0, false}, // barrier
+};
+}  // namespace
+
+const GateInfo& gate_info(GateKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  QGEAR_EXPECTS(idx < std::size(kInfos));
+  return kInfos[idx];
+}
+
+GateKind gate_from_name(const std::string& name) {
+  static const std::unordered_map<std::string, GateKind> table = [] {
+    std::unordered_map<std::string, GateKind> t;
+    for (std::size_t i = 0; i < std::size(kInfos); ++i) {
+      t.emplace(kInfos[i].name, static_cast<GateKind>(i));
+    }
+    // cr1 is the paper's name for the controlled phase gate.
+    t.emplace("cr1", GateKind::cp);
+    return t;
+  }();
+  auto it = table.find(name);
+  QGEAR_CHECK_ARG(it != table.end(), "unknown gate name: " + name);
+  return it->second;
+}
+
+Mat2 gate_matrix_1q(GateKind kind, double param) {
+  const cd i(0.0, 1.0);
+  switch (kind) {
+    case GateKind::h:
+      return {kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2};
+    case GateKind::x:
+      return {0, 1, 1, 0};
+    case GateKind::y:
+      return {0, -i, i, 0};
+    case GateKind::z:
+      return {1, 0, 0, -1};
+    case GateKind::s:
+      return {1, 0, 0, i};
+    case GateKind::sdg:
+      return {1, 0, 0, -i};
+    case GateKind::t:
+      return {1, 0, 0, std::exp(i * (M_PI / 4))};
+    case GateKind::tdg:
+      return {1, 0, 0, std::exp(-i * (M_PI / 4))};
+    case GateKind::rx: {
+      const double c = std::cos(param / 2), s = std::sin(param / 2);
+      return {cd(c, 0), cd(0, -s), cd(0, -s), cd(c, 0)};
+    }
+    case GateKind::ry: {
+      const double c = std::cos(param / 2), s = std::sin(param / 2);
+      return {cd(c, 0), cd(-s, 0), cd(s, 0), cd(c, 0)};
+    }
+    case GateKind::rz:
+      return {std::exp(-i * (param / 2)), 0, 0, std::exp(i * (param / 2))};
+    case GateKind::p:
+      return {1, 0, 0, std::exp(i * param)};
+    default:
+      throw InvalidArgument("gate_matrix_1q: not a single-qubit unitary: " +
+                            std::string(gate_info(kind).name));
+  }
+}
+
+Mat2 controlled_target_matrix(GateKind kind, double param) {
+  switch (kind) {
+    case GateKind::cx:
+      return gate_matrix_1q(GateKind::x, 0);
+    case GateKind::cz:
+      return gate_matrix_1q(GateKind::z, 0);
+    case GateKind::cp:
+      return gate_matrix_1q(GateKind::p, param);
+    default:
+      throw InvalidArgument("controlled_target_matrix: not a controlled gate");
+  }
+}
+
+bool is_controlled_gate(GateKind kind) {
+  return kind == GateKind::cx || kind == GateKind::cz || kind == GateKind::cp;
+}
+
+}  // namespace qgear::qiskit

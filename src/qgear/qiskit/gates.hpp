@@ -1,0 +1,64 @@
+// Gate library for the Qiskit-like circuit front-end.
+//
+// Qubit convention is little-endian (qubit k is bit k of the amplitude
+// index), matching Qiskit. Single-qubit gates have an exact 2x2 unitary;
+// two-qubit gates are either controlled-1q (cx, cz, cp) or swap.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <string>
+
+namespace qgear::qiskit {
+
+using cd = std::complex<double>;
+
+enum class GateKind : std::uint8_t {
+  h = 0,
+  x,
+  y,
+  z,
+  s,
+  sdg,
+  t,
+  tdg,
+  rx,
+  ry,
+  rz,
+  p,     // phase gate; the paper's cr1 is its controlled version (cp)
+  cx,
+  cz,
+  cp,
+  swap,
+  measure,
+  barrier,
+};
+
+/// Static metadata for a gate kind.
+struct GateInfo {
+  const char* name;       ///< OpenQASM-style mnemonic
+  unsigned num_qubits;    ///< 1 or 2 (0 for barrier)
+  unsigned num_params;    ///< 0 or 1
+  bool unitary;           ///< false for measure/barrier
+};
+
+const GateInfo& gate_info(GateKind kind);
+
+/// Parses a mnemonic ("cx", "ry", ...). Throws InvalidArgument if unknown.
+GateKind gate_from_name(const std::string& name);
+
+/// Row-major 2x2 unitary {u00, u01, u10, u11}.
+using Mat2 = std::array<cd, 4>;
+
+/// The 2x2 matrix of a single-qubit gate (param ignored for fixed gates).
+Mat2 gate_matrix_1q(GateKind kind, double param);
+
+/// For controlled two-qubit gates (cx, cz, cp): the 2x2 applied to the
+/// target when the control is |1>. Throws for swap.
+Mat2 controlled_target_matrix(GateKind kind, double param);
+
+/// True for cx / cz / cp.
+bool is_controlled_gate(GateKind kind);
+
+}  // namespace qgear::qiskit

@@ -1,0 +1,349 @@
+#include "qgear/qiskit/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "qgear/common/error.hpp"
+#include "qgear/common/strings.hpp"
+
+namespace qgear::qiskit::qasm {
+
+namespace {
+
+const char* qasm_gate_name(GateKind kind) {
+  // OpenQASM 2 standard-library names; cp is cu1 there.
+  switch (kind) {
+    case GateKind::cp: return "cu1";
+    default: return gate_info(kind).name;
+  }
+}
+
+// ---- angle expression parser ------------------------------------------
+// Supports: float literals, `pi`, unary minus, * / + - with the usual
+// precedence, and parentheses. Enough for Qiskit-exported QASM.
+class AngleParser {
+ public:
+  explicit AngleParser(const std::string& text) : text_(text) {}
+
+  double parse() {
+    const double v = expr();
+    skip_ws();
+    QGEAR_CHECK_FORMAT(pos_ == text_.size(),
+                       "qasm: trailing characters in angle: " + text_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(
+                                      static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  double expr() {
+    double v = term();
+    for (;;) {
+      if (eat('+')) {
+        v += term();
+      } else if (eat('-')) {
+        v -= term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double term() {
+    double v = factor();
+    for (;;) {
+      if (eat('*')) {
+        v *= factor();
+      } else if (eat('/')) {
+        const double d = factor();
+        QGEAR_CHECK_FORMAT(d != 0.0, "qasm: division by zero in angle");
+        v /= d;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double factor() {
+    skip_ws();
+    if (eat('-')) return -factor();
+    if (eat('+')) return factor();
+    if (eat('(')) {
+      const double v = expr();
+      QGEAR_CHECK_FORMAT(eat(')'), "qasm: missing ')' in angle");
+      return v;
+    }
+    skip_ws();
+    QGEAR_CHECK_FORMAT(pos_ < text_.size(), "qasm: empty angle factor");
+    if (std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      std::string word;
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        word += text_[pos_++];
+      }
+      QGEAR_CHECK_FORMAT(word == "pi", "qasm: unknown symbol: " + word);
+      return M_PI;
+    }
+    std::size_t consumed = 0;
+    double v = 0;
+    try {
+      v = std::stod(text_.substr(pos_), &consumed);
+    } catch (const std::exception&) {
+      throw FormatError("qasm: bad numeric literal in angle: " + text_);
+    }
+    pos_ += consumed;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- statement tokenizing ----------------------------------------------
+
+struct Statement {
+  std::string gate;     // mnemonic
+  std::string params;   // inside (...) if present
+  std::vector<std::string> operands;
+};
+
+// "cu1(pi/4) q[0],q[2]" -> {gate, params, operands}.
+Statement parse_statement(const std::string& stmt) {
+  Statement out;
+  std::size_t i = 0;
+  while (i < stmt.size() &&
+         (std::isalnum(static_cast<unsigned char>(stmt[i])) ||
+          stmt[i] == '_')) {
+    out.gate += stmt[i++];
+  }
+  QGEAR_CHECK_FORMAT(!out.gate.empty(), "qasm: empty statement");
+  while (i < stmt.size() && std::isspace(static_cast<unsigned char>(stmt[i])))
+    ++i;
+  if (i < stmt.size() && stmt[i] == '(') {
+    int depth = 1;
+    ++i;
+    while (i < stmt.size() && depth > 0) {
+      if (stmt[i] == '(') ++depth;
+      if (stmt[i] == ')') {
+        --depth;
+        if (depth == 0) break;
+      }
+      out.params += stmt[i++];
+    }
+    QGEAR_CHECK_FORMAT(depth == 0, "qasm: unbalanced parentheses");
+    ++i;  // closing ')'
+  }
+  std::string rest = stmt.substr(std::min(i, stmt.size()));
+  for (std::string& op : split(rest, ',')) {
+    // Trim whitespace.
+    std::size_t b = op.find_first_not_of(" \t");
+    std::size_t e = op.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    out.operands.push_back(op.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+// "q[3]" -> 3 (register name must match `reg`).
+int parse_operand(const std::string& op, const std::string& reg) {
+  const std::size_t lb = op.find('[');
+  const std::size_t rb = op.find(']');
+  QGEAR_CHECK_FORMAT(lb != std::string::npos && rb != std::string::npos &&
+                         rb > lb + 0,
+                     "qasm: malformed operand: " + op);
+  QGEAR_CHECK_FORMAT(op.substr(0, lb) == reg,
+                     "qasm: unknown register in operand: " + op);
+  const std::string idx = op.substr(lb + 1, rb - lb - 1);
+  try {
+    return std::stoi(idx);
+  } catch (const std::exception&) {
+    throw FormatError("qasm: bad index in operand: " + op);
+  }
+}
+
+}  // namespace
+
+std::string to_qasm(const QuantumCircuit& qc) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  os << "// " << qc.name() << "\n";
+  os << "qreg q[" << qc.num_qubits() << "];\n";
+  os << "creg c[" << qc.num_qubits() << "];\n";
+  for (const Instruction& inst : qc.instructions()) {
+    if (inst.kind == GateKind::barrier) {
+      os << "barrier q;\n";
+      continue;
+    }
+    if (inst.kind == GateKind::measure) {
+      os << "measure q[" << inst.q0 << "] -> c[" << inst.q0 << "];\n";
+      continue;
+    }
+    const GateInfo& info = gate_info(inst.kind);
+    os << qasm_gate_name(inst.kind);
+    if (info.num_params == 1) {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "(%.17g)", inst.param);
+      os << buf;
+    }
+    os << " q[" << inst.q0 << "]";
+    if (info.num_qubits == 2) os << ",q[" << inst.q1 << "]";
+    os << ";\n";
+  }
+  return os.str();
+}
+
+QuantumCircuit from_qasm(const std::string& text) {
+  // Strip comments, split on ';'.
+  std::string clean;
+  clean.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+    }
+    if (i < text.size()) clean += text[i];
+  }
+
+  std::vector<std::string> stmts;
+  for (std::string& raw : split(clean, ';')) {
+    std::string s;
+    for (char c : raw) {
+      if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+      s += c;
+    }
+    const std::size_t b = s.find_first_not_of(' ');
+    if (b == std::string::npos) continue;
+    const std::size_t e = s.find_last_not_of(' ');
+    stmts.push_back(s.substr(b, e - b + 1));
+  }
+  QGEAR_CHECK_FORMAT(!stmts.empty() && starts_with(stmts[0], "OPENQASM"),
+                     "qasm: missing OPENQASM header");
+
+  std::string qreg_name;
+  unsigned num_qubits = 0;
+  std::vector<Instruction> pending;
+
+  for (std::size_t i = 1; i < stmts.size(); ++i) {
+    const std::string& stmt = stmts[i];
+    if (starts_with(stmt, "include")) continue;
+    if (starts_with(stmt, "creg")) continue;
+    if (starts_with(stmt, "qreg")) {
+      QGEAR_CHECK_FORMAT(qreg_name.empty(),
+                         "qasm: multiple quantum registers unsupported");
+      const std::size_t lb = stmt.find('[');
+      const std::size_t rb = stmt.find(']');
+      QGEAR_CHECK_FORMAT(lb != std::string::npos && rb != std::string::npos,
+                         "qasm: malformed qreg");
+      std::string name = stmt.substr(4, lb - 4);
+      // Trim.
+      const std::size_t b = name.find_first_not_of(' ');
+      const std::size_t e = name.find_last_not_of(' ');
+      QGEAR_CHECK_FORMAT(b != std::string::npos, "qasm: unnamed qreg");
+      qreg_name = name.substr(b, e - b + 1);
+      try {
+        num_qubits = static_cast<unsigned>(
+            std::stoul(stmt.substr(lb + 1, rb - lb - 1)));
+      } catch (const std::exception&) {
+        throw FormatError("qasm: bad qreg size");
+      }
+      QGEAR_CHECK_FORMAT(num_qubits >= 1 && num_qubits <= 64,
+                         "qasm: qreg size out of range");
+      continue;
+    }
+    QGEAR_CHECK_FORMAT(!qreg_name.empty(),
+                       "qasm: gate before qreg declaration");
+
+    if (starts_with(stmt, "measure")) {
+      // "measure q[i] -> c[j]".
+      const std::size_t arrow = stmt.find("->");
+      QGEAR_CHECK_FORMAT(arrow != std::string::npos,
+                         "qasm: malformed measure");
+      std::string src = stmt.substr(7, arrow - 7);
+      const std::size_t b = src.find_first_not_of(' ');
+      const std::size_t e = src.find_last_not_of(' ');
+      QGEAR_CHECK_FORMAT(b != std::string::npos, "qasm: malformed measure");
+      const int q = parse_operand(src.substr(b, e - b + 1), qreg_name);
+      pending.push_back({GateKind::measure, q, -1, 0.0});
+      continue;
+    }
+    if (starts_with(stmt, "barrier")) {
+      pending.push_back({GateKind::barrier, -1, -1, 0.0});
+      continue;
+    }
+
+    const Statement parsed = parse_statement(stmt);
+    GateKind kind;
+    if (parsed.gate == "cu1") {
+      kind = GateKind::cp;
+    } else {
+      try {
+        kind = gate_from_name(parsed.gate);
+      } catch (const InvalidArgument& e) {
+        throw FormatError(std::string("qasm: ") + e.what());
+      }
+    }
+    const GateInfo& info = gate_info(kind);
+    QGEAR_CHECK_FORMAT(parsed.operands.size() == info.num_qubits,
+                       "qasm: wrong operand count for " + parsed.gate);
+    Instruction inst;
+    inst.kind = kind;
+    inst.q0 = parse_operand(parsed.operands[0], qreg_name);
+    if (info.num_qubits == 2) {
+      inst.q1 = parse_operand(parsed.operands[1], qreg_name);
+    }
+    if (info.num_params == 1) {
+      QGEAR_CHECK_FORMAT(!parsed.params.empty(),
+                         "qasm: missing angle for " + parsed.gate);
+      inst.param = AngleParser(parsed.params).parse();
+    } else {
+      QGEAR_CHECK_FORMAT(parsed.params.empty(),
+                         "qasm: unexpected parameter for " + parsed.gate);
+    }
+    pending.push_back(inst);
+  }
+
+  QGEAR_CHECK_FORMAT(num_qubits >= 1, "qasm: no qreg declared");
+  QuantumCircuit qc(num_qubits, "qasm_import");
+  for (const Instruction& inst : pending) {
+    try {
+      qc.append(inst);
+    } catch (const InvalidArgument& e) {
+      throw FormatError(std::string("qasm: ") + e.what());
+    }
+  }
+  return qc;
+}
+
+void save(const QuantumCircuit& qc, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  QGEAR_CHECK_ARG(os.good(), "qasm: cannot write " + path);
+  os << to_qasm(qc);
+  QGEAR_CHECK_ARG(os.good(), "qasm: short write to " + path);
+}
+
+QuantumCircuit load(const std::string& path) {
+  std::ifstream in(path);
+  QGEAR_CHECK_ARG(in.good(), "qasm: cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return from_qasm(ss.str());
+}
+
+}  // namespace qgear::qiskit::qasm

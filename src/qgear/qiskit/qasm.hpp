@@ -1,0 +1,29 @@
+// OpenQASM 2.0 interchange for the supported gate set.
+//
+// Qiskit users exchange circuits as QASM at least as often as QPY; a
+// release-quality Q-Gear needs both. The exporter emits standard-header
+// QASM 2.0; the importer accepts the gate set this library implements
+// (including cu1, OpenQASM's name for the paper's cr1/cp), with
+// parenthesized constant-expression angles such as `pi/4` or `3*pi/2`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::qiskit::qasm {
+
+/// Serializes the circuit as OpenQASM 2.0 text.
+std::string to_qasm(const QuantumCircuit& qc);
+
+/// Parses OpenQASM 2.0 text. Throws FormatError on anything outside the
+/// supported subset (one quantum register, one classical register,
+/// gates from this library's set).
+QuantumCircuit from_qasm(const std::string& text);
+
+/// File convenience wrappers.
+void save(const QuantumCircuit& qc, const std::string& path);
+QuantumCircuit load(const std::string& path);
+
+}  // namespace qgear::qiskit::qasm

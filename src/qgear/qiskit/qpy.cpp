@@ -1,0 +1,132 @@
+#include "qgear/qiskit/qpy.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::qiskit::qpy {
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'P', 'Y', '1'};
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t pos = out.size();
+  out.resize(pos + sizeof(T));
+  std::memcpy(out.data() + pos, &v, sizeof(T));
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  const std::size_t pos = out.size();
+  out.resize(pos + s.size());
+  std::memcpy(out.data() + pos, s.data(), s.size());
+}
+
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  template <typename T>
+  T get() {
+    QGEAR_CHECK_FORMAT(pos + sizeof(T) <= size, "qpy: truncated payload");
+    T v;
+    std::memcpy(&v, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+
+  std::string get_str() {
+    const std::uint32_t len = get<std::uint32_t>();
+    QGEAR_CHECK_FORMAT(pos + len <= size, "qpy: truncated string");
+    std::string s(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+    return s;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const std::vector<QuantumCircuit>& circs) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  for (char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(circs.size()));
+  for (const QuantumCircuit& qc : circs) {
+    put_str(out, qc.name());
+    put<std::uint32_t>(out, qc.num_qubits());
+    put<std::uint64_t>(out, qc.size());
+    for (const Instruction& inst : qc.instructions()) {
+      put<std::uint8_t>(out, static_cast<std::uint8_t>(inst.kind));
+      put<std::int32_t>(out, inst.q0);
+      put<std::int32_t>(out, inst.q1);
+      put<double>(out, inst.param);
+    }
+  }
+  return out;
+}
+
+std::vector<QuantumCircuit> deserialize(const std::uint8_t* data,
+                                        std::size_t size) {
+  Cursor c{data, size};
+  QGEAR_CHECK_FORMAT(size >= 4 && std::memcmp(data, kMagic, 4) == 0,
+                     "qpy: bad magic");
+  c.pos = 4;
+  const std::uint32_t n = c.get<std::uint32_t>();
+  // Each circuit record needs at least 16 bytes; reject counts the
+  // payload cannot possibly hold before allocating anything.
+  QGEAR_CHECK_FORMAT(static_cast<std::size_t>(n) <= size / 16 + 1,
+                     "qpy: circuit count exceeds payload");
+  std::vector<QuantumCircuit> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string name = c.get_str();
+    const std::uint32_t nq = c.get<std::uint32_t>();
+    QGEAR_CHECK_FORMAT(nq >= 1 && nq <= 64, "qpy: invalid qubit count");
+    QuantumCircuit qc(nq, name);
+    const std::uint64_t n_inst = c.get<std::uint64_t>();
+    for (std::uint64_t k = 0; k < n_inst; ++k) {
+      const std::uint8_t raw_kind = c.get<std::uint8_t>();
+      QGEAR_CHECK_FORMAT(
+          raw_kind <= static_cast<std::uint8_t>(GateKind::barrier),
+          "qpy: invalid gate kind");
+      Instruction inst;
+      inst.kind = static_cast<GateKind>(raw_kind);
+      inst.q0 = c.get<std::int32_t>();
+      inst.q1 = c.get<std::int32_t>();
+      inst.param = c.get<double>();
+      try {
+        qc.append(inst);
+      } catch (const InvalidArgument& e) {
+        throw FormatError(std::string("qpy: invalid instruction: ") +
+                          e.what());
+      }
+    }
+    out.push_back(std::move(qc));
+  }
+  QGEAR_CHECK_FORMAT(c.pos == size, "qpy: trailing bytes");
+  return out;
+}
+
+void save(const std::vector<QuantumCircuit>& circs, const std::string& path) {
+  const std::vector<std::uint8_t> buf = serialize(circs);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  QGEAR_CHECK_ARG(os.good(), "qpy: cannot write file: " + path);
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size()));
+  QGEAR_CHECK_ARG(os.good(), "qpy: short write to " + path);
+}
+
+std::vector<QuantumCircuit> load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QGEAR_CHECK_ARG(in.good(), "qpy: cannot open file: " + path);
+  std::vector<std::uint8_t> buf(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return deserialize(buf.data(), buf.size());
+}
+
+}  // namespace qgear::qiskit::qpy

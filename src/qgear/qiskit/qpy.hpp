@@ -1,0 +1,29 @@
+// QPY-like binary circuit serialization (stands in for Qiskit's QPY files,
+// which the paper's encoder reads — Sec. 2.1).
+//
+// Layout (little-endian):
+//   magic "QPY1" | u32 n_circuits
+//   circuit := str name | u32 num_qubits | u64 n_instructions
+//              { u8 kind | i32 q0 | i32 q1 | f64 param }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::qiskit::qpy {
+
+/// Serializes circuits to a byte buffer.
+std::vector<std::uint8_t> serialize(const std::vector<QuantumCircuit>& circs);
+
+/// Parses a byte buffer (throws FormatError on malformed input).
+std::vector<QuantumCircuit> deserialize(const std::uint8_t* data,
+                                        std::size_t size);
+
+/// File convenience wrappers.
+void save(const std::vector<QuantumCircuit>& circs, const std::string& path);
+std::vector<QuantumCircuit> load(const std::string& path);
+
+}  // namespace qgear::qiskit::qpy

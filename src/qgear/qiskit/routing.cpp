@@ -1,0 +1,159 @@
+#include "qgear/qiskit/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::qiskit {
+
+CouplingMap::CouplingMap(unsigned num_qubits)
+    : num_qubits_(num_qubits), adj_(num_qubits) {
+  QGEAR_CHECK_ARG(num_qubits >= 1, "coupling: need at least one qubit");
+}
+
+CouplingMap CouplingMap::linear(unsigned num_qubits) {
+  CouplingMap map(num_qubits);
+  for (unsigned q = 0; q + 1 < num_qubits; ++q) map.add_edge(q, q + 1);
+  return map;
+}
+
+CouplingMap CouplingMap::ring(unsigned num_qubits) {
+  QGEAR_CHECK_ARG(num_qubits >= 3, "coupling: ring needs >= 3 qubits");
+  CouplingMap map = linear(num_qubits);
+  map.add_edge(num_qubits - 1, 0);
+  return map;
+}
+
+CouplingMap CouplingMap::grid(unsigned rows, unsigned cols) {
+  CouplingMap map(rows * cols);
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      const unsigned q = r * cols + c;
+      if (c + 1 < cols) map.add_edge(q, q + 1);
+      if (r + 1 < rows) map.add_edge(q, q + cols);
+    }
+  }
+  return map;
+}
+
+CouplingMap CouplingMap::full(unsigned num_qubits) {
+  CouplingMap map(num_qubits);
+  for (unsigned a = 0; a < num_qubits; ++a) {
+    for (unsigned b = a + 1; b < num_qubits; ++b) map.add_edge(a, b);
+  }
+  return map;
+}
+
+void CouplingMap::add_edge(unsigned a, unsigned b) {
+  QGEAR_CHECK_ARG(a < num_qubits_ && b < num_qubits_ && a != b,
+                  "coupling: invalid edge");
+  if (!connected(a, b)) {
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+  }
+}
+
+bool CouplingMap::connected(unsigned a, unsigned b) const {
+  QGEAR_CHECK_ARG(a < num_qubits_ && b < num_qubits_, "coupling: bad qubit");
+  return std::find(adj_[a].begin(), adj_[a].end(), b) != adj_[a].end();
+}
+
+const std::vector<unsigned>& CouplingMap::neighbors(unsigned q) const {
+  QGEAR_CHECK_ARG(q < num_qubits_, "coupling: bad qubit");
+  return adj_[q];
+}
+
+std::vector<unsigned> CouplingMap::shortest_path(unsigned from,
+                                                 unsigned to) const {
+  QGEAR_CHECK_ARG(from < num_qubits_ && to < num_qubits_,
+                  "coupling: bad qubit");
+  if (from == to) return {from};
+  std::vector<int> parent(num_qubits_, -1);
+  std::deque<unsigned> queue = {from};
+  parent[from] = static_cast<int>(from);
+  while (!queue.empty()) {
+    const unsigned cur = queue.front();
+    queue.pop_front();
+    for (unsigned next : adj_[cur]) {
+      if (parent[next] != -1) continue;
+      parent[next] = static_cast<int>(cur);
+      if (next == to) {
+        std::vector<unsigned> path = {to};
+        unsigned walk = to;
+        while (walk != from) {
+          walk = static_cast<unsigned>(parent[walk]);
+          path.push_back(walk);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(next);
+    }
+  }
+  throw InvalidArgument("coupling: qubits are not connected");
+}
+
+RoutingResult route(const QuantumCircuit& qc, const CouplingMap& map) {
+  QGEAR_CHECK_ARG(map.num_qubits() >= qc.num_qubits(),
+                  "routing: coupling map smaller than circuit");
+
+  // layout[logical] = physical; inverse[physical] = logical (or -1).
+  std::vector<unsigned> layout(qc.num_qubits());
+  std::iota(layout.begin(), layout.end(), 0u);
+
+  RoutingResult result{QuantumCircuit(map.num_qubits(), qc.name() + "_routed"),
+                       {},
+                       0};
+  QuantumCircuit& out = result.circuit;
+
+  auto swap_physical = [&](unsigned pa, unsigned pb) {
+    out.swap(static_cast<int>(pa), static_cast<int>(pb));
+    ++result.swaps_inserted;
+    // Update the logical->physical layout.
+    for (unsigned& p : layout) {
+      if (p == pa) {
+        p = pb;
+      } else if (p == pb) {
+        p = pa;
+      }
+    }
+  };
+
+  for (const Instruction& inst : qc.instructions()) {
+    if (inst.kind == GateKind::barrier) {
+      out.barrier();
+      continue;
+    }
+    const GateInfo& info = gate_info(inst.kind);
+    if (info.num_qubits <= 1) {
+      Instruction moved = inst;
+      moved.q0 = static_cast<int>(layout[inst.q0]);
+      out.append(moved);
+      continue;
+    }
+    // Two-qubit gate: walk the operands together along the shortest path.
+    unsigned pa = layout[inst.q0];
+    unsigned pb = layout[inst.q1];
+    if (!map.connected(pa, pb)) {
+      const std::vector<unsigned> path = map.shortest_path(pa, pb);
+      QGEAR_ENSURES(path.size() >= 3);
+      // Swap the first operand down the path until adjacent to the second.
+      for (std::size_t step = 0; step + 2 < path.size(); ++step) {
+        swap_physical(path[step], path[step + 1]);
+      }
+      pa = layout[inst.q0];
+      pb = layout[inst.q1];
+      QGEAR_ENSURES(map.connected(pa, pb));
+    }
+    Instruction moved = inst;
+    moved.q0 = static_cast<int>(pa);
+    moved.q1 = static_cast<int>(pb);
+    out.append(moved);
+  }
+  result.final_layout = layout;
+  return result;
+}
+
+}  // namespace qgear::qiskit

@@ -1,0 +1,55 @@
+// Qubit routing for constrained connectivity.
+//
+// The paper's kernels "represent transpiled pulse-like gates constrained
+// by native QPU specifications" (Sec. 2.2) — on hardware, two-qubit gates
+// only exist between coupled qubits. This pass inserts SWAPs so every
+// two-qubit gate acts on an adjacent pair of a coupling map, tracking the
+// logical->physical layout (a SABRE-style greedy router with
+// shortest-path swap chains).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::qiskit {
+
+/// Undirected coupling graph over physical qubits.
+class CouplingMap {
+ public:
+  explicit CouplingMap(unsigned num_qubits);
+
+  /// Common topologies.
+  static CouplingMap linear(unsigned num_qubits);
+  static CouplingMap ring(unsigned num_qubits);
+  static CouplingMap grid(unsigned rows, unsigned cols);
+  static CouplingMap full(unsigned num_qubits);
+
+  unsigned num_qubits() const { return num_qubits_; }
+  void add_edge(unsigned a, unsigned b);
+  bool connected(unsigned a, unsigned b) const;
+  const std::vector<unsigned>& neighbors(unsigned q) const;
+
+  /// BFS shortest path between two physical qubits (inclusive endpoints).
+  /// Throws if the graph is disconnected between them.
+  std::vector<unsigned> shortest_path(unsigned from, unsigned to) const;
+
+ private:
+  unsigned num_qubits_;
+  std::vector<std::vector<unsigned>> adj_;
+};
+
+/// Result of routing: the physical circuit plus the final layout.
+struct RoutingResult {
+  QuantumCircuit circuit;             ///< physical-qubit circuit
+  std::vector<unsigned> final_layout; ///< logical qubit -> physical qubit
+  std::size_t swaps_inserted = 0;
+};
+
+/// Routes `qc` onto `map`. The initial layout is identity; measurements
+/// follow their logical qubit. The routed circuit is equivalent to the
+/// input up to the final layout permutation.
+RoutingResult route(const QuantumCircuit& qc, const CouplingMap& map);
+
+}  // namespace qgear::qiskit

@@ -1,0 +1,215 @@
+#include "qgear/qiskit/transpile.hpp"
+
+#include <cmath>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::qiskit {
+
+bool is_native_gate(GateKind kind) {
+  switch (kind) {
+    case GateKind::h:
+    case GateKind::rx:
+    case GateKind::ry:
+    case GateKind::rz:
+    case GateKind::cx:
+    case GateKind::cp:
+    case GateKind::measure:
+    case GateKind::barrier:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Emits the native-basis expansion of one instruction. All rewrites hold
+// up to global phase (p(l) ~ rz(l), z ~ rz(pi), ...), which is irrelevant
+// for state-vector simulation and sampling.
+void emit_native(const Instruction& inst, QuantumCircuit& out) {
+  const int q0 = inst.q0;
+  const int q1 = inst.q1;
+  switch (inst.kind) {
+    case GateKind::h:
+    case GateKind::rx:
+    case GateKind::ry:
+    case GateKind::rz:
+    case GateKind::cx:
+    case GateKind::cp:
+    case GateKind::measure:
+    case GateKind::barrier:
+      out.append(inst);
+      return;
+    case GateKind::x:
+      out.rx(M_PI, q0);
+      return;
+    case GateKind::y:
+      out.ry(M_PI, q0);
+      return;
+    case GateKind::z:
+      out.rz(M_PI, q0);
+      return;
+    case GateKind::s:
+      out.rz(M_PI / 2, q0);
+      return;
+    case GateKind::sdg:
+      out.rz(-M_PI / 2, q0);
+      return;
+    case GateKind::t:
+      out.rz(M_PI / 4, q0);
+      return;
+    case GateKind::tdg:
+      out.rz(-M_PI / 4, q0);
+      return;
+    case GateKind::p:
+      out.rz(inst.param, q0);
+      return;
+    case GateKind::cz:
+      out.h(q1);
+      out.cx(q0, q1);
+      out.h(q1);
+      return;
+    case GateKind::swap:
+      out.cx(q0, q1);
+      out.cx(q1, q0);
+      out.cx(q0, q1);
+      return;
+  }
+  throw LogicViolation("emit_native: unhandled gate kind");
+}
+
+// Two rotations about the same axis merge by angle addition.
+bool is_mergeable_rotation(GateKind kind) {
+  return kind == GateKind::rx || kind == GateKind::ry ||
+         kind == GateKind::rz || kind == GateKind::p;
+}
+
+bool is_self_inverse(GateKind kind) {
+  switch (kind) {
+    case GateKind::h:
+    case GateKind::x:
+    case GateKind::y:
+    case GateKind::z:
+    case GateKind::cx:
+    case GateKind::cz:
+    case GateKind::swap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// One optimization sweep over the instruction list; returns true if it
+// changed anything. Uses a per-qubit "last unitary touching this qubit"
+// index so commuting-through is not attempted (correct but conservative).
+bool sweep(std::vector<Instruction>& ops, const OptimizeOptions& opts,
+           unsigned num_qubits) {
+  bool changed = false;
+  std::vector<Instruction> out;
+  out.reserve(ops.size());
+  // last[q] = index into `out` of the most recent instruction on qubit q,
+  // or -1. An instruction can only fuse with its predecessor if that
+  // predecessor is the latest instruction on *all* of its qubits.
+  std::vector<std::ptrdiff_t> last(num_qubits, -1);
+
+  auto touch = [&](const Instruction& inst, std::ptrdiff_t idx) {
+    const GateInfo& info = gate_info(inst.kind);
+    if (info.num_qubits >= 1) last[inst.q0] = idx;
+    if (info.num_qubits == 2) last[inst.q1] = idx;
+  };
+
+  for (const Instruction& inst : ops) {
+    if (inst.kind == GateKind::barrier) {
+      out.push_back(inst);
+      std::fill(last.begin(), last.end(),
+                static_cast<std::ptrdiff_t>(out.size()) - 1);
+      continue;
+    }
+    const GateInfo& info = gate_info(inst.kind);
+
+    // Drop negligible rotations outright.
+    if (opts.merge_rotations && is_mergeable_rotation(inst.kind) &&
+        std::abs(inst.param) <= opts.angle_epsilon) {
+      changed = true;
+      continue;
+    }
+
+    std::ptrdiff_t prev_idx = info.num_qubits >= 1 ? last[inst.q0] : -1;
+    if (info.num_qubits == 2 && last[inst.q1] != prev_idx) prev_idx = -1;
+
+    if (prev_idx >= 0) {
+      Instruction& prev = out[static_cast<std::size_t>(prev_idx)];
+      const bool same_qubits = prev.q0 == inst.q0 && prev.q1 == inst.q1;
+      // Rotation merging.
+      if (opts.merge_rotations && same_qubits && prev.kind == inst.kind &&
+          (is_mergeable_rotation(inst.kind) || inst.kind == GateKind::cp)) {
+        // `prev` must still be the latest op on all its qubits — guaranteed
+        // because prev_idx matched every qubit of inst and they coincide.
+        prev.param += inst.param;
+        changed = true;
+        if (std::abs(prev.param) <= opts.angle_epsilon) {
+          // Became identity: remove and invalidate indices referring to it.
+          out.erase(out.begin() + prev_idx);
+          for (auto& l : last) {
+            if (l == prev_idx) l = -1;
+            else if (l > prev_idx) --l;
+          }
+        }
+        continue;
+      }
+      // Self-inverse cancellation (identical gate twice in a row). For cz
+      // and swap the operand order is irrelevant.
+      const bool symmetric =
+          inst.kind == GateKind::cz || inst.kind == GateKind::swap;
+      const bool qubits_match =
+          same_qubits ||
+          (symmetric && prev.q0 == inst.q1 && prev.q1 == inst.q0);
+      if (opts.cancel_self_inverse && prev.kind == inst.kind &&
+          qubits_match && is_self_inverse(inst.kind)) {
+        out.erase(out.begin() + prev_idx);
+        for (auto& l : last) {
+          if (l == prev_idx) l = -1;
+          else if (l > prev_idx) --l;
+        }
+        changed = true;
+        continue;
+      }
+    }
+
+    out.push_back(inst);
+    if (info.unitary || inst.kind == GateKind::measure) {
+      touch(inst, static_cast<std::ptrdiff_t>(out.size()) - 1);
+    }
+  }
+  ops = std::move(out);
+  return changed;
+}
+
+}  // namespace
+
+QuantumCircuit to_native_basis(const QuantumCircuit& qc) {
+  QuantumCircuit out(qc.num_qubits(), qc.name());
+  for (const Instruction& inst : qc.instructions()) {
+    emit_native(inst, out);
+  }
+  return out;
+}
+
+QuantumCircuit optimize(const QuantumCircuit& qc, OptimizeOptions opts) {
+  QuantumCircuit out = qc;
+  std::vector<Instruction> ops = out.instructions();
+  // Iterate to fixpoint: each sweep only shrinks the list, so this
+  // terminates in at most |ops| sweeps.
+  while (sweep(ops, opts, qc.num_qubits())) {
+  }
+  QuantumCircuit rebuilt(qc.num_qubits(), qc.name());
+  for (const Instruction& inst : ops) rebuilt.append(inst);
+  return rebuilt;
+}
+
+QuantumCircuit transpile(const QuantumCircuit& qc, OptimizeOptions opts) {
+  return optimize(to_native_basis(qc), opts);
+}
+
+}  // namespace qgear::qiskit

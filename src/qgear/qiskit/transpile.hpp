@@ -1,0 +1,37 @@
+// Transpiler passes.
+//
+// Q-Gear's tensor encoding works over the paper's native gate set
+// M = (h, ry, rz, cx, measure) extended with the gates its own workloads
+// need (rx for random unitaries, cp/cr1 for QFT). `to_native_basis`
+// rewrites any circuit into that set, up to global phase; `optimize`
+// performs the standard peephole cleanups (rotation merging, self-inverse
+// cancellation, zero-angle elimination).
+#pragma once
+
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::qiskit {
+
+/// Gates the Q-Gear tensor encoding accepts directly (Sec. 2.1 / Eq. 8,
+/// extended as described above).
+bool is_native_gate(GateKind kind);
+
+/// Rewrites every non-native gate into native ones. The result implements
+/// the same unitary up to a global phase.
+QuantumCircuit to_native_basis(const QuantumCircuit& qc);
+
+/// Options for the peephole optimizer.
+struct OptimizeOptions {
+  bool merge_rotations = true;      ///< rz(a)rz(b) -> rz(a+b), etc.
+  bool cancel_self_inverse = true;  ///< h h -> id, cx cx -> id, ...
+  double angle_epsilon = 1e-12;     ///< rotations below this are dropped
+};
+
+/// Runs peephole optimization to a fixpoint. Preserves the unitary exactly
+/// (rotation merging is exact; only |angle| <= angle_epsilon is dropped).
+QuantumCircuit optimize(const QuantumCircuit& qc, OptimizeOptions opts = {});
+
+/// Convenience: to_native_basis followed by optimize.
+QuantumCircuit transpile(const QuantumCircuit& qc, OptimizeOptions opts = {});
+
+}  // namespace qgear::qiskit

@@ -1,0 +1,106 @@
+// Single-instruction dispatch onto the kernels — shared by the reference
+// engine and the distributed engine's local-qubit path.
+#pragma once
+
+#include <complex>
+
+#include "qgear/qiskit/circuit.hpp"
+#include "qgear/sim/kernels.hpp"
+
+namespace qgear::sim {
+
+/// Two-qubit controlled-phase fast path: amps[i] *= phase when both bits set.
+template <typename T>
+void apply_controlled_phase(std::complex<T>* amps, unsigned num_qubits,
+                            unsigned control, unsigned target,
+                            std::complex<T> phase,
+                            ThreadPool* pool = nullptr) {
+  QGEAR_EXPECTS(control < num_qubits && target < num_qubits &&
+                control != target);
+  const std::uint64_t total = pow2(num_qubits);
+  const std::uint64_t mask = pow2(control) | pow2(target);
+  detail::for_range(pool, total, [=](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if ((i & mask) == mask) amps[i] *= phase;
+    }
+  });
+}
+
+/// Applies one unitary instruction to an amplitude array holding all
+/// `num_qubits` qubits. Measure records into `measured` (if non-null);
+/// barrier is a no-op. Returns the number of amplitude sweeps performed.
+template <typename T>
+unsigned apply_instruction(std::complex<T>* amps, unsigned num_qubits,
+                           const qiskit::Instruction& inst,
+                           ThreadPool* pool = nullptr,
+                           std::vector<unsigned>* measured = nullptr) {
+  using qiskit::GateKind;
+  switch (inst.kind) {
+    case GateKind::barrier:
+      return 0;
+    case GateKind::measure:
+      if (measured != nullptr) {
+        measured->push_back(static_cast<unsigned>(inst.q0));
+      }
+      return 0;
+    case GateKind::rz: {
+      // Diagonal fast path.
+      const std::complex<double> i(0, 1);
+      const auto d0 = std::complex<T>(std::exp(-i * (inst.param / 2)));
+      const auto d1 = std::complex<T>(std::exp(i * (inst.param / 2)));
+      apply_1q_diagonal(amps, num_qubits, static_cast<unsigned>(inst.q0), d0,
+                        d1, pool);
+      return 1;
+    }
+    case GateKind::p: {
+      const std::complex<double> i(0, 1);
+      const auto d1 = std::complex<T>(std::exp(i * inst.param));
+      apply_1q_diagonal(amps, num_qubits, static_cast<unsigned>(inst.q0),
+                        std::complex<T>(1), d1, pool);
+      return 1;
+    }
+    case GateKind::z:
+      apply_1q_diagonal(amps, num_qubits, static_cast<unsigned>(inst.q0),
+                        std::complex<T>(1), std::complex<T>(-1), pool);
+      return 1;
+    case GateKind::s:
+      apply_1q_diagonal(amps, num_qubits, static_cast<unsigned>(inst.q0),
+                        std::complex<T>(1), std::complex<T>(0, 1), pool);
+      return 1;
+    case GateKind::sdg:
+      apply_1q_diagonal(amps, num_qubits, static_cast<unsigned>(inst.q0),
+                        std::complex<T>(1), std::complex<T>(0, -1), pool);
+      return 1;
+    case GateKind::cz:
+      apply_controlled_phase(amps, num_qubits,
+                             static_cast<unsigned>(inst.q0),
+                             static_cast<unsigned>(inst.q1),
+                             std::complex<T>(-1), pool);
+      return 1;
+    case GateKind::cp: {
+      const std::complex<double> i(0, 1);
+      apply_controlled_phase(amps, num_qubits,
+                             static_cast<unsigned>(inst.q0),
+                             static_cast<unsigned>(inst.q1),
+                             std::complex<T>(std::exp(i * inst.param)), pool);
+      return 1;
+    }
+    case GateKind::cx:
+      apply_controlled_1q(amps, num_qubits, static_cast<unsigned>(inst.q0),
+                          static_cast<unsigned>(inst.q1),
+                          qiskit::gate_matrix_1q(GateKind::x, 0), pool);
+      return 1;
+    case GateKind::swap:
+      apply_swap(amps, num_qubits, static_cast<unsigned>(inst.q0),
+                 static_cast<unsigned>(inst.q1), pool);
+      return 1;
+    default: {
+      // Remaining single-qubit unitaries (h, x, y, t, tdg, rx, ry).
+      apply_1q(amps, num_qubits, static_cast<unsigned>(inst.q0),
+               qiskit::gate_matrix_1q(inst.kind, inst.param), pool);
+      return 1;
+    }
+  }
+}
+
+}  // namespace qgear::sim

@@ -1,0 +1,212 @@
+// Amplitude-update kernels shared by all engines.
+//
+// Each kernel sweeps the amplitude array once, applying one (possibly
+// fused multi-qubit) unitary. A non-null ThreadPool parallelizes the sweep
+// over contiguous index ranges — the shared-memory stand-in for the GPU's
+// SM/warp execution described in the paper's Appendix A.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "qgear/common/bits.hpp"
+#include "qgear/common/error.hpp"
+#include "qgear/common/thread_pool.hpp"
+#include "qgear/qiskit/gates.hpp"
+
+namespace qgear::sim {
+
+/// Converts the canonical double-precision 2x2 into precision T.
+template <typename T>
+std::array<std::complex<T>, 4> to_precision(const qiskit::Mat2& m) {
+  return {std::complex<T>(m[0]), std::complex<T>(m[1]),
+          std::complex<T>(m[2]), std::complex<T>(m[3])};
+}
+
+namespace detail {
+/// Runs fn(begin, end) over [0, count) — pooled or inline.
+inline void for_range(ThreadPool* pool, std::uint64_t count,
+                      const std::function<void(std::uint64_t, std::uint64_t)>& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(0, count, fn);
+  } else {
+    fn(0, count);
+  }
+}
+}  // namespace detail
+
+/// Applies a 2x2 unitary to qubit q of an n-qubit amplitude array.
+template <typename T>
+void apply_1q(std::complex<T>* amps, unsigned num_qubits, unsigned q,
+              const qiskit::Mat2& gate, ThreadPool* pool = nullptr) {
+  QGEAR_EXPECTS(q < num_qubits);
+  const auto m = to_precision<T>(gate);
+  const std::uint64_t pairs = pow2(num_qubits - 1);
+  const std::uint64_t stride = pow2(q);
+  detail::for_range(pool, pairs, [=](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t k = begin; k < end; ++k) {
+      const std::uint64_t i0 = insert_zero_bit(k, q);
+      const std::uint64_t i1 = i0 | stride;
+      const std::complex<T> a0 = amps[i0];
+      const std::complex<T> a1 = amps[i1];
+      amps[i0] = m[0] * a0 + m[1] * a1;
+      amps[i1] = m[2] * a0 + m[3] * a1;
+    }
+  });
+}
+
+/// Applies a diagonal 2x2 unitary {d0, d1} to qubit q (no pairing needed).
+template <typename T>
+void apply_1q_diagonal(std::complex<T>* amps, unsigned num_qubits, unsigned q,
+                       std::complex<T> d0, std::complex<T> d1,
+                       ThreadPool* pool = nullptr) {
+  QGEAR_EXPECTS(q < num_qubits);
+  const std::uint64_t total = pow2(num_qubits);
+  detail::for_range(pool, total, [=](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      amps[i] *= test_bit(i, q) ? d1 : d0;
+    }
+  });
+}
+
+/// Applies a controlled-U (2x2 target matrix) with control c, target t.
+template <typename T>
+void apply_controlled_1q(std::complex<T>* amps, unsigned num_qubits,
+                         unsigned control, unsigned target,
+                         const qiskit::Mat2& gate,
+                         ThreadPool* pool = nullptr) {
+  QGEAR_EXPECTS(control < num_qubits && target < num_qubits &&
+                control != target);
+  const auto m = to_precision<T>(gate);
+  const unsigned lo = std::min(control, target);
+  const unsigned hi = std::max(control, target);
+  const std::uint64_t groups = pow2(num_qubits - 2);
+  const std::uint64_t cbit = pow2(control);
+  const std::uint64_t tbit = pow2(target);
+  detail::for_range(pool, groups, [=](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t k = begin; k < end; ++k) {
+      // Index with control=1, target=0; partner has target=1.
+      const std::uint64_t base = insert_two_zero_bits(k, lo, hi) | cbit;
+      const std::uint64_t i1 = base | tbit;
+      const std::complex<T> a0 = amps[base];
+      const std::complex<T> a1 = amps[i1];
+      amps[base] = m[0] * a0 + m[1] * a1;
+      amps[i1] = m[2] * a0 + m[3] * a1;
+    }
+  });
+}
+
+/// Swaps qubits a and b (amplitude permutation).
+template <typename T>
+void apply_swap(std::complex<T>* amps, unsigned num_qubits, unsigned a,
+                unsigned b, ThreadPool* pool = nullptr) {
+  QGEAR_EXPECTS(a < num_qubits && b < num_qubits && a != b);
+  const unsigned lo = std::min(a, b);
+  const unsigned hi = std::max(a, b);
+  const std::uint64_t groups = pow2(num_qubits - 2);
+  const std::uint64_t abit = pow2(a);
+  const std::uint64_t bbit = pow2(b);
+  detail::for_range(pool, groups, [=](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t k = begin; k < end; ++k) {
+      const std::uint64_t i01 = insert_two_zero_bits(k, lo, hi) | abit;
+      const std::uint64_t i10 = (i01 ^ abit) | bbit;
+      std::swap(amps[i01], amps[i10]);
+    }
+  });
+}
+
+/// Specialized dense 4x4 kernel for two-qubit fused blocks — the common
+/// case for CX-block workloads. Fully unrolled: no gather/scatter
+/// indirection, no per-group temporaries.
+template <typename T>
+void apply_2q_dense(std::complex<T>* amps, unsigned num_qubits,
+                    unsigned q_lo, unsigned q_hi,
+                    const std::vector<std::complex<double>>& matrix,
+                    ThreadPool* pool = nullptr) {
+  QGEAR_EXPECTS(q_lo < q_hi && q_hi < num_qubits);
+  QGEAR_EXPECTS(matrix.size() == 16);
+  std::array<std::complex<T>, 16> m;
+  for (int i = 0; i < 16; ++i) m[i] = std::complex<T>(matrix[i]);
+  const std::uint64_t groups = pow2(num_qubits - 2);
+  const std::uint64_t lo_bit = pow2(q_lo);
+  const std::uint64_t hi_bit = pow2(q_hi);
+  detail::for_range(pool, groups, [=](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t g = begin; g < end; ++g) {
+      const std::uint64_t i0 = insert_two_zero_bits(g, q_lo, q_hi);
+      const std::uint64_t i1 = i0 | lo_bit;
+      const std::uint64_t i2 = i0 | hi_bit;
+      const std::uint64_t i3 = i1 | hi_bit;
+      const std::complex<T> a0 = amps[i0], a1 = amps[i1], a2 = amps[i2],
+                            a3 = amps[i3];
+      amps[i0] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+      amps[i1] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+      amps[i2] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+      amps[i3] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+    }
+  });
+}
+
+/// Applies a dense 2^m x 2^m unitary (row-major, double precision) to the
+/// ascending qubit list `qubits` — the fused-block kernel. Local basis bit
+/// j of the matrix corresponds to qubits[j]. Widths 1 and 2 dispatch to
+/// the specialized unrolled kernels.
+template <typename T>
+void apply_multi(std::complex<T>* amps, unsigned num_qubits,
+                 const std::vector<unsigned>& qubits,
+                 const std::vector<std::complex<double>>& matrix,
+                 ThreadPool* pool = nullptr) {
+  const unsigned m = static_cast<unsigned>(qubits.size());
+  QGEAR_EXPECTS(m >= 1 && m <= num_qubits);
+  const std::uint64_t dim = pow2(m);
+  QGEAR_EXPECTS(matrix.size() == dim * dim);
+  for (unsigned j = 0; j < m; ++j) {
+    QGEAR_EXPECTS(qubits[j] < num_qubits);
+    if (j > 0) QGEAR_EXPECTS(qubits[j] > qubits[j - 1]);
+  }
+  if (m == 1) {
+    apply_1q(amps, num_qubits, qubits[0],
+             qiskit::Mat2{matrix[0], matrix[1], matrix[2], matrix[3]},
+             pool);
+    return;
+  }
+  if (m == 2) {
+    apply_2q_dense(amps, num_qubits, qubits[0], qubits[1], matrix, pool);
+    return;
+  }
+
+  // Pre-convert the matrix once per sweep.
+  std::vector<std::complex<T>> mat(dim * dim);
+  for (std::uint64_t i = 0; i < dim * dim; ++i) {
+    mat[i] = std::complex<T>(matrix[i]);
+  }
+  // Precompute the offset of each local basis index within a group.
+  std::vector<std::uint64_t> offsets(dim);
+  for (std::uint64_t v = 0; v < dim; ++v) {
+    offsets[v] = deposit_bits(v, qubits.data(), m);
+  }
+
+  const std::uint64_t groups = pow2(num_qubits - m);
+  const auto* offs = offsets.data();
+  const auto* mp = mat.data();
+  detail::for_range(pool, groups, [=](std::uint64_t begin, std::uint64_t end) {
+    std::vector<std::complex<T>> in(dim), out(dim);
+    for (std::uint64_t g = begin; g < end; ++g) {
+      // Scatter group index g into the non-block bit positions.
+      std::uint64_t base = g;
+      for (unsigned j = 0; j < m; ++j) {
+        base = insert_zero_bit(base, qubits[j]);
+      }
+      for (std::uint64_t v = 0; v < dim; ++v) in[v] = amps[base + offs[v]];
+      for (std::uint64_t r = 0; r < dim; ++r) {
+        std::complex<T> acc(0, 0);
+        const auto* row = mp + r * dim;
+        for (std::uint64_t c = 0; c < dim; ++c) acc += row[c] * in[c];
+        out[r] = acc;
+      }
+      for (std::uint64_t v = 0; v < dim; ++v) amps[base + offs[v]] = out[v];
+    }
+  });
+}
+
+}  // namespace qgear::sim

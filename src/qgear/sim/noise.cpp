@@ -1,0 +1,100 @@
+#include "qgear/sim/noise.hpp"
+
+#include <cmath>
+
+#include "qgear/common/bits.hpp"
+#include "qgear/common/error.hpp"
+
+namespace qgear::sim {
+
+namespace {
+void validate(const ReadoutError& e) {
+  QGEAR_CHECK_ARG(e.p01 >= 0 && e.p01 <= 0.5 && e.p10 >= 0 && e.p10 <= 0.5,
+                  "readout: error probabilities must lie in [0, 0.5]");
+}
+}  // namespace
+
+ReadoutNoise::ReadoutNoise(unsigned num_qubits, ReadoutError uniform)
+    : errors_(num_qubits, uniform) {
+  QGEAR_CHECK_ARG(num_qubits >= 1 && num_qubits <= 30,
+                  "readout: qubit count out of range");
+  validate(uniform);
+}
+
+ReadoutNoise::ReadoutNoise(std::vector<ReadoutError> per_qubit)
+    : errors_(std::move(per_qubit)) {
+  QGEAR_CHECK_ARG(!errors_.empty() && errors_.size() <= 30,
+                  "readout: qubit count out of range");
+  for (const ReadoutError& e : errors_) validate(e);
+}
+
+Counts ReadoutNoise::corrupt(const Counts& counts, Rng& rng) const {
+  Counts noisy;
+  for (const auto& [key, count] : counts) {
+    for (std::uint64_t s = 0; s < count; ++s) {
+      std::uint64_t out = key;
+      for (unsigned q = 0; q < num_qubits(); ++q) {
+        const bool bit = test_bit(key, q);
+        const double flip_p = bit ? errors_[q].p10 : errors_[q].p01;
+        if (flip_p > 0 && rng.uniform() < flip_p) {
+          out = flip_bit(out, q);
+        }
+      }
+      ++noisy[out];
+    }
+  }
+  return noisy;
+}
+
+Counts ReadoutNoise::mitigate(const Counts& noisy,
+                              std::uint64_t shots) const {
+  QGEAR_CHECK_ARG(shots > 0, "readout: shots must be positive");
+  const unsigned n = num_qubits();
+  const std::uint64_t dim = pow2(n);
+
+  // Dense probability vector (mitigation is an n-qubit tensor solve).
+  std::vector<double> p(dim, 0.0);
+  for (const auto& [key, count] : noisy) {
+    QGEAR_CHECK_ARG(key < dim, "readout: outcome beyond register");
+    p[key] += static_cast<double>(count) / static_cast<double>(shots);
+  }
+
+  // Apply the inverse confusion matrix qubit by qubit.
+  // M_q = [[1-p01, p10], [p01, 1-p10]] maps true -> observed, so
+  // M_q^{-1} = 1/det * [[1-p10, -p10], [-p01, 1-p01]].
+  for (unsigned q = 0; q < n; ++q) {
+    const double p01 = errors_[q].p01;
+    const double p10 = errors_[q].p10;
+    const double det = 1.0 - p01 - p10;
+    QGEAR_CHECK_ARG(det > 1e-9, "readout: confusion matrix singular");
+    const double i00 = (1.0 - p10) / det;
+    const double i01 = -p10 / det;
+    const double i10 = -p01 / det;
+    const double i11 = (1.0 - p01) / det;
+    const std::uint64_t stride = pow2(q);
+    for (std::uint64_t base = 0; base < dim; ++base) {
+      if (base & stride) continue;
+      const double v0 = p[base];
+      const double v1 = p[base | stride];
+      p[base] = i00 * v0 + i01 * v1;
+      p[base | stride] = i10 * v0 + i11 * v1;
+    }
+  }
+
+  // Clip quasi-probabilities and renormalize back to counts.
+  double total = 0;
+  for (double& v : p) {
+    if (v < 0) v = 0;
+    total += v;
+  }
+  QGEAR_CHECK_ARG(total > 0, "readout: mitigation produced empty result");
+  Counts mitigated;
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    const auto count = static_cast<std::uint64_t>(
+        std::llround(p[i] / total * static_cast<double>(shots)));
+    if (count > 0) mitigated[i] = count;
+  }
+  return mitigated;
+}
+
+}  // namespace qgear::sim

@@ -1,0 +1,52 @@
+// Readout (measurement) noise model and mitigation.
+//
+// The paper's motivation for million-shot sampling is measurement
+// fidelity (Sec. 1). This module models the dominant hardware effect —
+// per-qubit assignment error p(read 1 | prepared 0), p(read 0 |
+// prepared 1) — applied to sampled counts, and the standard mitigation:
+// inverting the tensor-product confusion matrix per qubit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qgear/common/rng.hpp"
+#include "qgear/sim/sampler.hpp"
+
+namespace qgear::sim {
+
+/// Per-qubit symmetric-or-not assignment error.
+struct ReadoutError {
+  double p01 = 0.0;  ///< P(read 1 | true 0)
+  double p10 = 0.0;  ///< P(read 0 | true 1)
+};
+
+/// Readout noise over an n-qubit measurement register.
+class ReadoutNoise {
+ public:
+  /// Same error on every measured qubit.
+  ReadoutNoise(unsigned num_qubits, ReadoutError uniform);
+  /// Per-qubit errors.
+  explicit ReadoutNoise(std::vector<ReadoutError> per_qubit);
+
+  unsigned num_qubits() const {
+    return static_cast<unsigned>(errors_.size());
+  }
+  const ReadoutError& error(unsigned q) const { return errors_.at(q); }
+
+  /// Applies assignment errors shot-by-shot to a histogram (keys are
+  /// packed measured bits, bit q = measured qubit q).
+  Counts corrupt(const Counts& counts, Rng& rng) const;
+
+  /// Mitigates a noisy histogram by applying the inverse single-qubit
+  /// confusion matrix on each bit of the probability vector (tensor-
+  /// product structure makes this O(n 2^n)). Returns quasi-probability
+  /// weights scaled back to shot counts; small negative entries are
+  /// clipped and the result renormalized.
+  Counts mitigate(const Counts& noisy, std::uint64_t shots) const;
+
+ private:
+  std::vector<ReadoutError> errors_;
+};
+
+}  // namespace qgear::sim

@@ -1,0 +1,200 @@
+#include "qgear/sim/observable.hpp"
+
+#include <cmath>
+
+#include "qgear/common/bits.hpp"
+#include "qgear/sim/reference.hpp"
+#include "qgear/sim/sampler.hpp"
+
+namespace qgear::sim {
+
+PauliTerm PauliTerm::parse(const std::string& text, double coefficient) {
+  QGEAR_CHECK_ARG(!text.empty(), "pauli: empty string");
+  PauliTerm term;
+  term.coefficient = coefficient;
+  term.ops.resize(text.size(), Pauli::I);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    // Leftmost char = highest qubit.
+    const std::size_t q = text.size() - 1 - i;
+    switch (text[i]) {
+      case 'I': term.ops[q] = Pauli::I; break;
+      case 'X': term.ops[q] = Pauli::X; break;
+      case 'Y': term.ops[q] = Pauli::Y; break;
+      case 'Z': term.ops[q] = Pauli::Z; break;
+      default:
+        throw InvalidArgument(std::string("pauli: invalid character '") +
+                              text[i] + "'");
+    }
+  }
+  return term;
+}
+
+std::string PauliTerm::to_string() const {
+  static const char names[] = {'I', 'X', 'Y', 'Z'};
+  std::string out;
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    out += names[static_cast<int>(*it)];
+  }
+  return out.empty() ? "I" : out;
+}
+
+bool PauliTerm::is_identity() const {
+  for (Pauli p : ops) {
+    if (p != Pauli::I) return false;
+  }
+  return true;
+}
+
+Observable& Observable::add(PauliTerm term) {
+  terms_.push_back(std::move(term));
+  return *this;
+}
+
+Observable& Observable::add(const std::string& paulis, double coefficient) {
+  return add(PauliTerm::parse(paulis, coefficient));
+}
+
+Observable Observable::ising_ring(unsigned num_qubits, double j, double h) {
+  QGEAR_CHECK_ARG(num_qubits >= 2, "ising_ring: need >= 2 qubits");
+  Observable obs;
+  for (unsigned q = 0; q < num_qubits; ++q) {
+    PauliTerm zz;
+    zz.coefficient = -j;
+    zz.ops.resize(num_qubits, Pauli::I);
+    zz.ops[q] = Pauli::Z;
+    zz.ops[(q + 1) % num_qubits] = Pauli::Z;
+    obs.add(std::move(zz));
+    PauliTerm x;
+    x.coefficient = -h;
+    x.ops.resize(num_qubits, Pauli::I);
+    x.ops[q] = Pauli::X;
+    obs.add(std::move(x));
+  }
+  return obs;
+}
+
+namespace {
+
+// Applies one Pauli string to a basis index: P|i> = phase * |j>.
+// Returns j; accumulates the phase (in quarter turns of i).
+std::uint64_t pauli_image(const PauliTerm& term, std::uint64_t i,
+                          std::complex<double>& phase) {
+  std::uint64_t j = i;
+  for (std::size_t q = 0; q < term.ops.size(); ++q) {
+    const bool bit = test_bit(i, static_cast<unsigned>(q));
+    switch (term.ops[q]) {
+      case Pauli::I:
+        break;
+      case Pauli::X:
+        j = flip_bit(j, static_cast<unsigned>(q));
+        break;
+      case Pauli::Y:
+        j = flip_bit(j, static_cast<unsigned>(q));
+        // Y|0> = i|1>, Y|1> = -i|0>.
+        phase *= bit ? std::complex<double>(0, -1)
+                     : std::complex<double>(0, 1);
+        break;
+      case Pauli::Z:
+        if (bit) phase *= -1.0;
+        break;
+    }
+  }
+  return j;
+}
+
+}  // namespace
+
+template <typename T>
+double expectation(const StateVector<T>& state, const PauliTerm& term) {
+  QGEAR_CHECK_ARG(term.ops.size() <= state.num_qubits(),
+                  "observable: term acts beyond the register");
+  std::complex<double> acc(0, 0);
+  for (std::uint64_t i = 0; i < state.size(); ++i) {
+    const std::complex<double> amp(state[i]);
+    if (amp == std::complex<double>(0, 0)) continue;
+    std::complex<double> phase(1, 0);
+    const std::uint64_t j = pauli_image(term, i, phase);
+    // <psi|P|psi> = sum_i conj(a_j) * phase * a_i with |j> = P|i>/phase.
+    acc += std::conj(std::complex<double>(state[j])) * phase * amp;
+  }
+  return term.coefficient * acc.real();
+}
+
+template <typename T>
+double expectation(const StateVector<T>& state, const Observable& obs) {
+  double total = 0;
+  for (const PauliTerm& term : obs.terms()) {
+    total += expectation(state, term);
+  }
+  return total;
+}
+
+qiskit::QuantumCircuit basis_change_circuit(unsigned num_qubits,
+                                            const PauliTerm& term) {
+  QGEAR_CHECK_ARG(term.ops.size() <= num_qubits,
+                  "observable: term acts beyond the register");
+  qiskit::QuantumCircuit qc(num_qubits, "basis_change");
+  for (std::size_t q = 0; q < term.ops.size(); ++q) {
+    const int qi = static_cast<int>(q);
+    switch (term.ops[q]) {
+      case Pauli::X:
+        qc.h(qi);
+        break;
+      case Pauli::Y:
+        qc.sdg(qi);
+        qc.h(qi);
+        break;
+      default:
+        break;
+    }
+  }
+  return qc;
+}
+
+template <typename T>
+double sampled_expectation(const StateVector<T>& state,
+                           const PauliTerm& term, std::uint64_t shots,
+                           Rng& rng) {
+  QGEAR_CHECK_ARG(shots > 0, "observable: need at least one shot");
+  if (term.is_identity()) return term.coefficient;
+
+  // Rotate a copy into the measurement basis.
+  StateVector<T> rotated = state;
+  ReferenceEngine<T> engine;
+  engine.apply(basis_change_circuit(state.num_qubits(), term), rotated);
+
+  std::vector<unsigned> measured;
+  std::uint64_t parity_mask = 0;
+  for (std::size_t q = 0; q < term.ops.size(); ++q) {
+    if (term.ops[q] != Pauli::I) {
+      measured.push_back(static_cast<unsigned>(q));
+      parity_mask |= pow2(static_cast<unsigned>(measured.size() - 1));
+    }
+  }
+  const Counts counts = sample_counts(rotated, measured, shots, rng);
+  std::int64_t signed_sum = 0;
+  for (const auto& [key, count] : counts) {
+    const bool odd = std::popcount(key & parity_mask) % 2 == 1;
+    signed_sum += odd ? -static_cast<std::int64_t>(count)
+                      : static_cast<std::int64_t>(count);
+  }
+  return term.coefficient * static_cast<double>(signed_sum) /
+         static_cast<double>(shots);
+}
+
+template double expectation<float>(const StateVector<float>&,
+                                   const PauliTerm&);
+template double expectation<double>(const StateVector<double>&,
+                                    const PauliTerm&);
+template double expectation<float>(const StateVector<float>&,
+                                   const Observable&);
+template double expectation<double>(const StateVector<double>&,
+                                    const Observable&);
+template double sampled_expectation<float>(const StateVector<float>&,
+                                           const PauliTerm&, std::uint64_t,
+                                           Rng&);
+template double sampled_expectation<double>(const StateVector<double>&,
+                                            const PauliTerm&, std::uint64_t,
+                                            Rng&);
+
+}  // namespace qgear::sim

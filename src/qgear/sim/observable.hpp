@@ -1,0 +1,93 @@
+// Pauli-string observables and expectation values.
+//
+// The paper positions Q-Gear for variational quantum algorithms and
+// hybrid quantum-classical workloads (Sec. 1), whose inner loop is
+// expectation estimation <psi|H|psi> for H = sum_k c_k P_k with P_k
+// tensor products of Pauli operators. This module provides exact
+// (state-vector) and sampled (shot-based, with basis rotation) estimation.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qgear/common/rng.hpp"
+#include "qgear/qiskit/circuit.hpp"
+#include "qgear/sim/state.hpp"
+
+namespace qgear::sim {
+
+enum class Pauli : std::uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+/// One weighted Pauli string, e.g. 0.5 * X0 Z2.
+struct PauliTerm {
+  double coefficient = 1.0;
+  /// op[q] = Pauli acting on qubit q; identity for qubits beyond size().
+  std::vector<Pauli> ops;
+
+  /// Parses "ZZ", "XIY", ... — leftmost char acts on the HIGHEST qubit
+  /// (textbook order); "ZI" on 2 qubits means Z on qubit 1.
+  static PauliTerm parse(const std::string& text, double coefficient = 1.0);
+
+  std::string to_string() const;
+  bool is_identity() const;
+};
+
+/// A Hermitian observable: sum of weighted Pauli strings.
+class Observable {
+ public:
+  Observable() = default;
+  explicit Observable(std::vector<PauliTerm> terms)
+      : terms_(std::move(terms)) {}
+
+  Observable& add(PauliTerm term);
+  Observable& add(const std::string& paulis, double coefficient);
+
+  const std::vector<PauliTerm>& terms() const { return terms_; }
+  std::size_t size() const { return terms_.size(); }
+
+  /// Transverse-field Ising Hamiltonian on a ring:
+  /// H = -J sum Z_i Z_{i+1} - h sum X_i. The standard VQA testbed.
+  static Observable ising_ring(unsigned num_qubits, double j, double h);
+
+ private:
+  std::vector<PauliTerm> terms_;
+};
+
+/// Exact expectation <psi|P|psi> of a single Pauli string.
+template <typename T>
+double expectation(const StateVector<T>& state, const PauliTerm& term);
+
+/// Exact expectation of a full observable.
+template <typename T>
+double expectation(const StateVector<T>& state, const Observable& obs);
+
+/// The measurement-basis change circuit for one Pauli string: after
+/// appending it, measuring qubit q in Z estimates P_q. (H for X,
+/// S^dagger H for Y.)
+qiskit::QuantumCircuit basis_change_circuit(unsigned num_qubits,
+                                            const PauliTerm& term);
+
+/// Shot-based estimate of one Pauli term: rotates the basis, samples
+/// `shots` outcomes, and averages the parity of the non-identity qubits.
+template <typename T>
+double sampled_expectation(const StateVector<T>& state,
+                           const PauliTerm& term, std::uint64_t shots,
+                           Rng& rng);
+
+extern template double expectation<float>(const StateVector<float>&,
+                                          const PauliTerm&);
+extern template double expectation<double>(const StateVector<double>&,
+                                           const PauliTerm&);
+extern template double expectation<float>(const StateVector<float>&,
+                                          const Observable&);
+extern template double expectation<double>(const StateVector<double>&,
+                                           const Observable&);
+extern template double sampled_expectation<float>(const StateVector<float>&,
+                                                  const PauliTerm&,
+                                                  std::uint64_t, Rng&);
+extern template double sampled_expectation<double>(
+    const StateVector<double>&, const PauliTerm&, std::uint64_t, Rng&);
+
+}  // namespace qgear::sim

@@ -1,0 +1,118 @@
+#include "qgear/sim/sampler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "qgear/common/bits.hpp"
+#include "qgear/common/error.hpp"
+
+namespace qgear::sim {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights)
+    : prob_(weights.size()), alias_(weights.size()) {
+  QGEAR_CHECK_ARG(!weights.empty(), "sampler: empty weight vector");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  QGEAR_CHECK_ARG(total > 0, "sampler: weights sum to zero");
+
+  const std::uint64_t n = weights.size();
+  // Scaled probabilities: mean 1.
+  std::vector<double> scaled(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    QGEAR_CHECK_ARG(weights[i] >= 0, "sampler: negative weight");
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<std::uint64_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint64_t s = small.back();
+    small.pop_back();
+    const std::uint64_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (numerical drift): probability 1, self-alias.
+  for (std::uint64_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (std::uint64_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::uint64_t AliasSampler::sample(Rng& rng) const {
+  const std::uint64_t i = rng.uniform_u64(prob_.size());
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+template <typename T>
+Counts sample_counts(const StateVector<T>& state,
+                     std::vector<unsigned> measured_qubits,
+                     std::uint64_t shots, Rng& rng) {
+  if (measured_qubits.empty()) {
+    measured_qubits.resize(state.num_qubits());
+    std::iota(measured_qubits.begin(), measured_qubits.end(), 0u);
+  }
+  std::vector<unsigned> sorted = measured_qubits;
+  std::sort(sorted.begin(), sorted.end());
+  QGEAR_CHECK_ARG(
+      std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+      "sampler: duplicate measured qubit");
+  QGEAR_CHECK_ARG(sorted.back() < state.num_qubits(),
+                  "sampler: measured qubit out of range");
+
+  std::vector<double> probs(state.size());
+  for (std::uint64_t i = 0; i < state.size(); ++i) {
+    probs[i] = state.probability(i);
+  }
+  const AliasSampler sampler(probs);
+
+  Counts counts;
+  for (std::uint64_t s = 0; s < shots; ++s) {
+    const std::uint64_t full = sampler.sample(rng);
+    std::uint64_t key = 0;
+    for (std::size_t j = 0; j < measured_qubits.size(); ++j) {
+      key |= static_cast<std::uint64_t>((full >> measured_qubits[j]) & 1u)
+             << j;
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+template <typename T>
+std::vector<double> qubit_one_probabilities(const StateVector<T>& state) {
+  std::vector<double> out(state.num_qubits(), 0.0);
+  for (std::uint64_t i = 0; i < state.size(); ++i) {
+    const double p = state.probability(i);
+    if (p == 0.0) continue;
+    for (unsigned q = 0; q < state.num_qubits(); ++q) {
+      if (test_bit(i, q)) out[q] += p;
+    }
+  }
+  return out;
+}
+
+template Counts sample_counts<float>(const StateVector<float>&,
+                                     std::vector<unsigned>, std::uint64_t,
+                                     Rng&);
+template Counts sample_counts<double>(const StateVector<double>&,
+                                      std::vector<unsigned>, std::uint64_t,
+                                      Rng&);
+template std::vector<double> qubit_one_probabilities<float>(
+    const StateVector<float>&);
+template std::vector<double> qubit_one_probabilities<double>(
+    const StateVector<double>&);
+
+}  // namespace qgear::sim

@@ -1,0 +1,59 @@
+// Shot sampling from final state vectors.
+//
+// Sampling uses Walker's alias method: O(2^n) table construction, O(1) per
+// shot — the right trade for the paper's QCrank workloads, which draw up
+// to 98M shots from one state (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "qgear/common/rng.hpp"
+#include "qgear/sim/state.hpp"
+
+namespace qgear::sim {
+
+/// Walker alias sampler over an arbitrary (unnormalized) weight vector.
+class AliasSampler {
+ public:
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws one index with probability weight[i] / sum(weights).
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint64_t> alias_;
+};
+
+/// Histogram of measurement outcomes keyed by the packed bit-string of the
+/// measured qubits (bit j of the key = value of measured_qubits[j]).
+using Counts = std::map<std::uint64_t, std::uint64_t>;
+
+/// Samples `shots` outcomes of the given qubits from `state`.
+/// `measured_qubits` in ascending significance order; duplicates are not
+/// allowed. If empty, all qubits are measured.
+template <typename T>
+Counts sample_counts(const StateVector<T>& state,
+                     std::vector<unsigned> measured_qubits,
+                     std::uint64_t shots, Rng& rng);
+
+/// Per-qubit expectation of measuring |1> (diagnostics and QCrank decode).
+template <typename T>
+std::vector<double> qubit_one_probabilities(const StateVector<T>& state);
+
+extern template Counts sample_counts<float>(const StateVector<float>&,
+                                            std::vector<unsigned>,
+                                            std::uint64_t, Rng&);
+extern template Counts sample_counts<double>(const StateVector<double>&,
+                                             std::vector<unsigned>,
+                                             std::uint64_t, Rng&);
+extern template std::vector<double> qubit_one_probabilities<float>(
+    const StateVector<float>&);
+extern template std::vector<double> qubit_one_probabilities<double>(
+    const StateVector<double>&);
+
+}  // namespace qgear::sim

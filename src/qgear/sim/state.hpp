@@ -1,0 +1,79 @@
+// State-vector storage for n-qubit systems.
+//
+// Amplitudes are indexed little-endian: qubit k is bit k of the index.
+// Precision T is float or double (the paper's fp32/fp64 modes).
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "qgear/common/bits.hpp"
+#include "qgear/common/error.hpp"
+
+namespace qgear::sim {
+
+template <typename T>
+class StateVector {
+ public:
+  static_assert(std::is_floating_point_v<T>);
+  using amp_t = std::complex<T>;
+
+  /// Allocates 2^n amplitudes initialized to |0...0>.
+  explicit StateVector(unsigned num_qubits)
+      : num_qubits_(num_qubits), amps_(pow2(num_qubits)) {
+    QGEAR_CHECK_ARG(num_qubits >= 1 && num_qubits <= 34,
+                    "state vector qubit count out of supported range");
+    amps_[0] = amp_t(1, 0);
+  }
+
+  unsigned num_qubits() const { return num_qubits_; }
+  std::uint64_t size() const { return amps_.size(); }
+
+  amp_t* data() { return amps_.data(); }
+  const amp_t* data() const { return amps_.data(); }
+  amp_t& operator[](std::uint64_t i) { return amps_[i]; }
+  const amp_t& operator[](std::uint64_t i) const { return amps_[i]; }
+
+  std::vector<amp_t>& amplitudes() { return amps_; }
+  const std::vector<amp_t>& amplitudes() const { return amps_; }
+
+  /// Resets to |0...0>.
+  void reset() {
+    std::fill(amps_.begin(), amps_.end(), amp_t(0, 0));
+    amps_[0] = amp_t(1, 0);
+  }
+
+  /// Sum of |amp|^2 (should be 1 for normalized states).
+  double norm() const {
+    double total = 0;
+    for (const amp_t& a : amps_) total += std::norm(a);
+    return total;
+  }
+
+  /// Probability of basis state i.
+  double probability(std::uint64_t i) const { return std::norm(amps_[i]); }
+
+  /// <this|other> — the complex overlap.
+  std::complex<double> overlap(const StateVector& other) const {
+    QGEAR_EXPECTS(other.size() == size());
+    std::complex<double> acc(0, 0);
+    for (std::uint64_t i = 0; i < size(); ++i) {
+      acc += std::conj(std::complex<double>(amps_[i])) *
+             std::complex<double>(other.amps_[i]);
+    }
+    return acc;
+  }
+
+  /// |<this|other>|^2 — state fidelity (global-phase insensitive).
+  double fidelity(const StateVector& other) const {
+    return std::norm(overlap(other));
+  }
+
+ private:
+  unsigned num_qubits_;
+  std::vector<amp_t> amps_;
+};
+
+}  // namespace qgear::sim

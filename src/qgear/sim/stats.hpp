@@ -1,0 +1,19 @@
+// Execution statistics reported by engines; consumed by the performance
+// model for calibration and by benches for reporting.
+#pragma once
+
+#include <cstdint>
+
+namespace qgear::sim {
+
+struct EngineStats {
+  std::uint64_t gates = 0;        ///< input instructions applied
+  std::uint64_t sweeps = 0;       ///< amplitude-array passes performed
+  std::uint64_t fused_blocks = 0; ///< fused unitaries applied (fused engine)
+  std::uint64_t amp_ops = 0;      ///< total amplitude read-modify-writes
+  double seconds = 0.0;           ///< wall-clock of the last run
+
+  void reset() { *this = EngineStats{}; }
+};
+
+}  // namespace qgear::sim

@@ -1,0 +1,42 @@
+// Shared helpers for simulator tests.
+#pragma once
+
+#include <cmath>
+
+#include "qgear/common/rng.hpp"
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::sim_test {
+
+/// Random circuit over the native-ish gate set used by the paper's
+/// workloads (h, rx, ry, rz, cx, cp) plus a few extras to stress engines.
+inline qiskit::QuantumCircuit random_circuit(unsigned n, std::size_t gates,
+                                             std::uint64_t seed,
+                                             bool include_extras = true) {
+  using qiskit::GateKind;
+  Rng rng(seed);
+  qiskit::QuantumCircuit qc(n, "rand" + std::to_string(seed));
+  std::vector<GateKind> pool = {GateKind::h,  GateKind::rx, GateKind::ry,
+                                GateKind::rz, GateKind::cx, GateKind::cp};
+  if (include_extras) {
+    pool.insert(pool.end(), {GateKind::x, GateKind::y, GateKind::z,
+                             GateKind::s, GateKind::t, GateKind::cz,
+                             GateKind::swap, GateKind::p});
+  }
+  for (std::size_t i = 0; i < gates; ++i) {
+    const GateKind k = pool[rng.uniform_u64(pool.size())];
+    const qiskit::GateInfo& info = qiskit::gate_info(k);
+    const int q0 = static_cast<int>(rng.uniform_u64(n));
+    qiskit::Instruction inst{k, q0, -1, 0.0};
+    if (info.num_qubits == 2) {
+      int q1 = q0;
+      while (q1 == q0) q1 = static_cast<int>(rng.uniform_u64(n));
+      inst.q1 = q1;
+    }
+    if (info.num_params == 1) inst.param = rng.uniform(0, 2 * M_PI);
+    qc.append(inst);
+  }
+  return qc;
+}
+
+}  // namespace qgear::sim_test

@@ -1,0 +1,62 @@
+#include "qgear/baselines/pennylane.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/circuits/qft.hpp"
+
+namespace qgear::baselines {
+namespace {
+
+TEST(Pennylane, OverheadGrowsWithGateCount) {
+  const auto small = circuits::build_qft(6);
+  const auto large = circuits::build_qft(12);
+  core::TransformerOptions engine{.target = core::Target::nvidia,
+                                  .precision = core::Precision::fp64};
+  const auto ts = run_pennylane_like(small, engine);
+  const auto tl = run_pennylane_like(large, engine);
+  EXPECT_GT(tl.transpile_s, ts.transpile_s * 2);
+  EXPECT_DOUBLE_EQ(ts.init_s, PennylaneOverheadModel{}.framework_init_s);
+  EXPECT_GT(ts.total_s(), ts.engine_s);
+}
+
+TEST(Pennylane, EstimateAddsOverheadToQgear) {
+  const auto qft = circuits::build_qft(24);
+  perfmodel::ClusterConfig cfg;
+  cfg.devices = 4;
+  cfg.include_container_start = false;
+  const auto qgear = perfmodel::estimate_gpu(qft, cfg);
+  const auto penny = estimate_pennylane(qft, cfg);
+  ASSERT_TRUE(penny.feasible);
+  EXPECT_GT(penny.total_s(), qgear.total_s());
+  // Shallower fusion costs more sweeps, hence more compute.
+  EXPECT_GT(penny.compute_s, qgear.compute_s);
+  EXPECT_GT(penny.sweeps, qgear.sweeps);
+  // Plus launch (per-gate lowering) and startup (framework init).
+  EXPECT_GT(penny.launch_s, qgear.launch_s);
+  EXPECT_GT(penny.startup_s, qgear.startup_s);
+}
+
+TEST(Pennylane, GapWidensWithCircuitSize) {
+  // Fig. 4c: Q-Gear's advantage grows with qubit count because the
+  // re-transpilation cost scales with the O(n^2) QFT gate count.
+  perfmodel::ClusterConfig cfg;
+  cfg.devices = 4;
+  cfg.include_container_start = false;
+  double prev_gap = 0;
+  for (unsigned n : {16u, 22u, 28u}) {
+    const auto qft = circuits::build_qft(n);
+    const double gap = estimate_pennylane(qft, cfg).total_s() -
+                       perfmodel::estimate_gpu(qft, cfg).total_s();
+    EXPECT_GT(gap, prev_gap);
+    prev_gap = gap;
+  }
+}
+
+TEST(Pennylane, InfeasiblePropagates) {
+  const auto qft = circuits::build_qft(40);
+  perfmodel::ClusterConfig cfg;  // single 40 GB GPU
+  EXPECT_FALSE(estimate_pennylane(qft, cfg).feasible);
+}
+
+}  // namespace
+}  // namespace qgear::baselines

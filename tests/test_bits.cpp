@@ -1,0 +1,87 @@
+#include "qgear/common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qgear {
+namespace {
+
+TEST(Bits, Pow2) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(1), 2u);
+  EXPECT_EQ(pow2(10), 1024u);
+  EXPECT_EQ(pow2(63), std::uint64_t{1} << 63);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Bits, Log2) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_exact(1024), 10u);
+  EXPECT_THROW(log2_exact(3), LogicViolation);
+}
+
+TEST(Bits, InsertZeroBit) {
+  EXPECT_EQ(insert_zero_bit(0b1011, 1), 0b10101u);
+  EXPECT_EQ(insert_zero_bit(0b111, 0), 0b1110u);
+  EXPECT_EQ(insert_zero_bit(0b111, 3), 0b0111u);
+  // Enumerates exactly the indices with bit q == 0.
+  for (unsigned q = 0; q < 4; ++q) {
+    for (std::uint64_t k = 0; k < 8; ++k) {
+      const std::uint64_t i = insert_zero_bit(k, q);
+      EXPECT_FALSE(test_bit(i, q));
+    }
+  }
+}
+
+TEST(Bits, InsertTwoZeroBits) {
+  // All results of inserting zeros at positions 1 and 3 must have both
+  // bits clear and be strictly increasing in k.
+  std::uint64_t prev = 0;
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    const std::uint64_t i = insert_two_zero_bits(k, 1, 3);
+    EXPECT_FALSE(test_bit(i, 1));
+    EXPECT_FALSE(test_bit(i, 3));
+    if (k > 0) {
+      EXPECT_GT(i, prev);
+    }
+    prev = i;
+  }
+}
+
+TEST(Bits, SetClearFlip) {
+  EXPECT_EQ(set_bit(0b100, 0), 0b101u);
+  EXPECT_EQ(clear_bit(0b101, 0), 0b100u);
+  EXPECT_EQ(flip_bit(0b100, 2), 0b000u);
+  EXPECT_EQ(flip_bit(0b100, 1), 0b110u);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(0b1101, 4), 0b1011u);
+  // Involution.
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(reverse_bits(reverse_bits(v, 5), 5), v);
+  }
+}
+
+TEST(Bits, DepositBits) {
+  const unsigned positions[] = {1, 4, 5};
+  EXPECT_EQ(deposit_bits(0b000, positions, 3), 0b000000u);
+  EXPECT_EQ(deposit_bits(0b001, positions, 3), 0b000010u);
+  EXPECT_EQ(deposit_bits(0b010, positions, 3), 0b010000u);
+  EXPECT_EQ(deposit_bits(0b111, positions, 3), 0b110010u);
+}
+
+}  // namespace
+}  // namespace qgear

@@ -1,0 +1,106 @@
+#include "qgear/qiskit/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qgear::qiskit {
+namespace {
+
+TEST(Circuit, BuilderAppendsInstructions) {
+  QuantumCircuit qc(3, "demo");
+  qc.h(0).cx(0, 1).ry(0.5, 2).measure_all();
+  EXPECT_EQ(qc.num_qubits(), 3u);
+  EXPECT_EQ(qc.name(), "demo");
+  EXPECT_EQ(qc.size(), 6u);
+  EXPECT_EQ(qc.instructions()[0], (Instruction{GateKind::h, 0, -1, 0.0}));
+  EXPECT_EQ(qc.instructions()[1], (Instruction{GateKind::cx, 0, 1, 0.0}));
+  EXPECT_EQ(qc.instructions()[2], (Instruction{GateKind::ry, 2, -1, 0.5}));
+}
+
+TEST(Circuit, QubitBoundsChecked) {
+  QuantumCircuit qc(2);
+  EXPECT_THROW(qc.h(2), InvalidArgument);
+  EXPECT_THROW(qc.h(-1), InvalidArgument);
+  EXPECT_THROW(qc.cx(0, 2), InvalidArgument);
+  EXPECT_THROW(qc.cx(1, 1), InvalidArgument);
+}
+
+TEST(Circuit, InvalidConstruction) {
+  EXPECT_THROW(QuantumCircuit(0), InvalidArgument);
+  EXPECT_THROW(QuantumCircuit(65), InvalidArgument);
+}
+
+TEST(Circuit, DepthSerialChain) {
+  QuantumCircuit qc(1);
+  qc.h(0).h(0).h(0);
+  EXPECT_EQ(qc.depth(), 3u);
+}
+
+TEST(Circuit, DepthParallelGates) {
+  QuantumCircuit qc(4);
+  qc.h(0).h(1).h(2).h(3);  // all parallel
+  EXPECT_EQ(qc.depth(), 1u);
+  qc.cx(0, 1).cx(2, 3);  // two parallel CX
+  EXPECT_EQ(qc.depth(), 2u);
+  qc.cx(1, 2);  // bridges both halves
+  EXPECT_EQ(qc.depth(), 3u);
+}
+
+TEST(Circuit, BarrierSynchronizesDepth) {
+  QuantumCircuit qc(2);
+  qc.h(0);
+  qc.barrier();
+  qc.h(1);  // would be depth 1 without the barrier
+  EXPECT_EQ(qc.depth(), 2u);
+}
+
+TEST(Circuit, CountOps) {
+  QuantumCircuit qc(3);
+  qc.h(0).h(1).cx(0, 1).ry(1.0, 2).measure(2);
+  const auto counts = qc.count_ops();
+  EXPECT_EQ(counts.at("h"), 2u);
+  EXPECT_EQ(counts.at("cx"), 1u);
+  EXPECT_EQ(counts.at("ry"), 1u);
+  EXPECT_EQ(counts.at("measure"), 1u);
+  EXPECT_EQ(qc.num_2q_gates(), 1u);
+  EXPECT_EQ(qc.num_measurements(), 1u);
+}
+
+TEST(Circuit, Compose) {
+  QuantumCircuit a(2), b(2);
+  a.h(0);
+  b.cx(0, 1);
+  a.compose(b);
+  EXPECT_EQ(a.size(), 2u);
+  QuantumCircuit c(3);
+  EXPECT_THROW(a.compose(c), InvalidArgument);
+}
+
+TEST(Circuit, InverseReversesAndInverts) {
+  QuantumCircuit qc(2);
+  qc.h(0).s(0).t(1).rx(0.7, 0).cp(0.3, 0, 1);
+  const QuantumCircuit inv = qc.inverse();
+  ASSERT_EQ(inv.size(), qc.size());
+  EXPECT_EQ(inv.instructions()[0],
+            (Instruction{GateKind::cp, 0, 1, -0.3}));
+  EXPECT_EQ(inv.instructions()[1], (Instruction{GateKind::rx, 0, -1, -0.7}));
+  EXPECT_EQ(inv.instructions()[2], (Instruction{GateKind::tdg, 1, -1, 0.0}));
+  EXPECT_EQ(inv.instructions()[3], (Instruction{GateKind::sdg, 0, -1, 0.0}));
+  EXPECT_EQ(inv.instructions()[4], (Instruction{GateKind::h, 0, -1, 0.0}));
+}
+
+TEST(Circuit, InverseOfMeasuredCircuitThrows) {
+  QuantumCircuit qc(1);
+  qc.h(0).measure(0);
+  EXPECT_THROW(qc.inverse(), InvalidArgument);
+}
+
+TEST(Circuit, AppendValidatesInstruction) {
+  QuantumCircuit qc(2);
+  EXPECT_THROW(qc.append({GateKind::cx, 0, 5, 0.0}), InvalidArgument);
+  EXPECT_THROW(qc.append({GateKind::cx, 1, 1, 0.0}), InvalidArgument);
+  qc.append({GateKind::cx, 0, 1, 0.0});
+  EXPECT_EQ(qc.size(), 1u);
+}
+
+}  // namespace
+}  // namespace qgear::qiskit

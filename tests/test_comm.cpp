@@ -1,0 +1,181 @@
+#include "qgear/comm/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace qgear::comm {
+namespace {
+
+TEST(Comm, PointToPoint) {
+  World w(2);
+  w.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> payload = {1.5, 2.5, 3.5};
+      c.send_vec<double>(1, 0, payload);
+    } else {
+      const std::vector<double> got = c.recv_vec<double>(0, 0);
+      EXPECT_EQ(got, (std::vector<double>{1.5, 2.5, 3.5}));
+    }
+  });
+}
+
+TEST(Comm, TagSelectivity) {
+  World w(2);
+  w.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      const std::vector<std::int32_t> a = {1}, b = {2};
+      c.send_vec<std::int32_t>(1, /*tag=*/10, a);
+      c.send_vec<std::int32_t>(1, /*tag=*/20, b);
+    } else {
+      // Receive out of order by tag.
+      EXPECT_EQ(c.recv_vec<std::int32_t>(0, 20), std::vector<std::int32_t>{2});
+      EXPECT_EQ(c.recv_vec<std::int32_t>(0, 10), std::vector<std::int32_t>{1});
+    }
+  });
+}
+
+TEST(Comm, PerPairFifoOrdering) {
+  World w(2);
+  w.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      for (std::int32_t i = 0; i < 100; ++i) {
+        const std::vector<std::int32_t> v = {i};
+        c.send_vec<std::int32_t>(1, 0, v);
+      }
+    } else {
+      for (std::int32_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(c.recv_vec<std::int32_t>(0, 0),
+                  std::vector<std::int32_t>{i});
+      }
+    }
+  });
+}
+
+TEST(Comm, SendRecvExchange) {
+  World w(4);
+  w.run([](Communicator& c) {
+    const int peer = c.rank() ^ 1;
+    const std::vector<std::int64_t> mine = {c.rank() * 100ll};
+    const auto theirs = c.sendrecv_vec<std::int64_t>(peer, 7, mine);
+    EXPECT_EQ(theirs, std::vector<std::int64_t>{peer * 100ll});
+  });
+}
+
+TEST(Comm, Barrier) {
+  World w(4);
+  std::atomic<int> phase1{0};
+  w.run([&](Communicator& c) {
+    ++phase1;
+    c.barrier();
+    // Everyone must have passed phase 1 before anyone proceeds.
+    EXPECT_EQ(phase1.load(), 4);
+  });
+}
+
+TEST(Comm, AllreduceSum) {
+  World w(8);
+  w.run([](Communicator& c) {
+    const double total = c.allreduce_sum(static_cast<double>(c.rank()));
+    EXPECT_DOUBLE_EQ(total, 28.0);  // 0+1+...+7
+    // Second round works after the first (generation handling).
+    const double total2 = c.allreduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(total2, 8.0);
+  });
+}
+
+TEST(Comm, Broadcast) {
+  World w(4);
+  w.run([](Communicator& c) {
+    std::vector<std::uint8_t> data;
+    if (c.rank() == 2) data = {9, 8, 7};
+    c.broadcast(data, 2);
+    EXPECT_EQ(data, (std::vector<std::uint8_t>{9, 8, 7}));
+  });
+}
+
+TEST(Comm, TraceRecordsTransfers) {
+  World w(2);
+  w.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> v(100, 1.0);
+      c.send_vec<double>(1, 3, v);
+    } else {
+      c.recv_vec<double>(0, 3);
+    }
+  });
+  ASSERT_EQ(w.trace().entries.size(), 1u);
+  EXPECT_EQ(w.trace().entries[0].src, 0);
+  EXPECT_EQ(w.trace().entries[0].dst, 1);
+  EXPECT_EQ(w.trace().entries[0].bytes, 800u);
+  EXPECT_EQ(w.trace().total_bytes, 800u);
+  w.clear_trace();
+  EXPECT_EQ(w.trace().total_bytes, 0u);
+}
+
+TEST(Comm, ExceptionInRankPropagates) {
+  World w(2);
+  EXPECT_THROW(
+      w.run([](Communicator& c) {
+        if (c.rank() == 0) throw Error("rank 0 exploded");
+        // Rank 1 blocks on a message that never comes; the failure of
+        // rank 0 must unblock it with CommError (swallowed here).
+        try {
+          c.recv(0, 0);
+        } catch (const CommError&) {
+        }
+      }),
+      Error);
+}
+
+TEST(Comm, FailureInjectionUnblocksReceiver) {
+  World w(2);
+  EXPECT_THROW(
+      w.run([&](Communicator& c) {
+        if (c.rank() == 0) {
+          w.inject_failure(0);
+          throw CommError("injected");
+        }
+        c.recv(0, 0);  // must throw CommError, not hang
+      }),
+      CommError);
+}
+
+TEST(Comm, InvalidRanksRejected) {
+  World w(2);
+  w.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      const std::vector<std::uint8_t> v = {1};
+      EXPECT_THROW(c.send(2, 0, v), InvalidArgument);
+      EXPECT_THROW(c.send(0, 0, v), InvalidArgument);
+      EXPECT_THROW(c.recv(-1, 0), InvalidArgument);
+    }
+  });
+}
+
+TEST(Comm, SingleRankWorld) {
+  World w(1);
+  w.run([](Communicator& c) {
+    EXPECT_EQ(c.size(), 1);
+    c.barrier();
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(5.0), 5.0);
+  });
+}
+
+TEST(Comm, BytesSentAccounting) {
+  World w(2);
+  w.run([](Communicator& c) {
+    if (c.rank() == 0) {
+      const std::vector<std::uint8_t> v(123, 0);
+      c.send(1, 0, v);
+      EXPECT_EQ(c.bytes_sent(), 123u);
+    } else {
+      c.recv(0, 0);
+      EXPECT_EQ(c.bytes_sent(), 0u);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace qgear::comm

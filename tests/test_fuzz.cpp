@@ -1,0 +1,124 @@
+// Robustness fuzzing: every deserializer must reject corrupted input with
+// FormatError (or accept a still-valid mutation) — never crash, hang, or
+// leak an out-of-range structure into the engines.
+#include <gtest/gtest.h>
+
+#include "qgear/common/rng.hpp"
+#include "qgear/core/tensor.hpp"
+#include "qgear/qh5/file.hpp"
+#include "qgear/qiskit/qasm.hpp"
+#include "qgear/qiskit/qpy.hpp"
+#include "tests/sim_test_util.hpp"
+
+namespace qgear {
+namespace {
+
+std::vector<std::uint8_t> qh5_sample() {
+  qh5::File f = qh5::File::create("unused");
+  const auto qc = sim_test::random_circuit(4, 40, 1);
+  const core::GateTensor t = core::encode_circuits({&qc, 1});
+  core::save_tensor(t, f.root().create_group("tensor"));
+  f.root().set_attr("note", std::string("fuzz sample"));
+  return qh5::File::serialize(f.root());
+}
+
+// Flips / overwrites a few random bytes.
+std::vector<std::uint8_t> mutate(std::vector<std::uint8_t> buf, Rng& rng) {
+  const int edits = 1 + static_cast<int>(rng.uniform_u64(4));
+  for (int e = 0; e < edits; ++e) {
+    const std::size_t pos = rng.uniform_u64(buf.size());
+    buf[pos] = static_cast<std::uint8_t>(rng());
+  }
+  return buf;
+}
+
+TEST(Fuzz, Qh5ByteCorruptionNeverCrashes) {
+  const auto clean = qh5_sample();
+  Rng rng(42);
+  int rejected = 0;
+  for (int round = 0; round < 300; ++round) {
+    const auto buf = mutate(clean, rng);
+    try {
+      const qh5::Group root = qh5::File::deserialize(buf.data(), buf.size());
+      // If parsing succeeded, the tensor loader must still either work or
+      // reject cleanly.
+      if (root.has_group("tensor")) {
+        try {
+          const core::GateTensor t = core::load_tensor(root.group("tensor"));
+          for (std::uint32_t c = 0; c < t.num_circuits(); ++c) {
+            core::decode_circuit(t, c);
+          }
+        } catch (const Error&) {
+          ++rejected;
+        }
+      }
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  // Most random mutations must be detected.
+  EXPECT_GT(rejected, 200);
+}
+
+TEST(Fuzz, Qh5TruncationNeverCrashes) {
+  const auto clean = qh5_sample();
+  Rng rng(43);
+  for (int round = 0; round < 100; ++round) {
+    const std::size_t cut = rng.uniform_u64(clean.size());
+    EXPECT_THROW(qh5::File::deserialize(clean.data(), cut), FormatError);
+  }
+}
+
+TEST(Fuzz, QpyByteCorruptionNeverCrashes) {
+  std::vector<qiskit::QuantumCircuit> circs = {
+      sim_test::random_circuit(4, 50, 1), sim_test::random_circuit(3, 20, 2)};
+  const auto clean = qiskit::qpy::serialize(circs);
+  Rng rng(44);
+  int survived = 0;
+  for (int round = 0; round < 300; ++round) {
+    const auto buf = mutate(clean, rng);
+    try {
+      const auto loaded = qiskit::qpy::deserialize(buf.data(), buf.size());
+      // Anything that parsed must be structurally valid.
+      for (const auto& qc : loaded) {
+        for (const auto& inst : qc.instructions()) {
+          if (qiskit::gate_info(inst.kind).num_qubits >= 1) {
+            ASSERT_LT(static_cast<unsigned>(inst.q0), qc.num_qubits());
+          }
+        }
+      }
+      ++survived;
+    } catch (const Error&) {
+    }
+  }
+  // Some single-byte angle mutations legitimately survive.
+  EXPECT_LT(survived, 150);
+}
+
+TEST(Fuzz, QasmGarbageNeverCrashes) {
+  Rng rng(45);
+  const std::string seed_text =
+      qiskit::qasm::to_qasm(sim_test::random_circuit(4, 30, 3));
+  for (int round = 0; round < 200; ++round) {
+    std::string text = seed_text;
+    const int edits = 1 + static_cast<int>(rng.uniform_u64(5));
+    for (int e = 0; e < edits; ++e) {
+      text[rng.uniform_u64(text.size())] =
+          static_cast<char>(32 + rng.uniform_u64(95));
+    }
+    try {
+      qiskit::qasm::from_qasm(text);
+    } catch (const Error&) {
+      // Rejection is the expected outcome.
+    }
+  }
+  // Pure binary garbage too.
+  for (int round = 0; round < 50; ++round) {
+    std::string garbage(64, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng());
+    EXPECT_THROW(qiskit::qasm::from_qasm(garbage), Error);
+  }
+}
+
+}  // namespace
+}  // namespace qgear

@@ -1,0 +1,100 @@
+#include "qgear/qiskit/gates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::qiskit {
+namespace {
+
+bool is_unitary_2x2(const Mat2& m, double tol = 1e-12) {
+  // M * M^dagger == I.
+  const cd a = m[0] * std::conj(m[0]) + m[1] * std::conj(m[1]);
+  const cd b = m[0] * std::conj(m[2]) + m[1] * std::conj(m[3]);
+  const cd c = m[2] * std::conj(m[0]) + m[3] * std::conj(m[1]);
+  const cd d = m[2] * std::conj(m[2]) + m[3] * std::conj(m[3]);
+  return std::abs(a - 1.0) < tol && std::abs(b) < tol && std::abs(c) < tol &&
+         std::abs(d - 1.0) < tol;
+}
+
+TEST(Gates, AllFixed1qMatricesAreUnitary) {
+  for (GateKind k : {GateKind::h, GateKind::x, GateKind::y, GateKind::z,
+                     GateKind::s, GateKind::sdg, GateKind::t, GateKind::tdg}) {
+    EXPECT_TRUE(is_unitary_2x2(gate_matrix_1q(k, 0)))
+        << gate_info(k).name;
+  }
+}
+
+TEST(Gates, RotationsAreUnitaryForManyAngles) {
+  for (GateKind k :
+       {GateKind::rx, GateKind::ry, GateKind::rz, GateKind::p}) {
+    for (double theta : {-3.0, -0.5, 0.0, 0.1, 1.0, 3.14159, 6.2}) {
+      EXPECT_TRUE(is_unitary_2x2(gate_matrix_1q(k, theta)))
+          << gate_info(k).name << " theta=" << theta;
+    }
+  }
+}
+
+TEST(Gates, HadamardSquaresToIdentity) {
+  const Mat2 h = gate_matrix_1q(GateKind::h, 0);
+  const cd a00 = h[0] * h[0] + h[1] * h[2];
+  const cd a01 = h[0] * h[1] + h[1] * h[3];
+  EXPECT_NEAR(std::abs(a00 - 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(a01), 0.0, 1e-12);
+}
+
+TEST(Gates, SIsSqrtZ) {
+  const Mat2 s = gate_matrix_1q(GateKind::s, 0);
+  EXPECT_NEAR(std::abs(s[3] * s[3] - cd(-1, 0)), 0.0, 1e-12);
+}
+
+TEST(Gates, RzVsPDifferByGlobalPhase) {
+  const double theta = 0.83;
+  const Mat2 rz = gate_matrix_1q(GateKind::rz, theta);
+  const Mat2 p = gate_matrix_1q(GateKind::p, theta);
+  const cd phase = p[0] / rz[0];
+  EXPECT_NEAR(std::abs(phase), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(p[3] - phase * rz[3]), 0.0, 1e-12);
+}
+
+TEST(Gates, GateInfoMetadata) {
+  EXPECT_STREQ(gate_info(GateKind::cx).name, "cx");
+  EXPECT_EQ(gate_info(GateKind::cx).num_qubits, 2u);
+  EXPECT_EQ(gate_info(GateKind::ry).num_params, 1u);
+  EXPECT_FALSE(gate_info(GateKind::measure).unitary);
+  EXPECT_EQ(gate_info(GateKind::barrier).num_qubits, 0u);
+}
+
+TEST(Gates, FromName) {
+  EXPECT_EQ(gate_from_name("cx"), GateKind::cx);
+  EXPECT_EQ(gate_from_name("ry"), GateKind::ry);
+  EXPECT_EQ(gate_from_name("cr1"), GateKind::cp);  // paper alias
+  EXPECT_THROW(gate_from_name("nope"), InvalidArgument);
+}
+
+TEST(Gates, ControlledTargetMatrix) {
+  const Mat2 x = controlled_target_matrix(GateKind::cx, 0);
+  EXPECT_EQ(x[0], cd(0, 0));
+  EXPECT_EQ(x[1], cd(1, 0));
+  const Mat2 ph = controlled_target_matrix(GateKind::cp, M_PI);
+  EXPECT_NEAR(std::abs(ph[3] - cd(-1, 0)), 0.0, 1e-12);
+  EXPECT_THROW(controlled_target_matrix(GateKind::swap, 0), InvalidArgument);
+}
+
+TEST(Gates, IsControlledGate) {
+  EXPECT_TRUE(is_controlled_gate(GateKind::cx));
+  EXPECT_TRUE(is_controlled_gate(GateKind::cz));
+  EXPECT_TRUE(is_controlled_gate(GateKind::cp));
+  EXPECT_FALSE(is_controlled_gate(GateKind::swap));
+  EXPECT_FALSE(is_controlled_gate(GateKind::h));
+}
+
+TEST(Gates, NonUnitaryMatrixRequestThrows) {
+  EXPECT_THROW(gate_matrix_1q(GateKind::cx, 0), InvalidArgument);
+  EXPECT_THROW(gate_matrix_1q(GateKind::measure, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qgear::qiskit

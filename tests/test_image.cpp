@@ -1,0 +1,126 @@
+#include "qgear/image/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "qgear/common/rng.hpp"
+
+using qgear::Rng;
+
+namespace qgear::image {
+namespace {
+
+TEST(Image, SyntheticInRangeAndDeterministic) {
+  const Image a = make_synthetic(64, 48, 7);
+  EXPECT_EQ(a.width, 64u);
+  EXPECT_EQ(a.height, 48u);
+  EXPECT_EQ(a.size(), 64u * 48);
+  for (double v : a.pixels) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  const Image b = make_synthetic(64, 48, 7);
+  EXPECT_EQ(a.pixels, b.pixels);
+  const Image c = make_synthetic(64, 48, 8);
+  EXPECT_NE(a.pixels, c.pixels);
+}
+
+TEST(Image, SyntheticHasStructure) {
+  // Not constant: variance must be nonzero so correlation metrics work.
+  const Image img = make_synthetic(32, 32, 1);
+  double mean = 0;
+  for (double v : img.pixels) mean += v;
+  mean /= static_cast<double>(img.size());
+  double var = 0;
+  for (double v : img.pixels) var += (v - mean) * (v - mean);
+  EXPECT_GT(var / static_cast<double>(img.size()), 1e-3);
+}
+
+TEST(Image, PgmRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qgear_test.pgm").string();
+  const Image img = make_synthetic(20, 10, 3);
+  save_pgm(img, path);
+  const Image back = load_pgm(path);
+  EXPECT_EQ(back.width, img.width);
+  EXPECT_EQ(back.height, img.height);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_NEAR(back.pixels[i], img.pixels[i], 1.0 / 255.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Image, LoadRejectsBadFiles) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qgear_bad.pgm").string();
+  {
+    std::ofstream os(path);
+    os << "P2\n2 2\n255\n0 0 0 0\n";  // ASCII PGM, unsupported
+  }
+  EXPECT_THROW(load_pgm(path), FormatError);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_pgm("/nonexistent.pgm"), InvalidArgument);
+}
+
+TEST(Image, PaperTableMatchesTable2) {
+  const auto table = paper_image_table();
+  ASSERT_EQ(table.size(), 6u);
+  // Every row: pixels == 2^m * n_data and shots == 3000 * 2^m.
+  for (const auto& cfg : table) {
+    EXPECT_EQ(cfg.gray_pixels(),
+              (1ull << cfg.address_qubits) * cfg.data_qubits)
+        << cfg.name;
+    EXPECT_EQ(cfg.shots, 3000ull << cfg.address_qubits) << cfg.name;
+  }
+  EXPECT_EQ(table[0].name, "Finger");
+  EXPECT_EQ(table[0].gray_pixels(), 5120u);
+  EXPECT_EQ(table[0].total_qubits(), 15u);
+  EXPECT_EQ(table[5].name, "Zebra");
+  EXPECT_EQ(table[5].total_qubits(), 18u);
+  EXPECT_EQ(table[5].shots, 98'304'000u);
+}
+
+TEST(Image, PaperImagesShareContentAcrossSplits) {
+  const auto table = paper_image_table();
+  // The three Zebra rows must produce the same pixels.
+  const Image z1 = make_paper_image(table[3]);
+  const Image z2 = make_paper_image(table[4]);
+  EXPECT_EQ(z1.pixels, z2.pixels);
+  const Image finger = make_paper_image(table[0]);
+  EXPECT_EQ(finger.size(), 5120u);
+}
+
+TEST(Image, MetricsPerfectReconstruction) {
+  const Image img = make_synthetic(16, 16, 2);
+  const auto m = compare_images(img, img);
+  EXPECT_NEAR(m.correlation, 1.0, 1e-12);
+  EXPECT_EQ(m.mse, 0.0);
+  EXPECT_EQ(m.max_abs_error, 0.0);
+  EXPECT_GE(m.psnr_db, 99.0);
+}
+
+TEST(Image, MetricsDetectNoise) {
+  const Image img = make_synthetic(32, 32, 4);
+  Image noisy = img;
+  Rng rng(5);
+  for (double& v : noisy.pixels) {
+    v = std::clamp(v + 0.05 * rng.normal(), 0.0, 1.0);
+  }
+  const auto m = compare_images(img, noisy);
+  EXPECT_GT(m.correlation, 0.7);
+  EXPECT_LT(m.correlation, 0.99999);
+  EXPECT_GT(m.mse, 1e-5);
+  EXPECT_GT(m.max_abs_error, 0.01);
+}
+
+TEST(Image, MetricsDimensionMismatchThrows) {
+  const Image a = make_synthetic(4, 4, 1);
+  const Image b = make_synthetic(4, 5, 1);
+  EXPECT_THROW(compare_images(a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qgear::image

@@ -1,0 +1,49 @@
+#include "qgear/core/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/qiskit/transpile.hpp"
+#include "qgear/sim/reference.hpp"
+#include "tests/sim_test_util.hpp"
+
+namespace qgear::core {
+namespace {
+
+TEST(Kernel, FromCircuitTranspiles) {
+  qiskit::QuantumCircuit qc(3, "mixed");
+  qc.x(0).cz(0, 1).swap(1, 2).t(2);
+  const Kernel k = Kernel::from_circuit(qc);
+  EXPECT_EQ(k.name(), "mixed");
+  EXPECT_EQ(k.num_qubits(), 3u);
+  for (const auto& inst : k.ops()) {
+    EXPECT_TRUE(qiskit::is_native_gate(inst.kind));
+  }
+  // Semantics preserved.
+  sim::ReferenceEngine<double> eng;
+  EXPECT_NEAR(eng.run(qc).fidelity(eng.run(k.circuit())), 1.0, 1e-10);
+}
+
+TEST(Kernel, FromTensorMatchesDecodedCircuit) {
+  const auto qc = sim_test::random_circuit(4, 60, 5);
+  const GateTensor t = encode_circuits({&qc, 1});
+  const Kernel k = Kernel::from_tensor(t, 0);
+  EXPECT_EQ(k.circuit(), decode_circuit(t, 0));
+}
+
+TEST(Kernel, MeasuredQubits) {
+  qiskit::QuantumCircuit qc(4);
+  qc.h(0).measure(3).measure(1);
+  const Kernel k = Kernel::from_circuit(qc);
+  EXPECT_EQ(k.measured_qubits(), (std::vector<unsigned>{3, 1}));
+}
+
+TEST(Kernel, TwoQubitGateCount) {
+  qiskit::QuantumCircuit qc(3);
+  qc.cx(0, 1).cp(0.5, 1, 2).h(0);
+  const Kernel k = Kernel::from_circuit(qc);
+  EXPECT_EQ(k.num_2q_gates(), 2u);
+  EXPECT_EQ(k.size(), 3u);
+}
+
+}  // namespace
+}  // namespace qgear::core

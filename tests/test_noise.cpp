@@ -1,0 +1,113 @@
+#include "qgear/sim/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/common/bits.hpp"
+#include "qgear/sim/reference.hpp"
+
+namespace qgear::sim {
+namespace {
+
+TEST(ReadoutNoise, ZeroErrorIsIdentity) {
+  ReadoutNoise noise(3, {0.0, 0.0});
+  Counts counts = {{0b101, 400}, {0b010, 600}};
+  Rng rng(1);
+  EXPECT_EQ(noise.corrupt(counts, rng), counts);
+}
+
+TEST(ReadoutNoise, FlipRatesMatchConfiguration) {
+  // All shots at |0>; p01 = 0.1 should flip ~10% of each qubit.
+  ReadoutNoise noise(1, {.p01 = 0.1, .p10 = 0.0});
+  Counts counts = {{0b0, 100000}};
+  Rng rng(2);
+  const Counts noisy = noise.corrupt(counts, rng);
+  EXPECT_NEAR(static_cast<double>(noisy.at(0b1)), 10000, 400);
+}
+
+TEST(ReadoutNoise, AsymmetricErrors) {
+  ReadoutNoise noise(1, {.p01 = 0.0, .p10 = 0.25});
+  Counts counts = {{0b1, 40000}};
+  Rng rng(3);
+  const Counts noisy = noise.corrupt(counts, rng);
+  EXPECT_NEAR(static_cast<double>(noisy.at(0b0)), 10000, 400);
+}
+
+TEST(ReadoutNoise, ShotsConservedUnderCorruption) {
+  ReadoutNoise noise(4, {.p01 = 0.05, .p10 = 0.08});
+  Counts counts = {{0b0000, 3000}, {0b1111, 5000}, {0b1010, 2000}};
+  Rng rng(4);
+  const Counts noisy = noise.corrupt(counts, rng);
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : noisy) total += v;
+  EXPECT_EQ(total, 10000u);
+}
+
+TEST(ReadoutNoise, MitigationRecoversCleanDistribution) {
+  // GHZ counts through noise and back: mitigation should concentrate
+  // probability back on the two legal outcomes.
+  qiskit::QuantumCircuit qc(3);
+  qc.h(0).cx(0, 1).cx(1, 2);
+  ReferenceEngine<double> eng;
+  const auto state = eng.run(qc);
+  Rng rng(5);
+  const std::uint64_t shots = 200000;
+  const Counts clean = sample_counts(state, {}, shots, rng);
+
+  ReadoutNoise noise(3, {.p01 = 0.04, .p10 = 0.06});
+  const Counts noisy = noise.corrupt(clean, rng);
+  // Noise spreads weight off the GHZ outcomes...
+  std::uint64_t off_ghz_noisy = 0;
+  for (const auto& [k, v] : noisy) {
+    if (k != 0b000 && k != 0b111) off_ghz_noisy += v;
+  }
+  EXPECT_GT(off_ghz_noisy, shots / 20);
+
+  // ...and mitigation pulls it back.
+  const Counts mitigated = noise.mitigate(noisy, shots);
+  std::uint64_t off_ghz_mitigated = 0, total = 0;
+  for (const auto& [k, v] : mitigated) {
+    total += v;
+    if (k != 0b000 && k != 0b111) off_ghz_mitigated += v;
+  }
+  EXPECT_LT(off_ghz_mitigated, off_ghz_noisy / 3);
+  EXPECT_NEAR(static_cast<double>(total), static_cast<double>(shots),
+              static_cast<double>(shots) / 100);
+  // The 50/50 split is preserved.
+  EXPECT_NEAR(static_cast<double>(mitigated.at(0b000)),
+              static_cast<double>(mitigated.at(0b111)),
+              static_cast<double>(shots) / 20);
+}
+
+TEST(ReadoutNoise, MitigationExactOnAnalyticCounts) {
+  // Single qubit, analytically corrupted counts invert exactly.
+  ReadoutNoise noise(1, {.p01 = 0.1, .p10 = 0.2});
+  // True distribution: 70% |0>, 30% |1>. Observed:
+  // P(0) = 0.7*0.9 + 0.3*0.2 = 0.69; P(1) = 0.31.
+  const Counts noisy = {{0b0, 69000}, {0b1, 31000}};
+  const Counts mitigated = noise.mitigate(noisy, 100000);
+  EXPECT_NEAR(static_cast<double>(mitigated.at(0b0)), 70000, 10);
+  EXPECT_NEAR(static_cast<double>(mitigated.at(0b1)), 30000, 10);
+}
+
+TEST(ReadoutNoise, InvalidConfigurationsRejected) {
+  EXPECT_THROW(ReadoutNoise(0, {0.1, 0.1}), InvalidArgument);
+  EXPECT_THROW(ReadoutNoise(2, {.p01 = 0.6, .p10 = 0.1}), InvalidArgument);
+  EXPECT_THROW(ReadoutNoise(2, {.p01 = -0.1, .p10 = 0.1}), InvalidArgument);
+  ReadoutNoise noise(2, {0.1, 0.1});
+  EXPECT_THROW(noise.mitigate({{0b11, 5}}, 0), InvalidArgument);
+  EXPECT_THROW(noise.mitigate({{0b100, 5}}, 5), InvalidArgument);
+}
+
+TEST(ReadoutNoise, PerQubitErrorsApplied) {
+  ReadoutNoise noise({{.p01 = 0.0, .p10 = 0.0},
+                      {.p01 = 0.5, .p10 = 0.5}});
+  Counts counts = {{0b00, 50000}};
+  Rng rng(6);
+  const Counts noisy = noise.corrupt(counts, rng);
+  // Qubit 0 never flips; qubit 1 flips half the time.
+  EXPECT_EQ(noisy.count(0b01), 0u);
+  EXPECT_NEAR(static_cast<double>(noisy.at(0b10)), 25000, 700);
+}
+
+}  // namespace
+}  // namespace qgear::sim

@@ -1,0 +1,132 @@
+#include "qgear/sim/observable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/sim/reference.hpp"
+#include "tests/sim_test_util.hpp"
+
+namespace qgear::sim {
+namespace {
+
+TEST(PauliTerm, ParseAndPrint) {
+  const PauliTerm t = PauliTerm::parse("XIZ", 0.5);
+  // Leftmost char is the highest qubit: X on q2, I on q1, Z on q0.
+  EXPECT_EQ(t.ops[0], Pauli::Z);
+  EXPECT_EQ(t.ops[1], Pauli::I);
+  EXPECT_EQ(t.ops[2], Pauli::X);
+  EXPECT_DOUBLE_EQ(t.coefficient, 0.5);
+  EXPECT_EQ(t.to_string(), "XIZ");
+  EXPECT_THROW(PauliTerm::parse("XQ"), InvalidArgument);
+  EXPECT_THROW(PauliTerm::parse(""), InvalidArgument);
+  EXPECT_TRUE(PauliTerm::parse("III").is_identity());
+  EXPECT_FALSE(t.is_identity());
+}
+
+TEST(Observable, ZOnComputationalStates) {
+  ReferenceEngine<double> eng;
+  qiskit::QuantumCircuit zero(1);
+  zero.rz(0.0, 0);  // identity, keeps |0>
+  const auto s0 = eng.run(zero);
+  EXPECT_NEAR(expectation(s0, PauliTerm::parse("Z")), 1.0, 1e-12);
+  qiskit::QuantumCircuit one(1);
+  one.x(0);
+  const auto s1 = eng.run(one);
+  EXPECT_NEAR(expectation(s1, PauliTerm::parse("Z")), -1.0, 1e-12);
+}
+
+TEST(Observable, XOnPlusState) {
+  ReferenceEngine<double> eng;
+  qiskit::QuantumCircuit qc(1);
+  qc.h(0);
+  const auto s = eng.run(qc);
+  EXPECT_NEAR(expectation(s, PauliTerm::parse("X")), 1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliTerm::parse("Z")), 0.0, 1e-12);
+}
+
+TEST(Observable, YOnCircularState) {
+  ReferenceEngine<double> eng;
+  qiskit::QuantumCircuit qc(1);
+  qc.h(0).s(0);  // |0> + i|1> (up to norm): <Y> = +1
+  const auto s = eng.run(qc);
+  EXPECT_NEAR(expectation(s, PauliTerm::parse("Y")), 1.0, 1e-12);
+}
+
+TEST(Observable, ZZOnBellState) {
+  ReferenceEngine<double> eng;
+  qiskit::QuantumCircuit qc(2);
+  qc.h(0).cx(0, 1);
+  const auto s = eng.run(qc);
+  EXPECT_NEAR(expectation(s, PauliTerm::parse("ZZ")), 1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliTerm::parse("XX")), 1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliTerm::parse("YY")), -1.0, 1e-12);
+  EXPECT_NEAR(expectation(s, PauliTerm::parse("ZI")), 0.0, 1e-12);
+}
+
+TEST(Observable, RotationAngleRecovered) {
+  // <Z> after ry(theta) is cos(theta).
+  for (double theta : {0.3, 1.1, 2.5}) {
+    ReferenceEngine<double> eng;
+    qiskit::QuantumCircuit qc(1);
+    qc.ry(theta, 0);
+    const auto s = eng.run(qc);
+    EXPECT_NEAR(expectation(s, PauliTerm::parse("Z")), std::cos(theta),
+                1e-12);
+    EXPECT_NEAR(expectation(s, PauliTerm::parse("X")), std::sin(theta),
+                1e-12);
+  }
+}
+
+TEST(Observable, LinearityOverTerms) {
+  ReferenceEngine<double> eng;
+  const auto qc = sim_test::random_circuit(4, 60, 5);
+  const auto s = eng.run(qc);
+  Observable obs;
+  obs.add("ZIIZ", 0.7).add("IXXI", -0.3).add("IIII", 2.0);
+  const double direct = expectation(s, obs);
+  double summed = 0;
+  for (const auto& term : obs.terms()) summed += expectation(s, term);
+  EXPECT_NEAR(direct, summed, 1e-12);
+  // Identity term contributes its coefficient exactly.
+  EXPECT_NEAR(expectation(s, PauliTerm::parse("IIII", 2.0)), 2.0, 1e-10);
+}
+
+TEST(Observable, IsingRingGroundPatterns) {
+  // Ferromagnetic all-up state: <H> = -J * n for h = 0.
+  const unsigned n = 4;
+  const Observable h = Observable::ising_ring(n, 1.0, 0.0);
+  ReferenceEngine<double> eng;
+  qiskit::QuantumCircuit aligned(n);
+  aligned.rz(0.0, 0);
+  const auto s = eng.run(aligned);
+  EXPECT_NEAR(expectation(s, h), -4.0, 1e-12);
+  EXPECT_EQ(h.size(), 2 * n);
+}
+
+TEST(Observable, SampledMatchesExact) {
+  const auto qc = sim_test::random_circuit(4, 50, 9);
+  ReferenceEngine<double> eng;
+  const auto s = eng.run(qc);
+  Rng rng(3);
+  for (const char* pauli : {"ZIII", "XZII", "IYIZ", "XXXX"}) {
+    const PauliTerm term = PauliTerm::parse(pauli);
+    const double exact = expectation(s, term);
+    const double sampled = sampled_expectation(s, term, 200000, rng);
+    EXPECT_NEAR(sampled, exact, 0.01) << pauli;
+  }
+}
+
+TEST(Observable, BasisChangeCircuitShape) {
+  const auto qc = basis_change_circuit(3, PauliTerm::parse("XYZ"));
+  const auto counts = qc.count_ops();
+  // X on q2 -> h; Y on q1 -> sdg+h; Z on q0 -> nothing.
+  EXPECT_EQ(counts.at("h"), 2u);
+  EXPECT_EQ(counts.at("sdg"), 1u);
+}
+
+TEST(Observable, TermBeyondRegisterRejected) {
+  StateVector<double> s(2);
+  EXPECT_THROW(expectation(s, PauliTerm::parse("ZZZ")), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qgear::sim

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "qgear/circuits/random_blocks.hpp"
+#include "qgear/platform/container.hpp"
+#include "qgear/platform/pipeline.hpp"
+#include "qgear/platform/slurm.hpp"
+
+namespace qgear::platform {
+namespace {
+
+// ---- containers --------------------------------------------------------
+
+TEST(Container, ImageComposition) {
+  const ContainerImage img = ContainerImage::nersc_podman_image();
+  EXPECT_EQ(img.reference(), "nersc/qgear-cudaq:24.03");
+  EXPECT_EQ(img.layers().size(), 5u);
+  EXPECT_GT(img.total_bytes(), 6ull << 30);
+  EXPECT_EQ(img.env().at("MPICH_GPU_SUPPORT_ENABLED"), "1");
+}
+
+TEST(Container, ColdThenWarmLaunch) {
+  ContainerRuntime rt(perfmodel::podman_hpc());
+  const ContainerImage img = ContainerImage::nersc_podman_image();
+  EXPECT_FALSE(rt.is_cached(0, img));
+  const LaunchResult cold = rt.launch(0, img);
+  EXPECT_TRUE(cold.was_cold);
+  EXPECT_EQ(cold.bytes_pulled, img.total_bytes());
+  EXPECT_GT(cold.startup_seconds, perfmodel::podman_hpc().cold_start_s);
+  EXPECT_TRUE(rt.is_cached(0, img));
+  const LaunchResult warm = rt.launch(0, img);
+  EXPECT_FALSE(warm.was_cold);
+  EXPECT_DOUBLE_EQ(warm.startup_seconds,
+                   perfmodel::podman_hpc().warm_start_s);
+}
+
+TEST(Container, LayerDedupAcrossImages) {
+  // Both NERSC images share the qgear layer; pulling the second image on
+  // a node that has the first must not re-pull shared layers.
+  ContainerRuntime rt(perfmodel::podman_hpc());
+  rt.launch(0, ContainerImage::nersc_podman_image());
+  const ContainerImage shifter = ContainerImage::shifter_multinode_image();
+  const LaunchResult r = rt.launch(0, shifter);
+  EXPECT_TRUE(r.was_cold);
+  EXPECT_LT(r.bytes_pulled, shifter.total_bytes());
+}
+
+TEST(Container, PrewarmSkipsColdStart) {
+  ContainerRuntime rt(perfmodel::podman_hpc());
+  const ContainerImage img = ContainerImage::nersc_podman_image();
+  rt.warm(3, img);
+  EXPECT_FALSE(rt.launch(3, img).was_cold);
+}
+
+TEST(Container, AllocationWaitsForSlowestNode) {
+  ContainerRuntime rt(perfmodel::podman_hpc());
+  const ContainerImage img = ContainerImage::nersc_podman_image();
+  rt.warm(0, img);
+  rt.warm(1, img);
+  // Node 2 is cold: the 3-node allocation pays the cold price once.
+  const LaunchResult r = rt.launch_allocation({0, 1, 2}, img);
+  EXPECT_TRUE(r.was_cold);
+  EXPECT_GT(r.startup_seconds, perfmodel::podman_hpc().cold_start_s);
+}
+
+// ---- slurm -------------------------------------------------------------
+
+TEST(Slurm, SingleJobLifecycle) {
+  SlurmCluster cluster(2, 4, 0, 1);
+  const auto id = cluster.submit({.name = "run",
+                                  .nodes = 1,
+                                  .tasks_per_node = 4,
+                                  .gpus_per_task = 1,
+                                  .constraint = "gpu",
+                                  .duration_s = 10.0});
+  cluster.run_until_idle();
+  const JobRecord& job = cluster.job(id);
+  EXPECT_EQ(job.state, JobState::completed);
+  EXPECT_DOUBLE_EQ(job.start_time, 0.0);
+  EXPECT_DOUBLE_EQ(job.end_time, 10.0);
+  ASSERT_EQ(job.node_ids.size(), 1u);
+}
+
+TEST(Slurm, JobsQueueWhenGpusBusy) {
+  SlurmCluster cluster(1, 4, 0, 0);  // one 4-GPU node
+  // Two jobs each needing all 4 GPUs must serialize.
+  const auto a = cluster.submit({.name = "a", .nodes = 1,
+                                 .tasks_per_node = 4, .gpus_per_task = 1,
+                                 .constraint = "gpu", .duration_s = 5.0});
+  const auto b = cluster.submit({.name = "b", .nodes = 1,
+                                 .tasks_per_node = 4, .gpus_per_task = 1,
+                                 .constraint = "gpu", .duration_s = 5.0});
+  cluster.run_until_idle();
+  EXPECT_DOUBLE_EQ(cluster.job(a).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(cluster.job(b).start_time, 5.0);
+  EXPECT_DOUBLE_EQ(cluster.now(), 10.0);
+}
+
+TEST(Slurm, GpuSharingWithinNode) {
+  SlurmCluster cluster(1, 4, 0, 0);
+  // Four single-GPU jobs run concurrently on the one node.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(cluster.submit({.name = "p", .nodes = 1,
+                                  .tasks_per_node = 1, .gpus_per_task = 1,
+                                  .constraint = "gpu", .duration_s = 7.0}));
+  }
+  cluster.run_until_idle();
+  for (auto id : ids) {
+    EXPECT_DOUBLE_EQ(cluster.job(id).start_time, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(cluster.now(), 7.0);
+  EXPECT_NEAR(cluster.utilization().gpu_busy_fraction, 1.0, 1e-9);
+}
+
+TEST(Slurm, Hbm80Constraint) {
+  SlurmCluster cluster(2, 4, 1, 0);  // only node 0 has 80 GB parts
+  const auto id = cluster.submit({.name = "big", .nodes = 1,
+                                  .tasks_per_node = 1, .gpus_per_task = 1,
+                                  .constraint = "gpu&hbm80g",
+                                  .duration_s = 1.0});
+  cluster.run_until_idle();
+  ASSERT_EQ(cluster.job(id).state, JobState::completed);
+  EXPECT_EQ(cluster.job(id).node_ids[0], 0u);
+}
+
+TEST(Slurm, CpuConstraintUsesCpuNodes) {
+  SlurmCluster cluster(1, 4, 0, 2);
+  const auto id = cluster.submit({.name = "aer", .nodes = 1,
+                                  .tasks_per_node = 1, .gpus_per_task = 0,
+                                  .constraint = "cpu", .duration_s = 3.0});
+  cluster.run_until_idle();
+  ASSERT_EQ(cluster.job(id).state, JobState::completed);
+  // CPU nodes come after the GPU nodes in id order.
+  EXPECT_GE(cluster.job(id).node_ids[0], 1u);
+}
+
+TEST(Slurm, UnsatisfiableJobFails) {
+  SlurmCluster cluster(1, 4, 0, 0);
+  const auto id = cluster.submit({.name = "huge", .nodes = 5,
+                                  .tasks_per_node = 4, .gpus_per_task = 1,
+                                  .constraint = "gpu", .duration_s = 1.0});
+  cluster.run_until_idle();
+  EXPECT_EQ(cluster.job(id).state, JobState::failed);
+  EXPECT_EQ(cluster.utilization().failed, 1u);
+}
+
+TEST(Slurm, BackfillAroundBlockedJob) {
+  SlurmCluster cluster(1, 4, 0, 1);
+  // Head job occupies everything; second wants 80 GB (unavailable here ->
+  // fails); third (small CPU job) must still run via backfill.
+  cluster.submit({.name = "head", .nodes = 1, .tasks_per_node = 4,
+                  .gpus_per_task = 1, .constraint = "gpu",
+                  .duration_s = 4.0});
+  const auto blocked = cluster.submit(
+      {.name = "blocked", .nodes = 1, .tasks_per_node = 1,
+       .gpus_per_task = 1, .constraint = "gpu&hbm80g", .duration_s = 1.0});
+  const auto cpu = cluster.submit({.name = "cpu", .nodes = 1,
+                                   .tasks_per_node = 1, .gpus_per_task = 0,
+                                   .constraint = "cpu", .duration_s = 1.0});
+  cluster.run_until_idle();
+  EXPECT_EQ(cluster.job(blocked).state, JobState::failed);
+  EXPECT_EQ(cluster.job(cpu).state, JobState::completed);
+  EXPECT_DOUBLE_EQ(cluster.job(cpu).start_time, 0.0);
+}
+
+TEST(Slurm, FullClusterUtilizationWithBalancedMix) {
+  // The paper's headline: a well-shaped job mix keeps up to 1024 GPUs at
+  // ~100% utilization.
+  SlurmCluster cluster(256, 4, 256, 0);  // 1024 GPUs
+  EXPECT_EQ(cluster.total_gpus(), 1024u);
+  for (int i = 0; i < 256; ++i) {
+    cluster.submit({.name = "chunk", .nodes = 1, .tasks_per_node = 4,
+                    .gpus_per_task = 1, .constraint = "gpu",
+                    .duration_s = 60.0});
+  }
+  cluster.run_until_idle();
+  EXPECT_NEAR(cluster.utilization().gpu_busy_fraction, 1.0, 1e-9);
+  EXPECT_EQ(cluster.utilization().completed, 256u);
+}
+
+// ---- pipeline ----------------------------------------------------------
+
+TEST(Pipeline, ParallelModeRunsEveryCircuit) {
+  std::vector<qiskit::QuantumCircuit> batch;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    batch.push_back(circuits::generate_random_circuit(
+        {.num_qubits = 20, .num_blocks = 50, .measure = false, .seed = s}));
+  }
+  PipelineConfig cfg;
+  cfg.mode = PipelineMode::parallel;
+  cfg.cluster.devices = 1;
+  const PipelineReport report = run_pipeline(batch, cfg, /*gpu_nodes=*/2);
+  ASSERT_EQ(report.circuits.size(), 6u);
+  EXPECT_EQ(report.utilization.completed, 6u);
+  for (const auto& cj : report.circuits) {
+    EXPECT_TRUE(cj.estimate.feasible);
+    EXPECT_GT(cj.end_to_end_s, 0.0);
+  }
+}
+
+TEST(Pipeline, DistributedModeUsesWholeAllocation) {
+  std::vector<qiskit::QuantumCircuit> batch;
+  batch.push_back(circuits::generate_random_circuit(
+      {.num_qubits = 33, .num_blocks = 100, .measure = false, .seed = 1}));
+  PipelineConfig cfg;
+  cfg.mode = PipelineMode::distributed;
+  cfg.cluster.devices = 8;
+  cfg.cluster.gpu = perfmodel::a100_80gb();
+  const PipelineReport report = run_pipeline(batch, cfg, /*gpu_nodes=*/2);
+  ASSERT_EQ(report.circuits.size(), 1u);
+  EXPECT_TRUE(report.circuits[0].estimate.feasible);
+  EXPECT_GT(report.circuits[0].estimate.comm_bytes_per_device, 0u);
+  EXPECT_EQ(report.utilization.completed, 1u);
+}
+
+TEST(Pipeline, InfeasibleCircuitReportedNotScheduled) {
+  std::vector<qiskit::QuantumCircuit> batch;
+  batch.push_back(circuits::generate_random_circuit(
+      {.num_qubits = 40, .num_blocks = 10, .measure = false, .seed = 1}));
+  PipelineConfig cfg;
+  cfg.mode = PipelineMode::parallel;  // one 40 GB GPU cannot hold 40 qubits
+  const PipelineReport report = run_pipeline(batch, cfg);
+  ASSERT_EQ(report.circuits.size(), 1u);
+  EXPECT_FALSE(report.circuits[0].estimate.feasible);
+  EXPECT_EQ(report.utilization.completed, 0u);
+}
+
+TEST(Pipeline, ColdContainersRaiseEndToEndTime) {
+  std::vector<qiskit::QuantumCircuit> batch;
+  batch.push_back(circuits::generate_random_circuit(
+      {.num_qubits = 24, .num_blocks = 50, .measure = false, .seed = 2}));
+  PipelineConfig warm;
+  warm.prewarm_containers = true;
+  PipelineConfig cold = warm;
+  cold.prewarm_containers = false;
+  const double t_warm =
+      run_pipeline(batch, warm).circuits[0].container_startup_s;
+  const double t_cold =
+      run_pipeline(batch, cold).circuits[0].container_startup_s;
+  EXPECT_GT(t_cold, t_warm * 10);
+}
+
+}  // namespace
+}  // namespace qgear::platform

@@ -1,0 +1,119 @@
+#include "qgear/qiskit/qasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "qgear/sim/reference.hpp"
+#include "tests/sim_test_util.hpp"
+
+namespace qgear::qiskit::qasm {
+namespace {
+
+TEST(Qasm, ExportContainsHeaderAndGates) {
+  QuantumCircuit qc(2, "demo");
+  qc.h(0).cx(0, 1).cp(0.5, 0, 1).measure_all();
+  const std::string text = to_qasm(qc);
+  EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(text.find("qreg q[2];"), std::string::npos);
+  EXPECT_NE(text.find("h q[0];"), std::string::npos);
+  EXPECT_NE(text.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(text.find("cu1(0.5) q[0],q[1];"), std::string::npos);
+  EXPECT_NE(text.find("measure q[1] -> c[1];"), std::string::npos);
+}
+
+TEST(Qasm, RoundTripPreservesInstructions) {
+  const auto qc = sim_test::random_circuit(5, 150, 21);
+  const QuantumCircuit back = from_qasm(to_qasm(qc));
+  EXPECT_EQ(back.num_qubits(), qc.num_qubits());
+  ASSERT_EQ(back.size(), qc.size());
+  for (std::size_t i = 0; i < qc.size(); ++i) {
+    EXPECT_EQ(back.instructions()[i].kind, qc.instructions()[i].kind) << i;
+    EXPECT_EQ(back.instructions()[i].q0, qc.instructions()[i].q0) << i;
+    EXPECT_EQ(back.instructions()[i].q1, qc.instructions()[i].q1) << i;
+    EXPECT_NEAR(back.instructions()[i].param, qc.instructions()[i].param,
+                1e-15)
+        << i;
+  }
+}
+
+TEST(Qasm, RoundTripPreservesSemantics) {
+  const auto qc = sim_test::random_circuit(4, 80, 33);
+  const QuantumCircuit back = from_qasm(to_qasm(qc));
+  sim::ReferenceEngine<double> eng;
+  EXPECT_NEAR(eng.run(qc).fidelity(eng.run(back)), 1.0, 1e-12);
+}
+
+TEST(Qasm, ParsesPiExpressions) {
+  const std::string text = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+rz(pi/4) q[0];
+ry(-pi) q[1];
+cu1(3*pi/2) q[0],q[1];
+rx(2*(pi+1)) q[0];
+p(0.25e1) q[1];
+)";
+  const QuantumCircuit qc = from_qasm(text);
+  ASSERT_EQ(qc.size(), 5u);
+  EXPECT_NEAR(qc.instructions()[0].param, M_PI / 4, 1e-15);
+  EXPECT_NEAR(qc.instructions()[1].param, -M_PI, 1e-15);
+  EXPECT_NEAR(qc.instructions()[2].param, 3 * M_PI / 2, 1e-15);
+  EXPECT_NEAR(qc.instructions()[3].param, 2 * (M_PI + 1), 1e-15);
+  EXPECT_NEAR(qc.instructions()[4].param, 2.5, 1e-15);
+}
+
+TEST(Qasm, ParsesCommentsAndWhitespace) {
+  const std::string text =
+      "OPENQASM 2.0; // header\n"
+      "include \"qelib1.inc\";\n"
+      "qreg  q[1] ;\n"
+      "// a full-line comment\n"
+      "h   q[0]  ;\n";
+  const QuantumCircuit qc = from_qasm(text);
+  EXPECT_EQ(qc.size(), 1u);
+  EXPECT_EQ(qc.instructions()[0].kind, GateKind::h);
+}
+
+TEST(Qasm, BarrierSurvives) {
+  QuantumCircuit qc(2);
+  qc.h(0);
+  qc.barrier();
+  qc.h(1);
+  const QuantumCircuit back = from_qasm(to_qasm(qc));
+  EXPECT_EQ(back.instructions()[1].kind, GateKind::barrier);
+}
+
+TEST(Qasm, RejectsMalformedInput) {
+  EXPECT_THROW(from_qasm(""), FormatError);
+  EXPECT_THROW(from_qasm("qreg q[2];"), FormatError);  // no header
+  EXPECT_THROW(from_qasm("OPENQASM 2.0; h q[0];"), FormatError);  // no qreg
+  EXPECT_THROW(from_qasm("OPENQASM 2.0; qreg q[2]; frob q[0];"),
+               FormatError);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0; qreg q[2]; cx q[0];"), FormatError);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0; qreg q[2]; h q[5];"), FormatError);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0; qreg q[2]; rz(qux) q[0];"),
+               FormatError);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0; qreg q[2]; rz(1/0) q[0];"),
+               FormatError);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0; qreg q[2]; h(0.5) q[0];"),
+               FormatError);
+  EXPECT_THROW(from_qasm("OPENQASM 2.0; qreg q[2]; cx r[0],q[1];"),
+               FormatError);
+}
+
+TEST(Qasm, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qgear_test.qasm").string();
+  const auto qc = sim_test::random_circuit(3, 30, 2);
+  save(qc, path);
+  const QuantumCircuit back = load(path);
+  EXPECT_EQ(back.size(), qc.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qgear::qiskit::qasm

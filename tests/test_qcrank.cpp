@@ -1,0 +1,185 @@
+#include "qgear/circuits/qcrank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/sim/fused.hpp"
+#include "qgear/sim/reference.hpp"
+
+namespace qgear::circuits {
+namespace {
+
+std::vector<std::complex<double>> run_state(
+    const qiskit::QuantumCircuit& qc) {
+  sim::FusedEngine<double> eng;
+  const auto s = eng.run(qc);
+  return {s.amplitudes().begin(), s.amplitudes().end()};
+}
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  // Stay off the exact endpoints to avoid degenerate arccos derivatives.
+  for (double& x : v) x = rng.uniform(0.02, 0.98);
+  return v;
+}
+
+TEST(QCrank, UcryAnglesInvertWalsh) {
+  // ucry_angles must satisfy: alpha_a = sum_i theta_i * (-1)^{a & gray(i)}.
+  const std::vector<double> alphas = {0.1, 0.9, 1.7, 2.4, 0.3, 2.9, 1.1,
+                                      0.6};
+  const auto theta = QCrank::ucry_angles(alphas);
+  ASSERT_EQ(theta.size(), 8u);
+  auto gray = [](std::uint64_t i) { return i ^ (i >> 1); };
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    double acc = 0;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const int sign =
+          std::popcount(a & gray(i)) % 2 == 0 ? 1 : -1;
+      acc += sign * theta[i];
+    }
+    EXPECT_NEAR(acc, alphas[a], 1e-12) << a;
+  }
+}
+
+TEST(QCrank, UcryAppliesPerAddressRotation) {
+  // For every address basis state |a>, the target must rotate by alpha_a.
+  const unsigned m = 3;
+  const std::vector<double> alphas = {0.2, 0.5, 0.9, 1.3, 1.8, 2.2, 2.6,
+                                      3.0};
+  for (std::uint64_t a = 0; a < pow2(m); ++a) {
+    qiskit::QuantumCircuit qc(m + 1);
+    for (unsigned q = 0; q < m; ++q) {
+      if (test_bit(a, q)) qc.x(static_cast<int>(q));
+    }
+    QCrank::append_ucry(qc, m, static_cast<int>(m), alphas);
+    sim::ReferenceEngine<double> eng;
+    const auto state = eng.run(qc);
+    // P(target = 1) = sin^2(alpha_a / 2).
+    double p1 = 0;
+    for (std::uint64_t i = 0; i < state.size(); ++i) {
+      if (test_bit(i, m)) p1 += state.probability(i);
+    }
+    EXPECT_NEAR(p1, std::pow(std::sin(alphas[a] / 2), 2), 1e-10) << a;
+  }
+}
+
+TEST(QCrank, CircuitShapeMatchesPaper) {
+  const QCrank codec({.address_qubits = 4, .data_qubits = 3});
+  EXPECT_EQ(codec.capacity(), 48u);
+  const auto values = random_values(48, 1);
+  const auto qc = codec.encode(values);
+  EXPECT_EQ(qc.num_qubits(), 7u);
+  const auto counts = qc.count_ops();
+  // CX count equals the pixel count (the Fig. 5 scaling property).
+  EXPECT_EQ(counts.at("cx"), 48u);
+  EXPECT_EQ(counts.at("ry"), 48u);
+  EXPECT_EQ(counts.at("h"), 4u);
+  EXPECT_EQ(counts.at("measure"), 7u);
+}
+
+TEST(QCrank, DepthIsParallelAcrossDataQubits) {
+  // The step-interleaved emission puts every data qubit's j-th ry and cx
+  // in shared layers: depth ~ 2 * 2^m regardless of n_data.
+  for (unsigned d : {1u, 2u, 4u}) {
+    const QCrank codec({.address_qubits = 4, .data_qubits = d});
+    const auto qc = codec.encode(random_values(codec.capacity(), d));
+    EXPECT_LE(qc.depth(), 2u * 16 + 3) << "data qubits = " << d;
+  }
+}
+
+TEST(QCrank, RotatedControlWiringPreservesDecoding) {
+  // The per-chain control rotation + angle permutation must be invisible
+  // to the decoder: exact values still come back per (address, data).
+  const QCrank codec({.address_qubits = 3, .data_qubits = 3});
+  std::vector<double> values(codec.capacity());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 0.05 + 0.9 * static_cast<double>(i) /
+                           static_cast<double>(values.size());
+  }
+  const auto state = run_state(codec.encode(values));
+  const auto decoded = codec.decode_state(state);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(decoded[i], values[i], 1e-9) << i;
+  }
+}
+
+TEST(QCrank, ExactDecodeRecoversValues) {
+  for (auto [m, d] : {std::pair{2u, 1u}, {3u, 2u}, {4u, 3u}, {5u, 2u}}) {
+    const QCrank codec({.address_qubits = m, .data_qubits = d});
+    const auto values = random_values(codec.capacity(), 10 * m + d);
+    const auto state = run_state(codec.encode(values));
+    const auto decoded = codec.decode_state(state);
+    ASSERT_EQ(decoded.size(), values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      EXPECT_NEAR(decoded[i], values[i], 1e-9)
+          << "m=" << m << " d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(QCrank, SampledDecodeConvergesWithShots) {
+  const QCrank codec({.address_qubits = 3, .data_qubits = 2});
+  const auto values = random_values(codec.capacity(), 3);
+  const auto qc = codec.encode(values);
+  sim::FusedEngine<double> eng;
+  std::vector<unsigned> measured;
+  const auto state = eng.run(qc, &measured);
+
+  auto rms_error = [&](std::uint64_t shots, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto counts = sim::sample_counts(state, measured, shots, rng);
+    const auto decoded = codec.decode_counts(counts);
+    double sse = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sse += (decoded[i] - values[i]) * (decoded[i] - values[i]);
+    }
+    return std::sqrt(sse / static_cast<double>(values.size()));
+  };
+
+  const double coarse = rms_error(800, 7);
+  const double fine = rms_error(200000, 7);
+  EXPECT_LT(fine, coarse);      // statistical error shrinks with shots
+  EXPECT_LT(fine, 0.02);        // and is small at the paper's shot scale
+}
+
+TEST(QCrank, ImageRoundTripHighCorrelation) {
+  const image::PaperImageConfig cfg{"mini", 16, 8, 6, 2, 0};
+  const image::Image img = image::make_synthetic(16, 8, 42);
+  const auto qc = encode_image(img, {.address_qubits = 6, .data_qubits = 2});
+  const QCrank codec({.address_qubits = 6, .data_qubits = 2});
+  const auto decoded = codec.decode_state(run_state(qc));
+  const image::Image back = decode_to_image(decoded, 16, 8);
+  const auto metrics = image::compare_images(img, back);
+  EXPECT_GT(metrics.correlation, 0.9999);
+  EXPECT_LT(metrics.max_abs_error, 1e-6);
+}
+
+TEST(QCrank, UnobservedAddressesDecodeNeutral) {
+  const QCrank codec({.address_qubits = 2, .data_qubits = 1});
+  // Histogram covering only address 0 (key bits: addr in low 2 bits).
+  sim::Counts counts;
+  counts[0b000] = 60;  // addr 0, data 0
+  counts[0b100] = 40;  // addr 0, data 1
+  const auto decoded = codec.decode_counts(counts);
+  ASSERT_EQ(decoded.size(), 4u);
+  EXPECT_NEAR(decoded[0], (1.0 - 2.0 * 0.4 + 1.0) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(decoded[1], 0.5);
+  EXPECT_DOUBLE_EQ(decoded[2], 0.5);
+  EXPECT_DOUBLE_EQ(decoded[3], 0.5);
+}
+
+TEST(QCrank, InputValidation) {
+  EXPECT_THROW(QCrank({.address_qubits = 0, .data_qubits = 1}),
+               InvalidArgument);
+  EXPECT_THROW(QCrank({.address_qubits = 2, .data_qubits = 0}),
+               InvalidArgument);
+  const QCrank codec({.address_qubits = 2, .data_qubits = 1});
+  EXPECT_THROW(codec.encode(std::vector<double>(3, 0.5)), InvalidArgument);
+  EXPECT_THROW(codec.encode(std::vector<double>(4, 1.5)), InvalidArgument);
+  const image::Image img = image::make_synthetic(3, 3, 1);
+  EXPECT_THROW(encode_image(img, {.address_qubits = 2, .data_qubits = 1}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qgear::circuits

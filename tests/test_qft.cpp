@@ -1,0 +1,110 @@
+#include "qgear/circuits/qft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/sim/fused.hpp"
+#include "qgear/sim/reference.hpp"
+
+namespace qgear::circuits {
+namespace {
+
+// Prepares basis state |x>, applies the QFT, and compares against the
+// analytic DFT oracle.
+void check_qft_on_basis_state(unsigned n, std::uint64_t x) {
+  qiskit::QuantumCircuit qc(n);
+  for (unsigned q = 0; q < n; ++q) {
+    if (test_bit(x, q)) qc.x(static_cast<int>(q));
+  }
+  qc.compose(build_qft(n));
+  sim::ReferenceEngine<double> eng;
+  const auto state = eng.run(qc);
+  const auto expected = qft_of_basis_state(n, x);
+  for (std::uint64_t k = 0; k < state.size(); ++k) {
+    EXPECT_NEAR(std::abs(state[k] - expected[k]), 0.0, 1e-10)
+        << "n=" << n << " x=" << x << " k=" << k;
+  }
+}
+
+TEST(Qft, MatchesAnalyticDft) {
+  for (unsigned n : {1u, 2u, 3u, 4u, 5u}) {
+    for (std::uint64_t x = 0; x < pow2(n); ++x) {
+      check_qft_on_basis_state(n, x);
+    }
+  }
+}
+
+TEST(Qft, GateCounts) {
+  for (unsigned n : {2u, 5u, 10u, 16u}) {
+    const auto qc = build_qft(n);
+    const auto counts = qc.count_ops();
+    EXPECT_EQ(counts.at("h"), n);
+    EXPECT_EQ(counts.at("cp"), qft_cp_gate_count(n));
+    EXPECT_EQ(counts.count("swap") ? counts.at("swap") : 0, n / 2);
+  }
+  EXPECT_EQ(qft_cp_gate_count(16), 120u);
+  EXPECT_EQ(qft_cp_gate_count(33), 33u * 32 / 2);
+}
+
+TEST(Qft, InverseUndoesQft) {
+  const unsigned n = 5;
+  qiskit::QuantumCircuit qc(n);
+  // Arbitrary input state.
+  qc.h(0).ry(0.7, 1).cx(0, 2).rz(1.3, 3).cx(3, 4);
+  qiskit::QuantumCircuit probe = qc;
+  probe.compose(build_qft(n));
+  probe.compose(build_qft(n, {.inverse = true}));
+  sim::ReferenceEngine<double> eng;
+  const auto round = eng.run(probe);
+  const auto direct = eng.run(qc);
+  EXPECT_NEAR(round.fidelity(direct), 1.0, 1e-10);
+}
+
+TEST(Qft, NoSwapVariantIsBitReversed) {
+  const unsigned n = 4;
+  const std::uint64_t x = 0b1011;
+  qiskit::QuantumCircuit qc(n);
+  for (unsigned q = 0; q < n; ++q) {
+    if (test_bit(x, q)) qc.x(static_cast<int>(q));
+  }
+  qc.compose(build_qft(n, {.do_swaps = false}));
+  sim::ReferenceEngine<double> eng;
+  const auto state = eng.run(qc);
+  const auto expected = qft_of_basis_state(n, x);
+  for (std::uint64_t k = 0; k < state.size(); ++k) {
+    EXPECT_NEAR(std::abs(state[k] - expected[reverse_bits(k, n)]), 0.0,
+                1e-10);
+  }
+}
+
+TEST(Qft, AngleThresholdDropsSmallRotations) {
+  const unsigned n = 12;
+  const auto exact = build_qft(n);
+  const auto approx = build_qft(n, {.angle_threshold = M_PI / 64});
+  EXPECT_LT(approx.count_ops().at("cp"), exact.count_ops().at("cp"));
+  // Fidelity stays high despite the dropped gates.
+  qiskit::QuantumCircuit pe(n), pa(n);
+  for (unsigned q = 0; q < n; ++q) {
+    pe.h(static_cast<int>(q));
+    pa.h(static_cast<int>(q));
+  }
+  pe.rz(0.37, 0);
+  pa.rz(0.37, 0);
+  pe.compose(exact);
+  pa.compose(approx);
+  sim::FusedEngine<double> eng;
+  EXPECT_GT(eng.run(pe).fidelity(eng.run(pa)), 0.999);
+}
+
+TEST(Qft, UniformStateFromZero) {
+  // QFT|0> is the uniform superposition.
+  const unsigned n = 6;
+  sim::ReferenceEngine<double> eng;
+  const auto state = eng.run(build_qft(n));
+  const double expected = 1.0 / std::sqrt(static_cast<double>(pow2(n)));
+  for (std::uint64_t k = 0; k < state.size(); ++k) {
+    EXPECT_NEAR(std::abs(state[k]), expected, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace qgear::circuits

@@ -1,0 +1,97 @@
+#include "qgear/qh5/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "qgear/common/error.hpp"
+#include "qgear/common/rng.hpp"
+
+namespace qgear::qh5 {
+namespace {
+
+std::vector<std::uint8_t> roundtrip(const std::vector<std::uint8_t>& raw,
+                                    std::size_t elem_size) {
+  const auto packed = compress_chunk(raw.data(), raw.size(), elem_size);
+  return decompress_chunk(packed.data(), packed.size(), elem_size,
+                          raw.size());
+}
+
+TEST(Qh5Codec, EmptyChunk) {
+  const std::vector<std::uint8_t> raw;
+  EXPECT_EQ(roundtrip(raw, 8), raw);
+}
+
+TEST(Qh5Codec, ConstantDataCompressesWell) {
+  std::vector<std::uint8_t> raw(64 * 1024, 0x55);
+  const auto packed = compress_chunk(raw.data(), raw.size(), 8);
+  EXPECT_LT(packed.size(), raw.size() / 50);  // highly repetitive
+  EXPECT_EQ(roundtrip(raw, 8), raw);
+}
+
+TEST(Qh5Codec, RandomDataStoredRaw) {
+  Rng rng(99);
+  std::vector<std::uint8_t> raw(4096);
+  for (auto& b : raw) b = static_cast<std::uint8_t>(rng());
+  const auto packed = compress_chunk(raw.data(), raw.size(), 1);
+  // Incompressible data may cost at most 1 extra byte (the mode header).
+  EXPECT_LE(packed.size(), raw.size() + 1);
+  EXPECT_EQ(roundtrip(raw, 1), raw);
+}
+
+TEST(Qh5Codec, SmallIntegersBenefitFromShuffle) {
+  // int64 values < 256: 7 of 8 bytes are zero — shuffle groups them.
+  std::vector<std::int64_t> values(8192);
+  Rng rng(5);
+  for (auto& v : values) v = static_cast<std::int64_t>(rng.uniform_u64(200));
+  std::vector<std::uint8_t> raw(values.size() * 8);
+  std::memcpy(raw.data(), values.data(), raw.size());
+  const auto packed = compress_chunk(raw.data(), raw.size(), 8);
+  EXPECT_LT(packed.size(), raw.size() / 2);  // the paper reports ~50%
+  EXPECT_EQ(roundtrip(raw, 8), raw);
+}
+
+TEST(Qh5Codec, RoundTripAllElemSizes) {
+  Rng rng(123);
+  for (std::size_t elem : {1u, 2u, 4u, 8u}) {
+    for (std::size_t size : {0u, 1u, 7u, 63u, 4096u, 10000u}) {
+      std::vector<std::uint8_t> raw(size);
+      for (auto& b : raw) b = static_cast<std::uint8_t>(rng.uniform_u64(4));
+      EXPECT_EQ(roundtrip(raw, elem), raw)
+          << "elem=" << elem << " size=" << size;
+    }
+  }
+}
+
+TEST(Qh5Codec, TailBytesPreserved) {
+  // size not divisible by elem_size exercises the shuffle tail path.
+  std::vector<std::uint8_t> raw = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  EXPECT_EQ(roundtrip(raw, 4), raw);
+}
+
+TEST(Qh5Codec, MalformedStreamThrows) {
+  const std::vector<std::uint8_t> raw(100, 7);
+  auto packed = compress_chunk(raw.data(), raw.size(), 1);
+  // Truncate the payload.
+  packed.resize(packed.size() / 2);
+  EXPECT_THROW(
+      decompress_chunk(packed.data(), packed.size(), 1, raw.size()),
+      FormatError);
+  // Unknown mode byte.
+  std::vector<std::uint8_t> bogus = {0xFF, 1, 2, 3};
+  EXPECT_THROW(decompress_chunk(bogus.data(), bogus.size(), 1, 3),
+               FormatError);
+  // Empty payload.
+  EXPECT_THROW(decompress_chunk(bogus.data(), 0, 1, 0), FormatError);
+}
+
+TEST(Qh5Codec, WrongExpectedSizeThrows) {
+  const std::vector<std::uint8_t> raw(100, 7);
+  const auto packed = compress_chunk(raw.data(), raw.size(), 1);
+  EXPECT_THROW(
+      decompress_chunk(packed.data(), packed.size(), 1, raw.size() + 1),
+      FormatError);
+}
+
+}  // namespace
+}  // namespace qgear::qh5

@@ -1,0 +1,125 @@
+#include "qgear/qh5/file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "qgear/common/rng.hpp"
+
+namespace qgear::qh5 {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void build_sample_tree(Group& root) {
+  root.set_attr("framework", std::string("qgear"));
+  root.set_attr("n_circ", std::int64_t{2});
+  Group& circuits = root.create_group("circuits");
+  Rng rng(77);
+  for (int c = 0; c < 2; ++c) {
+    Group& g = circuits.create_group(std::to_string(c));
+    std::vector<std::int64_t> gate_type(50);
+    std::vector<double> params(50);
+    for (std::size_t i = 0; i < 50; ++i) {
+      gate_type[i] = static_cast<std::int64_t>(rng.uniform_u64(5));
+      params[i] = rng.uniform(0, 6.28);
+    }
+    g.create_dataset<std::int64_t>("gate_type", {50}, gate_type);
+    g.create_dataset<double>("gate_param", {50}, params)
+        .set_attr("unit", std::string("rad"));
+  }
+}
+
+TEST(Qh5File, FlushAndReopen) {
+  const std::string path = temp_path("qgear_test_roundtrip.qh5");
+  File f = File::create(path);
+  build_sample_tree(f.root());
+  f.flush();
+
+  File g = File::open(path);
+  EXPECT_EQ(g.root().attr_str("framework"), "qgear");
+  EXPECT_EQ(g.root().attr_i64("n_circ"), 2);
+  const Dataset& ds = g.root().dataset_at("circuits/1/gate_param");
+  EXPECT_EQ(ds.shape(), (std::vector<std::uint64_t>{50}));
+  EXPECT_EQ(ds.attr_str("unit"), "rad");
+
+  // Full structural equality through serialize().
+  EXPECT_EQ(File::serialize(f.root()), File::serialize(g.root()));
+  std::remove(path.c_str());
+}
+
+TEST(Qh5File, SerializeDeserializeBuffer) {
+  File f = File::create("unused");
+  build_sample_tree(f.root());
+  const std::vector<std::uint8_t> buf = File::serialize(f.root());
+  const Group root = File::deserialize(buf.data(), buf.size());
+  EXPECT_EQ(File::serialize(root), buf);
+}
+
+TEST(Qh5File, StatsReportCompression) {
+  const std::string path = temp_path("qgear_test_stats.qh5");
+  File f = File::create(path);
+  // Highly compressible payload: constant doubles.
+  std::vector<double> v(100000, 3.25);
+  f.root().create_dataset<double>("d", {100000}, v);
+  f.flush();
+  EXPECT_EQ(f.stats().uncompressed_bytes, 100000u * 8);
+  EXPECT_LT(f.stats().compressed_bytes, f.stats().uncompressed_bytes / 2);
+  EXPECT_GT(f.stats().compression_ratio(), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(Qh5File, TruncatedFileThrows) {
+  File f = File::create("unused");
+  build_sample_tree(f.root());
+  std::vector<std::uint8_t> buf = File::serialize(f.root());
+  for (std::size_t cut : {0ul, 3ul, 10ul, buf.size() / 2, buf.size() - 1}) {
+    EXPECT_THROW(File::deserialize(buf.data(), cut), FormatError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Qh5File, CorruptedMagicThrows) {
+  File f = File::create("unused");
+  std::vector<std::uint8_t> buf = File::serialize(f.root());
+  buf[0] = 'X';
+  EXPECT_THROW(File::deserialize(buf.data(), buf.size()), FormatError);
+}
+
+TEST(Qh5File, TrailingGarbageThrows) {
+  File f = File::create("unused");
+  std::vector<std::uint8_t> buf = File::serialize(f.root());
+  buf.push_back(0);
+  EXPECT_THROW(File::deserialize(buf.data(), buf.size()), FormatError);
+}
+
+TEST(Qh5File, OpenMissingFileThrows) {
+  EXPECT_THROW(File::open("/nonexistent/dir/file.qh5"), InvalidArgument);
+}
+
+TEST(Qh5File, MultipleDtypesSurvive) {
+  File f = File::create("unused");
+  const std::vector<std::int8_t> i8 = {-1, 0, 1};
+  const std::vector<std::uint8_t> u8 = {0, 128, 255};
+  const std::vector<std::int16_t> i16 = {-300, 300};
+  const std::vector<std::uint64_t> u64 = {1ull << 40};
+  const std::vector<float> f32 = {1.5f, -2.5f};
+  f.root().create_dataset<std::int8_t>("i8", {3}, i8);
+  f.root().create_dataset<std::uint8_t>("u8", {3}, u8);
+  f.root().create_dataset<std::int16_t>("i16", {2}, i16);
+  f.root().create_dataset<std::uint64_t>("u64", {1}, u64);
+  f.root().create_dataset<float>("f32", {2}, f32);
+  const auto buf = File::serialize(f.root());
+  const Group root = File::deserialize(buf.data(), buf.size());
+  EXPECT_EQ(root.dataset("i8").read<std::int8_t>(), i8);
+  EXPECT_EQ(root.dataset("u8").read<std::uint8_t>(), u8);
+  EXPECT_EQ(root.dataset("i16").read<std::int16_t>(), i16);
+  EXPECT_EQ(root.dataset("u64").read<std::uint64_t>(), u64);
+  EXPECT_EQ(root.dataset("f32").read<float>(), f32);
+}
+
+}  // namespace
+}  // namespace qgear::qh5

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "qgear/qh5/node.hpp"
+
+namespace qgear::qh5 {
+namespace {
+
+TEST(Qh5Tree, GroupHierarchy) {
+  Group root;
+  Group& a = root.create_group("a");
+  a.create_group("b");
+  EXPECT_TRUE(root.has_group("a"));
+  EXPECT_TRUE(root.group("a").has_group("b"));
+  EXPECT_FALSE(root.has_group("b"));
+  EXPECT_THROW(root.group("missing"), InvalidArgument);
+}
+
+TEST(Qh5Tree, DuplicateNamesRejected) {
+  Group root;
+  root.create_group("x");
+  EXPECT_THROW(root.create_group("x"), InvalidArgument);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(root.create_dataset<double>("x", {1}, v), InvalidArgument);
+  root.create_dataset<double>("d", {1}, v);
+  EXPECT_THROW(root.create_group("d"), InvalidArgument);
+}
+
+TEST(Qh5Tree, InvalidNamesRejected) {
+  Group root;
+  EXPECT_THROW(root.create_group(""), InvalidArgument);
+  EXPECT_THROW(root.create_group("a/b"), InvalidArgument);
+}
+
+TEST(Qh5Tree, DatasetRoundTrip) {
+  Group root;
+  const std::vector<std::int32_t> v = {1, -2, 3, -4, 5, -6};
+  Dataset& ds = root.create_dataset<std::int32_t>("ints", {2, 3}, v);
+  EXPECT_EQ(ds.dtype(), DType::i32);
+  EXPECT_EQ(ds.shape(), (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(ds.element_count(), 6u);
+  EXPECT_EQ(ds.read<std::int32_t>(), v);
+}
+
+TEST(Qh5Tree, DatasetTypeMismatchThrows) {
+  Group root;
+  const std::vector<float> v = {1.0f};
+  Dataset& ds = root.create_dataset<float>("f", {1}, v);
+  EXPECT_THROW(ds.read<double>(), InvalidArgument);
+  const std::vector<double> w = {2.0};
+  EXPECT_THROW(ds.write<double>(w), InvalidArgument);
+}
+
+TEST(Qh5Tree, DatasetShapeMismatchThrows) {
+  Group root;
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_THROW(root.create_dataset<double>("d", {2}, v), InvalidArgument);
+}
+
+TEST(Qh5Tree, Attributes) {
+  Group root;
+  root.set_attr("n_circuits", std::int64_t{42});
+  root.set_attr("precision", std::string("fp32"));
+  root.set_attr("epsilon", 1e-6);
+  EXPECT_EQ(root.attr_i64("n_circuits"), 42);
+  EXPECT_EQ(root.attr_str("precision"), "fp32");
+  EXPECT_DOUBLE_EQ(root.attr_f64("epsilon"), 1e-6);
+  EXPECT_DOUBLE_EQ(root.attr_f64("n_circuits"), 42.0);  // int coerces
+  EXPECT_FALSE(root.has_attr("missing"));
+  EXPECT_THROW(root.attr_i64("precision"), InvalidArgument);
+  EXPECT_THROW(root.attr("missing"), InvalidArgument);
+}
+
+TEST(Qh5Tree, PathResolution) {
+  Group root;
+  Group& circuits = root.create_group("circuits");
+  Group& c0 = circuits.create_group("0");
+  const std::vector<std::int64_t> v = {7, 8, 9};
+  c0.create_dataset<std::int64_t>("gate_type", {3}, v);
+  EXPECT_EQ(root.dataset_at("circuits/0/gate_type").read<std::int64_t>(), v);
+  EXPECT_THROW(root.dataset_at("circuits/1/gate_type"), InvalidArgument);
+  EXPECT_THROW(root.dataset_at("circuits/0/nope"), InvalidArgument);
+}
+
+TEST(Qh5Tree, SubtreeBytes) {
+  Group root;
+  const std::vector<double> v(100, 1.0);
+  root.create_dataset<double>("a", {100}, v);
+  Group& g = root.create_group("g");
+  g.create_dataset<double>("b", {100}, v);
+  EXPECT_EQ(root.subtree_bytes(), 2u * 100 * sizeof(double));
+}
+
+TEST(Qh5Tree, NameListings) {
+  Group root;
+  root.create_group("g2");
+  root.create_group("g1");
+  const std::vector<float> v = {0.f};
+  root.create_dataset<float>("d1", {1}, v);
+  EXPECT_EQ(root.group_names(), (std::vector<std::string>{"g1", "g2"}));
+  EXPECT_EQ(root.dataset_names(), (std::vector<std::string>{"d1"}));
+}
+
+}  // namespace
+}  // namespace qgear::qh5

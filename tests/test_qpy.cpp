@@ -1,0 +1,101 @@
+#include "qgear/qiskit/qpy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace qgear::qiskit {
+namespace {
+
+std::vector<QuantumCircuit> sample_circuits() {
+  QuantumCircuit a(3, "bell_plus");
+  a.h(0).cx(0, 1).ry(0.321, 2).measure_all();
+  QuantumCircuit b(2, "phase");
+  b.cp(1.5, 0, 1).barrier().rz(-0.25, 1);
+  return {a, b};
+}
+
+TEST(Qpy, BufferRoundTrip) {
+  const auto circs = sample_circuits();
+  const auto buf = qpy::serialize(circs);
+  const auto loaded = qpy::deserialize(buf.data(), buf.size());
+  ASSERT_EQ(loaded.size(), circs.size());
+  EXPECT_EQ(loaded[0], circs[0]);
+  EXPECT_EQ(loaded[1], circs[1]);
+}
+
+TEST(Qpy, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qgear_test.qpy").string();
+  const auto circs = sample_circuits();
+  qpy::save(circs, path);
+  const auto loaded = qpy::load(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0], circs[0]);
+  EXPECT_EQ(loaded[1], circs[1]);
+  std::remove(path.c_str());
+}
+
+TEST(Qpy, EmptyListRoundTrip) {
+  const auto buf = qpy::serialize({});
+  EXPECT_TRUE(qpy::deserialize(buf.data(), buf.size()).empty());
+}
+
+TEST(Qpy, BadMagicThrows) {
+  auto buf = qpy::serialize(sample_circuits());
+  buf[1] = 'x';
+  EXPECT_THROW(qpy::deserialize(buf.data(), buf.size()), FormatError);
+}
+
+TEST(Qpy, TruncationThrows) {
+  const auto buf = qpy::serialize(sample_circuits());
+  for (std::size_t cut : {2ul, 8ul, buf.size() - 1}) {
+    EXPECT_THROW(qpy::deserialize(buf.data(), cut), FormatError);
+  }
+}
+
+TEST(Qpy, TrailingBytesThrow) {
+  auto buf = qpy::serialize(sample_circuits());
+  buf.push_back(0);
+  EXPECT_THROW(qpy::deserialize(buf.data(), buf.size()), FormatError);
+}
+
+TEST(Qpy, CorruptGateKindThrows) {
+  QuantumCircuit qc(1, "c");
+  qc.h(0);
+  auto buf = qpy::serialize({qc});
+  // The gate kind byte is right after magic(4) + count(4) + name(4+1) +
+  // qubits(4) + n_inst(8).
+  buf[4 + 4 + 5 + 4 + 8] = 0xEE;
+  EXPECT_THROW(qpy::deserialize(buf.data(), buf.size()), FormatError);
+}
+
+TEST(Qpy, CorruptQubitIndexThrows) {
+  QuantumCircuit qc(2, "");
+  qc.cx(0, 1);
+  auto buf = qpy::serialize({qc});
+  // q1 field: magic(4)+count(4)+name(4)+qubits(4)+n_inst(8)+kind(1)+q0(4).
+  const std::size_t q1_off = 4 + 4 + 4 + 4 + 8 + 1 + 4;
+  buf[q1_off] = 17;
+  EXPECT_THROW(qpy::deserialize(buf.data(), buf.size()), FormatError);
+}
+
+TEST(Qpy, ManyCircuitsSurvive) {
+  std::vector<QuantumCircuit> circs;
+  for (int i = 1; i <= 20; ++i) {
+    QuantumCircuit qc(static_cast<unsigned>(1 + i % 5),
+                      "c" + std::to_string(i));
+    for (int g = 0; g < i; ++g) qc.rz(0.1 * g, g % qc.num_qubits());
+    circs.push_back(std::move(qc));
+  }
+  const auto buf = qpy::serialize(circs);
+  const auto loaded = qpy::deserialize(buf.data(), buf.size());
+  ASSERT_EQ(loaded.size(), circs.size());
+  for (std::size_t i = 0; i < circs.size(); ++i) {
+    EXPECT_EQ(loaded[i], circs[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace qgear::qiskit

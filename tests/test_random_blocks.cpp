@@ -1,0 +1,99 @@
+#include "qgear/circuits/random_blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/sim/fused.hpp"
+
+namespace qgear::circuits {
+namespace {
+
+TEST(RandomBlocks, PairsAreValid) {
+  Rng rng(1);
+  const auto pairs = random_qubit_pairs(5, 1000, rng);
+  ASSERT_EQ(pairs.size(), 1000u);
+  for (const auto& [c, t] : pairs) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 5);
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 5);
+    EXPECT_NE(c, t);
+  }
+}
+
+TEST(RandomBlocks, PairsCoverAllOrderedCombinations) {
+  Rng rng(2);
+  const auto pairs = random_qubit_pairs(3, 5000, rng);
+  std::set<std::pair<int, int>> seen(pairs.begin(), pairs.end());
+  EXPECT_EQ(seen.size(), 6u);  // 3*2 ordered pairs
+}
+
+TEST(RandomBlocks, CircuitStructureMatchesAlgorithm1) {
+  const RandomBlocksOptions opts{.num_qubits = 6, .num_blocks = 50,
+                                 .measure = true, .seed = 3};
+  const auto qc = generate_random_circuit(opts);
+  EXPECT_EQ(qc.num_qubits(), 6u);
+  const auto counts = qc.count_ops();
+  EXPECT_EQ(counts.at("cx"), 50u);   // one entangler per block
+  EXPECT_EQ(counts.at("ry"), 50u);   // paired rotations
+  EXPECT_EQ(counts.at("rz"), 50u);
+  EXPECT_EQ(counts.at("measure"), 6u);
+  EXPECT_EQ(qc.size(), 50u * 3 + 6);
+}
+
+TEST(RandomBlocks, MeasureFlagRespected) {
+  const auto qc = generate_random_circuit(
+      {.num_qubits = 3, .num_blocks = 10, .measure = false, .seed = 4});
+  EXPECT_EQ(qc.num_measurements(), 0u);
+}
+
+TEST(RandomBlocks, DeterministicPerSeed) {
+  const RandomBlocksOptions opts{.num_qubits = 4, .num_blocks = 30,
+                                 .measure = true, .seed = 9};
+  EXPECT_EQ(generate_random_circuit(opts), generate_random_circuit(opts));
+  RandomBlocksOptions other = opts;
+  other.seed = 10;
+  EXPECT_NE(generate_random_circuit(opts), generate_random_circuit(other));
+}
+
+TEST(RandomBlocks, ParametersInRange) {
+  const auto qc = generate_random_circuit(
+      {.num_qubits = 4, .num_blocks = 200, .measure = false, .seed = 5});
+  for (const auto& inst : qc.instructions()) {
+    if (inst.kind == qiskit::GateKind::ry ||
+        inst.kind == qiskit::GateKind::rz) {
+      EXPECT_GE(inst.param, 0.0);
+      EXPECT_LT(inst.param, 2 * M_PI);
+    }
+  }
+}
+
+TEST(RandomBlocks, CircuitIsSimulable) {
+  const auto qc = generate_random_circuit(
+      {.num_qubits = 6, .num_blocks = 100, .measure = true, .seed = 6});
+  sim::FusedEngine<double> eng;
+  EXPECT_NEAR(eng.run(qc).norm(), 1.0, 1e-10);
+}
+
+TEST(RandomBlocks, GateListTensorBatch) {
+  const auto tensor = generate_random_gate_list(
+      5, {.num_qubits = 4, .num_blocks = 20, .measure = true, .seed = 7});
+  EXPECT_EQ(tensor.num_circuits(), 5u);
+  // Each circuit: 20 blocks * 3 gates + 4 measures = 64 slots.
+  EXPECT_EQ(tensor.capacity(), 64u);
+  for (std::uint32_t c = 0; c < 5; ++c) {
+    EXPECT_EQ(tensor.circuit_gates(c), 64u);
+    EXPECT_EQ(tensor.circuit_qubits(c), 4u);
+  }
+  // Different seeds per circuit: first two circuits must differ.
+  EXPECT_NE(core::decode_circuit(tensor, 0), core::decode_circuit(tensor, 1));
+}
+
+TEST(RandomBlocks, TooFewQubitsRejected) {
+  EXPECT_THROW(generate_random_circuit({.num_qubits = 1, .num_blocks = 1}),
+               InvalidArgument);
+  Rng rng(1);
+  EXPECT_THROW(random_qubit_pairs(1, 10, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qgear::circuits

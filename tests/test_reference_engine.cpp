@@ -1,0 +1,189 @@
+#include "qgear/sim/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/sim_test_util.hpp"
+
+namespace qgear::sim {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+template <typename T>
+void expect_amp(const StateVector<T>& s, std::uint64_t i, double re,
+                double im, double tol = 1e-12) {
+  EXPECT_NEAR(s[i].real(), re, tol) << "amp " << i;
+  EXPECT_NEAR(s[i].imag(), im, tol) << "amp " << i;
+}
+
+TEST(ReferenceEngine, InitialState) {
+  StateVector<double> s(3);
+  EXPECT_EQ(s.size(), 8u);
+  expect_amp(s, 0, 1, 0);
+  for (std::uint64_t i = 1; i < 8; ++i) expect_amp(s, i, 0, 0);
+}
+
+TEST(ReferenceEngine, HadamardSuperposition) {
+  qiskit::QuantumCircuit qc(1);
+  qc.h(0);
+  ReferenceEngine<double> eng;
+  const auto s = eng.run(qc);
+  expect_amp(s, 0, kInvSqrt2, 0);
+  expect_amp(s, 1, kInvSqrt2, 0);
+}
+
+TEST(ReferenceEngine, PauliX) {
+  qiskit::QuantumCircuit qc(2);
+  qc.x(1);
+  ReferenceEngine<double> eng;
+  const auto s = eng.run(qc);
+  expect_amp(s, 0b10, 1, 0);  // little-endian: qubit 1 is bit 1
+  expect_amp(s, 0b00, 0, 0);
+}
+
+TEST(ReferenceEngine, BellState) {
+  qiskit::QuantumCircuit qc(2);
+  qc.h(0).cx(0, 1);
+  ReferenceEngine<double> eng;
+  const auto s = eng.run(qc);
+  expect_amp(s, 0b00, kInvSqrt2, 0);
+  expect_amp(s, 0b11, kInvSqrt2, 0);
+  expect_amp(s, 0b01, 0, 0);
+  expect_amp(s, 0b10, 0, 0);
+}
+
+TEST(ReferenceEngine, CxControlTargetRoles) {
+  // Control=1, target=0: flips bit 0 only when bit 1 is set.
+  qiskit::QuantumCircuit qc(2);
+  qc.x(1).cx(1, 0);
+  ReferenceEngine<double> eng;
+  const auto s = eng.run(qc);
+  expect_amp(s, 0b11, 1, 0);
+}
+
+TEST(ReferenceEngine, CxNonAdjacentQubits) {
+  qiskit::QuantumCircuit qc(4);
+  qc.x(0).cx(0, 3);
+  ReferenceEngine<double> eng;
+  const auto s = eng.run(qc);
+  expect_amp(s, 0b1001, 1, 0);
+}
+
+TEST(ReferenceEngine, SwapMovesAmplitude) {
+  qiskit::QuantumCircuit qc(3);
+  qc.x(0).swap(0, 2);
+  ReferenceEngine<double> eng;
+  const auto s = eng.run(qc);
+  expect_amp(s, 0b100, 1, 0);
+}
+
+TEST(ReferenceEngine, RzAppliesPhases) {
+  qiskit::QuantumCircuit qc(1);
+  qc.h(0).rz(M_PI / 2, 0);
+  ReferenceEngine<double> eng;
+  const auto s = eng.run(qc);
+  // rz(pi/2) = diag(e^{-i pi/4}, e^{i pi/4}).
+  expect_amp(s, 0, kInvSqrt2 * std::cos(M_PI / 4),
+             -kInvSqrt2 * std::sin(M_PI / 4));
+  expect_amp(s, 1, kInvSqrt2 * std::cos(M_PI / 4),
+             kInvSqrt2 * std::sin(M_PI / 4));
+}
+
+TEST(ReferenceEngine, ControlledPhaseOnlyHitsBothOnes) {
+  qiskit::QuantumCircuit qc(2);
+  qc.h(0).h(1).cp(M_PI, 0, 1);
+  ReferenceEngine<double> eng;
+  const auto s = eng.run(qc);
+  expect_amp(s, 0b00, 0.5, 0);
+  expect_amp(s, 0b01, 0.5, 0);
+  expect_amp(s, 0b10, 0.5, 0);
+  expect_amp(s, 0b11, -0.5, 0);
+}
+
+TEST(ReferenceEngine, CzMatchesCpPi) {
+  qiskit::QuantumCircuit a(2), b(2);
+  a.h(0).h(1).cz(0, 1);
+  b.h(0).h(1).cp(M_PI, 0, 1);
+  ReferenceEngine<double> eng;
+  EXPECT_NEAR(eng.run(a).fidelity(eng.run(b)), 1.0, 1e-12);
+}
+
+TEST(ReferenceEngine, RyRotatesByExpectedAngle) {
+  qiskit::QuantumCircuit qc(1);
+  const double theta = 1.234;
+  qc.ry(theta, 0);
+  ReferenceEngine<double> eng;
+  const auto s = eng.run(qc);
+  expect_amp(s, 0, std::cos(theta / 2), 0);
+  expect_amp(s, 1, std::sin(theta / 2), 0);
+}
+
+TEST(ReferenceEngine, MeasuredQubitsCollected) {
+  qiskit::QuantumCircuit qc(3);
+  qc.h(0).measure(2).measure(0);
+  ReferenceEngine<double> eng;
+  std::vector<unsigned> measured;
+  eng.run(qc, &measured);
+  EXPECT_EQ(measured, (std::vector<unsigned>{2, 0}));
+}
+
+TEST(ReferenceEngine, NormPreservedOnRandomCircuit) {
+  const auto qc = sim_test::random_circuit(6, 300, 42);
+  ReferenceEngine<double> eng;
+  EXPECT_NEAR(eng.run(qc).norm(), 1.0, 1e-10);
+}
+
+TEST(ReferenceEngine, Fp32MatchesFp64Closely) {
+  const auto qc = sim_test::random_circuit(5, 100, 7);
+  ReferenceEngine<double> e64;
+  ReferenceEngine<float> e32;
+  const auto s64 = e64.run(qc);
+  const auto s32 = e32.run(qc);
+  for (std::uint64_t i = 0; i < s64.size(); ++i) {
+    EXPECT_NEAR(s64[i].real(), s32[i].real(), 2e-4);
+    EXPECT_NEAR(s64[i].imag(), s32[i].imag(), 2e-4);
+  }
+}
+
+TEST(ReferenceEngine, ThreadPoolMatchesSerial) {
+  const auto qc = sim_test::random_circuit(8, 200, 9);
+  ReferenceEngine<double> serial;
+  ThreadPool pool(4);
+  ReferenceEngine<double> parallel({.pool = &pool});
+  const auto a = serial.run(qc);
+  const auto b = parallel.run(qc);
+  for (std::uint64_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(ReferenceEngine, InverseReturnsToZero) {
+  const auto qc = sim_test::random_circuit(5, 80, 31);
+  qiskit::QuantumCircuit both = qc;
+  both.compose(qc.inverse());
+  ReferenceEngine<double> eng;
+  const auto s = eng.run(both);
+  EXPECT_NEAR(std::abs(s[0]), 1.0, 1e-9);
+}
+
+TEST(ReferenceEngine, StatsAccumulate) {
+  qiskit::QuantumCircuit qc(3);
+  qc.h(0).cx(0, 1).barrier().rz(0.5, 2);
+  ReferenceEngine<double> eng;
+  eng.run(qc);
+  EXPECT_EQ(eng.stats().gates, 4u);
+  EXPECT_EQ(eng.stats().sweeps, 3u);  // barrier costs nothing
+  EXPECT_EQ(eng.stats().amp_ops, 3u * 8);
+  eng.reset_stats();
+  EXPECT_EQ(eng.stats().gates, 0u);
+}
+
+TEST(ReferenceEngine, QubitCountMismatchThrows) {
+  qiskit::QuantumCircuit qc(3);
+  StateVector<double> s(2);
+  ReferenceEngine<double> eng;
+  EXPECT_THROW(eng.apply(qc, s), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qgear::sim

@@ -1,0 +1,93 @@
+#include "qgear/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64Bounded) {
+  Rng rng(7);
+  std::vector<int> hist(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(10);
+    ASSERT_LT(v, 10u);
+    ++hist[v];
+  }
+  // Each bucket should get ~10000; allow generous slack.
+  for (int h : hist) {
+    EXPECT_GT(h, 9000);
+    EXPECT_LT(h, 11000);
+  }
+}
+
+TEST(Rng, UniformRangeEndpoints) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // The child stream should not reproduce the parent stream.
+  Rng parent2(5);
+  parent2.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformU64RequiresPositiveBound) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_u64(0), LogicViolation);
+}
+
+}  // namespace
+}  // namespace qgear

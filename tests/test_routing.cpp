@@ -1,0 +1,136 @@
+#include "qgear/qiskit/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/sim/reference.hpp"
+#include "tests/sim_test_util.hpp"
+
+namespace qgear::qiskit {
+namespace {
+
+// Verifies routed circuit equivalence: undoing the final layout with
+// explicit swaps must reproduce the original state on the first
+// qc.num_qubits() qubits.
+void expect_equivalent_after_layout(const QuantumCircuit& logical,
+                                    const RoutingResult& routed) {
+  // Append swaps that send physical qubit layout[l] back to l.
+  QuantumCircuit fixed = routed.circuit;
+  std::vector<unsigned> layout = routed.final_layout;
+  for (unsigned l = 0; l < layout.size(); ++l) {
+    while (layout[l] != l) {
+      const unsigned p = layout[l];
+      // Find which logical qubit sits at l right now.
+      fixed.swap(static_cast<int>(l), static_cast<int>(p));
+      for (unsigned& v : layout) {
+        if (v == l) {
+          v = p;
+        } else if (v == p) {
+          v = l;
+        }
+      }
+    }
+  }
+  // Pad the logical circuit to the physical register width.
+  QuantumCircuit padded(fixed.num_qubits(), logical.name());
+  for (const Instruction& inst : logical.instructions()) {
+    padded.append(inst);
+  }
+  sim::ReferenceEngine<double> eng;
+  EXPECT_NEAR(eng.run(padded).fidelity(eng.run(fixed)), 1.0, 1e-9);
+}
+
+TEST(CouplingMap, Topologies) {
+  const CouplingMap lin = CouplingMap::linear(4);
+  EXPECT_TRUE(lin.connected(0, 1));
+  EXPECT_TRUE(lin.connected(2, 3));
+  EXPECT_FALSE(lin.connected(0, 3));
+  const CouplingMap ring = CouplingMap::ring(4);
+  EXPECT_TRUE(ring.connected(3, 0));
+  const CouplingMap grid = CouplingMap::grid(2, 3);
+  EXPECT_TRUE(grid.connected(0, 3));   // vertical
+  EXPECT_TRUE(grid.connected(1, 2));   // horizontal
+  EXPECT_FALSE(grid.connected(0, 4));  // diagonal
+  const CouplingMap full = CouplingMap::full(5);
+  EXPECT_TRUE(full.connected(0, 4));
+}
+
+TEST(CouplingMap, ShortestPath) {
+  const CouplingMap lin = CouplingMap::linear(6);
+  EXPECT_EQ(lin.shortest_path(1, 4),
+            (std::vector<unsigned>{1, 2, 3, 4}));
+  EXPECT_EQ(lin.shortest_path(3, 3), std::vector<unsigned>{3});
+  const CouplingMap ring = CouplingMap::ring(6);
+  EXPECT_EQ(ring.shortest_path(0, 5).size(), 2u);  // wraps around
+
+  CouplingMap disconnected(4);
+  disconnected.add_edge(0, 1);
+  EXPECT_THROW(disconnected.shortest_path(0, 3), InvalidArgument);
+}
+
+TEST(Routing, AdjacentGatesUntouched) {
+  QuantumCircuit qc(3);
+  qc.h(0).cx(0, 1).cx(1, 2);
+  const RoutingResult r = route(qc, CouplingMap::linear(3));
+  EXPECT_EQ(r.swaps_inserted, 0u);
+  EXPECT_EQ(r.circuit.num_2q_gates(), 2u);
+}
+
+TEST(Routing, DistantGateGetsSwapChain) {
+  QuantumCircuit qc(4);
+  qc.cx(0, 3);
+  const RoutingResult r = route(qc, CouplingMap::linear(4));
+  EXPECT_EQ(r.swaps_inserted, 2u);  // 0 walks next to 3
+  for (const Instruction& inst : r.circuit.instructions()) {
+    if (gate_info(inst.kind).num_qubits == 2) {
+      EXPECT_LE(std::abs(inst.q0 - inst.q1), 1) << "non-adjacent gate";
+    }
+  }
+}
+
+TEST(Routing, SemanticsPreservedOnLinearChain) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto qc = sim_test::random_circuit(5, 60, seed, false);
+    const RoutingResult r = route(qc, CouplingMap::linear(5));
+    expect_equivalent_after_layout(qc, r);
+  }
+}
+
+TEST(Routing, SemanticsPreservedOnGrid) {
+  const auto qc = sim_test::random_circuit(6, 60, 9, false);
+  const RoutingResult r = route(qc, CouplingMap::grid(2, 3));
+  expect_equivalent_after_layout(qc, r);
+}
+
+TEST(Routing, RingBeatsLineOnWrapGates) {
+  QuantumCircuit qc(6);
+  for (int i = 0; i < 5; ++i) qc.cx(0, 5);
+  const RoutingResult line = route(qc, CouplingMap::linear(6));
+  const RoutingResult ring = route(qc, CouplingMap::ring(6));
+  EXPECT_LT(ring.swaps_inserted, line.swaps_inserted);
+}
+
+TEST(Routing, FullConnectivityNeverSwaps) {
+  const auto qc = sim_test::random_circuit(5, 100, 4, false);
+  const RoutingResult r = route(qc, CouplingMap::full(5));
+  EXPECT_EQ(r.swaps_inserted, 0u);
+}
+
+TEST(Routing, MapSmallerThanCircuitRejected) {
+  QuantumCircuit qc(5);
+  qc.h(0);
+  EXPECT_THROW(route(qc, CouplingMap::linear(3)), InvalidArgument);
+}
+
+TEST(Routing, MeasurementsFollowLayout) {
+  QuantumCircuit qc(3);
+  qc.cx(0, 2).measure(0);
+  const RoutingResult r = route(qc, CouplingMap::linear(3));
+  // Qubit 0 moved next to 2; its measurement must target its new home.
+  ASSERT_GT(r.swaps_inserted, 0u);
+  const Instruction& last = r.circuit.instructions().back();
+  EXPECT_EQ(last.kind, GateKind::measure);
+  EXPECT_EQ(static_cast<unsigned>(last.q0), r.final_layout[0]);
+}
+
+}  // namespace
+}  // namespace qgear::qiskit

@@ -1,0 +1,124 @@
+#include "qgear/sim/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/sim/reference.hpp"
+
+namespace qgear::sim {
+namespace {
+
+TEST(AliasSampler, DegenerateSingleOutcome) {
+  AliasSampler s({0.0, 1.0, 0.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(rng), 1u);
+}
+
+TEST(AliasSampler, MatchesWeights) {
+  const std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  AliasSampler s(w);
+  Rng rng(2);
+  std::vector<int> hist(4, 0);
+  const int shots = 200000;
+  for (int i = 0; i < shots; ++i) ++hist[s.sample(rng)];
+  for (int k = 0; k < 4; ++k) {
+    const double expected = w[k] / 10.0 * shots;
+    EXPECT_NEAR(hist[k], expected, 5 * std::sqrt(expected)) << k;
+  }
+}
+
+TEST(AliasSampler, UnnormalizedWeightsAccepted) {
+  AliasSampler s({100.0, 300.0});
+  Rng rng(3);
+  int ones = 0;
+  for (int i = 0; i < 40000; ++i) ones += s.sample(rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(ones, 30000, 600);
+}
+
+TEST(AliasSampler, InvalidInputsRejected) {
+  EXPECT_THROW(AliasSampler({}), InvalidArgument);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(AliasSampler({1.0, -0.5}), InvalidArgument);
+}
+
+TEST(SampleCounts, BellStateHalfHalf) {
+  qiskit::QuantumCircuit qc(2);
+  qc.h(0).cx(0, 1);
+  ReferenceEngine<double> eng;
+  const auto state = eng.run(qc);
+  Rng rng(11);
+  const Counts counts = sample_counts(state, {}, 100000, rng);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(counts.at(0b00)), 50000, 1000);
+  EXPECT_NEAR(static_cast<double>(counts.at(0b11)), 50000, 1000);
+}
+
+TEST(SampleCounts, ShotsConserved) {
+  qiskit::QuantumCircuit qc(3);
+  qc.h(0).h(1).h(2);
+  ReferenceEngine<double> eng;
+  const auto state = eng.run(qc);
+  Rng rng(5);
+  const Counts counts = sample_counts(state, {}, 12345, rng);
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : counts) total += v;
+  EXPECT_EQ(total, 12345u);
+}
+
+TEST(SampleCounts, MeasuredSubsetPacksBits) {
+  // |q2 q1 q0> = |101>: measuring {0, 2} should give key 0b11; measuring
+  // {1} gives 0.
+  qiskit::QuantumCircuit qc(3);
+  qc.x(0).x(2);
+  ReferenceEngine<double> eng;
+  const auto state = eng.run(qc);
+  Rng rng(9);
+  const Counts both = sample_counts(state, {0, 2}, 100, rng);
+  ASSERT_EQ(both.size(), 1u);
+  EXPECT_EQ(both.begin()->first, 0b11u);
+  const Counts mid = sample_counts(state, {1}, 100, rng);
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_EQ(mid.begin()->first, 0u);
+}
+
+TEST(SampleCounts, MeasuredOrderControlsSignificance) {
+  // |q1 q0> = |01>: measured order {0,1} -> key 0b01; {1,0} -> key 0b10.
+  qiskit::QuantumCircuit qc(2);
+  qc.x(0);
+  ReferenceEngine<double> eng;
+  const auto state = eng.run(qc);
+  Rng rng(4);
+  EXPECT_EQ(sample_counts(state, {0, 1}, 10, rng).begin()->first, 0b01u);
+  EXPECT_EQ(sample_counts(state, {1, 0}, 10, rng).begin()->first, 0b10u);
+}
+
+TEST(SampleCounts, InvalidQubitsRejected) {
+  StateVector<double> state(2);
+  Rng rng(1);
+  EXPECT_THROW(sample_counts(state, {0, 0}, 10, rng), InvalidArgument);
+  EXPECT_THROW(sample_counts(state, {5}, 10, rng), InvalidArgument);
+}
+
+TEST(SampleCounts, DeterministicForSeed) {
+  qiskit::QuantumCircuit qc(4);
+  qc.h(0).h(1).cx(1, 2).ry(0.7, 3);
+  ReferenceEngine<double> eng;
+  const auto state = eng.run(qc);
+  Rng r1(42), r2(42);
+  EXPECT_EQ(sample_counts(state, {}, 5000, r1),
+            sample_counts(state, {}, 5000, r2));
+}
+
+TEST(QubitOneProbabilities, MatchesAnalytic) {
+  qiskit::QuantumCircuit qc(3);
+  const double theta = 0.9;
+  qc.ry(theta, 0).x(1);
+  ReferenceEngine<double> eng;
+  const auto state = eng.run(qc);
+  const auto p1 = qubit_one_probabilities(state);
+  EXPECT_NEAR(p1[0], std::sin(theta / 2) * std::sin(theta / 2), 1e-12);
+  EXPECT_NEAR(p1[1], 1.0, 1e-12);
+  EXPECT_NEAR(p1[2], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qgear::sim

@@ -1,0 +1,86 @@
+// Parameterized property sweeps over the simulation engines.
+#include <gtest/gtest.h>
+
+#include "qgear/sim/fused.hpp"
+#include "qgear/sim/reference.hpp"
+#include "qgear/sim/sampler.hpp"
+#include "tests/sim_test_util.hpp"
+
+namespace qgear::sim {
+namespace {
+
+struct PropertyCase {
+  unsigned qubits;
+  unsigned gates;
+  unsigned fusion_width;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<PropertyCase>& info) {
+  return "q" + std::to_string(info.param.qubits) + "_g" +
+         std::to_string(info.param.gates) + "_w" +
+         std::to_string(info.param.fusion_width) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class EngineProperty : public testing::TestWithParam<PropertyCase> {};
+
+TEST_P(EngineProperty, NormPreserved) {
+  const auto& p = GetParam();
+  const auto qc = sim_test::random_circuit(p.qubits, p.gates, p.seed);
+  FusedEngine<double> eng({.fusion = {.max_width = p.fusion_width}});
+  EXPECT_NEAR(eng.run(qc).norm(), 1.0, 1e-9);
+}
+
+TEST_P(EngineProperty, FusedMatchesReference) {
+  const auto& p = GetParam();
+  const auto qc = sim_test::random_circuit(p.qubits, p.gates, p.seed);
+  ReferenceEngine<double> ref;
+  FusedEngine<double> fused({.fusion = {.max_width = p.fusion_width}});
+  const auto a = ref.run(qc);
+  const auto b = fused.run(qc);
+  EXPECT_NEAR(a.fidelity(b), 1.0, 1e-9);
+}
+
+TEST_P(EngineProperty, UnitaryInversionReturnsToZero) {
+  const auto& p = GetParam();
+  const auto qc = sim_test::random_circuit(p.qubits, p.gates, p.seed);
+  qiskit::QuantumCircuit round_trip = qc;
+  round_trip.compose(qc.inverse());
+  FusedEngine<double> eng({.fusion = {.max_width = p.fusion_width}});
+  const auto s = eng.run(round_trip);
+  EXPECT_NEAR(std::abs(s[0]), 1.0, 1e-8);
+}
+
+TEST_P(EngineProperty, SampledMarginalsMatchState) {
+  const auto& p = GetParam();
+  const auto qc = sim_test::random_circuit(p.qubits, p.gates, p.seed);
+  FusedEngine<double> eng({.fusion = {.max_width = p.fusion_width}});
+  const auto state = eng.run(qc);
+  const auto expected = qubit_one_probabilities(state);
+  Rng rng(p.seed * 7 + 1);
+  const std::uint64_t shots = 40000;
+  const Counts counts = sample_counts(state, {}, shots, rng);
+  std::vector<double> observed(p.qubits, 0.0);
+  for (const auto& [key, cnt] : counts) {
+    for (unsigned q = 0; q < p.qubits; ++q) {
+      if (test_bit(key, q)) observed[q] += static_cast<double>(cnt);
+    }
+  }
+  for (unsigned q = 0; q < p.qubits; ++q) {
+    EXPECT_NEAR(observed[q] / static_cast<double>(shots), expected[q], 0.015)
+        << "qubit " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineProperty,
+    testing::Values(PropertyCase{2, 40, 2, 101}, PropertyCase{3, 80, 2, 102},
+                    PropertyCase{4, 120, 3, 103}, PropertyCase{5, 160, 4, 104},
+                    PropertyCase{6, 200, 5, 105}, PropertyCase{7, 150, 5, 106},
+                    PropertyCase{8, 120, 3, 107}, PropertyCase{5, 300, 1, 108},
+                    PropertyCase{6, 60, 6, 109}, PropertyCase{4, 500, 2, 110}),
+    case_name);
+
+}  // namespace
+}  // namespace qgear::sim

@@ -1,0 +1,90 @@
+#include "qgear/core/state_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/qh5/file.hpp"
+#include "qgear/sim/fused.hpp"
+#include "tests/sim_test_util.hpp"
+
+namespace qgear::core {
+namespace {
+
+TEST(StateIo, RoundTripFp64) {
+  sim::FusedEngine<double> eng;
+  const auto qc = sim_test::random_circuit(6, 80, 1);
+  const auto state = eng.run(qc);
+
+  qh5::File f = qh5::File::create("unused");
+  save_state(state, f.root().create_group("checkpoint"));
+  const auto buf = qh5::File::serialize(f.root());
+  const qh5::Group root = qh5::File::deserialize(buf.data(), buf.size());
+  const auto back = load_state<double>(root.group("checkpoint"));
+
+  ASSERT_EQ(back.size(), state.size());
+  for (std::uint64_t i = 0; i < state.size(); ++i) {
+    EXPECT_EQ(back[i], state[i]);
+  }
+}
+
+TEST(StateIo, RoundTripFp32) {
+  sim::FusedEngine<float> eng;
+  const auto qc = sim_test::random_circuit(5, 40, 2);
+  const auto state = eng.run(qc);
+  qh5::File f = qh5::File::create("unused");
+  save_state(state, f.root().create_group("s"));
+  const auto back = load_state<float>(f.root().group("s"));
+  for (std::uint64_t i = 0; i < state.size(); ++i) {
+    EXPECT_EQ(back[i], state[i]);
+  }
+}
+
+TEST(StateIo, PrecisionMismatchRejected) {
+  sim::StateVector<float> state(3);
+  qh5::File f = qh5::File::create("unused");
+  save_state(state, f.root().create_group("s"));
+  EXPECT_THROW(load_state<double>(f.root().group("s")), FormatError);
+}
+
+TEST(StateIo, WrongGroupRejected) {
+  qh5::File f = qh5::File::create("unused");
+  qh5::Group& g = f.root().create_group("not_a_state");
+  EXPECT_THROW(load_state<double>(g), FormatError);
+}
+
+TEST(StateIo, CheckpointResumeEquivalence) {
+  // Evolve half the circuit, checkpoint, reload, evolve the rest: must
+  // equal the uninterrupted run (the multi-job pipeline pattern).
+  const auto qc = sim_test::random_circuit(5, 100, 3);
+  const auto& ops = qc.instructions();
+  qiskit::QuantumCircuit first(5), second(5);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    (i < ops.size() / 2 ? first : second).append(ops[i]);
+  }
+
+  sim::FusedEngine<double> eng;
+  auto half = eng.run(first);
+  qh5::File f = qh5::File::create("unused");
+  save_state(half, f.root().create_group("ckpt"));
+  auto resumed = load_state<double>(f.root().group("ckpt"));
+  eng.apply(second, resumed);
+
+  const auto direct = eng.run(qc);
+  EXPECT_NEAR(direct.fidelity(resumed), 1.0, 1e-12);
+}
+
+TEST(StateIo, StructuredStatesCompressWell) {
+  // A sparse GHZ-like state has mostly-zero planes: compression must bite.
+  qiskit::QuantumCircuit qc(12);
+  qc.h(0);
+  for (int q = 0; q + 1 < 12; ++q) qc.cx(q, q + 1);
+  sim::FusedEngine<double> eng;
+  const auto state = eng.run(qc);
+  qh5::File f = qh5::File::create("state_compress_test.qh5");
+  save_state(state, f.root().create_group("s"));
+  f.flush();
+  EXPECT_LT(f.stats().compressed_bytes, f.stats().uncompressed_bytes / 10);
+  std::remove("state_compress_test.qh5");
+}
+
+}  // namespace
+}  // namespace qgear::core

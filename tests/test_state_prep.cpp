@@ -1,0 +1,167 @@
+#include "qgear/circuits/state_prep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/circuits/ucr.hpp"
+#include "qgear/common/rng.hpp"
+#include "qgear/sim/fused.hpp"
+#include "qgear/sim/reference.hpp"
+
+namespace qgear::circuits {
+namespace {
+
+std::vector<std::complex<double>> random_state(unsigned n,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::complex<double>> amps(pow2(n));
+  for (auto& a : amps) a = std::complex<double>(rng.normal(), rng.normal());
+  return amps;  // prepare_state normalizes
+}
+
+double prep_fidelity(const std::vector<std::complex<double>>& target) {
+  const auto qc = prepare_state(target);
+  sim::FusedEngine<double> eng;
+  const auto state = eng.run(qc);
+  double norm2 = 0;
+  for (const auto& a : target) norm2 += std::norm(a);
+  std::complex<double> overlap(0, 0);
+  for (std::uint64_t i = 0; i < state.size(); ++i) {
+    overlap += std::conj(target[i]) * std::complex<double>(state[i]);
+  }
+  return std::norm(overlap) / norm2;
+}
+
+// ---- generalized UCR ---------------------------------------------------
+
+TEST(Ucr, ZeroControlsIsPlainRotation) {
+  qiskit::QuantumCircuit qc(2);
+  const std::vector<double> alpha = {0.7};
+  append_ucr(qc, qiskit::GateKind::rz, {}, 1, alpha);
+  ASSERT_EQ(qc.size(), 1u);
+  EXPECT_EQ(qc.instructions()[0],
+            (qiskit::Instruction{qiskit::GateKind::rz, 1, -1, 0.7}));
+}
+
+TEST(Ucr, NonContiguousControls) {
+  // Controls {0, 2}, target 1: per address the target rotates by alpha_a.
+  const std::vector<double> alphas = {0.3, 0.8, 1.4, 2.1};
+  const std::vector<unsigned> controls = {0, 2};
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    qiskit::QuantumCircuit qc(3);
+    if (test_bit(a, 0)) qc.x(0);
+    if (test_bit(a, 1)) qc.x(2);
+    append_ucr(qc, qiskit::GateKind::ry, controls, 1, alphas);
+    sim::ReferenceEngine<double> eng;
+    const auto state = eng.run(qc);
+    double p1 = 0;
+    for (std::uint64_t i = 0; i < state.size(); ++i) {
+      if (test_bit(i, 1)) p1 += state.probability(i);
+    }
+    EXPECT_NEAR(p1, std::pow(std::sin(alphas[a] / 2), 2), 1e-12) << a;
+  }
+}
+
+TEST(Ucr, RzVariantAppliesPerAddressPhases) {
+  // UCRz on target with controls in superposition must act diagonally.
+  const std::vector<double> alphas = {0.5, -1.2};
+  qiskit::QuantumCircuit qc(2);
+  qc.h(0).h(1);
+  append_ucr(qc, qiskit::GateKind::rz, std::vector<unsigned>{0}, 1, alphas);
+  sim::ReferenceEngine<double> eng;
+  const auto state = eng.run(qc);
+  // amplitude(i) = 0.5 * e^{±i alpha_{a}/2} with sign from target bit.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const double alpha = alphas[i & 1];
+    const double sign = test_bit(i, 1) ? +1.0 : -1.0;
+    const std::complex<double> expected =
+        0.5 * std::exp(std::complex<double>(0, sign * alpha / 2));
+    EXPECT_NEAR(std::abs(state[i] - expected), 0.0, 1e-12) << i;
+  }
+}
+
+TEST(Ucr, InvalidInputsRejected) {
+  qiskit::QuantumCircuit qc(3);
+  const std::vector<double> two = {0.1, 0.2};
+  EXPECT_THROW(append_ucr(qc, qiskit::GateKind::rx,
+                          std::vector<unsigned>{0}, 1, two),
+               InvalidArgument);
+  EXPECT_THROW(append_ucr(qc, qiskit::GateKind::ry,
+                          std::vector<unsigned>{1}, 1, two),
+               InvalidArgument);
+  const std::vector<double> three = {0.1, 0.2, 0.3};
+  EXPECT_THROW(append_ucr(qc, qiskit::GateKind::ry,
+                          std::vector<unsigned>{0}, 1, three),
+               InvalidArgument);
+}
+
+// ---- state preparation ---------------------------------------------------
+
+TEST(StatePrep, BasisStates) {
+  for (unsigned n : {1u, 2u, 3u}) {
+    for (std::uint64_t x = 0; x < pow2(n); ++x) {
+      std::vector<std::complex<double>> target(pow2(n));
+      target[x] = 1.0;
+      EXPECT_NEAR(prep_fidelity(target), 1.0, 1e-10)
+          << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(StatePrep, UniformSuperposition) {
+  std::vector<std::complex<double>> target(16, {0.25, 0.0});
+  EXPECT_NEAR(prep_fidelity(target), 1.0, 1e-10);
+}
+
+TEST(StatePrep, RandomComplexStates) {
+  for (unsigned n = 1; n <= 6; ++n) {
+    for (std::uint64_t seed : {1u, 2u}) {
+      EXPECT_NEAR(prep_fidelity(random_state(n, seed * 10 + n)), 1.0,
+                  1e-9)
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(StatePrep, SparseStates) {
+  // States with exact zeros exercise the zero-pair angle handling.
+  std::vector<std::complex<double>> target(8, 0.0);
+  target[1] = {0.6, 0.0};
+  target[6] = {0.0, 0.8};
+  EXPECT_NEAR(prep_fidelity(target), 1.0, 1e-10);
+}
+
+TEST(StatePrep, UnnormalizedInputAccepted) {
+  std::vector<std::complex<double>> target = {{3, 0}, {0, 4}};
+  const auto qc = prepare_state(target);
+  sim::ReferenceEngine<double> eng;
+  const auto state = eng.run(qc);
+  EXPECT_NEAR(state.probability(0), 9.0 / 25.0, 1e-12);
+  EXPECT_NEAR(state.probability(1), 16.0 / 25.0, 1e-12);
+}
+
+TEST(StatePrep, GateCountWithinBound) {
+  for (unsigned n : {2u, 4u, 6u}) {
+    const auto qc = prepare_state(random_state(n, 3));
+    std::uint64_t rotations = 0;
+    for (const auto& inst : qc.instructions()) {
+      if (inst.kind == qiskit::GateKind::ry ||
+          inst.kind == qiskit::GateKind::rz) {
+        ++rotations;
+      }
+    }
+    EXPECT_LE(rotations, prepare_state_gate_bound(n));
+    EXPECT_GT(rotations, 0u);
+  }
+}
+
+TEST(StatePrep, InvalidInputsRejected) {
+  EXPECT_THROW(prepare_state(std::vector<std::complex<double>>(3)),
+               InvalidArgument);
+  EXPECT_THROW(prepare_state(std::vector<std::complex<double>>(1)),
+               InvalidArgument);
+  EXPECT_THROW(prepare_state(std::vector<std::complex<double>>(4, 0.0)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qgear::circuits

@@ -1,0 +1,46 @@
+#include "qgear/common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qgear {
+namespace {
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(0), "0 B");
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KB");
+  EXPECT_EQ(human_bytes(5ull * 1024 * 1024), "5.00 MB");
+  EXPECT_EQ(human_bytes(3ull * 1024 * 1024 * 1024), "3.00 GB");
+}
+
+TEST(Strings, HumanSeconds) {
+  EXPECT_EQ(human_seconds(7200.0), "2.00 h");
+  EXPECT_EQ(human_seconds(90.0), "1.50 min");
+  EXPECT_EQ(human_seconds(2.5), "2.50 s");
+  EXPECT_EQ(human_seconds(0.010), "10.00 ms");
+  EXPECT_EQ(human_seconds(25e-6), "25.00 us");
+  EXPECT_EQ(human_seconds(3e-9), "3 ns");
+}
+
+TEST(Strings, SplitJoin) {
+  EXPECT_EQ(split("a/b/c", '/'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a//c", '/'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", '/'), std::vector<std::string>{});
+  EXPECT_EQ(split("x/", '/'), (std::vector<std::string>{"x", ""}));
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("qgear_core", "qgear"));
+  EXPECT_FALSE(starts_with("qgear", "qgear_core"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Strings, Strfmt) {
+  EXPECT_EQ(strfmt("n=%d t=%.2f", 3, 1.5), "n=3 t=1.50");
+  EXPECT_EQ(strfmt("%s", "hello"), "hello");
+}
+
+}  // namespace
+}  // namespace qgear

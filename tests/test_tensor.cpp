@@ -1,0 +1,174 @@
+#include "qgear/core/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/qh5/file.hpp"
+#include "qgear/qiskit/transpile.hpp"
+#include "qgear/sim/reference.hpp"
+#include "tests/sim_test_util.hpp"
+
+namespace qgear::core {
+namespace {
+
+std::vector<qiskit::QuantumCircuit> sample_batch() {
+  qiskit::QuantumCircuit a(3, "qft_like");
+  a.h(0).cp(0.5, 0, 1).cp(0.25, 0, 2).h(1).cp(0.5, 1, 2).h(2).measure_all();
+  qiskit::QuantumCircuit b(2, "cx_block");
+  b.ry(0.7, 0).rz(1.1, 1).cx(0, 1).rx(0.2, 0);
+  return {a, b};
+}
+
+TEST(GateTensor, OneHotMatrixIsIdentity) {
+  const auto m = one_hot_matrix();
+  ASSERT_EQ(m.size(),
+            static_cast<std::size_t>(kNumTensorGates * kNumTensorGates));
+  for (int r = 0; r < kNumTensorGates; ++r) {
+    for (int c = 0; c < kNumTensorGates; ++c) {
+      EXPECT_EQ(m[r * kNumTensorGates + c], r == c ? 1 : 0);
+    }
+  }
+}
+
+TEST(GateTensor, KindMappingRoundTrips) {
+  for (int g = 0; g < kNumTensorGates; ++g) {
+    const auto tg = static_cast<TensorGate>(g);
+    EXPECT_EQ(tensor_gate_from_kind(kind_from_tensor_gate(tg)), tg);
+  }
+  EXPECT_THROW(tensor_gate_from_kind(qiskit::GateKind::swap),
+               InvalidArgument);
+}
+
+TEST(GateTensor, EncodeShapeFollowsLemmaB2) {
+  const auto batch = sample_batch();
+  const GateTensor t = encode_circuits(batch);
+  EXPECT_EQ(t.num_circuits(), 2u);
+  // d >= max(|G|, |C|): circuit a has 9 encodable gates (6 + 3 measures).
+  EXPECT_EQ(t.capacity(), 9u);
+  EXPECT_EQ(t.circuit_gates(0), 9u);
+  EXPECT_EQ(t.circuit_gates(1), 4u);
+  EXPECT_EQ(t.circuit_qubits(0), 3u);
+  EXPECT_EQ(t.circuit_name(1), "cx_block");
+}
+
+TEST(GateTensor, ManualCapacityChecked) {
+  const auto batch = sample_batch();
+  EXPECT_THROW(encode_circuits(batch, {.capacity = 4}), InvalidArgument);
+  const GateTensor t = encode_circuits(batch, {.capacity = 64});
+  EXPECT_EQ(t.capacity(), 64u);
+  // Padding slots carry the sentinel.
+  EXPECT_EQ(t.gate_type(1, 10), kEmptySlot);
+}
+
+TEST(GateTensor, CapacityCoversCircuitCount) {
+  // Many small circuits: d must be >= |C| even if each has 1 gate.
+  std::vector<qiskit::QuantumCircuit> batch;
+  for (int i = 0; i < 9; ++i) {
+    qiskit::QuantumCircuit qc(1, "tiny");
+    qc.h(0);
+    batch.push_back(qc);
+  }
+  EXPECT_EQ(encode_circuits(batch).capacity(), 9u);
+}
+
+TEST(GateTensor, DecodeIsExactInverseForNativeCircuits) {
+  const auto batch = sample_batch();
+  std::vector<qiskit::QuantumCircuit> native;
+  for (const auto& qc : batch) native.push_back(qiskit::to_native_basis(qc));
+  const GateTensor t = encode_circuits(native, {.transpile = false});
+  for (std::uint32_t c = 0; c < t.num_circuits(); ++c) {
+    EXPECT_EQ(decode_circuit(t, c), native[c]) << c;
+  }
+}
+
+TEST(GateTensor, EncodeDecodePreservesSemantics) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto qc = sim_test::random_circuit(5, 120, seed);
+    const GateTensor t = encode_circuits({&qc, 1});
+    const auto back = decode_circuit(t, 0);
+    sim::ReferenceEngine<double> eng;
+    EXPECT_NEAR(eng.run(qc).fidelity(eng.run(back)), 1.0, 1e-9) << seed;
+  }
+}
+
+TEST(GateTensor, SingleQubitGatesUseTargetPlane) {
+  qiskit::QuantumCircuit qc(2, "x");
+  qc.ry(0.5, 1);
+  const GateTensor t = encode_circuits({&qc, 1});
+  EXPECT_EQ(t.gate_type(0, 0), static_cast<std::int8_t>(TensorGate::ry));
+  EXPECT_EQ(t.control(0, 0), -1);
+  EXPECT_EQ(t.target(0, 0), 1);
+  EXPECT_DOUBLE_EQ(t.param(0, 0), 0.5);
+}
+
+TEST(GateTensor, TwoQubitGatesRecordControlAndTarget) {
+  qiskit::QuantumCircuit qc(3, "x");
+  qc.cx(2, 0);
+  const GateTensor t = encode_circuits({&qc, 1});
+  EXPECT_EQ(t.control(0, 0), 2);
+  EXPECT_EQ(t.target(0, 0), 0);
+}
+
+TEST(GateTensor, BarriersAreNotEncoded) {
+  qiskit::QuantumCircuit qc(2, "x");
+  qc.h(0).barrier().h(1);
+  const GateTensor t = encode_circuits({&qc, 1});
+  EXPECT_EQ(t.circuit_gates(0), 2u);
+}
+
+TEST(GateTensor, PushBeyondCapacityThrows) {
+  GateTensor t(1, 2);
+  t.set_circuit_meta(0, 1, "c");
+  t.push_gate(0, TensorGate::h, -1, 0, 0);
+  t.push_gate(0, TensorGate::h, -1, 0, 0);
+  EXPECT_THROW(t.push_gate(0, TensorGate::h, -1, 0, 0), InvalidArgument);
+}
+
+TEST(GateTensor, Qh5RoundTrip) {
+  const auto batch = sample_batch();
+  const GateTensor t = encode_circuits(batch);
+  qh5::File f = qh5::File::create("unused");
+  qh5::Group& g = f.root().create_group("tensor");
+  save_tensor(t, g);
+  const auto buf = qh5::File::serialize(f.root());
+  const qh5::Group root = qh5::File::deserialize(buf.data(), buf.size());
+  const GateTensor loaded = load_tensor(root.group("tensor"));
+  EXPECT_EQ(loaded, t);
+}
+
+TEST(GateTensor, LoadRejectsWrongGroup) {
+  qh5::File f = qh5::File::create("unused");
+  qh5::Group& g = f.root().create_group("not_a_tensor");
+  g.set_attr("format", std::string("something_else"));
+  EXPECT_THROW(load_tensor(g), FormatError);
+  EXPECT_THROW(load_tensor(f.root().create_group("empty")), FormatError);
+}
+
+TEST(GateTensor, LoadRejectsCorruptPlane) {
+  const auto batch = sample_batch();
+  const GateTensor t = encode_circuits(batch);
+  qh5::File f = qh5::File::create("unused");
+  qh5::Group& g = f.root().create_group("tensor");
+  save_tensor(t, g);
+  // Corrupt a gate-type slot to an invalid category.
+  auto plane = g.dataset("gate_type").read<std::int8_t>();
+  plane[0] = 99;
+  g.dataset("gate_type").write<std::int8_t>(plane);
+  EXPECT_THROW(load_tensor(g), FormatError);
+}
+
+TEST(GateTensor, ByteSizeScalesWithShape) {
+  GateTensor small(1, 10), large(1, 1000);
+  EXPECT_GT(large.byte_size(), 50 * small.byte_size());
+}
+
+TEST(GateTensor, EncodingIsCapacityInvariant) {
+  // The same circuit encoded into a larger tensor decodes identically —
+  // the paper's "fixed tensors, dynamically updated" property.
+  const auto qc = sim_test::random_circuit(4, 50, 9, false);
+  const GateTensor small = encode_circuits({&qc, 1});
+  const GateTensor large = encode_circuits({&qc, 1}, {.capacity = 5000});
+  EXPECT_EQ(decode_circuit(small, 0), decode_circuit(large, 0));
+}
+
+}  // namespace
+}  // namespace qgear::core

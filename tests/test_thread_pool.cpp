@@ -1,0 +1,72 @@
+#include "qgear/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace qgear {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100000);
+  pool.parallel_for(0, hits.size(), [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  int count = 0;  // safe: inline path is single-threaded
+  pool.parallel_for(0, 100, [&](std::uint64_t b, std::uint64_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count, 100);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::uint64_t, std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, RepeatedRounds) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(0, 50000, [&](std::uint64_t b, std::uint64_t e) {
+      std::uint64_t local = 0;
+      for (std::uint64_t i = b; i < e; ++i) local += i;
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 50000ull * 49999 / 2);
+  }
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, ConcurrentCallersSerialized) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      pool.parallel_for(0, 20000, [&](std::uint64_t b, std::uint64_t e) {
+        total += e - b;
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4u * 20000u);
+}
+
+}  // namespace
+}  // namespace qgear

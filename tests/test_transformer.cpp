@@ -1,0 +1,170 @@
+#include "qgear/core/transformer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/qh5/file.hpp"
+#include "qgear/sim/reference.hpp"
+#include "tests/sim_test_util.hpp"
+
+namespace qgear::core {
+namespace {
+
+double state_fidelity(const std::vector<std::complex<double>>& a,
+                      const std::vector<std::complex<double>>& b) {
+  std::complex<double> acc(0, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::conj(a[i]) * b[i];
+  return std::norm(acc);
+}
+
+TEST(Transformer, TargetNames) {
+  EXPECT_STREQ(target_name(Target::cpu_aer), "cpu-aer");
+  EXPECT_STREQ(target_name(Target::nvidia), "nvidia");
+  EXPECT_STREQ(target_name(Target::nvidia_mgpu), "nvidia-mgpu");
+  EXPECT_STREQ(target_name(Target::nvidia_mqpu), "nvidia-mqpu");
+  EXPECT_STREQ(precision_name(Precision::fp32), "fp32");
+  EXPECT_EQ(amp_bytes(Precision::fp32), 8u);
+  EXPECT_EQ(amp_bytes(Precision::fp64), 16u);
+}
+
+TEST(Transformer, AllTargetsAgreeOnState) {
+  const auto qc = sim_test::random_circuit(5, 120, 4);
+  const Kernel kernel = Kernel::from_circuit(qc);
+  const RunOptions ro{.shots = 0, .return_state = true};
+
+  Transformer cpu({.target = Target::cpu_aer, .precision = Precision::fp64});
+  Transformer gpu({.target = Target::nvidia, .precision = Precision::fp64});
+  Transformer mgpu({.target = Target::nvidia_mgpu,
+                    .precision = Precision::fp64,
+                    .devices = 4});
+  const auto rc = cpu.run(kernel, ro);
+  const auto rg = gpu.run(kernel, ro);
+  const auto rm = mgpu.run(kernel, ro);
+  EXPECT_NEAR(state_fidelity(rc.state, rg.state), 1.0, 1e-9);
+  EXPECT_NEAR(state_fidelity(rc.state, rm.state), 1.0, 1e-9);
+  EXPECT_GT(rm.comm_bytes, 0u);
+  EXPECT_EQ(rg.comm_bytes, 0u);
+}
+
+TEST(Transformer, Fp32CloseToFp64) {
+  const auto qc = sim_test::random_circuit(5, 80, 6);
+  Transformer t32({.target = Target::nvidia, .precision = Precision::fp32});
+  Transformer t64({.target = Target::nvidia, .precision = Precision::fp64});
+  const RunOptions ro{.return_state = true};
+  const auto r32 = t32.run(Kernel::from_circuit(qc), ro);
+  const auto r64 = t64.run(Kernel::from_circuit(qc), ro);
+  EXPECT_NEAR(state_fidelity(r32.state, r64.state), 1.0, 1e-5);
+}
+
+TEST(Transformer, SamplingProducesShots) {
+  qiskit::QuantumCircuit qc(3);
+  qc.h(0).cx(0, 1).cx(1, 2).measure_all();
+  Transformer t({.target = Target::nvidia});
+  const auto r = t.run(Kernel::from_circuit(qc), {.shots = 5000});
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : r.counts) total += v;
+  EXPECT_EQ(total, 5000u);
+  // GHZ state: only all-zeros and all-ones.
+  EXPECT_EQ(r.counts.size(), 2u);
+  EXPECT_TRUE(r.counts.count(0b000));
+  EXPECT_TRUE(r.counts.count(0b111));
+}
+
+TEST(Transformer, ImplicitMeasurementWhenNoneSpecified) {
+  qiskit::QuantumCircuit qc(2);
+  qc.x(1);
+  Transformer t({.target = Target::nvidia});
+  const auto r = t.run(Kernel::from_circuit(qc), {.shots = 10});
+  EXPECT_EQ(r.measured, (std::vector<unsigned>{0, 1}));
+  EXPECT_EQ(r.counts.at(0b10), 10u);
+}
+
+TEST(Transformer, MemoryBudgetEnforced) {
+  // 40 GB A100 budget: fp32 ceiling is 32 qubits (2^32 * 8 B = 32 GB);
+  // 33 qubits needs 64 GB and must be rejected, matching the paper.
+  const std::uint64_t a100 = 40ull << 30;
+  TransformerOptions opts{.target = Target::nvidia,
+                          .precision = Precision::fp32,
+                          .device_memory_bytes = a100};
+  EXPECT_EQ(Transformer::required_bytes_per_device(32, opts), 32ull << 30);
+  EXPECT_GT(Transformer::required_bytes_per_device(33, opts), a100);
+  // Four mgpu devices push the wall to 34 qubits.
+  TransformerOptions mgpu = opts;
+  mgpu.target = Target::nvidia_mgpu;
+  mgpu.devices = 4;
+  EXPECT_LE(Transformer::required_bytes_per_device(34, mgpu), a100);
+  EXPECT_GT(Transformer::required_bytes_per_device(35, mgpu), a100);
+
+  // Enforced at run time (tiny synthetic budget).
+  Transformer small({.target = Target::nvidia,
+                     .precision = Precision::fp64,
+                     .device_memory_bytes = 1024});
+  qiskit::QuantumCircuit qc(10);
+  qc.h(0);
+  EXPECT_THROW(small.run(Kernel::from_circuit(qc)), OutOfMemoryBudget);
+}
+
+TEST(Transformer, MqpuBatchMatchesSequential) {
+  std::vector<Kernel> kernels;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    kernels.push_back(
+        Kernel::from_circuit(sim_test::random_circuit(4, 60, seed)));
+  }
+  const RunOptions ro{.shots = 0, .return_state = true};
+  Transformer seq({.target = Target::nvidia, .precision = Precision::fp64});
+  Transformer mqpu({.target = Target::nvidia_mqpu,
+                    .precision = Precision::fp64,
+                    .devices = 4});
+  const auto rs = seq.run_batch(kernels, ro);
+  const auto rp = mqpu.run_batch(kernels, ro);
+  ASSERT_EQ(rs.size(), rp.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_NEAR(state_fidelity(rs[i].state, rp[i].state), 1.0, 1e-10) << i;
+  }
+}
+
+TEST(Transformer, InvalidConfigurationsRejected) {
+  EXPECT_THROW(Transformer({.devices = 0}), InvalidArgument);
+  EXPECT_THROW(Transformer({.target = Target::nvidia_mgpu, .devices = 3}),
+               InvalidArgument);
+  EXPECT_THROW(Transformer({.fusion_width = 0}), InvalidArgument);
+}
+
+TEST(Transformer, DeterministicSampling) {
+  const auto qc = sim_test::random_circuit(4, 50, 8);
+  Transformer a({.target = Target::nvidia, .seed = 7});
+  Transformer b({.target = Target::nvidia, .seed = 7});
+  const Kernel k = Kernel::from_circuit(qc);
+  EXPECT_EQ(a.run(k, {.shots = 2000}).counts,
+            b.run(k, {.shots = 2000}).counts);
+}
+
+TEST(Transformer, StatsReflectEngineWork) {
+  const auto qc = sim_test::random_circuit(5, 100, 12, false);
+  Transformer cpu({.target = Target::cpu_aer});
+  Transformer gpu({.target = Target::nvidia, .fusion_width = 5});
+  const Kernel k = Kernel::from_circuit(qc);
+  const auto rc = cpu.run(k);
+  const auto rg = gpu.run(k);
+  // Fusion must reduce the number of sweeps vs per-gate execution.
+  EXPECT_LT(rg.stats.sweeps, rc.stats.sweeps);
+}
+
+TEST(Transformer, EndToEndTensorPipeline) {
+  // Full paper pipeline: circuits -> tensor -> qh5 -> tensor -> kernel ->
+  // result, matching a direct run.
+  const auto qc = sim_test::random_circuit(4, 70, 3);
+  const GateTensor tensor = encode_circuits({&qc, 1});
+  qh5::File f = qh5::File::create("unused");
+  save_tensor(tensor, f.root().create_group("t"));
+  const auto buf = qh5::File::serialize(f.root());
+  const qh5::Group root = qh5::File::deserialize(buf.data(), buf.size());
+  const Kernel k = Kernel::from_tensor(load_tensor(root.group("t")), 0);
+
+  Transformer t({.target = Target::nvidia, .precision = Precision::fp64});
+  const auto via_tensor = t.run(k, {.return_state = true});
+  const auto direct = t.run(qc, {.return_state = true});
+  EXPECT_NEAR(state_fidelity(via_tensor.state, direct.state), 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace qgear::core

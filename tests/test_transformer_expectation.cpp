@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "qgear/core/transformer.hpp"
+#include "qgear/sim/fused.hpp"
+#include "tests/sim_test_util.hpp"
+
+namespace qgear::core {
+namespace {
+
+TEST(TransformerExpectation, MatchesDirectEvaluation) {
+  const auto qc = sim_test::random_circuit(5, 60, 3, false);
+  const Kernel k = Kernel::from_circuit(qc);
+  const sim::Observable h = sim::Observable::ising_ring(5, 1.0, 0.6);
+
+  sim::FusedEngine<double> eng;
+  const double direct = sim::expectation(eng.run(qc), h);
+
+  Transformer t({.target = core::Target::nvidia,
+                 .precision = core::Precision::fp64});
+  EXPECT_NEAR(t.expectation(k, h), direct, 1e-10);
+}
+
+TEST(TransformerExpectation, AgreesAcrossTargets) {
+  const auto qc = sim_test::random_circuit(5, 50, 7, false);
+  const Kernel k = Kernel::from_circuit(qc);
+  sim::Observable h;
+  h.add("ZZIII", 0.5).add("IXXII", -0.25).add("IIIZZ", 1.0);
+  Transformer cpu({.target = core::Target::cpu_aer,
+                   .precision = core::Precision::fp64});
+  Transformer mgpu({.target = core::Target::nvidia_mgpu,
+                    .precision = core::Precision::fp64,
+                    .devices = 4});
+  EXPECT_NEAR(cpu.expectation(k, h), mgpu.expectation(k, h), 1e-9);
+}
+
+TEST(TransformerExpectation, SampledConvergesToExact) {
+  qiskit::QuantumCircuit qc(3);
+  qc.ry(0.9, 0).cx(0, 1).ry(0.4, 2);
+  const Kernel k = Kernel::from_circuit(qc);
+  sim::Observable h;
+  h.add("IIZ", 1.0).add("ZII", 0.5).add("III", 2.0);
+  Transformer t({.target = core::Target::nvidia,
+                 .precision = core::Precision::fp64, .seed = 9});
+  const double exact = t.expectation(k, h);
+  const double sampled = t.expectation(k, h, 600000);
+  EXPECT_NEAR(sampled, exact, 0.01);
+}
+
+TEST(TransformerExpectation, RejectsMeasuredKernels) {
+  qiskit::QuantumCircuit qc(2);
+  qc.h(0).measure_all();
+  const Kernel k = Kernel::from_circuit(qc);
+  Transformer t({.target = core::Target::nvidia});
+  EXPECT_THROW(t.expectation(k, sim::Observable::ising_ring(2, 1, 0)),
+               InvalidArgument);
+}
+
+TEST(CircuitToString, ListsInstructions) {
+  qiskit::QuantumCircuit qc(3, "pretty");
+  qc.h(0).ry(0.5, 1).cx(0, 2).measure(2);
+  const std::string text = qc.to_string();
+  EXPECT_NE(text.find("pretty (3 qubits, 4 ops)"), std::string::npos);
+  EXPECT_NE(text.find("h q0"), std::string::npos);
+  EXPECT_NE(text.find("ry(0.5000) q1"), std::string::npos);
+  EXPECT_NE(text.find("cx q0, q2"), std::string::npos);
+  EXPECT_NE(text.find("measure q2"), std::string::npos);
+}
+
+TEST(CircuitToString, TruncatesLongCircuits) {
+  qiskit::QuantumCircuit qc(2);
+  for (int i = 0; i < 50; ++i) qc.h(0);
+  const std::string text = qc.to_string(5);
+  EXPECT_NE(text.find("... 45 more instructions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qgear::core

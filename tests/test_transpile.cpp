@@ -1,0 +1,156 @@
+#include "qgear/qiskit/transpile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/common/rng.hpp"
+#include "qgear/sim/reference.hpp"
+
+namespace qgear::qiskit {
+namespace {
+
+// Transpilation must preserve the state up to global phase: fidelity == 1.
+void expect_equivalent(const QuantumCircuit& a, const QuantumCircuit& b) {
+  ASSERT_EQ(a.num_qubits(), b.num_qubits());
+  sim::ReferenceEngine<double> engine;
+  const auto sa = engine.run(a);
+  const auto sb = engine.run(b);
+  EXPECT_NEAR(sa.fidelity(sb), 1.0, 1e-10);
+}
+
+QuantumCircuit random_all_gates_circuit(unsigned n, std::size_t gates,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  QuantumCircuit qc(n);
+  const GateKind pool[] = {GateKind::h,  GateKind::x,   GateKind::y,
+                           GateKind::z,  GateKind::s,   GateKind::sdg,
+                           GateKind::t,  GateKind::tdg, GateKind::rx,
+                           GateKind::ry, GateKind::rz,  GateKind::p,
+                           GateKind::cx, GateKind::cz,  GateKind::cp,
+                           GateKind::swap};
+  for (std::size_t i = 0; i < gates; ++i) {
+    const GateKind k = pool[rng.uniform_u64(std::size(pool))];
+    const GateInfo& info = gate_info(k);
+    const int q0 = static_cast<int>(rng.uniform_u64(n));
+    Instruction inst{k, q0, -1, 0.0};
+    if (info.num_qubits == 2) {
+      int q1 = q0;
+      while (q1 == q0) q1 = static_cast<int>(rng.uniform_u64(n));
+      inst.q1 = q1;
+    }
+    if (info.num_params == 1) inst.param = rng.uniform(0, 2 * M_PI);
+    qc.append(inst);
+  }
+  return qc;
+}
+
+TEST(Transpile, NativeGateSet) {
+  EXPECT_TRUE(is_native_gate(GateKind::h));
+  EXPECT_TRUE(is_native_gate(GateKind::ry));
+  EXPECT_TRUE(is_native_gate(GateKind::cx));
+  EXPECT_TRUE(is_native_gate(GateKind::measure));
+  EXPECT_FALSE(is_native_gate(GateKind::x));
+  EXPECT_FALSE(is_native_gate(GateKind::cz));
+  EXPECT_FALSE(is_native_gate(GateKind::swap));
+}
+
+TEST(Transpile, ToNativeBasisOnlyEmitsNativeGates) {
+  const QuantumCircuit qc = random_all_gates_circuit(4, 200, 17);
+  const QuantumCircuit native = to_native_basis(qc);
+  for (const Instruction& inst : native.instructions()) {
+    EXPECT_TRUE(is_native_gate(inst.kind)) << gate_info(inst.kind).name;
+  }
+}
+
+TEST(Transpile, ToNativeBasisPreservesState) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const QuantumCircuit qc = random_all_gates_circuit(5, 120, seed);
+    expect_equivalent(qc, to_native_basis(qc));
+  }
+}
+
+TEST(Transpile, OptimizeCancelsSelfInversePairs) {
+  QuantumCircuit qc(2);
+  qc.h(0).h(0).cx(0, 1).cx(0, 1).x(1).x(1);
+  const QuantumCircuit opt = optimize(qc);
+  EXPECT_EQ(opt.size(), 0u);
+}
+
+TEST(Transpile, OptimizeMergesRotations) {
+  QuantumCircuit qc(1);
+  qc.rz(0.25, 0).rz(0.5, 0).rz(0.25, 0);
+  const QuantumCircuit opt = optimize(qc);
+  ASSERT_EQ(opt.size(), 1u);
+  EXPECT_DOUBLE_EQ(opt.instructions()[0].param, 1.0);
+}
+
+TEST(Transpile, OptimizeDropsZeroRotations) {
+  QuantumCircuit qc(1);
+  qc.rz(0.7, 0).rz(-0.7, 0).ry(0.0, 0);
+  const QuantumCircuit opt = optimize(qc);
+  EXPECT_EQ(opt.size(), 0u);
+}
+
+TEST(Transpile, OptimizeRespectsInterveningGates) {
+  QuantumCircuit qc(2);
+  qc.rz(0.5, 0).h(0).rz(0.5, 0);  // h blocks the merge
+  const QuantumCircuit opt = optimize(qc);
+  EXPECT_EQ(opt.size(), 3u);
+}
+
+TEST(Transpile, OptimizeRespectsEntanglingGates) {
+  QuantumCircuit qc(2);
+  qc.rz(0.5, 1).cx(0, 1).rz(0.5, 1);  // cx blocks the merge on qubit 1
+  const QuantumCircuit opt = optimize(qc);
+  EXPECT_EQ(opt.size(), 3u);
+}
+
+TEST(Transpile, CxCancellationAcrossSameOperands) {
+  QuantumCircuit qc(3);
+  qc.cx(0, 1).cx(0, 1);
+  EXPECT_EQ(optimize(qc).size(), 0u);
+  // Reversed operands do not cancel for cx.
+  QuantumCircuit qc2(3);
+  qc2.cx(0, 1).cx(1, 0);
+  EXPECT_EQ(optimize(qc2).size(), 2u);
+  // But swap is symmetric.
+  QuantumCircuit qc3(3);
+  qc3.swap(0, 1).swap(1, 0);
+  EXPECT_EQ(optimize(qc3).size(), 0u);
+}
+
+TEST(Transpile, BarrierBlocksOptimization) {
+  QuantumCircuit qc(1);
+  qc.h(0);
+  qc.barrier();
+  qc.h(0);
+  const QuantumCircuit opt = optimize(qc);
+  EXPECT_EQ(opt.count_ops().at("h"), 2u);
+}
+
+TEST(Transpile, OptimizePreservesState) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const QuantumCircuit qc = random_all_gates_circuit(5, 150, seed);
+    expect_equivalent(qc, optimize(qc));
+  }
+}
+
+TEST(Transpile, FullTranspilePreservesState) {
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    const QuantumCircuit qc = random_all_gates_circuit(4, 100, seed);
+    const QuantumCircuit out = transpile(qc);
+    expect_equivalent(qc, out);
+    for (const Instruction& inst : out.instructions()) {
+      EXPECT_TRUE(is_native_gate(inst.kind));
+    }
+  }
+}
+
+TEST(Transpile, MeasurementsSurvive) {
+  QuantumCircuit qc(2);
+  qc.h(0).measure(0).measure(1);
+  const QuantumCircuit out = transpile(qc);
+  EXPECT_EQ(out.num_measurements(), 2u);
+}
+
+}  // namespace
+}  // namespace qgear::qiskit

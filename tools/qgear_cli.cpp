@@ -1,0 +1,280 @@
+// qgear_cli — command-line driver for the Q-Gear pipeline, mirroring the
+// paper's `run.py` entry point (App. E.3): generate workloads, encode
+// them into qh5 gate tensors, execute on any target, and estimate
+// paper-scale cluster runtimes.
+//
+// Usage:
+//   qgear_cli gen-random  --qubits N --blocks B [--circuits C] [--seed S]
+//                         --out circuits.qh5
+//   qgear_cli gen-qft     --qubits N [--no-swaps] --out circuits.qh5
+//   qgear_cli gen-image   --addr M --data D [--seed S] --out circuits.qh5
+//   qgear_cli info        --in circuits.qh5
+//   qgear_cli run         --in circuits.qh5 [--target nvidia|cpu-aer|
+//                         nvidia-mgpu|nvidia-mqpu] [--devices R]
+//                         [--shots S] [--precision fp32|fp64]
+//                         [--fusion W]
+//   qgear_cli estimate    --in circuits.qh5 [--devices R] [--gpu 40|80]
+//                         [--shots S] [--precision fp32|fp64]
+//   qgear_cli qasm-export --in circuits.qh5 --index I --out circuit.qasm
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qgear/circuits/qcrank.hpp"
+#include "qgear/circuits/qft.hpp"
+#include "qgear/circuits/random_blocks.hpp"
+#include "qgear/common/strings.hpp"
+#include "qgear/core/transformer.hpp"
+#include "qgear/perfmodel/model.hpp"
+#include "qgear/qh5/file.hpp"
+#include "qgear/qiskit/qasm.hpp"
+
+using namespace qgear;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      QGEAR_CHECK_ARG(starts_with(key, "--"), "expected --flag, got " + key);
+      key = key.substr(2);
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string str(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      QGEAR_CHECK_ARG(!fallback.empty() || key == "out" || key == "in",
+                      "missing required flag --" + key);
+      return fallback;
+    }
+    return it->second;
+  }
+
+  std::string required(const std::string& key) const {
+    auto it = values_.find(key);
+    QGEAR_CHECK_ARG(it != values_.end() && !it->second.empty(),
+                    "missing required flag --" + key);
+    return it->second;
+  }
+
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return std::stoull(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void save_circuits(const std::vector<qiskit::QuantumCircuit>& circs,
+                   const std::string& path) {
+  const core::GateTensor tensor = core::encode_circuits(circs);
+  qh5::File file = qh5::File::create(path);
+  core::save_tensor(tensor, file.root().create_group("circuits"));
+  file.flush();
+  std::printf("wrote %s: %u circuit(s), capacity %u, %s on disk "
+              "(%.2fx compression)\n",
+              path.c_str(), tensor.num_circuits(), tensor.capacity(),
+              human_bytes(file.stats().file_bytes).c_str(),
+              file.stats().compression_ratio());
+}
+
+core::GateTensor load_circuits(const std::string& path) {
+  qh5::File file = qh5::File::open(path);
+  return core::load_tensor(file.root().group("circuits"));
+}
+
+core::Precision parse_precision(const std::string& s) {
+  if (s == "fp32") return core::Precision::fp32;
+  if (s == "fp64") return core::Precision::fp64;
+  throw InvalidArgument("unknown precision: " + s);
+}
+
+core::Target parse_target(const std::string& s) {
+  if (s == "cpu-aer") return core::Target::cpu_aer;
+  if (s == "nvidia") return core::Target::nvidia;
+  if (s == "nvidia-mgpu") return core::Target::nvidia_mgpu;
+  if (s == "nvidia-mqpu") return core::Target::nvidia_mqpu;
+  throw InvalidArgument("unknown target: " + s);
+}
+
+int cmd_gen_random(const Args& args) {
+  circuits::RandomBlocksOptions opts;
+  opts.num_qubits = static_cast<unsigned>(args.u64("qubits", 10));
+  opts.num_blocks = args.u64("blocks", 100);
+  opts.seed = args.u64("seed", 1);
+  const std::size_t count = args.u64("circuits", 1);
+  std::vector<qiskit::QuantumCircuit> circs;
+  for (std::size_t i = 0; i < count; ++i) {
+    circuits::RandomBlocksOptions per = opts;
+    per.seed = opts.seed + i;
+    circs.push_back(circuits::generate_random_circuit(per));
+  }
+  save_circuits(circs, args.required("out"));
+  return 0;
+}
+
+int cmd_gen_qft(const Args& args) {
+  circuits::QftOptions opts;
+  opts.do_swaps = !args.has("no-swaps");
+  auto qc = circuits::build_qft(
+      static_cast<unsigned>(args.u64("qubits", 10)), opts);
+  qc.measure_all();
+  save_circuits({qc}, args.required("out"));
+  return 0;
+}
+
+int cmd_gen_image(const Args& args) {
+  const unsigned m = static_cast<unsigned>(args.u64("addr", 6));
+  const unsigned d = static_cast<unsigned>(args.u64("data", 2));
+  const circuits::QCrank codec({.address_qubits = m, .data_qubits = d});
+  const image::Image img = image::make_synthetic(
+      static_cast<unsigned>(pow2(m)), d, args.u64("seed", 7));
+  const auto qc = codec.encode(
+      std::vector<double>(img.pixels.begin(), img.pixels.end()));
+  save_circuits({qc}, args.required("out"));
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const core::GateTensor tensor = load_circuits(args.required("in"));
+  std::printf("gate tensor: %u circuit(s), capacity %u, %s\n",
+              tensor.num_circuits(), tensor.capacity(),
+              human_bytes(tensor.byte_size()).c_str());
+  for (std::uint32_t c = 0; c < tensor.num_circuits(); ++c) {
+    const auto qc = core::decode_circuit(tensor, c);
+    std::printf("  [%u] '%s': %u qubits, %zu gates (%zu entangling), "
+                "depth %u\n",
+                c, qc.name().c_str(), qc.num_qubits(), qc.size(),
+                qc.num_2q_gates(), qc.depth());
+    if (args.has("verbose")) {
+      std::printf("%s", qc.to_string(24).c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const core::GateTensor tensor = load_circuits(args.required("in"));
+  core::TransformerOptions opts;
+  opts.target = parse_target(args.str("target", "nvidia"));
+  opts.precision = parse_precision(args.str("precision", "fp32"));
+  opts.devices = static_cast<int>(args.u64("devices", 1));
+  opts.fusion_width = static_cast<unsigned>(args.u64("fusion", 5));
+  core::Transformer transformer(opts);
+
+  std::vector<core::Kernel> kernels;
+  for (std::uint32_t c = 0; c < tensor.num_circuits(); ++c) {
+    kernels.push_back(core::Kernel::from_tensor(tensor, c));
+  }
+  const core::RunOptions run{.shots = args.u64("shots", 0)};
+  const auto results = transformer.run_batch(kernels, run);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("[%zu] %s: %s wall, %llu sweeps, %s comm\n", i,
+                kernels[i].name().c_str(),
+                human_seconds(r.wall_seconds).c_str(),
+                static_cast<unsigned long long>(r.stats.sweeps),
+                human_bytes(r.comm_bytes).c_str());
+    if (run.shots > 0) {
+      std::size_t shown = 0;
+      for (const auto& [key, count] : r.counts) {
+        if (shown++ >= 8) {
+          std::printf("    ... %zu more outcomes\n",
+                      r.counts.size() - 8);
+          break;
+        }
+        std::printf("    %llu: %llu\n",
+                    static_cast<unsigned long long>(key),
+                    static_cast<unsigned long long>(count));
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_estimate(const Args& args) {
+  const core::GateTensor tensor = load_circuits(args.required("in"));
+  perfmodel::ClusterConfig cfg;
+  cfg.devices = static_cast<int>(args.u64("devices", 1));
+  cfg.precision = parse_precision(args.str("precision", "fp32"));
+  if (args.u64("gpu", 40) == 80) cfg.gpu = perfmodel::a100_80gb();
+  const std::uint64_t shots = args.u64("shots", 0);
+
+  for (std::uint32_t c = 0; c < tensor.num_circuits(); ++c) {
+    const auto qc = core::decode_circuit(tensor, c);
+    const auto e = perfmodel::estimate_gpu(qc, cfg, shots);
+    if (!e.feasible) {
+      std::printf("[%u] %s: infeasible — %s\n", c, qc.name().c_str(),
+                  e.infeasible_reason.c_str());
+      continue;
+    }
+    std::printf("[%u] %s on %d x %s: total %s (compute %s, comm %s, "
+                "sample %s, startup %s)\n",
+                c, qc.name().c_str(), cfg.devices, cfg.gpu.name.c_str(),
+                human_seconds(e.total_s()).c_str(),
+                human_seconds(e.compute_s).c_str(),
+                human_seconds(e.comm_s).c_str(),
+                human_seconds(e.sample_s).c_str(),
+                human_seconds(e.startup_s).c_str());
+  }
+  return 0;
+}
+
+int cmd_qasm_export(const Args& args) {
+  const core::GateTensor tensor = load_circuits(args.required("in"));
+  const auto index = static_cast<std::uint32_t>(args.u64("index", 0));
+  const auto qc = core::decode_circuit(tensor, index);
+  qiskit::qasm::save(qc, args.required("out"));
+  std::printf("wrote %s (%zu gates)\n", args.required("out").c_str(),
+              qc.size());
+  return 0;
+}
+
+void print_usage() {
+  std::printf(
+      "qgear_cli <command> [flags]\n"
+      "commands: gen-random gen-qft gen-image info run estimate "
+      "qasm-export\n"
+      "see the header of tools/qgear_cli.cpp for full flag reference.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv);
+    if (cmd == "gen-random") return cmd_gen_random(args);
+    if (cmd == "gen-qft") return cmd_gen_qft(args);
+    if (cmd == "gen-image") return cmd_gen_image(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "estimate") return cmd_estimate(args);
+    if (cmd == "qasm-export") return cmd_qasm_export(args);
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    print_usage();
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
