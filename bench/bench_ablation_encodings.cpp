@@ -104,7 +104,7 @@ void report_state_prep_cost() {
     for (auto& a : amps) {
       a = std::complex<double>(rng.normal(), rng.normal());
     }
-    WallTimer timer;
+    bench::StageTimer timer("state_prep.build_and_sim");
     const auto qc = circuits::prepare_state(amps);
     sim::FusedEngine<double> eng;
     eng.run(qc);
@@ -144,9 +144,11 @@ BENCHMARK(bm_state_prep_build)->Arg(8)->Arg(12)
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init_observability();
   report_encoding_comparison();
   report_state_prep_cost();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("ablation_encodings");
   return 0;
 }

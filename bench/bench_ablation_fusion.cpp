@@ -42,7 +42,7 @@ void report_fusion_sweep() {
     for (unsigned w = 1; w <= 6; ++w) {
       sim::FusedEngine<float> engine({.fusion = {.max_width = w}});
       sim::StateVector<float> state(qc.num_qubits());
-      WallTimer timer;
+      bench::StageTimer timer("fusion_sweep.apply");
       engine.apply(qc, state);
       const double t = timer.seconds();
       if (w == 1) base = t;
@@ -80,7 +80,7 @@ void report_angle_threshold() {
   for (double threshold : {0.0, M_PI / 512, M_PI / 64, M_PI / 8}) {
     const auto qft = circuits::build_qft(20, {.angle_threshold = threshold});
     sim::FusedEngine<double> engine;
-    WallTimer timer;
+    bench::StageTimer timer("angle_threshold.run");
     const auto s = engine.run(probe(qft));
     table.row({strfmt("%.4f", threshold),
                std::to_string(qft.count_ops().at("cp")),
@@ -109,9 +109,11 @@ BENCHMARK(bm_fusion_width)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init_observability();
   report_fusion_sweep();
   report_angle_threshold();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("ablation_fusion");
   return 0;
 }

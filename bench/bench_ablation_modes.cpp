@@ -30,10 +30,10 @@ void report_precision() {
                            .precision = core::Precision::fp32});
     core::Transformer t64({.target = core::Target::nvidia,
                            .precision = core::Precision::fp64});
-    WallTimer w32;
+    bench::StageTimer w32("precision.fp32");
     const auto r32 = t32.run(k, {.return_state = true});
     const double s32 = w32.seconds();
-    WallTimer w64;
+    bench::StageTimer w64("precision.fp64");
     const auto r64 = t64.run(k, {.return_state = true});
     const double s64 = w64.seconds();
     double worst = 0;
@@ -66,7 +66,7 @@ void report_mgpu_vs_mqpu() {
     core::Transformer mgpu({.target = core::Target::nvidia_mgpu,
                             .precision = core::Precision::fp32,
                             .devices = 4});
-    WallTimer timer;
+    bench::StageTimer timer("modes.mgpu_batch");
     const auto results = mgpu.run_batch(kernels);
     std::uint64_t comm = 0;
     for (const auto& r : results) comm += r.comm_bytes;
@@ -77,7 +77,7 @@ void report_mgpu_vs_mqpu() {
     core::Transformer mqpu({.target = core::Target::nvidia_mqpu,
                             .precision = core::Precision::fp32,
                             .devices = 4});
-    WallTimer timer;
+    bench::StageTimer timer("modes.mqpu_batch");
     const auto results = mqpu.run_batch(kernels);
     std::uint64_t comm = 0;
     for (const auto& r : results) comm += r.comm_bytes;
@@ -97,7 +97,7 @@ void report_encode_overhead() {
       "Ablation: Q-Gear conversion overhead vs simulation time");
   const auto qc = circuits::generate_random_circuit(
       {.num_qubits = 18, .num_blocks = 500, .measure = false, .seed = 9});
-  WallTimer enc_timer;
+  bench::StageTimer enc_timer("overhead.encode_roundtrip");
   const core::GateTensor tensor = core::encode_circuits({&qc, 1});
   qh5::File f = qh5::File::create("ablation_modes.qh5");
   core::save_tensor(tensor, f.root().create_group("t"));
@@ -109,7 +109,7 @@ void report_encode_overhead() {
 
   core::Transformer t({.target = core::Target::nvidia,
                        .precision = core::Precision::fp32});
-  WallTimer sim_timer;
+  bench::StageTimer sim_timer("overhead.simulate");
   t.run(kernel);
   const double sim_s = sim_timer.seconds();
   std::printf(
@@ -150,11 +150,13 @@ BENCHMARK(bm_precision)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init_observability();
   report_precision();
   report_mgpu_vs_mqpu();
   report_encode_overhead();
   report_container_startup();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("ablation_modes");
   return 0;
 }

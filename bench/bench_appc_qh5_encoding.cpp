@@ -55,7 +55,7 @@ void report_encoding_invariance() {
   double min_t = 1e9, max_t = 0;
   for (const std::string family : {"shallow", "deep", "qft"}) {
     const auto batch = make_batch(family, 200);
-    WallTimer timer;
+    bench::StageTimer timer("qh5.encode_store");
     const core::GateTensor tensor =
         core::encode_circuits(batch, {.capacity = capacity});
     qh5::File f = qh5::File::create("appc_bench.qh5");
@@ -137,9 +137,11 @@ BENCHMARK(bm_qh5_open)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init_observability();
   report_encoding_invariance();
   report_compression();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("appc_qh5_encoding");
   return 0;
 }

@@ -60,7 +60,7 @@ void report_measured_local() {
     const core::TransformerOptions engine{
         .target = core::Target::nvidia, .precision = core::Precision::fp32};
     core::Transformer t(engine);
-    WallTimer timer;
+    bench::StageTimer timer("fig4c.qgear_run");
     t.run(qft);
     const double qgear_s = timer.seconds();
     const auto penny = baselines::run_pennylane_like(qft, engine);
@@ -94,9 +94,11 @@ BENCHMARK(bm_qft_build)->Arg(20)->Arg(33)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init_observability();
   report_paper_scale();
   report_measured_local();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("fig4c_qft_vs_pennylane");
   return 0;
 }

@@ -79,7 +79,7 @@ void report_measured_local() {
   {
     core::Transformer cpu({.target = core::Target::cpu_aer,
                            .precision = core::Precision::fp64});
-    WallTimer timer;
+    bench::StageTimer timer("fig5.per_gate");
     const auto r = cpu.run(qc, {.shots = shots});
     table.row({"aer-style (per-gate)", human_seconds(timer.seconds()),
                std::to_string(r.stats.sweeps)});
@@ -87,7 +87,7 @@ void report_measured_local() {
   {
     core::Transformer gpu({.target = core::Target::nvidia,
                            .precision = core::Precision::fp64});
-    WallTimer timer;
+    bench::StageTimer timer("fig5.fused_w5");
     const auto r = gpu.run(qc, {.shots = shots});
     table.row({"fused (w=5)", human_seconds(timer.seconds()),
                std::to_string(r.stats.sweeps)});
@@ -127,9 +127,11 @@ BENCHMARK(bm_qcrank_decode_counts)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init_observability();
   report_paper_scale();
   report_measured_local();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("fig5_qcrank_speedup");
   return 0;
 }

@@ -36,7 +36,7 @@ RoundTrip run_roundtrip(const image::PaperImageConfig& cfg,
   const auto qc = codec.encode(
       std::vector<double>(img.pixels.begin(), img.pixels.end()));
 
-  WallTimer timer;
+  bench::StageTimer timer("fig6.roundtrip");
   core::Transformer t({.target = core::Target::nvidia,
                        .precision = core::Precision::fp64});
   const std::uint64_t shots = shots_per_address << cfg.address_qubits;
@@ -120,9 +120,11 @@ BENCHMARK(bm_finger_roundtrip)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init_observability();
   report_reconstruction();
   report_shots_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("fig6_qcrank_reconstruction");
   return 0;
 }

@@ -28,7 +28,7 @@ double run_once(core::Target target, unsigned n, std::uint64_t blocks) {
   core::Transformer t({.target = target,
                        .precision = core::Precision::fp32,
                        .fusion_width = 3});
-  WallTimer timer;
+  bench::StageTimer timer("thmB3.run_once");
   t.run(qc);
   return timer.seconds();
 }
@@ -104,9 +104,11 @@ BENCHMARK(bm_fused_engine_gates)->Arg(100)->Arg(400)
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init_observability();
   report_qubit_scaling();
   report_gate_scaling();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::write_report("thmB3_scaling");
   return 0;
 }

@@ -10,10 +10,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "qgear/common/strings.hpp"
+#include "qgear/common/timer.hpp"
+#include "qgear/obs/json.hpp"
+#include "qgear/obs/metrics.hpp"
+#include "qgear/obs/trace.hpp"
 
 namespace qgear::bench {
 
@@ -71,6 +77,96 @@ inline std::string time_cell(bool feasible, double seconds,
                              const std::string& reason = "") {
   if (!feasible) return reason.empty() ? "infeasible" : reason;
   return human_seconds(seconds);
+}
+
+/// Process-wide log of named stage timings, emitted in the JSON report.
+class StageLog {
+ public:
+  static StageLog& global() {
+    static StageLog& log = *new StageLog();
+    return log;
+  }
+
+  void record(const std::string& stage, double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stages_.emplace_back(stage, seconds);
+  }
+
+  obs::JsonValue to_json() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    obs::JsonValue arr{obs::JsonValue::Array{}};
+    for (const auto& [stage, seconds] : stages_) {
+      obs::JsonValue entry{obs::JsonValue::Object{}};
+      entry.set("name", stage);
+      entry.set("wall_seconds", seconds);
+      arr.push_back(std::move(entry));
+    }
+    return arr;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, double>> stages_;
+};
+
+/// Wall-clock stage timer for benches: same `seconds()` interface as
+/// WallTimer, but additionally opens an obs span (visible when tracing is
+/// enabled via QGEAR_BENCH_TRACE) and logs the stage's total lifetime into
+/// the process-wide StageLog for the JSON report.
+class StageTimer {
+ public:
+  explicit StageTimer(std::string stage)
+      : stage_(std::move(stage)),
+        span_(obs::Tracer::global(), "bench.stage", "bench") {
+    if (span_.active()) span_.arg("stage", stage_);
+  }
+
+  ~StageTimer() { StageLog::global().record(stage_, timer_.seconds()); }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  void reset() { timer_.reset(); }
+  double seconds() const { return timer_.seconds(); }
+  double millis() const { return timer_.millis(); }
+
+ private:
+  std::string stage_;
+  obs::Span span_;
+  WallTimer timer_;
+};
+
+/// Call first in main(): turns on span recording when QGEAR_BENCH_TRACE
+/// names an output file.
+inline void init_observability() {
+  const char* trace = std::getenv("QGEAR_BENCH_TRACE");
+  if (trace != nullptr && *trace != '\0') {
+    obs::Tracer::global().set_enabled(true);
+  }
+}
+
+/// Call last in main(): writes the shared-schema JSON report (stage wall
+/// clocks + the full metrics registry) to QGEAR_BENCH_REPORT, and the
+/// Chrome trace to QGEAR_BENCH_TRACE. No-ops when the env vars are unset.
+inline void write_report(const std::string& bench_name) {
+  const char* trace = std::getenv("QGEAR_BENCH_TRACE");
+  if (trace != nullptr && *trace != '\0') {
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.set_enabled(false);
+    tracer.write_trace_json(trace);
+    std::printf("wrote trace %s (%llu spans)\n", trace,
+                static_cast<unsigned long long>(tracer.recorded()));
+  }
+  const char* path = std::getenv("QGEAR_BENCH_REPORT");
+  if (path == nullptr || *path == '\0') return;
+  obs::JsonValue root{obs::JsonValue::Object{}};
+  root.set("schema", "qgear.bench.report/v1");
+  root.set("bench", bench_name);
+  root.set("stages", StageLog::global().to_json());
+  root.set("metrics",
+           obs::JsonValue::parse(obs::Registry::global().snapshot().to_json()));
+  obs::write_text_file(path, root.dump());
+  std::printf("wrote report %s\n", path);
 }
 
 }  // namespace qgear::bench

@@ -1,10 +1,53 @@
 #include "qgear/comm/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
+#include "qgear/obs/metrics.hpp"
+
 namespace qgear::comm {
+
+namespace {
+
+// Cached metric references (first lookup takes the registry mutex).
+obs::Counter& messages_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("comm.messages");
+  return c;
+}
+
+obs::Counter& bytes_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("comm.bytes");
+  return c;
+}
+
+obs::Counter& barriers_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("comm.barriers");
+  return c;
+}
+
+obs::Histogram& barrier_wait_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("comm.barrier_wait_us");
+  return h;
+}
+
+/// Microsecond stopwatch for wait-time histograms.
+class WaitTimer {
+ public:
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace
 
 // ---- Communicator ------------------------------------------------------
 
@@ -16,6 +59,8 @@ void Communicator::send(int dest, int tag,
   QGEAR_CHECK_ARG(dest != rank_, "comm: self-send is not supported");
   world_->deliver(rank_, dest, tag, data);
   bytes_sent_ += data.size();
+  messages_counter().add();
+  bytes_counter().add(data.size());
 }
 
 std::vector<std::uint8_t> Communicator::recv(int src, int tag) {
@@ -32,6 +77,8 @@ std::vector<std::uint8_t> Communicator::sendrecv(
 }
 
 void Communicator::barrier() {
+  const WaitTimer wait;
+  barriers_counter().add();
   std::unique_lock<std::mutex> lock(world_->mutex_);
   world_->check_alive(rank_);
   const std::uint64_t gen = world_->barrier_generation_;
@@ -42,12 +89,14 @@ void Communicator::barrier() {
     world_->barrier_waiting_ = 0;
     ++world_->barrier_generation_;
     world_->cv_.notify_all();
+    barrier_wait_hist().observe(wait.elapsed_us());
     return;
   }
   world_->cv_.wait(lock, [&] {
     return world_->barrier_generation_ != gen || world_->failed_[rank_];
   });
   if (world_->failed_[rank_]) throw CommError("comm: rank failed in barrier");
+  barrier_wait_hist().observe(wait.elapsed_us());
 }
 
 double Communicator::allreduce_sum(double local) {

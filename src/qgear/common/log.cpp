@@ -1,14 +1,23 @@
 #include "qgear/common/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
+
+#include "qgear/common/error.hpp"
+#include "qgear/obs/json.hpp"
 
 namespace qgear::log {
 
 namespace {
 std::atomic<Level> g_level{Level::warn};
-std::mutex g_mutex;
+std::mutex g_mutex;            // guards the sinks, not the level
+std::FILE* g_json_sink = nullptr;
+std::once_flag g_env_once;
 
 const char* level_name(Level level) {
   switch (level) {
@@ -20,15 +29,118 @@ const char* level_name(Level level) {
   }
   return "?";
 }
+
+/// "2026-08-05T12:34:56.789Z" (UTC), plus the epoch milliseconds.
+std::string timestamp(std::uint64_t* epoch_ms = nullptr) {
+  const auto now = std::chrono::system_clock::now();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count();
+  if (epoch_ms != nullptr) *epoch_ms = static_cast<std::uint64_t>(ms);
+  const std::time_t secs = static_cast<std::time_t>(ms / 1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms % 1000));
+  return buf;
+}
+
+void ensure_env_init() { std::call_once(g_env_once, init_from_env); }
+
 }  // namespace
 
-void set_level(Level level) { g_level.store(level); }
-Level level() { return g_level.load(); }
+Level parse_level(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return Level::debug;
+  if (lower == "info") return Level::info;
+  if (lower == "warn" || lower == "warning") return Level::warn;
+  if (lower == "error") return Level::error;
+  if (lower == "off" || lower == "none") return Level::off;
+  throw InvalidArgument("log: unknown level '" + name + "'");
+}
+
+void init_from_env() {
+  if (const char* env = std::getenv("QGEAR_LOG")) {
+    try {
+      g_level.store(parse_level(env));
+    } catch (const InvalidArgument&) {
+      std::fprintf(stderr, "[qgear WARN] ignoring invalid QGEAR_LOG=%s\n",
+                   env);
+    }
+  }
+  if (const char* path = std::getenv("QGEAR_LOG_JSON")) {
+    if (path[0] != '\0') set_json_sink(path);
+  }
+}
+
+void set_json_sink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_json_sink != nullptr) {
+    std::fclose(g_json_sink);
+    g_json_sink = nullptr;
+  }
+  if (path.empty()) return;
+  g_json_sink = std::fopen(path.c_str(), "ab");
+  if (g_json_sink == nullptr) {
+    std::fprintf(stderr, "[qgear WARN] cannot open log sink %s\n",
+                 path.c_str());
+  }
+}
+
+void close_json_sink() { set_json_sink(""); }
+
+void set_level(Level level) {
+  ensure_env_init();  // so a later first write cannot clobber this choice
+  g_level.store(level);
+}
+
+Level level() {
+  ensure_env_init();
+  return g_level.load();
+}
 
 void write(Level lvl, const std::string& msg) {
+  ensure_env_init();
   if (lvl < g_level.load()) return;
+
+  std::uint64_t epoch_ms = 0;
+  const std::string ts = timestamp(&epoch_ms);
+
+  // Format the full record up front and emit it with one fwrite per sink,
+  // so lines from concurrent threads never interleave.
+  std::string line;
+  line.reserve(ts.size() + msg.size() + 24);
+  line += "[qgear ";
+  line += level_name(lvl);
+  line += ' ';
+  line += ts;
+  line += "] ";
+  line += msg;
+  line += '\n';
+
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[qgear %s] %s\n", level_name(lvl), msg.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  if (g_json_sink != nullptr) {
+    std::string rec;
+    rec.reserve(msg.size() + 64);
+    rec += "{\"ts\":\"";
+    rec += ts;
+    rec += "\",\"ts_ms\":";
+    rec += std::to_string(epoch_ms);
+    rec += ",\"level\":\"";
+    rec += level_name(lvl);
+    rec += "\",\"msg\":\"";
+    rec += obs::json_escape(msg);
+    rec += "\"}\n";
+    std::fwrite(rec.data(), 1, rec.size(), g_json_sink);
+    std::fflush(g_json_sink);
+  }
 }
 
 }  // namespace qgear::log

@@ -1,5 +1,13 @@
 // Minimal leveled logger. Benches and the platform simulators use it to
 // narrate pipeline stages; tests silence it via set_level(Level::off).
+//
+// Environment control (read once, lazily, before the first write; an
+// explicit set_level()/set_json_sink() call always wins afterwards):
+//   QGEAR_LOG=debug|info|warn|error|off   stderr threshold
+//   QGEAR_LOG_JSON=<path>                 mirror records to a JSON-lines
+//                                         file ({"ts","level","msg"})
+// Each record is emitted as one atomic write, so concurrent threads (the
+// thread pool, SPMD ranks) never interleave partial lines.
 #pragma once
 
 #include <string>
@@ -10,6 +18,20 @@ enum class Level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
 
 void set_level(Level level);
 Level level();
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Throws InvalidArgument on anything else.
+Level parse_level(const std::string& name);
+
+/// Re-reads QGEAR_LOG / QGEAR_LOG_JSON and applies them. Called
+/// automatically once before the first write; call explicitly to pick up
+/// env changes made later (tests do).
+void init_from_env();
+
+/// Mirrors every record at or above the stderr threshold to `path` as
+/// JSON lines. An empty path closes the sink.
+void set_json_sink(const std::string& path);
+void close_json_sink();
 
 void write(Level level, const std::string& msg);
 

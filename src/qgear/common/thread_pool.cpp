@@ -1,8 +1,41 @@
 #include "qgear/common/thread_pool.hpp"
 
+#include <chrono>
+
 #include "qgear/common/error.hpp"
+#include "qgear/obs/metrics.hpp"
 
 namespace qgear {
+
+namespace {
+
+// Cached references: registry lookups take a mutex, so resolve each metric
+// once. References stay valid forever (the registry never deletes).
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("threadpool.queue_depth");
+  return g;
+}
+
+obs::Histogram& task_latency_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("threadpool.task_latency_us");
+  return h;
+}
+
+obs::Counter& rounds_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("threadpool.rounds");
+  return c;
+}
+
+obs::Counter& inline_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("threadpool.inline_runs");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -33,11 +66,13 @@ void ThreadPool::parallel_for(
   const unsigned workers = size();
   // Small ranges are not worth the hand-off latency.
   if (workers <= 1 || count < 4096) {
+    inline_counter().add();
     fn(begin, end);
     return;
   }
   const std::uint64_t chunk = (count + workers - 1) / workers;
   std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  rounds_counter().add();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     unsigned issued = 0;
@@ -49,9 +84,11 @@ void ThreadPool::parallel_for(
       ++issued;
     }
     pending_ = issued;
+    queue_depth_gauge().set(issued);
     ++generation_;
     work_cv_.notify_all();
     done_cv_.wait(lock, [this] { return pending_ == 0; });
+    queue_depth_gauge().set(0);
   }
 }
 
@@ -71,7 +108,12 @@ void ThreadPool::worker_loop(unsigned worker_index) {
       tasks_[worker_index].fn = nullptr;
     }
     if (task.fn != nullptr) {
+      const auto t0 = std::chrono::steady_clock::now();
       (*task.fn)(task.begin, task.end);
+      task_latency_hist().observe(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) done_cv_.notify_all();
     }

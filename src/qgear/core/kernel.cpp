@@ -1,5 +1,6 @@
 #include "qgear/core/kernel.hpp"
 
+#include "qgear/obs/trace.hpp"
 #include "qgear/qiskit/transpile.hpp"
 
 namespace qgear::core {
@@ -16,10 +17,14 @@ Kernel::Kernel(qiskit::QuantumCircuit qc)
 }
 
 Kernel Kernel::from_circuit(const qiskit::QuantumCircuit& qc) {
+  obs::Span span(obs::Tracer::global(), "transpile", "core");
+  if (span.active()) span.arg("circuit", qc.name());
   return Kernel(qiskit::to_native_basis(qc));
 }
 
 Kernel Kernel::from_tensor(const GateTensor& tensor, std::uint32_t index) {
+  obs::Span span(obs::Tracer::global(), "transpile", "core");
+  if (span.active()) span.arg("tensor_index", std::uint64_t{index});
   return Kernel(decode_circuit(tensor, index));
 }
 

@@ -7,6 +7,7 @@
 #include "qgear/common/strings.hpp"
 #include "qgear/common/timer.hpp"
 #include "qgear/dist/runner.hpp"
+#include "qgear/obs/trace.hpp"
 #include "qgear/sim/fused.hpp"
 #include "qgear/sim/reference.hpp"
 
@@ -95,6 +96,12 @@ template <typename T>
 Result Transformer::run_typed(const Kernel& kernel,
                               const RunOptions& run_opts) {
   Result result;
+  obs::Span run_span(obs::Tracer::global(), "transformer.run", "core");
+  if (run_span.active()) {
+    run_span.arg("target", target_name(opts_.target));
+    run_span.arg("kernel", kernel.name());
+    run_span.arg("qubits", std::uint64_t{kernel.num_qubits()});
+  }
   WallTimer timer;
 
   if (opts_.target == Target::nvidia_mgpu && opts_.devices > 1) {
@@ -112,10 +119,12 @@ Result Transformer::run_typed(const Kernel& kernel,
     for (const auto& s : dres.rank_stats) {
       result.stats.sweeps += s.sweeps;
       result.stats.amp_ops += s.amp_ops;
+      result.stats.fused_blocks += s.fused_blocks;
     }
     result.stats.gates = kernel.size();
     result.comm_bytes = dres.trace.total_bytes;
     result.wall_seconds = timer.seconds();
+    result.stats.seconds = result.wall_seconds;
     return result;
   }
 

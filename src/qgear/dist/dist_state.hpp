@@ -16,6 +16,8 @@
 
 #include "qgear/comm/comm.hpp"
 #include "qgear/common/bits.hpp"
+#include "qgear/common/timer.hpp"
+#include "qgear/obs/trace.hpp"
 #include "qgear/qiskit/circuit.hpp"
 #include "qgear/sim/apply.hpp"
 #include "qgear/sim/fused.hpp"
@@ -74,9 +76,13 @@ class DistStateVector {
                      std::vector<unsigned>* measured = nullptr) {
     QGEAR_CHECK_ARG(qc.num_qubits() == num_qubits_,
                     "dist: circuit qubit count mismatch");
+    obs::Span span(obs::Tracer::global(), "dist.apply_circuit", "dist");
+    if (span.active()) span.arg("rank", std::uint64_t{unsigned(rank_)});
+    WallTimer timer;
     for (const qiskit::Instruction& inst : qc.instructions()) {
       apply(inst, measured);
     }
+    stats_.seconds += timer.seconds();
   }
 
   /// Applies a circuit with gate fusion over local-qubit segments:
@@ -347,6 +353,9 @@ void DistStateVector<T>::apply_circuit_fused(
   QGEAR_CHECK_ARG(qc.num_qubits() == num_qubits_,
                   "dist: circuit qubit count mismatch");
   QGEAR_CHECK_ARG(fusion_width >= 1, "dist: fusion width must be >= 1");
+  obs::Span span(obs::Tracer::global(), "dist.apply_circuit_fused", "dist");
+  if (span.active()) span.arg("rank", std::uint64_t{unsigned(rank_)});
+  WallTimer timer;
   const unsigned width = std::min(fusion_width, local_qubits_);
 
   qiskit::QuantumCircuit segment(local_qubits_, "local_segment");
@@ -387,6 +396,7 @@ void DistStateVector<T>::apply_circuit_fused(
     apply_with_tag(inst, tag, measured);
   }
   flush();
+  stats_.seconds += timer.seconds();
 }
 
 }  // namespace qgear::dist

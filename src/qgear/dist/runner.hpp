@@ -9,6 +9,8 @@
 
 #include "qgear/comm/comm.hpp"
 #include "qgear/dist/dist_state.hpp"
+#include "qgear/obs/metrics.hpp"
+#include "qgear/obs/trace.hpp"
 #include "qgear/sim/sampler.hpp"
 
 namespace qgear::dist {
@@ -60,6 +62,11 @@ sim::Counts sample_distributed(DistStateVector<T>& state,
                                comm::Communicator& comm,
                                const std::vector<unsigned>& measured,
                                std::uint64_t shots, std::uint64_t seed) {
+  obs::Span span(obs::Tracer::global(), "dist.sample", "dist");
+  if (span.active()) {
+    span.arg("rank", std::uint64_t{unsigned(comm.rank())});
+    span.arg("shots", shots);
+  }
   constexpr int kWeightTag = 1 << 29;
   constexpr int kBudgetTag = kWeightTag + 1;
   constexpr int kCountsTag = kWeightTag + 2;
@@ -142,12 +149,21 @@ RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
                              const RunOptions& opts) {
   QGEAR_CHECK_ARG(opts.num_ranks >= 1 && is_pow2(opts.num_ranks),
                   "dist: num_ranks must be a power of two");
+  obs::Span run_span(obs::Tracer::global(), "dist.run", "dist");
+  if (run_span.active()) {
+    run_span.arg("ranks", std::uint64_t{unsigned(opts.num_ranks)});
+    run_span.arg("qubits", std::uint64_t{qc.num_qubits()});
+  }
   comm::World world(opts.num_ranks);
   RunResult<T> result;
   result.rank_stats.resize(opts.num_ranks);
   std::mutex result_mutex;
 
   world.run([&](comm::Communicator& c) {
+    obs::Span rank_span(obs::Tracer::global(), "dist.rank", "dist");
+    if (rank_span.active()) {
+      rank_span.arg("rank", std::uint64_t{unsigned(c.rank())});
+    }
     DistStateVector<T> state(qc.num_qubits(), c);
     std::vector<unsigned> measured;
     if (opts.fusion_width > 0) {
@@ -179,6 +195,15 @@ RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
     }
   });
   result.trace = world.trace();
+
+  auto& reg = obs::Registry::global();
+  reg.counter("dist.runs").add();
+  reg.counter("dist.exchange_bytes").add(result.trace.total_bytes);
+  reg.counter("dist.messages").add(result.trace.entries.size());
+  sim::EngineStats merged;
+  for (const auto& s : result.rank_stats) merged += s;
+  reg.counter("dist.sweeps").add(merged.sweeps);
+  reg.counter("dist.amp_ops").add(merged.amp_ops);
   return result;
 }
 

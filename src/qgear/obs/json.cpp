@@ -1,0 +1,355 @@
+#include "qgear/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace qgear::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool JsonValue::boolean() const {
+  QGEAR_CHECK_FORMAT(kind_ == Kind::boolean, "json: value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::number() const {
+  QGEAR_CHECK_FORMAT(kind_ == Kind::number, "json: value is not a number");
+  return num_;
+}
+
+const std::string& JsonValue::str() const {
+  QGEAR_CHECK_FORMAT(kind_ == Kind::string, "json: value is not a string");
+  return str_;
+}
+
+const JsonValue::Array& JsonValue::array() const {
+  QGEAR_CHECK_FORMAT(kind_ == Kind::array, "json: value is not an array");
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::object() const {
+  QGEAR_CHECK_FORMAT(kind_ == Kind::object, "json: value is not an object");
+  return object_;
+}
+
+JsonValue::Array& JsonValue::array() {
+  QGEAR_CHECK_FORMAT(kind_ == Kind::array, "json: value is not an array");
+  return array_;
+}
+
+JsonValue::Object& JsonValue::object() {
+  QGEAR_CHECK_FORMAT(kind_ == Kind::object, "json: value is not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::object) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  QGEAR_CHECK_FORMAT(v != nullptr, "json: missing key '" + key + "'");
+  return *v;
+}
+
+void JsonValue::set(const std::string& key, JsonValue value) {
+  QGEAR_CHECK_FORMAT(kind_ == Kind::object, "json: set() on non-object");
+  object_.emplace_back(key, std::move(value));
+}
+
+void JsonValue::push_back(JsonValue value) {
+  QGEAR_CHECK_FORMAT(kind_ == Kind::array, "json: push_back() on non-array");
+  array_.push_back(std::move(value));
+}
+
+namespace {
+
+void format_number(double n, std::string& out) {
+  // Integers (the common case: counters, microsecond timestamps) print
+  // without a decimal point so exported files stay compact and exact.
+  if (std::isfinite(n) && n == std::floor(n) && std::fabs(n) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+    out += buf;
+    return;
+  }
+  if (!std::isfinite(n)) {
+    out += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", n);
+  out += buf;
+}
+
+void dump_value(const JsonValue& v, std::string& out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::null: out += "null"; return;
+    case JsonValue::Kind::boolean: out += v.boolean() ? "true" : "false"; return;
+    case JsonValue::Kind::number: format_number(v.number(), out); return;
+    case JsonValue::Kind::string:
+      out += '"';
+      out += json_escape(v.str());
+      out += '"';
+      return;
+    case JsonValue::Kind::array: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& e : v.array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(e, out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.object()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        dump_value(e, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    QGEAR_CHECK_FORMAT(pos_ == text_.size(), "json: trailing characters");
+    return v;
+  }
+
+ private:
+  char peek() const {
+    QGEAR_CHECK_FORMAT(pos_ < text_.size(), "json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    QGEAR_CHECK_FORMAT(take() == c,
+                       std::string("json: expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue(parse_string());
+    if (consume_literal("true")) return JsonValue(true);
+    if (consume_literal("false")) return JsonValue(false);
+    if (consume_literal("null")) return JsonValue();
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char sep = take();
+      if (sep == '}') break;
+      QGEAR_CHECK_FORMAT(sep == ',', "json: expected ',' or '}' in object");
+    }
+    return JsonValue(std::move(members));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array elements;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(elements));
+    }
+    for (;;) {
+      elements.push_back(parse_value());
+      skip_ws();
+      const char sep = take();
+      if (sep == ']') break;
+      QGEAR_CHECK_FORMAT(sep == ',', "json: expected ',' or ']' in array");
+    }
+    return JsonValue(std::move(elements));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else QGEAR_CHECK_FORMAT(false, "json: bad \\u escape");
+          }
+          // UTF-8 encode (BMP only; our exporters never emit surrogates).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          QGEAR_CHECK_FORMAT(false, "json: unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    QGEAR_CHECK_FORMAT(pos_ > start, "json: invalid value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), &end);
+    QGEAR_CHECK_FORMAT(end != nullptr && *end == '\0',
+                       "json: malformed number '" + token + "'");
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw Error("obs: cannot open '" + path + "' for writing");
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    throw Error("obs: short write to '" + path + "'");
+  }
+}
+
+std::string read_text_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw Error("obs: cannot open '" + path + "'");
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace qgear::obs

@@ -1,0 +1,89 @@
+// Minimal JSON value tree: enough to emit the observability exports
+// (metrics snapshots, Chrome Trace Event files, JSON-lines logs) and to
+// parse them back in tests. Objects preserve insertion order so exported
+// files are stable across runs.
+//
+// Deliberately not a general-purpose JSON library: no comments, no
+// streaming, numbers are doubles (integers up to 2^53 round-trip, which
+// covers every counter and timestamp we export).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::obs {
+
+/// Escapes `s` for placement inside a JSON string literal (no quotes).
+std::string json_escape(const std::string& s);
+
+class JsonValue {
+ public:
+  enum class Kind { null, boolean, number, string, array, object };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : kind_(Kind::null) {}
+  JsonValue(bool b) : kind_(Kind::boolean), bool_(b) {}
+  JsonValue(double n) : kind_(Kind::number), num_(n) {}
+  JsonValue(std::int64_t n) : kind_(Kind::number), num_(static_cast<double>(n)) {}
+  JsonValue(std::uint64_t n) : kind_(Kind::number), num_(static_cast<double>(n)) {}
+  JsonValue(int n) : kind_(Kind::number), num_(n) {}
+  JsonValue(unsigned n) : kind_(Kind::number), num_(n) {}
+  JsonValue(std::string s) : kind_(Kind::string), str_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::string), str_(s) {}
+  JsonValue(Array a) : kind_(Kind::array), array_(std::move(a)) {}
+  JsonValue(Object o) : kind_(Kind::object), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::null; }
+  bool is_object() const { return kind_ == Kind::object; }
+  bool is_array() const { return kind_ == Kind::array; }
+  bool is_string() const { return kind_ == Kind::string; }
+  bool is_number() const { return kind_ == Kind::number; }
+  bool is_bool() const { return kind_ == Kind::boolean; }
+
+  bool boolean() const;
+  double number() const;
+  const std::string& str() const;
+  const Array& array() const;
+  const Object& object() const;
+  Array& array();
+  Object& object();
+
+  /// Object member access; `at` throws FormatError when missing.
+  const JsonValue* find(const std::string& key) const;
+  const JsonValue& at(const std::string& key) const;
+
+  /// Appends a member (object) or element (array).
+  void set(const std::string& key, JsonValue value);
+  void push_back(JsonValue value);
+
+  /// Serializes compactly (no whitespace).
+  std::string dump() const;
+
+  /// Parses a complete JSON document. Throws FormatError on any syntax
+  /// error or trailing garbage.
+  static JsonValue parse(const std::string& text);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array array_;
+  Object object_;
+};
+
+/// Writes `content` to `path`, replacing the file. Throws qgear::Error on
+/// I/O failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+/// Reads the whole file. Throws qgear::Error when it cannot be opened.
+std::string read_text_file(const std::string& path);
+
+}  // namespace qgear::obs

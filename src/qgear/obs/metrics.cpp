@@ -1,0 +1,239 @@
+#include "qgear/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "qgear/common/error.hpp"
+#include "qgear/obs/json.hpp"
+
+namespace qgear::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  QGEAR_CHECK_ARG(!bounds_.empty(), "obs: histogram needs >= 1 bound");
+  QGEAR_CHECK_ARG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "obs: histogram bounds must be ascending");
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  atomic_min_double(min_, v);
+  atomic_max_double(max_, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    s.buckets.push_back(b.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential(double start, double factor,
+                                           std::size_t n) {
+  QGEAR_CHECK_ARG(start > 0 && factor > 1 && n >= 1,
+                  "obs: bad exponential histogram spec");
+  std::vector<double> bounds(n);
+  double b = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds[i] = b;
+    b *= factor;
+  }
+  return bounds;
+}
+
+const CounterSample* RegistrySnapshot::find_counter(
+    const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSample* RegistrySnapshot::find_gauge(const std::string& name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSample* RegistrySnapshot::find_histogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string RegistrySnapshot::to_text() const {
+  std::string out;
+  char buf[160];
+  for (const auto& c : counters) {
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  for (const auto& g : gauges) {
+    std::snprintf(buf, sizeof(buf), "%s %.9g\n", g.name.c_str(), g.value);
+    out += buf;
+  }
+  for (const auto& h : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s count=%llu sum=%.9g min=%.9g max=%.9g\n",
+                  h.name.c_str(),
+                  static_cast<unsigned long long>(h.hist.count), h.hist.sum,
+                  h.hist.min, h.hist.max);
+    out += buf;
+    for (std::size_t i = 0; i < h.hist.buckets.size(); ++i) {
+      if (h.hist.buckets[i] == 0) continue;
+      if (i < h.hist.bounds.size()) {
+        std::snprintf(buf, sizeof(buf), "%s le=%.9g %llu\n", h.name.c_str(),
+                      h.hist.bounds[i],
+                      static_cast<unsigned long long>(h.hist.buckets[i]));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s le=+inf %llu\n", h.name.c_str(),
+                      static_cast<unsigned long long>(h.hist.buckets[i]));
+      }
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::to_json() const {
+  JsonValue counters_obj{JsonValue::Object{}};
+  for (const auto& c : counters) counters_obj.set(c.name, c.value);
+
+  JsonValue gauges_obj{JsonValue::Object{}};
+  for (const auto& g : gauges) gauges_obj.set(g.name, g.value);
+
+  JsonValue hists_obj{JsonValue::Object{}};
+  for (const auto& h : histograms) {
+    JsonValue bounds{JsonValue::Array{}};
+    for (double b : h.hist.bounds) bounds.push_back(b);
+    JsonValue buckets{JsonValue::Array{}};
+    for (std::uint64_t b : h.hist.buckets) buckets.push_back(b);
+    JsonValue hist{JsonValue::Object{}};
+    hist.set("count", h.hist.count);
+    hist.set("sum", h.hist.sum);
+    hist.set("min", h.hist.min);
+    hist.set("max", h.hist.max);
+    hist.set("bounds", std::move(bounds));
+    hist.set("buckets", std::move(buckets));
+    hists_obj.set(h.name, std::move(hist));
+  }
+
+  JsonValue root{JsonValue::Object{}};
+  root.set("counters", std::move(counters_obj));
+  root.set("gauges", std::move(gauges_obj));
+  root.set("histograms", std::move(hists_obj));
+  return root.dump();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    s.counters.push_back({name, c->value()});
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.push_back({name, g->value()});
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.push_back({name, h->snapshot()});
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // never destroyed: references
+  return *registry;                            // must outlive static dtors
+}
+
+std::vector<double> Registry::default_time_bounds_us() {
+  return Histogram::exponential(1.0, 10.0, 8);  // 1us .. 10s, then +inf
+}
+
+}  // namespace qgear::obs

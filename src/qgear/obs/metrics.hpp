@@ -1,0 +1,153 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms with a consistent snapshot API and text/JSON exporters.
+//
+// Design goals, in order:
+//   1. Lock-cheap updates — every increment/observe is a relaxed atomic op;
+//      the registry mutex is only taken when a metric is first looked up by
+//      name (callers cache the returned reference) and on snapshot/export.
+//   2. Stable references — metrics are never deleted, so a `Counter&`
+//      obtained once is valid for the life of the process. reset() zeroes
+//      values but keeps registrations.
+//   3. Snapshot isolation — snapshot() returns plain structs decoupled from
+//      live metrics; later updates never mutate an existing snapshot.
+//
+// Instrumentation throughout qgear writes to Registry::global(); tests
+// construct private registries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qgear::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (also supports add() for
+/// accumulating fractional quantities like seconds).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// one implicit overflow bucket catches everything above the last bound.
+class Histogram {
+ public:
+  struct Snapshot {
+    std::vector<double> bounds;          ///< upper bounds, ascending
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;
+  };
+
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  Snapshot snapshot() const;
+  void reset();
+
+  /// n ascending bounds start, start*factor, start*factor^2, ...
+  static std::vector<double> exponential(double start, double factor,
+                                         std::size_t n);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  Histogram::Snapshot hist;
+};
+
+/// Point-in-time copy of every registered metric, name-sorted.
+struct RegistrySnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  const CounterSample* find_counter(const std::string& name) const;
+  const GaugeSample* find_gauge(const std::string& name) const;
+  const HistogramSample* find_histogram(const std::string& name) const;
+
+  /// One "name value" line per metric (histograms: count/sum/min/max plus
+  /// per-bucket lines), suitable for grep and diffing.
+  std::string to_text() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string to_json() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Looks up or creates; the reference stays valid forever.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` are used only on first registration of `name`.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = default_time_bounds_us());
+
+  RegistrySnapshot snapshot() const;
+
+  /// Zeroes every metric; registrations (and references) survive.
+  void reset();
+
+  /// The registry qgear's built-in instrumentation writes to.
+  static Registry& global();
+
+  /// 1us..~100s exponential bounds — the default for latency histograms.
+  static std::vector<double> default_time_bounds_us();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace qgear::obs

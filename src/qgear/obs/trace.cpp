@@ -1,0 +1,155 @@
+#include "qgear/obs/trace.hpp"
+
+#include <cstdio>
+
+#include "qgear/common/error.hpp"
+#include "qgear/obs/json.hpp"
+
+namespace qgear::obs {
+
+namespace {
+thread_local std::uint32_t t_depth = 0;
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()), capacity_(capacity) {
+  QGEAR_CHECK_ARG(capacity_ >= 1, "obs: tracer capacity must be >= 1");
+}
+
+void Tracer::record(SpanRecord rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rec.seq = ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[(total_ - 1) % capacity_] = std::move(rec);
+  }
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (total_ <= capacity_) {
+    out = ring_;
+    return out;
+  }
+  // Full ring: oldest record sits right after the most recent write.
+  const std::size_t head = total_ % capacity_;
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  total_ = 0;
+}
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::string Tracer::to_trace_json() const {
+  const std::vector<SpanRecord> spans = snapshot();
+  JsonValue events{JsonValue::Array{}};
+  for (const SpanRecord& s : spans) {
+    JsonValue args{JsonValue::Object{}};
+    args.set("depth", static_cast<std::uint64_t>(s.depth));
+    for (const auto& [k, v] : s.args) args.set(k, v);
+    JsonValue ev{JsonValue::Object{}};
+    ev.set("name", s.name);
+    ev.set("cat", s.cat);
+    ev.set("ph", "X");
+    ev.set("ts", s.start_us);
+    ev.set("dur", s.dur_us);
+    ev.set("pid", 1);
+    ev.set("tid", static_cast<std::uint64_t>(s.tid));
+    ev.set("args", std::move(args));
+    events.push_back(std::move(ev));
+  }
+  JsonValue root{JsonValue::Object{}};
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", "ms");
+  return root.dump();
+}
+
+void Tracer::write_trace_json(const std::string& path) const {
+  write_text_file(path, to_trace_json());
+}
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // never destroyed: spans may end
+  return *tracer;                        // during static teardown
+}
+
+std::uint32_t Tracer::thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+void Span::init(Tracer& tracer, const char* name, const char* cat) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  rec_.name = name;
+  rec_.cat = cat;
+  rec_.tid = Tracer::thread_id();
+  rec_.depth = t_depth++;
+  rec_.start_us = tracer.now_us();
+}
+
+Span::Span(Tracer& tracer, const char* name, const char* cat) {
+  init(tracer, name, cat);
+}
+
+Span::Span(const char* name, const char* cat) {
+  init(Tracer::global(), name, cat);
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  rec_.dur_us = tracer_->now_us() - rec_.start_us;
+  --t_depth;
+  tracer_->record(std::move(rec_));
+}
+
+void Span::arg(const char* key, const std::string& value) {
+  if (tracer_ != nullptr) rec_.args.emplace_back(key, value);
+}
+
+void Span::arg(const char* key, const char* value) {
+  if (tracer_ != nullptr) rec_.args.emplace_back(key, value);
+}
+
+void Span::arg(const char* key, std::uint64_t value) {
+  if (tracer_ != nullptr) {
+    rec_.args.emplace_back(key, std::to_string(value));
+  }
+}
+
+void Span::arg(const char* key, double value) {
+  if (tracer_ != nullptr) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    rec_.args.emplace_back(key, buf);
+  }
+}
+
+}  // namespace qgear::obs

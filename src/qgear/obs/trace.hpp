@@ -1,0 +1,113 @@
+// Scoped-span tracer with a bounded in-memory ring buffer and Chrome
+// Trace Event JSON export (open in chrome://tracing or ui.perfetto.dev).
+//
+// Spans are RAII: construction stamps the start, destruction stamps the
+// duration and records the completed span. Tracing is off by default; a
+// disabled Span costs one relaxed atomic load and nothing else (no string
+// construction, no clock reads), which is what keeps instrumentation in
+// per-gate and per-block hot paths affordable.
+//
+// Nesting is per-thread: each thread carries a depth counter, and the
+// Chrome trace viewer reconstructs the flame graph from (tid, ts, dur).
+// The ring buffer keeps the most recent `capacity` spans; older spans are
+// overwritten and counted in dropped().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qgear::obs {
+
+/// One completed span.
+struct SpanRecord {
+  std::string name;
+  std::string cat;
+  std::uint64_t start_us = 0;  ///< microseconds since tracer epoch
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;       ///< small per-process thread index
+  std::uint32_t depth = 0;     ///< nesting level on that thread
+  std::uint64_t seq = 0;       ///< global record sequence number (1-based)
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a completed span (assigns seq; overwrites the oldest record
+  /// once the buffer is full).
+  void record(SpanRecord rec);
+
+  /// Chronological copy of the buffered spans.
+  std::vector<SpanRecord> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total spans ever recorded (including overwritten ones).
+  std::uint64_t recorded() const;
+  /// Spans lost to ring-buffer overwrite.
+  std::uint64_t dropped() const;
+
+  void clear();
+
+  /// Microseconds since this tracer's construction (its trace epoch).
+  std::uint64_t now_us() const;
+
+  /// Serializes the buffer as Chrome Trace Event JSON
+  /// ({"traceEvents": [...]} with "ph":"X" complete events).
+  std::string to_trace_json() const;
+  void write_trace_json(const std::string& path) const;
+
+  /// The tracer qgear's built-in instrumentation records into.
+  static Tracer& global();
+
+  /// Stable small integer for the calling thread (1-based).
+  static std::uint32_t thread_id();
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::uint64_t total_ = 0;
+};
+
+/// RAII scoped span. Takes `const char*` names so a disabled span never
+/// allocates. Attach key/values with arg(); they land in the trace file's
+/// "args" object.
+class Span {
+ public:
+  Span(Tracer& tracer, const char* name, const char* cat = "qgear");
+  /// Records into Tracer::global().
+  explicit Span(const char* name, const char* cat = "qgear");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when the span is live (tracing was enabled at construction).
+  bool active() const { return tracer_ != nullptr; }
+
+  void arg(const char* key, const std::string& value);
+  void arg(const char* key, const char* value);
+  void arg(const char* key, std::uint64_t value);
+  void arg(const char* key, double value);
+
+ private:
+  void init(Tracer& tracer, const char* name, const char* cat);
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord rec_;
+};
+
+}  // namespace qgear::obs

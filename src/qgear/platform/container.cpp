@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "qgear/obs/metrics.hpp"
+
 namespace qgear::platform {
 
 ContainerImage::ContainerImage(std::string name, std::string tag,
@@ -78,8 +80,10 @@ LaunchResult ContainerRuntime::launch(unsigned node,
   for (const ImageLayer& l : image.layers()) {
     if (cache.count(l.id) == 0) missing += l.size_bytes;
   }
+  auto& reg = obs::Registry::global();
   if (missing == 0) {
     result.startup_seconds = timing_.warm_start_s;
+    reg.counter("container.warm_starts").add();
     return result;
   }
   result.was_cold = true;
@@ -90,6 +94,8 @@ LaunchResult ContainerRuntime::launch(unsigned node,
       timing_.cold_start_s +
       static_cast<double>(missing) / pull_bandwidth_bps_;
   warm(node, image);
+  reg.counter("container.cold_starts").add();
+  reg.counter("container.bytes_pulled").add(missing);
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include "qgear/common/log.hpp"
 #include "qgear/common/strings.hpp"
+#include "qgear/obs/metrics.hpp"
+#include "qgear/obs/trace.hpp"
 
 namespace qgear::platform {
 
@@ -9,6 +11,14 @@ PipelineReport run_pipeline(std::span<const qiskit::QuantumCircuit> circuits,
                             const PipelineConfig& config,
                             unsigned gpu_nodes) {
   QGEAR_CHECK_ARG(!circuits.empty(), "pipeline: no circuits");
+  obs::Span pipeline_span(obs::Tracer::global(), "pipeline.run", "platform");
+  if (pipeline_span.active()) {
+    pipeline_span.arg("mode", config.mode == PipelineMode::distributed
+                                  ? "distributed"
+                                  : "parallel");
+    pipeline_span.arg("circuits", std::uint64_t{circuits.size()});
+  }
+  auto& reg = obs::Registry::global();
   const unsigned gpn = config.cluster.net.gpus_per_node;
 
   SlurmCluster slurm(gpu_nodes, gpn, /*hbm80_nodes=*/gpu_nodes,
@@ -24,6 +34,8 @@ PipelineReport run_pipeline(std::span<const qiskit::QuantumCircuit> circuits,
   report.circuits.reserve(circuits.size());
 
   for (const auto& qc : circuits) {
+    obs::Span job_span(obs::Tracer::global(), "pipeline.submit", "platform");
+    if (job_span.active()) job_span.arg("circuit", qc.name());
     CircuitJobReport cj;
     cj.circuit_name = qc.name();
 
@@ -53,6 +65,10 @@ PipelineReport run_pipeline(std::span<const qiskit::QuantumCircuit> circuits,
     const LaunchResult launch =
         runtime.launch_allocation(alloc, config.image);
     cj.container_startup_s = launch.startup_seconds;
+    reg.histogram("platform.container_startup_s",
+                  obs::Histogram::exponential(0.1, 4.0, 8))
+        .observe(cj.container_startup_s);
+    if (launch.was_cold) reg.counter("platform.cold_launches").add();
 
     req.duration_s = cj.estimate.feasible
                          ? cj.estimate.total_s() + cj.container_startup_s
@@ -60,14 +76,20 @@ PipelineReport run_pipeline(std::span<const qiskit::QuantumCircuit> circuits,
     if (!cj.estimate.feasible) {
       log::warn("pipeline: circuit '" + qc.name() + "' infeasible: " +
                 cj.estimate.infeasible_reason);
+      reg.counter("platform.jobs_infeasible").add();
       report.circuits.push_back(std::move(cj));
       continue;
     }
     cj.job_id = slurm.submit(req);
+    reg.counter("platform.jobs_submitted").add();
     report.circuits.push_back(std::move(cj));
   }
 
-  slurm.run_until_idle();
+  {
+    obs::Span sched_span(obs::Tracer::global(), "pipeline.schedule",
+                         "platform");
+    slurm.run_until_idle();
+  }
 
   for (CircuitJobReport& cj : report.circuits) {
     if (!cj.estimate.feasible) continue;
@@ -75,9 +97,24 @@ PipelineReport run_pipeline(std::span<const qiskit::QuantumCircuit> circuits,
     if (job.state != JobState::completed) continue;
     cj.queue_wait_s = job.start_time - job.submit_time;
     cj.end_to_end_s = job.end_time - job.submit_time;
+    reg.counter("platform.jobs_completed").add();
+    reg.histogram("platform.queue_wait_s",
+                  obs::Histogram::exponential(0.1, 4.0, 8))
+        .observe(cj.queue_wait_s);
+    // Job spans carry the *simulated* scheduler times as args; the span's
+    // own wall clock is meaningless for a modeled run.
+    obs::Span job_span(obs::Tracer::global(), "pipeline.job", "platform");
+    if (job_span.active()) {
+      job_span.arg("circuit", cj.circuit_name);
+      job_span.arg("container_startup_s", cj.container_startup_s);
+      job_span.arg("queue_wait_s", cj.queue_wait_s);
+      job_span.arg("end_to_end_s", cj.end_to_end_s);
+    }
   }
   report.utilization = slurm.utilization();
   report.makespan_s = report.utilization.makespan_s;
+  reg.gauge("platform.gpu_busy_fraction")
+      .set(report.utilization.gpu_busy_fraction);
   return report;
 }
 

@@ -8,6 +8,8 @@
 #pragma once
 
 #include "qgear/common/timer.hpp"
+#include "qgear/obs/metrics.hpp"
+#include "qgear/obs/trace.hpp"
 #include "qgear/qiskit/circuit.hpp"
 #include "qgear/sim/fusion.hpp"
 #include "qgear/sim/kernels.hpp"
@@ -59,7 +61,15 @@ class FusedEngine {
              std::vector<unsigned>* measured = nullptr) {
     QGEAR_CHECK_ARG(qc.num_qubits() == state.num_qubits(),
                     "engine: circuit and state qubit counts differ");
-    const FusionPlan plan = plan_fusion(qc, opts_.fusion);
+    FusionPlan plan;
+    {
+      obs::Span fuse_span(obs::Tracer::global(), "fuse", "sim");
+      plan = plan_fusion(qc, opts_.fusion);
+      if (fuse_span.active()) {
+        fuse_span.arg("input_gates", std::uint64_t{plan.input_gates});
+        fuse_span.arg("blocks", std::uint64_t{plan.blocks.size()});
+      }
+    }
     apply_plan(plan, state);
     if (measured != nullptr) {
       measured->insert(measured->end(), plan.measured.begin(),
@@ -69,8 +79,17 @@ class FusedEngine {
 
   /// Applies a pre-computed plan (lets callers amortize planning).
   void apply_plan(const FusionPlan& plan, StateVector<T>& state) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    obs::Span sweep_span(tracer, "sweep", "sim");
+    const EngineStats before = stats_;
     WallTimer timer;
     for (const FusedBlock& block : plan.blocks) {
+      obs::Span block_span(tracer, "fused_block", "sim");
+      if (block_span.active()) {
+        block_span.arg("width", std::uint64_t{block.qubits.size()});
+        block_span.arg("gates", block.source_gates);
+        block_span.arg("diagonal", block.diagonal ? "true" : "false");
+      }
       if (block.diagonal) {
         apply_multi_diagonal(state.data(), state.num_qubits(), block.qubits,
                              block.matrix, opts_.pool);
@@ -84,6 +103,17 @@ class FusedEngine {
       stats_.gates += block.source_gates;
     }
     stats_.seconds += timer.seconds();
+
+    auto& reg = obs::Registry::global();
+    reg.counter("sim.gates").add(stats_.gates - before.gates);
+    reg.counter("sim.sweeps").add(stats_.sweeps - before.sweeps);
+    reg.counter("sim.fused_blocks").add(stats_.fused_blocks -
+                                        before.fused_blocks);
+    reg.counter("sim.amp_ops").add(stats_.amp_ops - before.amp_ops);
+    if (sweep_span.active()) {
+      sweep_span.arg("blocks", std::uint64_t{plan.blocks.size()});
+      sweep_span.arg("qubits", std::uint64_t{state.num_qubits()});
+    }
   }
 
   /// Runs `qc` from |0...0> and returns the final state.

@@ -7,7 +7,10 @@
 #pragma once
 
 #include "qgear/common/timer.hpp"
+#include "qgear/obs/metrics.hpp"
+#include "qgear/obs/trace.hpp"
 #include "qgear/qiskit/circuit.hpp"
+#include "qgear/qiskit/gates.hpp"
 #include "qgear/sim/apply.hpp"
 #include "qgear/sim/state.hpp"
 #include "qgear/sim/stats.hpp"
@@ -29,8 +32,15 @@ class ReferenceEngine {
              std::vector<unsigned>* measured = nullptr) {
     QGEAR_CHECK_ARG(qc.num_qubits() == state.num_qubits(),
                     "engine: circuit and state qubit counts differ");
+    obs::Tracer& tracer = obs::Tracer::global();
+    obs::Span apply_span(tracer, "reference.apply", "sim");
+    const EngineStats before = stats_;
     WallTimer timer;
     for (const qiskit::Instruction& inst : qc.instructions()) {
+      obs::Span gate_span(tracer, "gate", "sim");
+      if (gate_span.active()) {
+        gate_span.arg("kind", qiskit::gate_info(inst.kind).name);
+      }
       const unsigned sweeps = apply_instruction(
           state.data(), state.num_qubits(), inst, opts_.pool, measured);
       stats_.sweeps += sweeps;
@@ -38,6 +48,15 @@ class ReferenceEngine {
       ++stats_.gates;
     }
     stats_.seconds += timer.seconds();
+
+    auto& reg = obs::Registry::global();
+    reg.counter("sim.gates").add(stats_.gates - before.gates);
+    reg.counter("sim.sweeps").add(stats_.sweeps - before.sweeps);
+    reg.counter("sim.amp_ops").add(stats_.amp_ops - before.amp_ops);
+    if (apply_span.active()) {
+      apply_span.arg("gates", stats_.gates - before.gates);
+      apply_span.arg("qubits", std::uint64_t{qc.num_qubits()});
+    }
   }
 
   /// Runs `qc` from |0...0> and returns the final state.

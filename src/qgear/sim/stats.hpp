@@ -3,6 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+#include "qgear/obs/metrics.hpp"
 
 namespace qgear::sim {
 
@@ -11,9 +14,36 @@ struct EngineStats {
   std::uint64_t sweeps = 0;       ///< amplitude-array passes performed
   std::uint64_t fused_blocks = 0; ///< fused unitaries applied (fused engine)
   std::uint64_t amp_ops = 0;      ///< total amplitude read-modify-writes
-  double seconds = 0.0;           ///< wall-clock of the last run
+  double seconds = 0.0;           ///< accumulated wall-clock across runs
 
   void reset() { *this = EngineStats{}; }
+
+  /// Accumulates another run's stats (per-rank merges, repeated run()
+  /// calls, batch totals). `seconds` adds, like every other field.
+  EngineStats& operator+=(const EngineStats& o) {
+    gates += o.gates;
+    sweeps += o.sweeps;
+    fused_blocks += o.fused_blocks;
+    amp_ops += o.amp_ops;
+    seconds += o.seconds;
+    return *this;
+  }
 };
+
+inline EngineStats operator+(EngineStats a, const EngineStats& b) {
+  return a += b;
+}
+
+/// Folds a stats struct into registry counters/gauges under `prefix`
+/// (e.g. "engine.gates"), so metrics exports carry the same numbers the
+/// engines report. Call once per finished run.
+inline void fold_stats(obs::Registry& reg, const EngineStats& s,
+                       const std::string& prefix = "engine") {
+  reg.counter(prefix + ".gates").add(s.gates);
+  reg.counter(prefix + ".sweeps").add(s.sweeps);
+  reg.counter(prefix + ".fused_blocks").add(s.fused_blocks);
+  reg.counter(prefix + ".amp_ops").add(s.amp_ops);
+  reg.gauge(prefix + ".seconds").add(s.seconds);
+}
 
 }  // namespace qgear::sim

@@ -1,0 +1,159 @@
+#include "qgear/common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qgear/common/error.hpp"
+#include "qgear/obs/json.hpp"
+
+namespace qgear {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    log::close_json_sink();
+    log::set_level(log::Level::off);
+  }
+  void TearDown() override {
+    log::close_json_sink();
+    log::set_level(log::Level::off);
+    unsetenv("QGEAR_LOG");
+    unsetenv("QGEAR_LOG_JSON");
+  }
+};
+
+TEST_F(LogTest, ParseLevelAcceptsAliasesCaseInsensitively) {
+  EXPECT_EQ(log::parse_level("debug"), log::Level::debug);
+  EXPECT_EQ(log::parse_level("INFO"), log::Level::info);
+  EXPECT_EQ(log::parse_level("Warn"), log::Level::warn);
+  EXPECT_EQ(log::parse_level("warning"), log::Level::warn);
+  EXPECT_EQ(log::parse_level("ERROR"), log::Level::error);
+  EXPECT_EQ(log::parse_level("off"), log::Level::off);
+  EXPECT_EQ(log::parse_level("none"), log::Level::off);
+  EXPECT_THROW(log::parse_level("verbose"), InvalidArgument);
+  EXPECT_THROW(log::parse_level(""), InvalidArgument);
+}
+
+TEST_F(LogTest, InitFromEnvSetsLevel) {
+  setenv("QGEAR_LOG", "debug", 1);
+  log::init_from_env();
+  EXPECT_EQ(log::level(), log::Level::debug);
+  setenv("QGEAR_LOG", "ERROR", 1);
+  log::init_from_env();
+  EXPECT_EQ(log::level(), log::Level::error);
+}
+
+TEST_F(LogTest, InvalidEnvLevelIsIgnored) {
+  log::set_level(log::Level::warn);
+  setenv("QGEAR_LOG", "shouting", 1);
+  log::init_from_env();  // warns on stderr, keeps the previous level
+  EXPECT_EQ(log::level(), log::Level::warn);
+}
+
+TEST_F(LogTest, ExplicitSetLevelWinsOverEnv) {
+  setenv("QGEAR_LOG", "debug", 1);
+  log::set_level(log::Level::error);
+  EXPECT_EQ(log::level(), log::Level::error);
+}
+
+TEST_F(LogTest, ThresholdFiltersRecords) {
+  const std::string path = "log_threshold.jsonl";
+  std::remove(path.c_str());
+  log::set_level(log::Level::warn);
+  log::set_json_sink(path);
+  log::debug("too quiet");
+  log::info("still too quiet");
+  log::warn("loud enough");
+  log::error("definitely");
+  log::close_json_sink();
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(obs::JsonValue::parse(lines[0]).at("level").str(), "WARN");
+  EXPECT_EQ(obs::JsonValue::parse(lines[1]).at("level").str(), "ERROR");
+  std::remove(path.c_str());
+}
+
+TEST_F(LogTest, JsonRecordsCarryTimestampAndEscapedMessage) {
+  const std::string path = "log_record.jsonl";
+  std::remove(path.c_str());
+  log::set_level(log::Level::info);
+  log::set_json_sink(path);
+  log::info("quote \" backslash \\ newline \n done");
+  log::close_json_sink();
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const obs::JsonValue rec = obs::JsonValue::parse(lines[0]);
+  EXPECT_EQ(rec.at("msg").str(), "quote \" backslash \\ newline \n done");
+  EXPECT_EQ(rec.at("level").str(), "INFO");
+  // ISO-8601 UTC: "YYYY-MM-DDTHH:MM:SS.mmmZ".
+  const std::string& ts = rec.at("ts").str();
+  ASSERT_EQ(ts.size(), 24u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+  EXPECT_GT(rec.at("ts_ms").number(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(LogTest, EnvConfiguredSinkReceivesRecords) {
+  const std::string path = "log_envsink.jsonl";
+  std::remove(path.c_str());
+  setenv("QGEAR_LOG", "info", 1);
+  setenv("QGEAR_LOG_JSON", path.c_str(), 1);
+  log::init_from_env();
+  log::info("via env");
+  log::close_json_sink();
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(obs::JsonValue::parse(lines[0]).at("msg").str(), "via env");
+  std::remove(path.c_str());
+}
+
+TEST_F(LogTest, ConcurrentWritersNeverInterleaveLines) {
+  const std::string path = "log_threads.jsonl";
+  std::remove(path.c_str());
+  log::set_level(log::Level::error);
+  log::set_json_sink(path);
+  constexpr int kThreads = 8;
+  constexpr int kEach = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kEach; ++i) {
+        log::error("thread " + std::to_string(t) + " msg " +
+                   std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  log::close_json_sink();
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kEach));
+  for (const auto& line : lines) {
+    const obs::JsonValue rec = obs::JsonValue::parse(line);  // throws if torn
+    EXPECT_EQ(rec.at("level").str(), "ERROR");
+    EXPECT_NE(rec.at("msg").str().find("thread "), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qgear

@@ -1,0 +1,83 @@
+#include "qgear/obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace qgear::obs {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndSpecialChars) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonValue, DumpScalars) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(std::uint64_t{7}).dump(), "7");
+  EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+  EXPECT_EQ(JsonValue("hi \"there\"").dump(), "\"hi \\\"there\\\"\"");
+}
+
+TEST(JsonValue, ObjectsPreserveInsertionOrder) {
+  JsonValue obj{JsonValue::Object{}};
+  obj.set("zebra", 1);
+  obj.set("apple", 2);
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"apple\":2}");
+}
+
+TEST(JsonValue, ParseRoundTripsNestedStructure) {
+  const std::string text =
+      R"({"a":[1,2.5,null,true],"b":{"c":"x\ny","d":-3}})";
+  const JsonValue v = JsonValue::parse(text);
+  ASSERT_TRUE(v.is_object());
+  const auto& arr = v.at("a").array();
+  ASSERT_EQ(arr.size(), 4u);
+  EXPECT_DOUBLE_EQ(arr[0].number(), 1.0);
+  EXPECT_DOUBLE_EQ(arr[1].number(), 2.5);
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_TRUE(arr[3].boolean());
+  EXPECT_EQ(v.at("b").at("c").str(), "x\ny");
+  EXPECT_DOUBLE_EQ(v.at("b").at("d").number(), -3.0);
+  // dump -> parse -> dump is a fixed point.
+  EXPECT_EQ(JsonValue::parse(v.dump()).dump(), v.dump());
+}
+
+TEST(JsonValue, ParseUnicodeEscapes) {
+  // Raw UTF-8 passes through; \uXXXX escapes decode to UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("café")").str(), "caf\xc3\xa9");
+  EXPECT_EQ(JsonValue::parse(R"("caf\u00e9")").str(), "caf\xc3\xa9");
+}
+
+TEST(JsonValue, ParseRejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), Error);
+  EXPECT_THROW(JsonValue::parse("{"), Error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), Error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(JsonValue::parse("'single'"), Error);
+}
+
+TEST(JsonValue, FindAndAt) {
+  JsonValue obj{JsonValue::Object{}};
+  obj.set("k", "v");
+  ASSERT_NE(obj.find("k"), nullptr);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW(obj.at("missing"), Error);
+}
+
+TEST(TextFile, WriteAndReadBack) {
+  const std::string path = "obs_json_io_test.txt";
+  write_text_file(path, "line1\nline2");
+  EXPECT_EQ(read_text_file(path), "line1\nline2");
+  std::remove(path.c_str());
+  EXPECT_THROW(read_text_file(path), Error);
+}
+
+}  // namespace
+}  // namespace qgear::obs

@@ -1,0 +1,187 @@
+#include "qgear/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "qgear/common/thread_pool.hpp"
+#include "qgear/obs/json.hpp"
+
+namespace qgear::obs {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(0.25);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.25);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketsAreInclusiveUpperBounds) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0
+  h.observe(1.0);    // bucket 0 (inclusive)
+  h.observe(1.0001); // bucket 1
+  h.observe(50.0);   // bucket 2
+  h.observe(1e6);    // overflow bucket
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 1e6);
+  EXPECT_NEAR(s.sum, 0.5 + 1.0 + 1.0001 + 50.0 + 1e6, 1e-9);
+}
+
+TEST(Histogram, EmptySnapshotReportsZeros) {
+  Histogram h({1.0});
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(Histogram, ExponentialBounds) {
+  const auto b = Histogram::exponential(1.0, 10.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 1000.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), Error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+}
+
+TEST(Registry, LookupReturnsStableReferences) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+  // reset() zeroes values but keeps registrations (and references) alive.
+  reg.reset();
+  EXPECT_EQ(a.value(), 0u);
+  a.add(1);
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+}
+
+TEST(Registry, SnapshotIsIsolatedFromLaterUpdates) {
+  Registry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h", {10.0}).observe(3.0);
+  const RegistrySnapshot snap = reg.snapshot();
+  reg.counter("c").add(100);
+  reg.gauge("g").set(-1.0);
+  reg.histogram("h").observe(99.0);
+  ASSERT_NE(snap.find_counter("c"), nullptr);
+  EXPECT_EQ(snap.find_counter("c")->value, 5u);
+  ASSERT_NE(snap.find_gauge("g"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find_gauge("g")->value, 2.0);
+  ASSERT_NE(snap.find_histogram("h"), nullptr);
+  EXPECT_EQ(snap.find_histogram("h")->hist.count, 1u);
+  EXPECT_EQ(snap.find_counter("missing"), nullptr);
+}
+
+TEST(Registry, SnapshotIsNameSorted) {
+  Registry reg;
+  reg.counter("zz").add();
+  reg.counter("aa").add();
+  reg.counter("mm").add();
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "aa");
+  EXPECT_EQ(snap.counters[1].name, "mm");
+  EXPECT_EQ(snap.counters[2].name, "zz");
+}
+
+TEST(Registry, ConcurrentIncrementsFromThreadPool) {
+  Registry reg;
+  Counter& hits = reg.counter("hits");
+  Gauge& sum = reg.gauge("sum");
+  Histogram& hist = reg.histogram("vals", {0.25, 0.5, 0.75, 1.0});
+  ThreadPool pool(4);
+  constexpr std::uint64_t kN = 200000;
+  pool.parallel_for(0, kN, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) {
+      hits.add();
+      sum.add(1.0);
+      hist.observe(static_cast<double>(i % 4) / 4.0);
+    }
+  });
+  EXPECT_EQ(hits.value(), kN);
+  EXPECT_DOUBLE_EQ(sum.value(), static_cast<double>(kN));
+  const auto s = hist.snapshot();
+  EXPECT_EQ(s.count, kN);
+  std::uint64_t bucket_total = 0;
+  for (auto b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kN);
+}
+
+TEST(Registry, ConcurrentLookupAndCreate) {
+  Registry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < 200; ++i) {
+        reg.counter("shared").add();
+        reg.counter("own." + std::to_string(t)).add();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared").value(), 8u * 200u);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.size(), 9u);
+}
+
+TEST(RegistrySnapshot, TextExportOneLinePerMetric) {
+  Registry reg;
+  reg.counter("requests").add(7);
+  reg.gauge("temp").set(3.5);
+  const std::string text = reg.snapshot().to_text();
+  EXPECT_NE(text.find("requests 7"), std::string::npos);
+  EXPECT_NE(text.find("temp 3.5"), std::string::npos);
+}
+
+TEST(RegistrySnapshot, JsonExportRoundTrips) {
+  Registry reg;
+  reg.counter("c.one").add(11);
+  reg.gauge("g.one").set(0.5);
+  reg.histogram("h.one", {1.0, 2.0}).observe(1.5);
+  const JsonValue doc = JsonValue::parse(reg.snapshot().to_json());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("c.one").number(), 11.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("g.one").number(), 0.5);
+  const JsonValue& h = doc.at("histograms").at("h.one");
+  EXPECT_DOUBLE_EQ(h.at("count").number(), 1.0);
+  ASSERT_EQ(h.at("buckets").array().size(), 3u);
+  EXPECT_DOUBLE_EQ(h.at("buckets").array()[1].number(), 1.0);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace qgear::obs

@@ -1,0 +1,175 @@
+#include "qgear/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "qgear/obs/json.hpp"
+
+namespace qgear::obs {
+namespace {
+
+TEST(Tracer, DisabledSpanRecordsNothing) {
+  Tracer tracer;
+  {
+    Span s(tracer, "noop", "test");
+    EXPECT_FALSE(s.active());
+    s.arg("ignored", std::uint64_t{1});
+  }
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Tracer, RecordsCompletedSpansWithArgs) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span s(tracer, "work", "test");
+    ASSERT_TRUE(s.active());
+    s.arg("circuit", "qft8");
+    s.arg("gates", std::uint64_t{48});
+    s.arg("seconds", 0.5);
+  }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "work");
+  EXPECT_EQ(spans[0].cat, "test");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_GE(spans[0].tid, 1u);
+  ASSERT_EQ(spans[0].args.size(), 3u);
+  EXPECT_EQ(spans[0].args[0].first, "circuit");
+  EXPECT_EQ(spans[0].args[0].second, "qft8");
+  EXPECT_EQ(spans[0].args[1].second, "48");
+}
+
+TEST(Tracer, NestedSpansCarryDepthAndContainment) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span outer(tracer, "outer", "test");
+    {
+      Span inner(tracer, "inner", "test");
+      Span innermost(tracer, "innermost", "test");
+    }
+  }
+  auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Spans complete innermost-first.
+  EXPECT_EQ(spans[0].name, "innermost");
+  EXPECT_EQ(spans[0].depth, 2u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].depth, 0u);
+  // Parent intervals contain child intervals.
+  EXPECT_LE(spans[2].start_us, spans[1].start_us);
+  EXPECT_GE(spans[2].start_us + spans[2].dur_us,
+            spans[1].start_us + spans[1].dur_us);
+  EXPECT_LE(spans[1].start_us, spans[0].start_us);
+}
+
+TEST(Tracer, DepthIsPerThread) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  Span outer(tracer, "outer", "test");  // depth 0 on this thread
+  std::thread([&tracer] {
+    Span s(tracer, "other-thread", "test");
+  }).join();
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].depth, 0u);  // fresh thread starts at depth 0
+  EXPECT_NE(spans[0].tid, Tracer::thread_id());
+}
+
+TEST(Tracer, RingBufferOverwritesOldestAndCountsDrops) {
+  Tracer tracer(4);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    Span s(tracer, "span", "test");
+  }
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // The survivors are the 4 newest, in chronological order.
+  EXPECT_EQ(spans[0].seq, 7u);
+  EXPECT_EQ(spans[3].seq, 10u);
+  EXPECT_TRUE(std::is_sorted(
+      spans.begin(), spans.end(),
+      [](const SpanRecord& a, const SpanRecord& b) { return a.seq < b.seq; }));
+}
+
+TEST(Tracer, ClearResetsBufferAndCounts) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  { Span s(tracer, "a", "test"); }
+  tracer.clear();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Tracer, TraceEventJsonRoundTrips) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span outer(tracer, "transpile", "core");
+    outer.arg("circuit", "q\"uote");  // exercises escaping
+    Span inner(tracer, "sweep", "sim");
+  }
+  const JsonValue doc = JsonValue::parse(tracer.to_trace_json());
+  const auto& events = doc.at("traceEvents").array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const JsonValue& e : events) {
+    EXPECT_EQ(e.at("ph").str(), "X");
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    EXPECT_TRUE(e.at("pid").is_number());
+    EXPECT_TRUE(e.at("tid").is_number());
+    EXPECT_TRUE(e.at("args").is_object());
+  }
+  EXPECT_EQ(events[0].at("name").str(), "sweep");
+  EXPECT_EQ(events[1].at("name").str(), "transpile");
+  EXPECT_EQ(events[1].at("args").at("circuit").str(), "q\"uote");
+  // Nesting is recoverable from the exported depth arg.
+  EXPECT_DOUBLE_EQ(events[0].at("args").at("depth").number(), 1.0);
+  EXPECT_DOUBLE_EQ(events[1].at("args").at("depth").number(), 0.0);
+}
+
+TEST(Tracer, ConcurrentSpansFromManyThreads) {
+  Tracer tracer(1 << 12);
+  tracer.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpansEach = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansEach; ++i) {
+        Span outer(tracer, "outer", "test");
+        Span inner(tracer, "inner", "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.recorded(), 2u * kThreads * kSpansEach);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  const auto spans = tracer.snapshot();
+  EXPECT_EQ(spans.size(), 2u * kThreads * kSpansEach);
+  for (const auto& s : spans) {
+    EXPECT_LE(s.depth, 1u);
+  }
+}
+
+TEST(Tracer, ThreadIdIsStableAndDistinct) {
+  const std::uint32_t mine = Tracer::thread_id();
+  EXPECT_EQ(mine, Tracer::thread_id());
+  std::uint32_t other = 0;
+  std::thread([&other] { other = Tracer::thread_id(); }).join();
+  EXPECT_NE(other, mine);
+  EXPECT_GE(other, 1u);
+}
+
+}  // namespace
+}  // namespace qgear::obs

@@ -12,10 +12,16 @@
 //   qgear_cli run         --in circuits.qh5 [--target nvidia|cpu-aer|
 //                         nvidia-mgpu|nvidia-mqpu] [--devices R]
 //                         [--shots S] [--precision fp32|fp64]
-//                         [--fusion W]
+//                         [--fusion W] [--trace-out trace.json]
+//                         [--metrics-out metrics.json]
 //   qgear_cli estimate    --in circuits.qh5 [--devices R] [--gpu 40|80]
 //                         [--shots S] [--precision fp32|fp64]
 //   qgear_cli qasm-export --in circuits.qh5 --index I --out circuit.qasm
+//
+// Flags accept both "--key value" and "--key=value". Observability:
+// `--trace-out` records a Chrome Trace Event file (chrome://tracing /
+// Perfetto) of the run, `--metrics-out` dumps the metrics registry as
+// JSON, and `--log <level>` (or QGEAR_LOG) sets stderr verbosity.
 
 #include <cstdio>
 #include <map>
@@ -25,11 +31,16 @@
 #include "qgear/circuits/qcrank.hpp"
 #include "qgear/circuits/qft.hpp"
 #include "qgear/circuits/random_blocks.hpp"
+#include "qgear/common/log.hpp"
 #include "qgear/common/strings.hpp"
 #include "qgear/core/transformer.hpp"
+#include "qgear/obs/json.hpp"
+#include "qgear/obs/metrics.hpp"
+#include "qgear/obs/trace.hpp"
 #include "qgear/perfmodel/model.hpp"
 #include "qgear/qh5/file.hpp"
 #include "qgear/qiskit/qasm.hpp"
+#include "qgear/sim/stats.hpp"
 
 using namespace qgear;
 
@@ -42,7 +53,10 @@ class Args {
       std::string key = argv[i];
       QGEAR_CHECK_ARG(starts_with(key, "--"), "expected --flag, got " + key);
       key = key.substr(2);
-      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      const std::size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);  // --key=value
+      } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "";  // boolean flag
@@ -51,6 +65,12 @@ class Args {
   }
 
   bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  /// Optional flag: empty string when absent.
+  std::string opt(const std::string& key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? "" : it->second;
+  }
 
   std::string str(const std::string& key,
                   const std::string& fallback = "") const {
@@ -169,20 +189,37 @@ int cmd_info(const Args& args) {
 }
 
 int cmd_run(const Args& args) {
-  const core::GateTensor tensor = load_circuits(args.required("in"));
+  const std::string trace_out = args.opt("trace-out");
+  const std::string metrics_out = args.opt("metrics-out");
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!trace_out.empty()) {
+    tracer.clear();
+    tracer.set_enabled(true);
+  }
+
   core::TransformerOptions opts;
   opts.target = parse_target(args.str("target", "nvidia"));
   opts.precision = parse_precision(args.str("precision", "fp32"));
   opts.devices = static_cast<int>(args.u64("devices", 1));
   opts.fusion_width = static_cast<unsigned>(args.u64("fusion", 5));
-  core::Transformer transformer(opts);
+  const core::RunOptions run{.shots = args.u64("shots", 0)};
 
   std::vector<core::Kernel> kernels;
-  for (std::uint32_t c = 0; c < tensor.num_circuits(); ++c) {
-    kernels.push_back(core::Kernel::from_tensor(tensor, c));
+  std::vector<core::Result> results;
+  {
+    // Scoped so every span (including this root) closes before export.
+    obs::Span root(tracer, "cli.run", "cli");
+    const core::GateTensor tensor = load_circuits(args.required("in"));
+    core::Transformer transformer(opts);
+    for (std::uint32_t c = 0; c < tensor.num_circuits(); ++c) {
+      kernels.push_back(core::Kernel::from_tensor(tensor, c));
+    }
+    if (root.active()) {
+      root.arg("circuits", std::uint64_t{kernels.size()});
+      root.arg("target", args.str("target", "nvidia"));
+    }
+    results = transformer.run_batch(kernels, run);
   }
-  const core::RunOptions run{.shots = args.u64("shots", 0)};
-  const auto results = transformer.run_batch(kernels, run);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::printf("[%zu] %s: %s wall, %llu sweeps, %s comm\n", i,
@@ -203,6 +240,24 @@ int cmd_run(const Args& args) {
                     static_cast<unsigned long long>(count));
       }
     }
+  }
+  if (!trace_out.empty()) {
+    tracer.set_enabled(false);
+    tracer.write_trace_json(trace_out);
+    std::printf("wrote %s: %llu span(s), %llu dropped\n", trace_out.c_str(),
+                static_cast<unsigned long long>(tracer.recorded()),
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
+  if (!metrics_out.empty()) {
+    auto& reg = obs::Registry::global();
+    for (const auto& r : results) {
+      sim::fold_stats(reg, r.stats, "engine");
+    }
+    const obs::RegistrySnapshot snap = reg.snapshot();
+    obs::write_text_file(metrics_out, snap.to_json());
+    std::printf("wrote %s: %zu counter(s), %zu gauge(s), %zu histogram(s)\n",
+                metrics_out.c_str(), snap.counters.size(),
+                snap.gauges.size(), snap.histograms.size());
   }
   return 0;
 }
@@ -263,6 +318,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args(argc, argv);
+    if (args.has("log")) log::set_level(log::parse_level(args.required("log")));
     if (cmd == "gen-random") return cmd_gen_random(args);
     if (cmd == "gen-qft") return cmd_gen_qft(args);
     if (cmd == "gen-image") return cmd_gen_image(args);
