@@ -303,7 +303,7 @@ void DistStateVector<T>::apply_with_tag(const qiskit::Instruction& inst,
       } else if (!is_local(c) && is_local(t)) {
         // Global control: ranks with control bit 1 flip the target locally.
         if (global_bit(c) == 1) {
-          sim::apply_1q(amps_.data(), local_qubits_, t, x);
+          sim::apply_x(amps_.data(), local_qubits_, t);
           ++stats_.sweeps;
           stats_.amp_ops += amps_.size();
         }
@@ -364,12 +364,17 @@ void DistStateVector<T>::apply_circuit_fused(
     const sim::FusionPlan plan =
         sim::plan_fusion(segment, {.max_width = width});
     for (const sim::FusedBlock& block : plan.blocks) {
-      if (block.diagonal) {
-        sim::apply_multi_diagonal(amps_.data(), local_qubits_, block.qubits,
-                                  block.matrix);
-      } else {
-        sim::apply_multi(amps_.data(), local_qubits_, block.qubits,
-                         block.matrix);
+      sim::apply_fused_block(amps_.data(), local_qubits_, block);
+      switch (block.kernel_class) {
+        case sim::KernelClass::diagonal:
+          ++stats_.diag_blocks;
+          break;
+        case sim::KernelClass::permutation:
+          ++stats_.perm_blocks;
+          break;
+        case sim::KernelClass::dense:
+          ++stats_.dense_blocks;
+          break;
       }
       ++stats_.sweeps;
       ++stats_.fused_blocks;

@@ -132,7 +132,8 @@ Estimate estimate_gpu(const qiskit::QuantumCircuit& qc,
       sim::plan_fusion(qc, {.max_width = config.fusion_width});
   e.sweeps = plan.blocks.size();
 
-  const double sweep_bytes = 2.0 * static_cast<double>(local_bytes);
+  const double sweep_bytes =
+      kSweepBytesPerStateByte * static_cast<double>(local_bytes);
   const double sustained =
       config.gpu.mem_bandwidth_bps * config.gpu.efficiency;
   e.compute_s = static_cast<double>(e.sweeps) * sweep_bytes / sustained;
@@ -194,7 +195,8 @@ Estimate estimate_cpu(const qiskit::QuantumCircuit& qc,
   }
   e.sweeps = gates;  // no fusion in the baseline
 
-  const double sweep_bytes = 2.0 * static_cast<double>(state_bytes);
+  const double sweep_bytes =
+      kSweepBytesPerStateByte * static_cast<double>(state_bytes);
   const double bandwidth =
       config.mode == CpuBaselineConfig::Mode::node_parallel
           ? config.node.node_bandwidth_bps * config.node.node_efficiency
@@ -220,10 +222,20 @@ double measure_local_sweep_bandwidth(unsigned num_qubits, unsigned blocks) {
   WallTimer timer;
   engine.apply(qc, state);
   const double seconds = timer.seconds();
-  const double bytes = static_cast<double>(engine.stats().sweeps) * 2.0 *
+  const double bytes = static_cast<double>(engine.stats().sweeps) *
+                       kSweepBytesPerStateByte *
                        static_cast<double>(pow2(num_qubits)) *
                        sizeof(std::complex<float>);
   return bytes / seconds;
+}
+
+double measure_local_sweep_bandwidth(unsigned num_qubits, unsigned blocks,
+                                     sim::Isa isa) {
+  const sim::Isa prev = sim::active_isa();
+  sim::set_active_isa(isa);
+  const double bandwidth = measure_local_sweep_bandwidth(num_qubits, blocks);
+  sim::set_active_isa(prev);
+  return bandwidth;
 }
 
 }  // namespace qgear::perfmodel

@@ -14,6 +14,7 @@
 #include "qgear/core/transformer.hpp"
 #include "qgear/perfmodel/specs.hpp"
 #include "qgear/qiskit/circuit.hpp"
+#include "qgear/sim/isa.hpp"
 
 namespace qgear::perfmodel {
 
@@ -75,10 +76,20 @@ Estimate estimate_cpu(const qiskit::QuantumCircuit& qc,
 enum class LinkClass { nvlink, slingshot, cross_rack };
 LinkClass link_class_for(unsigned gbit, const InterconnectSpec& net);
 
+/// Memory traffic of one fused sweep, in units of the local state size:
+/// every amplitude is read once and written once. The SIMD kernels change
+/// arithmetic throughput, not traffic, so this constant is ISA-independent
+/// and the bandwidth-bound model stays calibrated across dispatch targets.
+inline constexpr double kSweepBytesPerStateByte = 2.0;
+
 /// Measures this host's sustained amplitude-sweep bandwidth (bytes/s) by
 /// timing the fused engine on a calibration circuit. Benches use it to
-/// relate local measured times to modeled device times.
+/// relate local measured times to modeled device times. Pass an `isa` to
+/// calibrate a specific kernel variant (the active ISA is restored before
+/// returning); the default measures whatever is currently active.
 double measure_local_sweep_bandwidth(unsigned num_qubits = 18,
                                      unsigned blocks = 40);
+double measure_local_sweep_bandwidth(unsigned num_qubits, unsigned blocks,
+                                     sim::Isa isa);
 
 }  // namespace qgear::perfmodel

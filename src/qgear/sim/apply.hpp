@@ -9,23 +9,6 @@
 
 namespace qgear::sim {
 
-/// Two-qubit controlled-phase fast path: amps[i] *= phase when both bits set.
-template <typename T>
-void apply_controlled_phase(std::complex<T>* amps, unsigned num_qubits,
-                            unsigned control, unsigned target,
-                            std::complex<T> phase,
-                            ThreadPool* pool = nullptr) {
-  QGEAR_EXPECTS(control < num_qubits && target < num_qubits &&
-                control != target);
-  const std::uint64_t total = pow2(num_qubits);
-  const std::uint64_t mask = pow2(control) | pow2(target);
-  detail::for_range(pool, total, [=](std::uint64_t begin, std::uint64_t end) {
-    for (std::uint64_t i = begin; i < end; ++i) {
-      if ((i & mask) == mask) amps[i] *= phase;
-    }
-  });
-}
-
 /// Applies one unitary instruction to an amplitude array holding all
 /// `num_qubits` qubits. Measure records into `measured` (if non-null);
 /// barrier is a no-op. Returns the number of amplitude sweeps performed.
@@ -85,17 +68,20 @@ unsigned apply_instruction(std::complex<T>* amps, unsigned num_qubits,
                              std::complex<T>(std::exp(i * inst.param)), pool);
       return 1;
     }
+    case GateKind::x:
+      // Permutation fast path: no multiplies at all.
+      apply_x(amps, num_qubits, static_cast<unsigned>(inst.q0), pool);
+      return 1;
     case GateKind::cx:
-      apply_controlled_1q(amps, num_qubits, static_cast<unsigned>(inst.q0),
-                          static_cast<unsigned>(inst.q1),
-                          qiskit::gate_matrix_1q(GateKind::x, 0), pool);
+      apply_cx(amps, num_qubits, static_cast<unsigned>(inst.q0),
+               static_cast<unsigned>(inst.q1), pool);
       return 1;
     case GateKind::swap:
       apply_swap(amps, num_qubits, static_cast<unsigned>(inst.q0),
                  static_cast<unsigned>(inst.q1), pool);
       return 1;
     default: {
-      // Remaining single-qubit unitaries (h, x, y, t, tdg, rx, ry).
+      // Remaining single-qubit unitaries (h, y, t, tdg, rx, ry).
       apply_1q(amps, num_qubits, static_cast<unsigned>(inst.q0),
                qiskit::gate_matrix_1q(inst.kind, inst.param), pool);
       return 1;

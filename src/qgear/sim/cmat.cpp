@@ -51,6 +51,30 @@ bool CMat::is_diagonal(double tol) const {
   return true;
 }
 
+bool CMat::is_permutation(double tol, std::vector<std::uint32_t>* perm,
+                          std::vector<std::complex<double>>* phases) const {
+  std::vector<std::uint32_t> p(dim_);
+  std::vector<std::complex<double>> ph(dim_);
+  std::vector<bool> row_used(dim_, false);
+  for (std::uint64_t c = 0; c < dim_; ++c) {
+    std::uint64_t hit_row = dim_;
+    for (std::uint64_t r = 0; r < dim_; ++r) {
+      const double mag = std::abs(at(r, c));
+      if (mag <= tol) continue;
+      // A second non-zero in this column, or a non-unit entry, disqualifies.
+      if (hit_row != dim_ || std::abs(mag - 1.0) > tol) return false;
+      hit_row = r;
+    }
+    if (hit_row == dim_ || row_used[hit_row]) return false;
+    row_used[hit_row] = true;
+    p[c] = static_cast<std::uint32_t>(hit_row);
+    ph[c] = at(hit_row, c);
+  }
+  if (perm != nullptr) *perm = std::move(p);
+  if (phases != nullptr) *phases = std::move(ph);
+  return true;
+}
+
 bool CMat::is_unitary(double tol) const {
   // Check U * U^dagger == I.
   for (std::uint64_t r = 0; r < dim_; ++r) {

@@ -36,6 +36,15 @@ class CMat {
   /// True if all off-diagonal magnitudes are <= tol.
   bool is_diagonal(double tol = 1e-14) const;
 
+  /// True if the matrix is a phased permutation: exactly one entry of unit
+  /// magnitude per column (within tol), zeros elsewhere. On success fills
+  /// perm[c] = destination row of column c and phases[c] = that entry, so
+  /// applying the matrix is out[perm[c]] = phases[c] * in[c]. Diagonal
+  /// matrices trivially qualify; callers should test is_diagonal first to
+  /// pick the cheaper kernel.
+  bool is_permutation(double tol, std::vector<std::uint32_t>* perm,
+                      std::vector<std::complex<double>>* phases) const;
+
   /// True if U * U^dagger is within tol of identity.
   bool is_unitary(double tol = 1e-10) const;
 

@@ -18,31 +18,25 @@
 
 namespace qgear::sim {
 
-/// Diagonal fused-block kernel: amps[i] *= diag[local_index(i)].
+/// Applies one fused block via its cheapest kernel: diagonal blocks use
+/// the multiply-only sweep, permutation blocks (X/CX/SWAP runs) the
+/// O(2^m)-per-group shuffle, everything else the dense matvec. Shared by
+/// the fused engine and the distributed engine's local fusion path.
 template <typename T>
-void apply_multi_diagonal(std::complex<T>* amps, unsigned num_qubits,
-                          const std::vector<unsigned>& qubits,
-                          const std::vector<std::complex<double>>& matrix,
-                          ThreadPool* pool = nullptr) {
-  const unsigned m = static_cast<unsigned>(qubits.size());
-  const std::uint64_t dim = pow2(m);
-  QGEAR_EXPECTS(matrix.size() == dim * dim);
-  std::vector<std::complex<T>> diag(dim);
-  for (std::uint64_t v = 0; v < dim; ++v) {
-    diag[v] = std::complex<T>(matrix[v * dim + v]);
+void apply_fused_block(std::complex<T>* amps, unsigned num_qubits,
+                       const FusedBlock& block, ThreadPool* pool = nullptr) {
+  switch (block.kernel_class) {
+    case KernelClass::diagonal:
+      apply_multi_diag(amps, num_qubits, block.qubits, block.diag, pool);
+      return;
+    case KernelClass::permutation:
+      apply_multi_permutation(amps, num_qubits, block.qubits, block.perm,
+                              block.phases, pool);
+      return;
+    case KernelClass::dense:
+      break;
   }
-  const std::uint64_t total = pow2(num_qubits);
-  const auto* dptr = diag.data();
-  const unsigned* qptr = qubits.data();
-  detail::for_range(pool, total, [=](std::uint64_t begin, std::uint64_t end) {
-    for (std::uint64_t i = begin; i < end; ++i) {
-      std::uint64_t v = 0;
-      for (unsigned j = 0; j < m; ++j) {
-        v |= static_cast<std::uint64_t>((i >> qptr[j]) & 1u) << j;
-      }
-      amps[i] *= dptr[v];
-    }
-  });
+  apply_multi(amps, num_qubits, block.qubits, block.matrix, pool);
 }
 
 template <typename T>
@@ -88,14 +82,19 @@ class FusedEngine {
       if (block_span.active()) {
         block_span.arg("width", std::uint64_t{block.qubits.size()});
         block_span.arg("gates", block.source_gates);
-        block_span.arg("diagonal", block.diagonal ? "true" : "false");
+        block_span.arg("kernel", kernel_class_name(block.kernel_class));
       }
-      if (block.diagonal) {
-        apply_multi_diagonal(state.data(), state.num_qubits(), block.qubits,
-                             block.matrix, opts_.pool);
-      } else {
-        apply_multi(state.data(), state.num_qubits(), block.qubits,
-                    block.matrix, opts_.pool);
+      apply_fused_block(state.data(), state.num_qubits(), block, opts_.pool);
+      switch (block.kernel_class) {
+        case KernelClass::diagonal:
+          ++stats_.diag_blocks;
+          break;
+        case KernelClass::permutation:
+          ++stats_.perm_blocks;
+          break;
+        case KernelClass::dense:
+          ++stats_.dense_blocks;
+          break;
       }
       ++stats_.sweeps;
       ++stats_.fused_blocks;
@@ -109,6 +108,12 @@ class FusedEngine {
     reg.counter("sim.sweeps").add(stats_.sweeps - before.sweeps);
     reg.counter("sim.fused_blocks").add(stats_.fused_blocks -
                                         before.fused_blocks);
+    reg.counter("sim.diag_blocks").add(stats_.diag_blocks -
+                                       before.diag_blocks);
+    reg.counter("sim.perm_blocks").add(stats_.perm_blocks -
+                                       before.perm_blocks);
+    reg.counter("sim.dense_blocks").add(stats_.dense_blocks -
+                                        before.dense_blocks);
     reg.counter("sim.amp_ops").add(stats_.amp_ops - before.amp_ops);
     if (sweep_span.active()) {
       sweep_span.arg("blocks", std::uint64_t{plan.blocks.size()});

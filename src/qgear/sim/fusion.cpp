@@ -28,7 +28,19 @@ void flush(Builder& b, FusionPlan& plan, double diag_tol) {
   if (b.empty()) return;
   FusedBlock block;
   block.qubits = b.qubits;
-  block.diagonal = b.matrix.is_diagonal(diag_tol);
+  // Classify most-specialized first: diagonal beats permutation (every
+  // diagonal unitary is also a phased identity permutation) beats dense.
+  if (b.matrix.is_diagonal(diag_tol)) {
+    block.diagonal = true;
+    block.kernel_class = KernelClass::diagonal;
+    const std::uint64_t dim = b.matrix.dim();
+    block.diag.resize(dim);
+    for (std::uint64_t v = 0; v < dim; ++v) block.diag[v] = b.matrix.at(v, v);
+  } else if (b.matrix.is_permutation(diag_tol, &block.perm, &block.phases)) {
+    block.kernel_class = KernelClass::permutation;
+  } else {
+    block.kernel_class = KernelClass::dense;
+  }
   block.matrix = std::move(b.matrix).take();
   block.source_gates = b.source_gates;
   plan.blocks.push_back(std::move(block));
@@ -51,6 +63,18 @@ bool is_negligible_rotation(const qiskit::Instruction& inst,
 }
 
 }  // namespace
+
+const char* kernel_class_name(KernelClass kc) {
+  switch (kc) {
+    case KernelClass::diagonal:
+      return "diagonal";
+    case KernelClass::permutation:
+      return "permutation";
+    case KernelClass::dense:
+      break;
+  }
+  return "dense";
+}
 
 FusionPlan plan_fusion(const qiskit::QuantumCircuit& qc, FusionOptions opts) {
   QGEAR_CHECK_ARG(opts.max_width >= 1 && opts.max_width <= 10,

@@ -16,11 +16,29 @@
 
 namespace qgear::sim {
 
+/// Cheapest kernel able to apply a fused block. Ordered from most to
+/// least specialized; the planner classifies diagonal before permutation
+/// (every diagonal is a phased identity permutation) before dense.
+enum class KernelClass : int {
+  diagonal = 0,     ///< multiply-only sweep over the 2^m diagonal values
+  permutation = 1,  ///< out[perm[v]] = phases[v] * in[v]; O(2^m) per group
+  dense = 2,        ///< full 2^m x 2^m matvec per group
+};
+
+const char* kernel_class_name(KernelClass kc);
+
 /// One fused unitary over an ascending qubit list.
 struct FusedBlock {
   std::vector<unsigned> qubits;                 ///< ascending global ids
   std::vector<std::complex<double>> matrix;     ///< row-major 2^m x 2^m
-  bool diagonal = false;                        ///< enables the diag kernel
+  bool diagonal = false;                        ///< kernel_class == diagonal
+  KernelClass kernel_class = KernelClass::dense;
+  /// Filled for diagonal blocks: the 2^m diagonal values.
+  std::vector<std::complex<double>> diag;
+  /// Filled for permutation blocks: column c maps to row perm[c] with
+  /// weight phases[c].
+  std::vector<std::uint32_t> perm;
+  std::vector<std::complex<double>> phases;
   std::uint64_t source_gates = 0;               ///< gates fused in
 };
 

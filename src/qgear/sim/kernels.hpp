@@ -4,56 +4,25 @@
 // fused multi-qubit) unitary. A non-null ThreadPool parallelizes the sweep
 // over contiguous index ranges — the shared-memory stand-in for the GPU's
 // SM/warp execution described in the paper's Appendix A.
+//
+// These entry points validate their arguments, then dispatch through the
+// KernelTable matching active_isa(): AVX2+FMA or SSE2 vectorized sweeps
+// when the host supports them, the portable scalar loops otherwise (see
+// kernels_scalar.hpp / kernels_vec.ipp and docs/KERNELS.md). Set
+// QGEAR_ISA=scalar|sse2|avx2 (or call set_active_isa) to override.
 #pragma once
 
-#include <complex>
-#include <cstdint>
-#include <vector>
-
-#include "qgear/common/bits.hpp"
-#include "qgear/common/error.hpp"
-#include "qgear/common/thread_pool.hpp"
-#include "qgear/qiskit/gates.hpp"
+#include "qgear/sim/kernel_table.hpp"
+#include "qgear/sim/kernels_common.hpp"
 
 namespace qgear::sim {
-
-/// Converts the canonical double-precision 2x2 into precision T.
-template <typename T>
-std::array<std::complex<T>, 4> to_precision(const qiskit::Mat2& m) {
-  return {std::complex<T>(m[0]), std::complex<T>(m[1]),
-          std::complex<T>(m[2]), std::complex<T>(m[3])};
-}
-
-namespace detail {
-/// Runs fn(begin, end) over [0, count) — pooled or inline.
-inline void for_range(ThreadPool* pool, std::uint64_t count,
-                      const std::function<void(std::uint64_t, std::uint64_t)>& fn) {
-  if (pool != nullptr) {
-    pool->parallel_for(0, count, fn);
-  } else {
-    fn(0, count);
-  }
-}
-}  // namespace detail
 
 /// Applies a 2x2 unitary to qubit q of an n-qubit amplitude array.
 template <typename T>
 void apply_1q(std::complex<T>* amps, unsigned num_qubits, unsigned q,
               const qiskit::Mat2& gate, ThreadPool* pool = nullptr) {
   QGEAR_EXPECTS(q < num_qubits);
-  const auto m = to_precision<T>(gate);
-  const std::uint64_t pairs = pow2(num_qubits - 1);
-  const std::uint64_t stride = pow2(q);
-  detail::for_range(pool, pairs, [=](std::uint64_t begin, std::uint64_t end) {
-    for (std::uint64_t k = begin; k < end; ++k) {
-      const std::uint64_t i0 = insert_zero_bit(k, q);
-      const std::uint64_t i1 = i0 | stride;
-      const std::complex<T> a0 = amps[i0];
-      const std::complex<T> a1 = amps[i1];
-      amps[i0] = m[0] * a0 + m[1] * a1;
-      amps[i1] = m[2] * a0 + m[3] * a1;
-    }
-  });
+  active_kernels<T>().apply_1q(amps, num_qubits, q, gate, pool);
 }
 
 /// Applies a diagonal 2x2 unitary {d0, d1} to qubit q (no pairing needed).
@@ -62,12 +31,15 @@ void apply_1q_diagonal(std::complex<T>* amps, unsigned num_qubits, unsigned q,
                        std::complex<T> d0, std::complex<T> d1,
                        ThreadPool* pool = nullptr) {
   QGEAR_EXPECTS(q < num_qubits);
-  const std::uint64_t total = pow2(num_qubits);
-  detail::for_range(pool, total, [=](std::uint64_t begin, std::uint64_t end) {
-    for (std::uint64_t i = begin; i < end; ++i) {
-      amps[i] *= test_bit(i, q) ? d1 : d0;
-    }
-  });
+  active_kernels<T>().apply_1q_diagonal(amps, num_qubits, q, d0, d1, pool);
+}
+
+/// Pauli-X on qubit q: a pure amplitude permutation (no arithmetic).
+template <typename T>
+void apply_x(std::complex<T>* amps, unsigned num_qubits, unsigned q,
+             ThreadPool* pool = nullptr) {
+  QGEAR_EXPECTS(q < num_qubits);
+  active_kernels<T>().apply_x(amps, num_qubits, q, pool);
 }
 
 /// Applies a controlled-U (2x2 target matrix) with control c, target t.
@@ -78,23 +50,41 @@ void apply_controlled_1q(std::complex<T>* amps, unsigned num_qubits,
                          ThreadPool* pool = nullptr) {
   QGEAR_EXPECTS(control < num_qubits && target < num_qubits &&
                 control != target);
-  const auto m = to_precision<T>(gate);
-  const unsigned lo = std::min(control, target);
-  const unsigned hi = std::max(control, target);
-  const std::uint64_t groups = pow2(num_qubits - 2);
-  const std::uint64_t cbit = pow2(control);
-  const std::uint64_t tbit = pow2(target);
-  detail::for_range(pool, groups, [=](std::uint64_t begin, std::uint64_t end) {
-    for (std::uint64_t k = begin; k < end; ++k) {
-      // Index with control=1, target=0; partner has target=1.
-      const std::uint64_t base = insert_two_zero_bits(k, lo, hi) | cbit;
-      const std::uint64_t i1 = base | tbit;
-      const std::complex<T> a0 = amps[base];
-      const std::complex<T> a1 = amps[i1];
-      amps[base] = m[0] * a0 + m[1] * a1;
-      amps[i1] = m[2] * a0 + m[3] * a1;
-    }
-  });
+  active_kernels<T>().apply_controlled_1q(amps, num_qubits, control, target,
+                                          gate, pool);
+}
+
+/// CX: swaps target amplitudes on the control=1 half (permutation only).
+template <typename T>
+void apply_cx(std::complex<T>* amps, unsigned num_qubits, unsigned control,
+              unsigned target, ThreadPool* pool = nullptr) {
+  QGEAR_EXPECTS(control < num_qubits && target < num_qubits &&
+                control != target);
+  active_kernels<T>().apply_cx(amps, num_qubits, control, target, pool);
+}
+
+/// amps[i] *= phase for every i with (i & mask) == mask — the kernel
+/// behind CZ/CP and multi-controlled phases. Touches only the matching
+/// 2^(n - popcount(mask)) amplitudes.
+template <typename T>
+void apply_phase_mask(std::complex<T>* amps, unsigned num_qubits,
+                      std::uint64_t mask, std::complex<T> phase,
+                      ThreadPool* pool = nullptr) {
+  QGEAR_EXPECTS(mask != 0 && mask < pow2(num_qubits));
+  active_kernels<T>().apply_phase_mask(amps, num_qubits, mask, phase, pool);
+}
+
+/// Two-qubit controlled-phase fast path: amps[i] *= phase when both bits
+/// are set. Thin wrapper over apply_phase_mask.
+template <typename T>
+void apply_controlled_phase(std::complex<T>* amps, unsigned num_qubits,
+                            unsigned control, unsigned target,
+                            std::complex<T> phase,
+                            ThreadPool* pool = nullptr) {
+  QGEAR_EXPECTS(control < num_qubits && target < num_qubits &&
+                control != target);
+  const std::uint64_t mask = pow2(control) | pow2(target);
+  active_kernels<T>().apply_phase_mask(amps, num_qubits, mask, phase, pool);
 }
 
 /// Swaps qubits a and b (amplitude permutation).
@@ -102,18 +92,7 @@ template <typename T>
 void apply_swap(std::complex<T>* amps, unsigned num_qubits, unsigned a,
                 unsigned b, ThreadPool* pool = nullptr) {
   QGEAR_EXPECTS(a < num_qubits && b < num_qubits && a != b);
-  const unsigned lo = std::min(a, b);
-  const unsigned hi = std::max(a, b);
-  const std::uint64_t groups = pow2(num_qubits - 2);
-  const std::uint64_t abit = pow2(a);
-  const std::uint64_t bbit = pow2(b);
-  detail::for_range(pool, groups, [=](std::uint64_t begin, std::uint64_t end) {
-    for (std::uint64_t k = begin; k < end; ++k) {
-      const std::uint64_t i01 = insert_two_zero_bits(k, lo, hi) | abit;
-      const std::uint64_t i10 = (i01 ^ abit) | bbit;
-      std::swap(amps[i01], amps[i10]);
-    }
-  });
+  active_kernels<T>().apply_swap(amps, num_qubits, a, b, pool);
 }
 
 /// Specialized dense 4x4 kernel for two-qubit fused blocks — the common
@@ -126,26 +105,22 @@ void apply_2q_dense(std::complex<T>* amps, unsigned num_qubits,
                     ThreadPool* pool = nullptr) {
   QGEAR_EXPECTS(q_lo < q_hi && q_hi < num_qubits);
   QGEAR_EXPECTS(matrix.size() == 16);
-  std::array<std::complex<T>, 16> m;
-  for (int i = 0; i < 16; ++i) m[i] = std::complex<T>(matrix[i]);
-  const std::uint64_t groups = pow2(num_qubits - 2);
-  const std::uint64_t lo_bit = pow2(q_lo);
-  const std::uint64_t hi_bit = pow2(q_hi);
-  detail::for_range(pool, groups, [=](std::uint64_t begin, std::uint64_t end) {
-    for (std::uint64_t g = begin; g < end; ++g) {
-      const std::uint64_t i0 = insert_two_zero_bits(g, q_lo, q_hi);
-      const std::uint64_t i1 = i0 | lo_bit;
-      const std::uint64_t i2 = i0 | hi_bit;
-      const std::uint64_t i3 = i1 | hi_bit;
-      const std::complex<T> a0 = amps[i0], a1 = amps[i1], a2 = amps[i2],
-                            a3 = amps[i3];
-      amps[i0] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
-      amps[i1] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
-      amps[i2] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
-      amps[i3] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
-    }
-  });
+  active_kernels<T>().apply_2q_dense(amps, num_qubits, q_lo, q_hi, matrix,
+                                     pool);
 }
+
+namespace detail {
+template <typename T>
+void validate_block_qubits(unsigned num_qubits,
+                           const std::vector<unsigned>& qubits) {
+  const unsigned m = static_cast<unsigned>(qubits.size());
+  QGEAR_EXPECTS(m >= 1 && m <= num_qubits);
+  for (unsigned j = 0; j < m; ++j) {
+    QGEAR_EXPECTS(qubits[j] < num_qubits);
+    if (j > 0) QGEAR_EXPECTS(qubits[j] > qubits[j - 1]);
+  }
+}
+}  // namespace detail
 
 /// Applies a dense 2^m x 2^m unitary (row-major, double precision) to the
 /// ascending qubit list `qubits` — the fused-block kernel. Local basis bit
@@ -156,14 +131,10 @@ void apply_multi(std::complex<T>* amps, unsigned num_qubits,
                  const std::vector<unsigned>& qubits,
                  const std::vector<std::complex<double>>& matrix,
                  ThreadPool* pool = nullptr) {
+  detail::validate_block_qubits<T>(num_qubits, qubits);
   const unsigned m = static_cast<unsigned>(qubits.size());
-  QGEAR_EXPECTS(m >= 1 && m <= num_qubits);
   const std::uint64_t dim = pow2(m);
   QGEAR_EXPECTS(matrix.size() == dim * dim);
-  for (unsigned j = 0; j < m; ++j) {
-    QGEAR_EXPECTS(qubits[j] < num_qubits);
-    if (j > 0) QGEAR_EXPECTS(qubits[j] > qubits[j - 1]);
-  }
   if (m == 1) {
     apply_1q(amps, num_qubits, qubits[0],
              qiskit::Mat2{matrix[0], matrix[1], matrix[2], matrix[3]},
@@ -174,39 +145,51 @@ void apply_multi(std::complex<T>* amps, unsigned num_qubits,
     apply_2q_dense(amps, num_qubits, qubits[0], qubits[1], matrix, pool);
     return;
   }
+  active_kernels<T>().apply_multi_dense(amps, num_qubits, qubits, matrix,
+                                        pool);
+}
 
-  // Pre-convert the matrix once per sweep.
-  std::vector<std::complex<T>> mat(dim * dim);
-  for (std::uint64_t i = 0; i < dim * dim; ++i) {
-    mat[i] = std::complex<T>(matrix[i]);
-  }
-  // Precompute the offset of each local basis index within a group.
-  std::vector<std::uint64_t> offsets(dim);
-  for (std::uint64_t v = 0; v < dim; ++v) {
-    offsets[v] = deposit_bits(v, qubits.data(), m);
-  }
+/// Diagonal fused-block kernel over the 2^m diagonal values:
+/// amps[i] *= diag[local_index(i)].
+template <typename T>
+void apply_multi_diag(std::complex<T>* amps, unsigned num_qubits,
+                      const std::vector<unsigned>& qubits,
+                      const std::vector<std::complex<double>>& diag,
+                      ThreadPool* pool = nullptr) {
+  detail::validate_block_qubits<T>(num_qubits, qubits);
+  QGEAR_EXPECTS(diag.size() == pow2(qubits.size()));
+  active_kernels<T>().apply_multi_diag(amps, num_qubits, qubits, diag, pool);
+}
 
-  const std::uint64_t groups = pow2(num_qubits - m);
-  const auto* offs = offsets.data();
-  const auto* mp = mat.data();
-  detail::for_range(pool, groups, [=](std::uint64_t begin, std::uint64_t end) {
-    std::vector<std::complex<T>> in(dim), out(dim);
-    for (std::uint64_t g = begin; g < end; ++g) {
-      // Scatter group index g into the non-block bit positions.
-      std::uint64_t base = g;
-      for (unsigned j = 0; j < m; ++j) {
-        base = insert_zero_bit(base, qubits[j]);
-      }
-      for (std::uint64_t v = 0; v < dim; ++v) in[v] = amps[base + offs[v]];
-      for (std::uint64_t r = 0; r < dim; ++r) {
-        std::complex<T> acc(0, 0);
-        const auto* row = mp + r * dim;
-        for (std::uint64_t c = 0; c < dim; ++c) acc += row[c] * in[c];
-        out[r] = acc;
-      }
-      for (std::uint64_t v = 0; v < dim; ++v) amps[base + offs[v]] = out[v];
-    }
-  });
+/// Compat form of apply_multi_diag taking the full 2^m x 2^m matrix and
+/// extracting its diagonal.
+template <typename T>
+void apply_multi_diagonal(std::complex<T>* amps, unsigned num_qubits,
+                          const std::vector<unsigned>& qubits,
+                          const std::vector<std::complex<double>>& matrix,
+                          ThreadPool* pool = nullptr) {
+  const unsigned m = static_cast<unsigned>(qubits.size());
+  const std::uint64_t dim = pow2(m);
+  QGEAR_EXPECTS(matrix.size() == dim * dim);
+  std::vector<std::complex<double>> diag(dim);
+  for (std::uint64_t v = 0; v < dim; ++v) diag[v] = matrix[v * dim + v];
+  apply_multi_diag(amps, num_qubits, qubits, diag, pool);
+}
+
+/// Permutation fused-block kernel: per amplitude group,
+/// out[perm[v]] = phases[v] * in[v]. O(2^m) work per group instead of the
+/// dense kernel's O(4^m) — the fast path for X/CX/SWAP runs.
+template <typename T>
+void apply_multi_permutation(std::complex<T>* amps, unsigned num_qubits,
+                             const std::vector<unsigned>& qubits,
+                             const std::vector<std::uint32_t>& perm,
+                             const std::vector<std::complex<double>>& phases,
+                             ThreadPool* pool = nullptr) {
+  detail::validate_block_qubits<T>(num_qubits, qubits);
+  const std::uint64_t dim = pow2(qubits.size());
+  QGEAR_EXPECTS(perm.size() == dim && phases.size() == dim);
+  active_kernels<T>().apply_multi_permutation(amps, num_qubits, qubits, perm,
+                                              phases, pool);
 }
 
 }  // namespace qgear::sim

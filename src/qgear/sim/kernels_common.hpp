@@ -1,0 +1,37 @@
+// Shared plumbing for the amplitude-sweep kernel variants (scalar and
+// vectorized): precision conversion and the pooled range driver.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "qgear/common/bits.hpp"
+#include "qgear/common/error.hpp"
+#include "qgear/common/thread_pool.hpp"
+#include "qgear/qiskit/gates.hpp"
+
+namespace qgear::sim {
+
+/// Converts the canonical double-precision 2x2 into precision T.
+template <typename T>
+std::array<std::complex<T>, 4> to_precision(const qiskit::Mat2& m) {
+  return {std::complex<T>(m[0]), std::complex<T>(m[1]),
+          std::complex<T>(m[2]), std::complex<T>(m[3])};
+}
+
+namespace detail {
+/// Runs fn(begin, end) over [0, count) — pooled or inline.
+inline void for_range(ThreadPool* pool, std::uint64_t count,
+                      const std::function<void(std::uint64_t, std::uint64_t)>& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(0, count, fn);
+  } else {
+    fn(0, count);
+  }
+}
+}  // namespace detail
+
+}  // namespace qgear::sim

@@ -1,0 +1,61 @@
+// Binds the per-ISA kernel tables to the runtime dispatch entry points.
+#include "qgear/sim/kernel_table.hpp"
+#include "qgear/sim/kernels_scalar.hpp"
+
+namespace qgear::sim {
+
+namespace {
+
+template <typename T>
+const KernelTable<T>& scalar_table() {
+  static const KernelTable<T> t = scalar::make_scalar_table<T>();
+  return t;
+}
+
+template <typename T>
+const KernelTable<T>& isa_table(Isa isa);
+
+template <>
+const KernelTable<float>& isa_table<float>(Isa isa) {
+  switch (isa) {
+    case Isa::avx2:
+      return detail::avx2_table_f();
+    case Isa::sse2:
+      return detail::sse2_table_f();
+    case Isa::scalar:
+      break;
+  }
+  return scalar_table<float>();
+}
+
+template <>
+const KernelTable<double>& isa_table<double>(Isa isa) {
+  switch (isa) {
+    case Isa::avx2:
+      return detail::avx2_table_d();
+    case Isa::sse2:
+      return detail::sse2_table_d();
+    case Isa::scalar:
+      break;
+  }
+  return scalar_table<double>();
+}
+
+}  // namespace
+
+template <typename T>
+const KernelTable<T>& kernel_table_for(Isa isa) {
+  return isa_table<T>(isa);
+}
+
+template <typename T>
+const KernelTable<T>& active_kernels() {
+  return isa_table<T>(active_isa());
+}
+
+template const KernelTable<float>& kernel_table_for<float>(Isa);
+template const KernelTable<double>& kernel_table_for<double>(Isa);
+template const KernelTable<float>& active_kernels<float>();
+template const KernelTable<double>& active_kernels<double>();
+
+}  // namespace qgear::sim

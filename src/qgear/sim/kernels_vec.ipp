@@ -1,0 +1,457 @@
+// Vectorized amplitude-sweep kernel bodies, shared by every SIMD TU.
+//
+// Included by kernels_sse2.cpp / kernels_avx2.cpp after they define their
+// vector wrapper types. `V` abstracts a register of V::lanes interleaved
+// std::complex<T> values:
+//
+//   static constexpr int lanes;                 // complex elements/vector
+//   static V load(const std::complex<T>*);      // unaligned
+//   void store(std::complex<T>*) const;         // unaligned
+//   static V zero();
+//   V add(V) const;
+//   V cmul(V) const;                            // elementwise complex mul
+//   using Const;                                // broadcast complex const
+//   static Const cbroadcast(std::complex<T>);
+//   V mul(Const) const;                         // this * c
+//   V fmadd(Const, V acc) const;                // acc + this * c
+//
+// Layout strategy: every kernel decomposes its index space into maximal
+// contiguous runs (the free low bits below the lowest touched qubit) and
+// vectorizes inside each run, with scalar head/tail loops for runs shorter
+// than one vector and for unaligned chunk boundaries handed out by the
+// thread pool. Gates on qubits below log2(lanes) either use an in-register
+// period pattern (diagonals) or fall back to the scalar loop (pair
+// kernels), so results stay correct for every qubit position and any
+// n >= 1.
+
+#include "qgear/sim/kernels_common.hpp"
+#include "qgear/sim/kernels_scalar.hpp"
+
+namespace qgear::sim {
+
+template <typename V, typename T>
+struct VecKernels {
+  using amp_t = std::complex<T>;
+  using C = typename V::Const;
+  static constexpr std::uint64_t kLanes = V::lanes;
+
+  // ---- 2x2 on qubit q -------------------------------------------------
+  static void apply_1q(amp_t* amps, unsigned num_qubits, unsigned q,
+                       const qiskit::Mat2& gate, ThreadPool* pool) {
+    const auto m = to_precision<T>(gate);
+    const std::uint64_t pairs = pow2(num_qubits - 1);
+    const std::uint64_t stride = pow2(q);
+    if (stride < kLanes) {
+      // Pair partner sits inside one vector; scalar is simpler and the
+      // affected prefix of any real sweep is tiny.
+      detail::for_range(pool, pairs,
+                        [=](std::uint64_t begin, std::uint64_t end) {
+                          pairs_scalar(amps, q, stride, m, begin, end);
+                        });
+      return;
+    }
+    const C c0 = V::cbroadcast(m[0]), c1 = V::cbroadcast(m[1]);
+    const C c2 = V::cbroadcast(m[2]), c3 = V::cbroadcast(m[3]);
+    detail::for_range(pool, pairs, [=](std::uint64_t begin, std::uint64_t end) {
+      std::uint64_t k = begin;
+      while (k < end) {
+        const std::uint64_t in_run = k & (stride - 1);
+        const std::uint64_t run = std::min(stride - in_run, end - k);
+        amp_t* p0 = amps + insert_zero_bit(k, q);
+        amp_t* p1 = p0 + stride;
+        std::uint64_t v = 0;
+        for (; v + kLanes <= run; v += kLanes) {
+          const V a0 = V::load(p0 + v);
+          const V a1 = V::load(p1 + v);
+          a1.fmadd(c1, a0.mul(c0)).store(p0 + v);
+          a1.fmadd(c3, a0.mul(c2)).store(p1 + v);
+        }
+        for (; v < run; ++v) {
+          const amp_t a0 = p0[v];
+          const amp_t a1 = p1[v];
+          p0[v] = m[0] * a0 + m[1] * a1;
+          p1[v] = m[2] * a0 + m[3] * a1;
+        }
+        k += run;
+      }
+    });
+  }
+
+  // ---- diagonal 2x2 on qubit q ----------------------------------------
+  static void apply_1q_diagonal(amp_t* amps, unsigned num_qubits, unsigned q,
+                                amp_t d0, amp_t d1, ThreadPool* pool) {
+    const std::uint64_t total = pow2(num_qubits);
+    const std::uint64_t stride = pow2(q);
+    if (stride < kLanes) {
+      // q below the vector width: the d0/d1 pattern has period
+      // 2*stride <= lanes, so bake it into one pattern register.
+      amp_t pat_buf[kLanes];
+      for (std::uint64_t j = 0; j < kLanes; ++j) {
+        pat_buf[j] = test_bit(j, q) ? d1 : d0;
+      }
+      const V pat = V::load(pat_buf);
+      detail::for_range(pool, total,
+                        [=](std::uint64_t begin, std::uint64_t end) {
+        std::uint64_t i = begin;
+        for (; i < end && (i % kLanes) != 0; ++i) {
+          amps[i] *= test_bit(i, q) ? d1 : d0;
+        }
+        for (; i + kLanes <= end; i += kLanes) {
+          V::load(amps + i).cmul(pat).store(amps + i);
+        }
+        for (; i < end; ++i) amps[i] *= test_bit(i, q) ? d1 : d0;
+      });
+      return;
+    }
+    const C c0 = V::cbroadcast(d0), c1 = V::cbroadcast(d1);
+    detail::for_range(pool, total, [=](std::uint64_t begin, std::uint64_t end) {
+      std::uint64_t i = begin;
+      while (i < end) {
+        const std::uint64_t run = std::min(stride - (i & (stride - 1)),
+                                           end - i);
+        const bool hi = test_bit(i, q);
+        mul_run(amps + i, run, hi ? c1 : c0, hi ? d1 : d0);
+        i += run;
+      }
+    });
+  }
+
+  // ---- X on qubit q (permutation) -------------------------------------
+  static void apply_x(amp_t* amps, unsigned num_qubits, unsigned q,
+                      ThreadPool* pool) {
+    const std::uint64_t pairs = pow2(num_qubits - 1);
+    const std::uint64_t stride = pow2(q);
+    detail::for_range(pool, pairs, [=](std::uint64_t begin, std::uint64_t end) {
+      std::uint64_t k = begin;
+      while (k < end) {
+        const std::uint64_t in_run = k & (stride - 1);
+        const std::uint64_t run = std::min(stride - in_run, end - k);
+        amp_t* p0 = amps + insert_zero_bit(k, q);
+        amp_t* p1 = p0 + stride;
+        swap_runs(p0, p1, run);
+        k += run;
+      }
+    });
+  }
+
+  // ---- controlled-U with control c, target t --------------------------
+  static void apply_controlled_1q(amp_t* amps, unsigned num_qubits,
+                                  unsigned control, unsigned target,
+                                  const qiskit::Mat2& gate, ThreadPool* pool) {
+    const auto m = to_precision<T>(gate);
+    const unsigned lo = std::min(control, target);
+    const unsigned hi = std::max(control, target);
+    const std::uint64_t groups = pow2(num_qubits - 2);
+    const std::uint64_t cbit = pow2(control);
+    const std::uint64_t tbit = pow2(target);
+    const std::uint64_t run_len = pow2(lo);
+    if (run_len < kLanes) {
+      detail::for_range(pool, groups,
+                        [=](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t k = begin; k < end; ++k) {
+          const std::uint64_t base = insert_two_zero_bits(k, lo, hi) | cbit;
+          const amp_t a0 = amps[base];
+          const amp_t a1 = amps[base | tbit];
+          amps[base] = m[0] * a0 + m[1] * a1;
+          amps[base | tbit] = m[2] * a0 + m[3] * a1;
+        }
+      });
+      return;
+    }
+    const C c0 = V::cbroadcast(m[0]), c1 = V::cbroadcast(m[1]);
+    const C c2 = V::cbroadcast(m[2]), c3 = V::cbroadcast(m[3]);
+    detail::for_range(pool, groups, [=](std::uint64_t begin, std::uint64_t end) {
+      std::uint64_t k = begin;
+      while (k < end) {
+        const std::uint64_t run =
+            std::min(run_len - (k & (run_len - 1)), end - k);
+        amp_t* p0 = amps + (insert_two_zero_bits(k, lo, hi) | cbit);
+        amp_t* p1 = p0 + tbit;
+        std::uint64_t v = 0;
+        for (; v + kLanes <= run; v += kLanes) {
+          const V a0 = V::load(p0 + v);
+          const V a1 = V::load(p1 + v);
+          a1.fmadd(c1, a0.mul(c0)).store(p0 + v);
+          a1.fmadd(c3, a0.mul(c2)).store(p1 + v);
+        }
+        for (; v < run; ++v) {
+          const amp_t a0 = p0[v];
+          const amp_t a1 = p1[v];
+          p0[v] = m[0] * a0 + m[1] * a1;
+          p1[v] = m[2] * a0 + m[3] * a1;
+        }
+        k += run;
+      }
+    });
+  }
+
+  // ---- CX (permutation on the control=1 half) -------------------------
+  static void apply_cx(amp_t* amps, unsigned num_qubits, unsigned control,
+                       unsigned target, ThreadPool* pool) {
+    const unsigned lo = std::min(control, target);
+    const unsigned hi = std::max(control, target);
+    const std::uint64_t groups = pow2(num_qubits - 2);
+    const std::uint64_t cbit = pow2(control);
+    const std::uint64_t tbit = pow2(target);
+    const std::uint64_t run_len = pow2(lo);
+    detail::for_range(pool, groups, [=](std::uint64_t begin, std::uint64_t end) {
+      std::uint64_t k = begin;
+      while (k < end) {
+        const std::uint64_t run =
+            std::min(run_len - (k & (run_len - 1)), end - k);
+        amp_t* p0 = amps + (insert_two_zero_bits(k, lo, hi) | cbit);
+        swap_runs(p0, p0 + tbit, run);
+        k += run;
+      }
+    });
+  }
+
+  // ---- amps[i] *= phase where (i & mask) == mask ----------------------
+  static void apply_phase_mask(amp_t* amps, unsigned num_qubits,
+                               std::uint64_t mask, amp_t phase,
+                               ThreadPool* pool) {
+    unsigned bits[64];
+    unsigned nbits = 0;
+    for (unsigned b = 0; b < num_qubits; ++b) {
+      if (test_bit(mask, b)) bits[nbits++] = b;
+    }
+    const std::uint64_t matches = pow2(num_qubits - nbits);
+    const std::uint64_t run_len = nbits > 0 ? pow2(bits[0]) : matches;
+    const unsigned nb = nbits;
+    const C cp = V::cbroadcast(phase);
+    detail::for_range(
+        pool, matches,
+        [=](std::uint64_t begin, std::uint64_t end) {
+          std::uint64_t k = begin;
+          while (k < end) {
+            const std::uint64_t run =
+                std::min(run_len - (k & (run_len - 1)), end - k);
+            std::uint64_t i = k;
+            for (unsigned b = 0; b < nb; ++b) {
+              i = insert_zero_bit(i, bits[b]);
+            }
+            mul_run_c(amps + (i | mask), run, cp, phase);
+            k += run;
+          }
+        });
+  }
+
+  // ---- SWAP of qubits a, b --------------------------------------------
+  static void apply_swap(amp_t* amps, unsigned num_qubits, unsigned a,
+                         unsigned b, ThreadPool* pool) {
+    const unsigned lo = std::min(a, b);
+    const unsigned hi = std::max(a, b);
+    const std::uint64_t groups = pow2(num_qubits - 2);
+    const std::uint64_t abit = pow2(a);
+    const std::uint64_t bbit = pow2(b);
+    const std::uint64_t run_len = pow2(lo);
+    detail::for_range(pool, groups, [=](std::uint64_t begin, std::uint64_t end) {
+      std::uint64_t k = begin;
+      while (k < end) {
+        const std::uint64_t run =
+            std::min(run_len - (k & (run_len - 1)), end - k);
+        const std::uint64_t base = insert_two_zero_bits(k, lo, hi);
+        swap_runs(amps + (base | abit), amps + (base | bbit), run);
+        k += run;
+      }
+    });
+  }
+
+  // ---- dense 4x4 over (q_lo, q_hi) ------------------------------------
+  static void apply_2q_dense(amp_t* amps, unsigned num_qubits, unsigned q_lo,
+                             unsigned q_hi,
+                             const std::vector<std::complex<double>>& matrix,
+                             ThreadPool* pool) {
+    const std::uint64_t groups = pow2(num_qubits - 2);
+    const std::uint64_t lo_bit = pow2(q_lo);
+    const std::uint64_t hi_bit = pow2(q_hi);
+    if (lo_bit < kLanes) {
+      scalar::apply_2q_dense(amps, num_qubits, q_lo, q_hi, matrix, pool);
+      return;
+    }
+    std::array<C, 16> c;
+    std::array<std::complex<T>, 16> m;
+    for (int i = 0; i < 16; ++i) {
+      m[i] = std::complex<T>(matrix[i]);
+      c[i] = V::cbroadcast(m[i]);
+    }
+    detail::for_range(pool, groups, [=](std::uint64_t begin, std::uint64_t end) {
+      std::uint64_t k = begin;
+      while (k < end) {
+        const std::uint64_t run =
+            std::min(lo_bit - (k & (lo_bit - 1)), end - k);
+        amp_t* p0 = amps + insert_two_zero_bits(k, q_lo, q_hi);
+        amp_t* p1 = p0 + lo_bit;
+        amp_t* p2 = p0 + hi_bit;
+        amp_t* p3 = p2 + lo_bit;
+        std::uint64_t v = 0;
+        for (; v + kLanes <= run; v += kLanes) {
+          const V a0 = V::load(p0 + v), a1 = V::load(p1 + v);
+          const V a2 = V::load(p2 + v), a3 = V::load(p3 + v);
+          a3.fmadd(c[3], a2.fmadd(c[2], a1.fmadd(c[1], a0.mul(c[0]))))
+              .store(p0 + v);
+          a3.fmadd(c[7], a2.fmadd(c[6], a1.fmadd(c[5], a0.mul(c[4]))))
+              .store(p1 + v);
+          a3.fmadd(c[11], a2.fmadd(c[10], a1.fmadd(c[9], a0.mul(c[8]))))
+              .store(p2 + v);
+          a3.fmadd(c[15], a2.fmadd(c[14], a1.fmadd(c[13], a0.mul(c[12]))))
+              .store(p3 + v);
+        }
+        for (; v < run; ++v) {
+          const amp_t a0 = p0[v], a1 = p1[v], a2 = p2[v], a3 = p3[v];
+          p0[v] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+          p1[v] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+          p2[v] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+          p3[v] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+        }
+        k += run;
+      }
+    });
+  }
+
+  // ---- dense 2^m x 2^m, m >= 3 ----------------------------------------
+  // Gather each group, then a matvec vectorized over matrix rows: the
+  // matrix is transposed to column-major (padded to a lane multiple) so
+  // row-blocks of the output accumulate with FMA against broadcast inputs.
+  static void apply_multi_dense(amp_t* amps, unsigned num_qubits,
+                                const std::vector<unsigned>& qubits,
+                                const std::vector<std::complex<double>>& matrix,
+                                ThreadPool* pool) {
+    const unsigned m = static_cast<unsigned>(qubits.size());
+    const std::uint64_t dim = pow2(m);
+    const std::uint64_t dpad = (dim + kLanes - 1) / kLanes * kLanes;
+    std::vector<amp_t> mt(dpad * dim, amp_t(0, 0));  // column-major, padded
+    for (std::uint64_t r = 0; r < dim; ++r) {
+      for (std::uint64_t c = 0; c < dim; ++c) {
+        mt[c * dpad + r] = amp_t(matrix[r * dim + c]);
+      }
+    }
+    std::vector<std::uint64_t> offsets(dim);
+    for (std::uint64_t v = 0; v < dim; ++v) {
+      offsets[v] = deposit_bits(v, qubits.data(), m);
+    }
+    const std::uint64_t groups = pow2(num_qubits - m);
+    const auto* offs = offsets.data();
+    const amp_t* mtp = mt.data();
+    const unsigned* qp = qubits.data();
+    detail::for_range(pool, groups,
+                      [=](std::uint64_t begin, std::uint64_t end) {
+      std::vector<amp_t> in(dim), out(dpad);
+      std::vector<C> cin(dim);
+      for (std::uint64_t g = begin; g < end; ++g) {
+        std::uint64_t base = g;
+        for (unsigned j = 0; j < m; ++j) {
+          base = insert_zero_bit(base, qp[j]);
+        }
+        for (std::uint64_t v = 0; v < dim; ++v) {
+          in[v] = amps[base + offs[v]];
+          cin[v] = V::cbroadcast(in[v]);
+        }
+        for (std::uint64_t r = 0; r < dpad; r += kLanes) {
+          V acc = V::load(mtp + r).mul(cin[0]);
+          for (std::uint64_t c = 1; c < dim; ++c) {
+            acc = V::load(mtp + c * dpad + r).fmadd(cin[c], acc);
+          }
+          acc.store(out.data() + r);
+        }
+        for (std::uint64_t v = 0; v < dim; ++v) {
+          amps[base + offs[v]] = out[v];
+        }
+      }
+    });
+  }
+
+  // ---- diagonal fused block -------------------------------------------
+  static void apply_multi_diag(amp_t* amps, unsigned num_qubits,
+                               const std::vector<unsigned>& qubits,
+                               const std::vector<std::complex<double>>& diag,
+                               ThreadPool* pool) {
+    const unsigned m = static_cast<unsigned>(qubits.size());
+    std::vector<amp_t> d(diag.size());
+    for (std::uint64_t v = 0; v < diag.size(); ++v) {
+      d[v] = amp_t(diag[v]);
+    }
+    const std::uint64_t total = pow2(num_qubits);
+    const std::uint64_t run_len = pow2(qubits[0]);
+    const amp_t* dptr = d.data();
+    const unsigned* qptr = qubits.data();
+    const auto local_index = [qptr, m](std::uint64_t i) {
+      std::uint64_t v = 0;
+      for (unsigned j = 0; j < m; ++j) {
+        v |= static_cast<std::uint64_t>((i >> qptr[j]) & 1u) << j;
+      }
+      return v;
+    };
+    if (run_len >= kLanes) {
+      // The factor is constant over each run of free low bits.
+      detail::for_range(pool, total,
+                        [=](std::uint64_t begin, std::uint64_t end) {
+        std::uint64_t i = begin;
+        while (i < end) {
+          const std::uint64_t run =
+              std::min(run_len - (i & (run_len - 1)), end - i);
+          const amp_t f = dptr[local_index(i)];
+          mul_run_c(amps + i, run, V::cbroadcast(f), f);
+          i += run;
+        }
+      });
+      return;
+    }
+    // Mixed low/high qubits: gather per-lane factors, vector multiply.
+    detail::for_range(pool, total, [=](std::uint64_t begin, std::uint64_t end) {
+      std::uint64_t i = begin;
+      for (; i < end && (i % kLanes) != 0; ++i) {
+        amps[i] *= dptr[local_index(i)];
+      }
+      amp_t fbuf[kLanes];
+      for (; i + kLanes <= end; i += kLanes) {
+        for (std::uint64_t j = 0; j < kLanes; ++j) {
+          fbuf[j] = dptr[local_index(i + j)];
+        }
+        V::load(amps + i).cmul(V::load(fbuf)).store(amps + i);
+      }
+      for (; i < end; ++i) amps[i] *= dptr[local_index(i)];
+    });
+  }
+
+ private:
+  static void pairs_scalar(amp_t* amps, unsigned q, std::uint64_t stride,
+                           const std::array<amp_t, 4>& m, std::uint64_t begin,
+                           std::uint64_t end) {
+    for (std::uint64_t k = begin; k < end; ++k) {
+      const std::uint64_t i0 = insert_zero_bit(k, q);
+      const std::uint64_t i1 = i0 | stride;
+      const amp_t a0 = amps[i0];
+      const amp_t a1 = amps[i1];
+      amps[i0] = m[0] * a0 + m[1] * a1;
+      amps[i1] = m[2] * a0 + m[3] * a1;
+    }
+  }
+
+  /// p[0..len) *= c (vector) / f (scalar tail).
+  static void mul_run_c(amp_t* p, std::uint64_t len, C c, amp_t f) {
+    std::uint64_t v = 0;
+    for (; v + kLanes <= len; v += kLanes) {
+      V::load(p + v).mul(c).store(p + v);
+    }
+    for (; v < len; ++v) p[v] *= f;
+  }
+
+  static void mul_run(amp_t* p, std::uint64_t len, C c, amp_t f) {
+    mul_run_c(p, len, c, f);
+  }
+
+  /// Exchanges p0[0..len) with p1[0..len).
+  static void swap_runs(amp_t* p0, amp_t* p1, std::uint64_t len) {
+    std::uint64_t v = 0;
+    for (; v + kLanes <= len; v += kLanes) {
+      const V a0 = V::load(p0 + v);
+      const V a1 = V::load(p1 + v);
+      a1.store(p0 + v);
+      a0.store(p1 + v);
+    }
+    for (; v < len; ++v) std::swap(p0[v], p1[v]);
+  }
+};
+
+}  // namespace qgear::sim

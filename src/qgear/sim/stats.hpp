@@ -13,6 +13,9 @@ struct EngineStats {
   std::uint64_t gates = 0;        ///< input instructions applied
   std::uint64_t sweeps = 0;       ///< amplitude-array passes performed
   std::uint64_t fused_blocks = 0; ///< fused unitaries applied (fused engine)
+  std::uint64_t diag_blocks = 0;  ///< blocks routed to the diagonal kernel
+  std::uint64_t perm_blocks = 0;  ///< blocks routed to the permutation kernel
+  std::uint64_t dense_blocks = 0; ///< blocks routed to the dense kernel
   std::uint64_t amp_ops = 0;      ///< total amplitude read-modify-writes
   double seconds = 0.0;           ///< accumulated wall-clock across runs
 
@@ -24,6 +27,9 @@ struct EngineStats {
     gates += o.gates;
     sweeps += o.sweeps;
     fused_blocks += o.fused_blocks;
+    diag_blocks += o.diag_blocks;
+    perm_blocks += o.perm_blocks;
+    dense_blocks += o.dense_blocks;
     amp_ops += o.amp_ops;
     seconds += o.seconds;
     return *this;
@@ -42,6 +48,9 @@ inline void fold_stats(obs::Registry& reg, const EngineStats& s,
   reg.counter(prefix + ".gates").add(s.gates);
   reg.counter(prefix + ".sweeps").add(s.sweeps);
   reg.counter(prefix + ".fused_blocks").add(s.fused_blocks);
+  reg.counter(prefix + ".diag_blocks").add(s.diag_blocks);
+  reg.counter(prefix + ".perm_blocks").add(s.perm_blocks);
+  reg.counter(prefix + ".dense_blocks").add(s.dense_blocks);
   reg.counter(prefix + ".amp_ops").add(s.amp_ops);
   reg.gauge(prefix + ".seconds").add(s.seconds);
 }

@@ -40,6 +40,7 @@
 #include "qgear/perfmodel/model.hpp"
 #include "qgear/qh5/file.hpp"
 #include "qgear/qiskit/qasm.hpp"
+#include "qgear/sim/isa.hpp"
 #include "qgear/sim/stats.hpp"
 
 using namespace qgear;
@@ -203,6 +204,10 @@ int cmd_run(const Args& args) {
   opts.devices = static_cast<int>(args.u64("devices", 1));
   opts.fusion_width = static_cast<unsigned>(args.u64("fusion", 5));
   const core::RunOptions run{.shots = args.u64("shots", 0)};
+  std::printf("kernel isa: %s (best supported: %s; override with "
+              "QGEAR_ISA=scalar|sse2|avx2)\n",
+              sim::isa_name(sim::active_isa()),
+              sim::isa_name(sim::best_supported_isa()));
 
   std::vector<core::Kernel> kernels;
   std::vector<core::Result> results;

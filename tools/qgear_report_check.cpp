@@ -1,0 +1,178 @@
+// Validates a bench report JSON against a schema file.
+//
+//   qgear_report_check <report.json> <schema.json>
+//
+// Implements the JSON-Schema subset the repo's schemas use: type (string
+// or array of strings), const, enum, required, properties,
+// additionalProperties (boolean or sub-schema), and items. Exits 0 when
+// the document validates, 1 with a path-qualified message otherwise —
+// CI's bench-smoke job runs it on the report emitted via
+// QGEAR_BENCH_REPORT.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qgear/obs/json.hpp"
+
+namespace {
+
+using qgear::obs::JsonValue;
+
+struct Failure {
+  std::string path;
+  std::string message;
+};
+
+std::string kind_name(JsonValue::Kind k) {
+  switch (k) {
+    case JsonValue::Kind::null:
+      return "null";
+    case JsonValue::Kind::boolean:
+      return "boolean";
+    case JsonValue::Kind::number:
+      return "number";
+    case JsonValue::Kind::string:
+      return "string";
+    case JsonValue::Kind::array:
+      return "array";
+    case JsonValue::Kind::object:
+      return "object";
+  }
+  return "unknown";
+}
+
+bool type_matches(const JsonValue& value, const std::string& type) {
+  if (type == "object") return value.is_object();
+  if (type == "array") return value.is_array();
+  if (type == "string") return value.is_string();
+  if (type == "number" || type == "integer") return value.is_number();
+  if (type == "boolean") return value.is_bool();
+  if (type == "null") return value.is_null();
+  return false;
+}
+
+bool json_equal(const JsonValue& a, const JsonValue& b) {
+  return a.dump() == b.dump();
+}
+
+void validate(const JsonValue& value, const JsonValue& schema,
+              const std::string& path, std::vector<Failure>& failures) {
+  if (!schema.is_object()) return;  // boolean/empty schema: accept
+
+  if (const JsonValue* type = schema.find("type")) {
+    bool ok = false;
+    if (type->is_string()) {
+      ok = type_matches(value, type->str());
+    } else if (type->is_array()) {
+      for (const JsonValue& t : type->array()) {
+        if (t.is_string() && type_matches(value, t.str())) ok = true;
+      }
+    }
+    if (!ok) {
+      failures.push_back({path, "expected type " + type->dump() + ", got " +
+                                    kind_name(value.kind())});
+      return;  // further structural checks would only cascade
+    }
+  }
+
+  if (const JsonValue* cst = schema.find("const")) {
+    if (!json_equal(value, *cst)) {
+      failures.push_back({path, "expected const " + cst->dump() + ", got " +
+                                    value.dump()});
+    }
+  }
+
+  if (const JsonValue* en = schema.find("enum")) {
+    bool ok = false;
+    for (const JsonValue& option : en->array()) {
+      if (json_equal(value, option)) ok = true;
+    }
+    if (!ok) {
+      failures.push_back({path, "value " + value.dump() + " not in enum " +
+                                    en->dump()});
+    }
+  }
+
+  if (value.is_object()) {
+    if (const JsonValue* required = schema.find("required")) {
+      for (const JsonValue& key : required->array()) {
+        if (value.find(key.str()) == nullptr) {
+          failures.push_back({path, "missing required member \"" +
+                                        key.str() + "\""});
+        }
+      }
+    }
+    const JsonValue* props = schema.find("properties");
+    const JsonValue* extra = schema.find("additionalProperties");
+    for (const auto& [key, member] : value.object()) {
+      const std::string member_path = path + "." + key;
+      const JsonValue* sub =
+          props != nullptr ? props->find(key) : nullptr;
+      if (sub != nullptr) {
+        validate(member, *sub, member_path, failures);
+      } else if (extra != nullptr) {
+        if (extra->is_bool() && !extra->boolean()) {
+          failures.push_back({member_path, "unexpected member"});
+        } else if (extra->is_object()) {
+          validate(member, *extra, member_path, failures);
+        }
+      }
+    }
+  }
+
+  if (value.is_array()) {
+    if (const JsonValue* items = schema.find("items")) {
+      const auto& arr = value.array();
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        validate(arr[i], *items, path + "[" + std::to_string(i) + "]",
+                 failures);
+      }
+    }
+  }
+}
+
+JsonValue parse_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "qgear_report_check: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return JsonValue::parse(buf.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: qgear_report_check <report.json> <schema.json>\n");
+    return 2;
+  }
+  JsonValue report;
+  JsonValue schema;
+  try {
+    report = parse_file(argv[1]);
+    schema = parse_file(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qgear_report_check: parse error: %s\n", e.what());
+    return 1;
+  }
+
+  std::vector<Failure> failures;
+  validate(report, schema, "$", failures);
+  if (!failures.empty()) {
+    for (const Failure& f : failures) {
+      std::fprintf(stderr, "qgear_report_check: %s: %s\n", f.path.c_str(),
+                   f.message.c_str());
+    }
+    std::fprintf(stderr, "qgear_report_check: %s FAILED (%zu problem%s)\n",
+                 argv[1], failures.size(), failures.size() == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("qgear_report_check: %s OK against %s\n", argv[1], argv[2]);
+  return 0;
+}
