@@ -1,8 +1,11 @@
 #include "qgear/common/thread_pool.hpp"
 
 #include <chrono>
+#include <exception>
+#include <utility>
 
 #include "qgear/common/error.hpp"
+#include "qgear/common/log.hpp"
 #include "qgear/obs/metrics.hpp"
 
 namespace qgear {
@@ -35,9 +38,27 @@ obs::Counter& inline_counter() {
   return c;
 }
 
+obs::Counter& jobs_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("threadpool.jobs");
+  return c;
+}
+
+obs::Counter& jobs_rejected_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("threadpool.jobs_rejected");
+  return c;
+}
+
+obs::Gauge& job_queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("threadpool.job_queue_depth");
+  return g;
+}
+
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
+    : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
@@ -55,6 +76,9 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   work_cv_.notify_all();
+  space_cv_.notify_all();
+  // Workers drain the job queue before exiting, so every job accepted by
+  // try_submit()/submit() runs even when destruction races submission.
   for (auto& w : workers_) w.join();
 }
 
@@ -92,20 +116,86 @@ void ThreadPool::parallel_for(
   }
 }
 
+bool ThreadPool::try_submit(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ || queue_.size() >= queue_capacity_) {
+      jobs_rejected_counter().add();
+      return false;
+    }
+    queue_.push_back(std::move(job));
+    job_queue_depth_gauge().set(static_cast<double>(queue_.size()));
+  }
+  jobs_counter().add();
+  work_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::submit(Job job) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_cv_.wait(lock,
+                   [this] { return stop_ || queue_.size() < queue_capacity_; });
+    if (stop_) throw Error("thread pool: submit after shutdown");
+    queue_.push_back(std::move(job));
+    job_queue_depth_gauge().set(static_cast<double>(queue_.size()));
+  }
+  jobs_counter().add();
+  work_cv_.notify_one();
+}
+
+std::size_t ThreadPool::queue_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [this] { return queue_.empty() && active_jobs_ == 0; });
+}
+
+void ThreadPool::run_job(Job& job) {
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    job();
+  } catch (const std::exception& e) {
+    log::error(std::string("thread pool job threw: ") + e.what());
+  } catch (...) {
+    log::error("thread pool job threw a non-std exception");
+  }
+  task_latency_hist().observe(std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count());
+}
+
 void ThreadPool::worker_loop(unsigned worker_index) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     Task task;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] {
-        return stop_ || (generation_ != seen_generation &&
-                         tasks_[worker_index].fn != nullptr);
+        return stop_ || !queue_.empty() ||
+               (generation_ != seen_generation &&
+                tasks_[worker_index].fn != nullptr);
       });
-      if (stop_) return;
-      seen_generation = generation_;
-      task = tasks_[worker_index];
-      tasks_[worker_index].fn = nullptr;
+      if (generation_ != seen_generation &&
+          tasks_[worker_index].fn != nullptr) {
+        // parallel_for chunks take priority over queued jobs.
+        seen_generation = generation_;
+        task = tasks_[worker_index];
+        tasks_[worker_index].fn = nullptr;
+      } else if (!queue_.empty()) {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_jobs_;
+        job_queue_depth_gauge().set(static_cast<double>(queue_.size()));
+        space_cv_.notify_all();
+      } else {
+        // stop_ is set and the queue is drained.
+        return;
+      }
     }
     if (task.fn != nullptr) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -116,6 +206,11 @@ void ThreadPool::worker_loop(unsigned worker_index) {
               .count());
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) done_cv_.notify_all();
+    } else {
+      run_job(job);
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_jobs_;
+      if (queue_.empty() && active_jobs_ == 0) space_cv_.notify_all();
     }
   }
 }

@@ -1,13 +1,25 @@
-// Fixed-size thread pool with a blocking parallel_for.
+// Fixed-size thread pool with a blocking parallel_for and a bounded
+// asynchronous job queue.
 //
 // Stands in for the GPU's SM/warp parallelism in the fused engine and for
 // per-rank worker threads in the in-process communicator. parallel_for
 // partitions [begin, end) into contiguous chunks, one per worker, which is
 // the right shape for bandwidth-bound amplitude sweeps.
+//
+// The job queue serves task-parallel callers (the serve subsystem's worker
+// pool): try_submit() enqueues a fire-and-forget job and reports
+// backpressure instead of blocking, queue_size()/queue_capacity() expose
+// occupancy for admission control, and destruction with jobs still queued
+// is well-defined — the destructor stops accepting new jobs, runs every
+// already-queued job to completion, then joins the workers. Workers give
+// parallel_for chunks priority over queued jobs so amplitude sweeps keep
+// their latency.
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -17,8 +29,16 @@ namespace qgear {
 
 class ThreadPool {
  public:
+  /// A fire-and-forget job. Jobs must not throw; escaped exceptions are
+  /// caught, logged at error level, and swallowed.
+  using Job = std::function<void()>;
+
+  static constexpr std::size_t kDefaultQueueCapacity = 1024;
+
   /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
-  explicit ThreadPool(unsigned threads = 0);
+  /// `queue_capacity` bounds the async job queue (min 1).
+  explicit ThreadPool(unsigned threads = 0,
+                      std::size_t queue_capacity = kDefaultQueueCapacity);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,6 +52,26 @@ class ThreadPool {
   void parallel_for(std::uint64_t begin, std::uint64_t end,
                     const std::function<void(std::uint64_t, std::uint64_t)>& fn);
 
+  /// Enqueues `job` for asynchronous execution. Returns false — without
+  /// blocking — when the queue is at capacity or the pool is shutting
+  /// down; the caller owns the backpressure decision.
+  bool try_submit(Job job);
+
+  /// Blocking submit: waits for queue space. Throws qgear::Error when the
+  /// pool is shutting down.
+  void submit(Job job);
+
+  /// Upper bound on queued (not yet started) jobs.
+  std::size_t queue_capacity() const { return queue_capacity_; }
+
+  /// Jobs currently queued (excludes running jobs). Instantaneous value;
+  /// concurrent submitters/workers may change it immediately.
+  std::size_t queue_size() const;
+
+  /// Blocks until the job queue is empty and no job is executing.
+  /// parallel_for activity is not considered.
+  void wait_idle();
+
   /// Process-wide default pool (lazily constructed).
   static ThreadPool& global();
 
@@ -43,13 +83,18 @@ class ThreadPool {
   };
 
   void worker_loop(unsigned worker_index);
+  void run_job(Job& job);
 
   std::mutex submit_mutex_;  // serializes concurrent parallel_for callers
   std::vector<std::thread> workers_;
   std::vector<Task> tasks_;          // one slot per worker
-  std::mutex mutex_;
+  std::deque<Job> queue_;            // async jobs (bounded)
+  std::size_t queue_capacity_;
+  unsigned active_jobs_ = 0;         // async jobs currently executing
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
+  std::condition_variable space_cv_;  // queue space freed / pool idle
   std::uint64_t generation_ = 0;     // bumped per parallel_for round
   unsigned pending_ = 0;
   bool stop_ = false;

@@ -1,0 +1,51 @@
+#include "qgear/qiskit/fingerprint.hpp"
+
+#include <bit>
+
+namespace qgear::qiskit {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline void mix_byte(std::uint64_t& h, std::uint8_t b) {
+  h ^= b;
+  h *= kFnvPrime;
+}
+
+// Little-endian byte order regardless of host endianness, so the
+// fingerprint is a wire-stable value, not a process-local one.
+inline void mix_u32(std::uint64_t& h, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) mix_byte(h, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void mix_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) mix_byte(h, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+std::uint64_t circuit_fingerprint(const QuantumCircuit& qc) {
+  std::uint64_t h = kFnvOffset;
+  mix_u32(h, qc.num_qubits());
+  for (const Instruction& inst : qc.instructions()) {
+    mix_byte(h, static_cast<std::uint8_t>(inst.kind));
+    mix_u32(h, static_cast<std::uint32_t>(inst.q0));
+    mix_u32(h, static_cast<std::uint32_t>(inst.q1));
+    mix_u64(h, std::bit_cast<std::uint64_t>(inst.param));
+  }
+  return h;
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[fingerprint & 0xf];
+    fingerprint >>= 4;
+  }
+  return out;
+}
+
+}  // namespace qgear::qiskit

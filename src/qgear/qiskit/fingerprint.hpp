@@ -1,0 +1,31 @@
+// Stable content hash of a circuit — the key for compilation caches.
+//
+// The fingerprint covers exactly what compilation consumes: the qubit
+// count and the ordered instruction stream (gate kind, operand qubits,
+// exact parameter bits). Circuit name and construction history are
+// excluded, so two circuits that compile identically fingerprint
+// identically. The hash (FNV-1a 64 over an explicit little-endian byte
+// stream) is deterministic across runs, platforms, and compilers, which
+// makes fingerprints safe to persist or exchange between processes.
+//
+// Parameters are hashed by their IEEE-754 bit pattern: any perturbation
+// of an angle — down to the last ulp, or the sign of zero — produces a
+// different fingerprint. Semantically equal but structurally different
+// circuits (e.g. rz(a)·rz(b) vs rz(a+b)) hash differently by design;
+// canonicalize via qiskit::transpile first if that matters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::qiskit {
+
+/// 64-bit content hash of `qc` (qubit count + ordered instructions).
+std::uint64_t circuit_fingerprint(const QuantumCircuit& qc);
+
+/// Fixed-width lowercase hex rendering ("8f3a...", 16 chars).
+std::string fingerprint_hex(std::uint64_t fingerprint);
+
+}  // namespace qgear::qiskit

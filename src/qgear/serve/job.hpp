@@ -1,0 +1,132 @@
+// Job model for the online simulation service.
+//
+// A job is one circuit submitted by one tenant with a priority class and
+// optional queue deadline / execution timeout. Submission hands back a
+// JobTicket (job id + shared future + cancellation hook); the service
+// fulfils the future exactly once with a JobResult describing how the job
+// ended and where its latency went (queue wait / compile / execute).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "qgear/qiskit/circuit.hpp"
+#include "qgear/sim/stats.hpp"
+
+namespace qgear::serve {
+
+/// Scheduling class. Lower value = more urgent; the scheduler always
+/// exhausts a class before looking at the next (fair share applies only
+/// between tenants inside one class).
+enum class Priority : int {
+  interactive = 0,  ///< latency-sensitive foreground traffic
+  normal = 1,       ///< default
+  batch = 2,        ///< throughput traffic, preempted by everything above
+};
+inline constexpr int kNumPriorities = 3;
+
+const char* priority_name(Priority p);
+
+/// Why admission control refused a submission.
+enum class RejectReason : int {
+  none = 0,
+  queue_full,     ///< global bounded queue at capacity
+  tenant_limit,   ///< tenant's in-flight cap (queued + running) reached
+  shutting_down,  ///< service is draining or stopped
+};
+
+const char* reject_reason_name(RejectReason r);
+
+/// Terminal state of an accepted job.
+enum class JobStatus : int {
+  completed = 0,
+  deadline_expired,  ///< queue deadline passed before execution started
+  timed_out,         ///< execution budget exhausted (cooperative stop)
+  cancelled,         ///< caller cancelled before/while running
+  dropped,           ///< service shut down non-gracefully with job pending
+  failed,            ///< compile/execute threw (see `error`)
+};
+
+const char* job_status_name(JobStatus s);
+
+/// What the submitter asks for.
+struct JobSpec {
+  std::string tenant = "default";
+  Priority priority = Priority::normal;
+  qiskit::QuantumCircuit circuit{1};
+  /// Max time the job may sit in the queue before it is abandoned
+  /// (0 = no deadline). Measured from submission.
+  double queue_deadline_s = 0.0;
+  /// End-to-end budget; execution stops cooperatively (between fused
+  /// blocks) once exceeded (0 = no timeout). Measured from submission.
+  double timeout_s = 0.0;
+};
+
+/// How an accepted job ended, with its latency breakdown.
+struct JobResult {
+  JobStatus status = JobStatus::completed;
+  std::uint64_t job_id = 0;
+  std::string tenant;
+  std::string error;        ///< non-empty when status == failed
+  bool cache_hit = false;   ///< compilation served from cache
+  double queue_wait_s = 0;  ///< submit -> dequeued by a worker
+  double compile_s = 0;     ///< transpile + fusion planning (0 on hit)
+  double execute_s = 0;     ///< amplitude sweeps
+  double e2e_s = 0;         ///< submit -> terminal
+  sim::EngineStats stats;   ///< execution counters (completed jobs)
+};
+
+using Clock = std::chrono::steady_clock;
+
+/// Internal per-job record shared between submitter, scheduler, and
+/// worker. Lives until the last ticket holder releases it.
+struct JobState {
+  JobSpec spec;
+  std::uint64_t id = 0;
+  std::uint64_t fingerprint = 0;  ///< cache key (computed at submit)
+  double cost = 1.0;              ///< fair-share charge (gates * 2^n)
+  Clock::time_point submit_time{};
+  Clock::time_point deadline{};      ///< zero when no queue deadline
+  Clock::time_point timeout_at{};    ///< zero when no timeout
+  std::atomic<bool> cancel_requested{false};
+  std::promise<JobResult> promise;
+
+  bool has_deadline() const { return deadline != Clock::time_point{}; }
+  bool has_timeout() const { return timeout_at != Clock::time_point{}; }
+};
+
+/// Handle returned by SimService::submit. For rejected submissions
+/// `accepted` is false and `result` is not valid.
+class JobTicket {
+ public:
+  JobTicket() = default;
+  JobTicket(RejectReason reason) : reason_(reason) {}
+  JobTicket(std::shared_ptr<JobState> state, std::shared_future<JobResult> f)
+      : state_(std::move(state)), result_(std::move(f)) {}
+
+  bool accepted() const { return state_ != nullptr; }
+  RejectReason reject_reason() const { return reason_; }
+  std::uint64_t job_id() const { return state_ ? state_->id : 0; }
+
+  /// Future for the terminal JobResult (valid only when accepted()).
+  const std::shared_future<JobResult>& result() const { return result_; }
+
+  /// Requests cooperative cancellation: honored while queued and between
+  /// fused blocks while executing. The result future still completes
+  /// (status cancelled, or completed if the job won the race).
+  void cancel() {
+    if (state_) state_->cancel_requested.store(true, std::memory_order_relaxed);
+  }
+
+ private:
+  RejectReason reason_ = RejectReason::none;
+  std::shared_ptr<JobState> state_;
+  std::shared_future<JobResult> result_;
+};
+
+}  // namespace qgear::serve

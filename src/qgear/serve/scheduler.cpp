@@ -1,0 +1,215 @@
+#include "qgear/serve/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "qgear/common/error.hpp"
+#include "qgear/obs/metrics.hpp"
+
+namespace qgear::serve {
+
+namespace {
+
+obs::Gauge& queued_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("serve.sched.queued");
+  return g;
+}
+obs::Gauge& running_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("serve.sched.running");
+  return g;
+}
+
+}  // namespace
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::interactive:
+      return "interactive";
+    case Priority::normal:
+      return "normal";
+    case Priority::batch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::none:
+      return "none";
+    case RejectReason::queue_full:
+      return "queue_full";
+    case RejectReason::tenant_limit:
+      return "tenant_limit";
+    case RejectReason::shutting_down:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::completed:
+      return "completed";
+    case JobStatus::deadline_expired:
+      return "deadline_expired";
+    case JobStatus::timed_out:
+      return "timed_out";
+    case JobStatus::cancelled:
+      return "cancelled";
+    case JobStatus::dropped:
+      return "dropped";
+    case JobStatus::failed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+FairScheduler::FairScheduler(Options opts) : opts_(opts) {
+  QGEAR_CHECK_ARG(opts_.capacity > 0, "scheduler: capacity must be > 0");
+  QGEAR_CHECK_ARG(opts_.per_tenant_inflight > 0,
+                  "scheduler: per-tenant in-flight cap must be > 0");
+}
+
+void FairScheduler::set_tenant_weight(const std::string& tenant,
+                                      double weight) {
+  QGEAR_CHECK_ARG(weight > 0.0, "scheduler: tenant weight must be > 0");
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenants_[tenant].weight = weight;
+}
+
+RejectReason FairScheduler::push(std::shared_ptr<JobState> job) {
+  QGEAR_EXPECTS(job != nullptr);
+  const int pri = static_cast<int>(job->spec.priority);
+  QGEAR_CHECK_ARG(pri >= 0 && pri < kNumPriorities,
+                  "scheduler: priority out of range");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return RejectReason::shutting_down;
+    if (queued_ >= opts_.capacity) return RejectReason::queue_full;
+    Tenant& t = tenants_[job->spec.tenant];
+    if (t.inflight >= opts_.per_tenant_inflight) {
+      return RejectReason::tenant_limit;
+    }
+    if (t.queued == 0) {
+      // Re-activating tenant: no banked credit from its idle period.
+      t.pass = std::max(t.pass, vtime_);
+    }
+    t.queues[pri].push_back(std::move(job));
+    ++t.queued;
+    ++t.inflight;
+    ++queued_;
+    queued_gauge().set(static_cast<double>(queued_));
+  }
+  pop_cv_.notify_one();
+  return RejectReason::none;
+}
+
+bool FairScheduler::pop_locked(Popped* out) {
+  if (queued_ == 0) return false;
+  for (int pri = 0; pri < kNumPriorities; ++pri) {
+    Tenant* best = nullptr;
+    for (auto& [name, t] : tenants_) {
+      if (t.queues[pri].empty()) continue;
+      if (best == nullptr || t.pass < best->pass) best = &t;
+    }
+    if (best == nullptr) continue;
+    std::shared_ptr<JobState> job = std::move(best->queues[pri].front());
+    best->queues[pri].pop_front();
+    --best->queued;
+    --queued_;
+    ++running_;
+    out->job = std::move(job);
+    out->expired = out->job->has_deadline() &&
+                   Clock::now() > out->job->deadline;
+    if (!out->expired) {
+      vtime_ = best->pass;
+      best->pass += out->job->cost / best->weight;
+    }
+    queued_gauge().set(static_cast<double>(queued_));
+    running_gauge().set(static_cast<double>(running_));
+    return true;
+  }
+  return false;  // unreachable while queued_ > 0
+}
+
+bool FairScheduler::pop(Popped* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (pop_locked(out)) return true;
+    if (closed_) return false;
+    pop_cv_.wait(lock);
+  }
+}
+
+bool FairScheduler::try_pop(Popped* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pop_locked(out);
+}
+
+void FairScheduler::on_finished(const std::string& tenant) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenants_.find(tenant);
+    QGEAR_EXPECTS(it != tenants_.end() && it->second.inflight > 0);
+    QGEAR_EXPECTS(running_ > 0);
+    --it->second.inflight;
+    --running_;
+    running_gauge().set(static_cast<double>(running_));
+  }
+  idle_cv_.notify_all();
+}
+
+void FairScheduler::close_submissions() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  pop_cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+bool FairScheduler::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::vector<std::shared_ptr<JobState>> FairScheduler::drain_queued() {
+  std::vector<std::shared_ptr<JobState>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, t] : tenants_) {
+      for (auto& queue : t.queues) {
+        for (auto& job : queue) {
+          QGEAR_EXPECTS(t.inflight > 0);
+          --t.inflight;
+          out.push_back(std::move(job));
+        }
+        queue.clear();
+      }
+      t.queued = 0;
+    }
+    queued_ = 0;
+    queued_gauge().set(0);
+  }
+  idle_cv_.notify_all();
+  return out;
+}
+
+std::size_t FairScheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+std::size_t FairScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void FairScheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+}  // namespace qgear::serve

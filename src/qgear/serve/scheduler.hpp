@@ -1,0 +1,109 @@
+// Admission-controlled job queue with priority classes and weighted
+// fair share across tenants.
+//
+// Admission (push) is bounded twice: a global queue capacity and a
+// per-tenant in-flight cap (queued + running). Both reject immediately
+// with a reason instead of blocking — backpressure is the submitter's
+// problem, by design.
+//
+// Scheduling (pop) picks the highest non-empty priority class, then the
+// tenant in that class with the smallest virtual time ("pass"), i.e.
+// start-time weighted fair queuing: a tenant's pass advances by
+// cost / weight per scheduled job, so tenants with equal weights split a
+// saturated worker pool evenly regardless of how unequal their submission
+// rates are, and a weight-2 tenant gets twice the share of a weight-1
+// tenant. A tenant going idle does not bank credit: on re-activation its
+// pass is clamped to the current virtual time.
+//
+// Queue deadlines are enforced at pop: an expired job is still handed to
+// the worker (flagged) so its promise is completed, but costs no pass.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "qgear/serve/job.hpp"
+
+namespace qgear::serve {
+
+class FairScheduler {
+ public:
+  struct Options {
+    std::size_t capacity = 256;            ///< global queued-job bound
+    std::size_t per_tenant_inflight = 64;  ///< queued + running per tenant
+  };
+
+  /// One scheduling decision.
+  struct Popped {
+    std::shared_ptr<JobState> job;
+    bool expired = false;  ///< queue deadline had passed at pop time
+  };
+
+  FairScheduler() : FairScheduler(Options{}) {}
+  explicit FairScheduler(Options opts);
+
+  /// Fair-share weight for `tenant` (default 1.0). Takes effect for
+  /// subsequent scheduling decisions.
+  void set_tenant_weight(const std::string& tenant, double weight);
+
+  /// Admission control. Returns RejectReason::none and enqueues, or the
+  /// reason the job was refused (never blocks).
+  RejectReason push(std::shared_ptr<JobState> job);
+
+  /// Blocks until a job is schedulable or the scheduler is closed and
+  /// drained; false means no more jobs will ever arrive (worker exits).
+  /// Every popped job MUST be matched by one on_finished() call.
+  bool pop(Popped* out);
+
+  /// Non-blocking pop; false when nothing is queued.
+  bool try_pop(Popped* out);
+
+  /// Releases the in-flight slot taken by a popped job once it reaches a
+  /// terminal state.
+  void on_finished(const std::string& tenant);
+
+  /// Stops admission (push returns shutting_down). Queued jobs continue
+  /// to pop; once the queue drains, pop returns false.
+  void close_submissions();
+  bool closed() const;
+
+  /// Removes and returns every queued job without scheduling them —
+  /// non-graceful shutdown; the caller completes them as dropped. Their
+  /// in-flight slots are released here (do not call on_finished).
+  std::vector<std::shared_ptr<JobState>> drain_queued();
+
+  std::size_t queued() const;
+  std::size_t running() const;
+
+  /// Blocks until no job is queued or running.
+  void wait_idle();
+
+ private:
+  struct Tenant {
+    double weight = 1.0;
+    double pass = 0.0;
+    std::size_t inflight = 0;  ///< queued + running
+    std::size_t queued = 0;
+    std::deque<std::shared_ptr<JobState>> queues[kNumPriorities];
+  };
+
+  bool pop_locked(Popped* out);
+
+  Options opts_;
+  mutable std::mutex mutex_;
+  std::condition_variable pop_cv_;
+  std::condition_variable idle_cv_;
+  std::map<std::string, Tenant> tenants_;
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  double vtime_ = 0.0;  ///< pass of the most recently scheduled tenant
+  bool closed_ = false;
+};
+
+}  // namespace qgear::serve

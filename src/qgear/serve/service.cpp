@@ -1,0 +1,306 @@
+#include "qgear/serve/service.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "qgear/common/bits.hpp"
+#include "qgear/common/log.hpp"
+#include "qgear/common/timer.hpp"
+#include "qgear/obs/metrics.hpp"
+#include "qgear/obs/trace.hpp"
+#include "qgear/qiskit/fingerprint.hpp"
+#include "qgear/sim/fused.hpp"
+#include "qgear/sim/state.hpp"
+
+namespace qgear::serve {
+
+namespace {
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+obs::Counter& submitted_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.submitted");
+  return c;
+}
+obs::Counter& accepted_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.accepted");
+  return c;
+}
+obs::Counter& rejected_counter(RejectReason r) {
+  static obs::Counter& full =
+      obs::Registry::global().counter("serve.rejected.queue_full");
+  static obs::Counter& tenant =
+      obs::Registry::global().counter("serve.rejected.tenant_limit");
+  static obs::Counter& shutdown =
+      obs::Registry::global().counter("serve.rejected.shutting_down");
+  switch (r) {
+    case RejectReason::tenant_limit:
+      return tenant;
+    case RejectReason::shutting_down:
+      return shutdown;
+    default:
+      return full;
+  }
+}
+obs::Counter& status_counter(JobStatus s) {
+  static obs::Counter& completed =
+      obs::Registry::global().counter("serve.completed");
+  static obs::Counter& expired =
+      obs::Registry::global().counter("serve.deadline_expired");
+  static obs::Counter& timed_out =
+      obs::Registry::global().counter("serve.timed_out");
+  static obs::Counter& cancelled =
+      obs::Registry::global().counter("serve.cancelled");
+  static obs::Counter& dropped =
+      obs::Registry::global().counter("serve.dropped");
+  static obs::Counter& failed = obs::Registry::global().counter("serve.failed");
+  switch (s) {
+    case JobStatus::completed:
+      return completed;
+    case JobStatus::deadline_expired:
+      return expired;
+    case JobStatus::timed_out:
+      return timed_out;
+    case JobStatus::cancelled:
+      return cancelled;
+    case JobStatus::dropped:
+      return dropped;
+    case JobStatus::failed:
+      return failed;
+  }
+  return failed;
+}
+obs::Histogram& queue_wait_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("serve.queue_wait_us");
+  return h;
+}
+obs::Histogram& compile_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("serve.compile_us");
+  return h;
+}
+obs::Histogram& execute_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("serve.execute_us");
+  return h;
+}
+obs::Histogram& e2e_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram("serve.e2e_us");
+  return h;
+}
+
+}  // namespace
+
+SimService::SimService(Options opts)
+    : opts_(std::move(opts)),
+      scheduler_(opts_.scheduler),
+      cache_(opts_.cache) {
+  num_workers_ = opts_.workers;
+  if (num_workers_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_workers_ = hw >= 2 ? hw / 2 : 1;
+  }
+  for (const auto& [tenant, weight] : opts_.tenant_weights) {
+    scheduler_.set_tenant_weight(tenant, weight);
+  }
+  pool_ = std::make_unique<ThreadPool>(num_workers_, num_workers_);
+  for (unsigned i = 0; i < num_workers_; ++i) {
+    const bool ok = pool_->try_submit([this] { worker_loop(); });
+    QGEAR_ENSURES(ok);  // capacity == num_workers_, queue starts empty
+  }
+}
+
+SimService::~SimService() { shutdown(/*graceful=*/true); }
+
+JobTicket SimService::submit(JobSpec spec) {
+  submitted_counter().add();
+  auto state = std::make_shared<JobState>();
+  state->spec = std::move(spec);
+  state->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  state->fingerprint = qiskit::circuit_fingerprint(state->spec.circuit);
+  // Fair-share charge: one amplitude sweep per gate is the upper bound of
+  // the work a circuit can cost, so gates * 2^n orders tenants sensibly
+  // across mixed circuit sizes (the exact constant cancels in the ratio).
+  const unsigned n = std::min(state->spec.circuit.num_qubits(), 40u);
+  state->cost = static_cast<double>(state->spec.circuit.size() + 1) *
+                static_cast<double>(pow2(n));
+  state->submit_time = Clock::now();
+  if (state->spec.queue_deadline_s > 0) {
+    state->deadline =
+        state->submit_time +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(state->spec.queue_deadline_s));
+  }
+  if (state->spec.timeout_s > 0) {
+    state->timeout_at =
+        state->submit_time +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(state->spec.timeout_s));
+  }
+  auto future = state->promise.get_future().share();
+  const RejectReason reason = scheduler_.push(state);
+  if (reason != RejectReason::none) {
+    rejected_counter(reason).add();
+    return JobTicket(reason);
+  }
+  accepted_counter().add();
+  return JobTicket(std::move(state), std::move(future));
+}
+
+void SimService::worker_loop() {
+  FairScheduler::Popped popped;
+  while (scheduler_.pop(&popped)) {
+    const std::string tenant = popped.job->spec.tenant;
+    process(std::move(popped));
+    scheduler_.on_finished(tenant);
+  }
+}
+
+void SimService::finish(JobState& job, JobResult&& result) {
+  result.job_id = job.id;
+  result.tenant = job.spec.tenant;
+  result.e2e_s = seconds_between(job.submit_time, Clock::now());
+  status_counter(result.status).add();
+  queue_wait_hist().observe(result.queue_wait_s * 1e6);
+  e2e_hist().observe(result.e2e_s * 1e6);
+  if (result.status == JobStatus::completed) {
+    compile_hist().observe(result.compile_s * 1e6);
+    execute_hist().observe(result.execute_s * 1e6);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    folded_stats_ += result.stats;
+  }
+  job.promise.set_value(std::move(result));
+}
+
+void SimService::process(FairScheduler::Popped popped) {
+  JobState& job = *popped.job;
+  JobResult result;
+  result.queue_wait_s = seconds_between(job.submit_time, Clock::now());
+
+  if (popped.expired) {
+    result.status = JobStatus::deadline_expired;
+    finish(job, std::move(result));
+    return;
+  }
+  if (job.cancel_requested.load(std::memory_order_relaxed)) {
+    result.status = JobStatus::cancelled;
+    finish(job, std::move(result));
+    return;
+  }
+
+  obs::Span span(obs::Tracer::global(), "serve.job", "serve");
+  if (span.active()) {
+    span.arg("tenant", job.spec.tenant);
+    span.arg("priority", priority_name(job.spec.priority));
+    span.arg("fingerprint", qiskit::fingerprint_hex(job.fingerprint));
+  }
+
+  try {
+    WallTimer compile_timer;
+    std::shared_ptr<const CompiledCircuit> compiled = cache_.get_or_compile(
+        job.fingerprint,
+        [&] { return compile_circuit(job.spec.circuit, opts_.fusion); },
+        &result.cache_hit);
+    result.compile_s = compile_timer.seconds();
+
+    if (job.cancel_requested.load(std::memory_order_relaxed)) {
+      result.status = JobStatus::cancelled;
+      finish(job, std::move(result));
+      return;
+    }
+    if (job.has_timeout() && Clock::now() > job.timeout_at) {
+      result.status = JobStatus::timed_out;
+      finish(job, std::move(result));
+      return;
+    }
+
+    WallTimer exec_timer;
+    const bool ran_to_completion =
+        opts_.fp64 ? execute_plan<double>(job, *compiled, &result.stats)
+                   : execute_plan<float>(job, *compiled, &result.stats);
+    result.execute_s = exec_timer.seconds();
+    if (ran_to_completion) {
+      result.status = JobStatus::completed;
+    } else if (job.cancel_requested.load(std::memory_order_relaxed)) {
+      result.status = JobStatus::cancelled;
+    } else {
+      result.status = JobStatus::timed_out;
+    }
+    finish(job, std::move(result));
+  } catch (const std::exception& e) {
+    result.status = JobStatus::failed;
+    result.error = e.what();
+    log::warn(std::string("serve: job failed: ") + e.what());
+    finish(job, std::move(result));
+  }
+}
+
+template <typename T>
+bool SimService::execute_plan(JobState& job, const CompiledCircuit& compiled,
+                              sim::EngineStats* stats) {
+  sim::StateVector<T> state(compiled.num_qubits);
+  WallTimer timer;
+  for (const sim::FusedBlock& block : compiled.plan.blocks) {
+    // Cooperative cancellation/timeout: checked between fused blocks, the
+    // natural preemption granularity of an amplitude-sweep engine.
+    if (job.cancel_requested.load(std::memory_order_relaxed)) return false;
+    if (job.has_timeout() && Clock::now() > job.timeout_at) return false;
+    sim::apply_fused_block(state.data(), state.num_qubits(), block,
+                           /*pool=*/nullptr);
+    switch (block.kernel_class) {
+      case sim::KernelClass::diagonal:
+        ++stats->diag_blocks;
+        break;
+      case sim::KernelClass::permutation:
+        ++stats->perm_blocks;
+        break;
+      case sim::KernelClass::dense:
+        ++stats->dense_blocks;
+        break;
+    }
+    ++stats->sweeps;
+    ++stats->fused_blocks;
+    stats->amp_ops += state.size();
+    stats->gates += block.source_gates;
+  }
+  stats->seconds += timer.seconds();
+  return true;
+}
+
+void SimService::drain() {
+  scheduler_.close_submissions();
+  scheduler_.wait_idle();
+}
+
+void SimService::shutdown(bool graceful) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (shut_down_) return;
+  scheduler_.close_submissions();
+  if (!graceful) {
+    for (const std::shared_ptr<JobState>& job : scheduler_.drain_queued()) {
+      JobResult result;
+      result.status = JobStatus::dropped;
+      result.queue_wait_s = seconds_between(job->submit_time, Clock::now());
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      finish(*job, std::move(result));
+    }
+  }
+  scheduler_.wait_idle();
+  pool_.reset();  // worker loops have exited (pop() returns false)
+  shut_down_ = true;
+}
+
+sim::EngineStats SimService::folded_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return folded_stats_;
+}
+
+std::uint64_t SimService::dropped_jobs() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+}  // namespace qgear::serve

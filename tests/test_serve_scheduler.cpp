@@ -1,0 +1,267 @@
+#include "qgear/serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::serve {
+namespace {
+
+std::shared_ptr<JobState> make_job(std::string tenant,
+                                   Priority priority = Priority::normal,
+                                   double cost = 1.0) {
+  auto job = std::make_shared<JobState>();
+  job->spec.tenant = std::move(tenant);
+  job->spec.priority = priority;
+  job->cost = cost;
+  job->submit_time = Clock::now();
+  return job;
+}
+
+// Pops one job (non-blocking) and immediately releases its slot,
+// returning the owning tenant. Fails the test if nothing is queued.
+std::string pop_tenant(FairScheduler& sched) {
+  FairScheduler::Popped popped;
+  EXPECT_TRUE(sched.try_pop(&popped));
+  if (!popped.job) return "";
+  const std::string tenant = popped.job->spec.tenant;
+  sched.on_finished(tenant);
+  return tenant;
+}
+
+TEST(FairScheduler, HigherPriorityClassAlwaysWins) {
+  FairScheduler sched;
+  ASSERT_EQ(sched.push(make_job("t", Priority::batch)), RejectReason::none);
+  ASSERT_EQ(sched.push(make_job("t", Priority::normal)), RejectReason::none);
+  ASSERT_EQ(sched.push(make_job("t", Priority::interactive)),
+            RejectReason::none);
+  ASSERT_EQ(sched.push(make_job("t", Priority::interactive)),
+            RejectReason::none);
+
+  std::vector<Priority> order;
+  FairScheduler::Popped popped;
+  while (sched.try_pop(&popped)) {
+    order.push_back(popped.job->spec.priority);
+    sched.on_finished(popped.job->spec.tenant);
+  }
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], Priority::interactive);
+  EXPECT_EQ(order[1], Priority::interactive);
+  EXPECT_EQ(order[2], Priority::normal);
+  EXPECT_EQ(order[3], Priority::batch);
+}
+
+TEST(FairScheduler, EqualWeightTenantsAlternateUnderSaturation) {
+  FairScheduler sched;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(sched.push(make_job("a")), RejectReason::none);
+    ASSERT_EQ(sched.push(make_job("b")), RejectReason::none);
+  }
+  // Start-time fair queuing with equal weights and equal costs must
+  // interleave perfectly: any prefix is balanced to within one job.
+  std::map<std::string, int> got;
+  for (int i = 0; i < 16; ++i) {
+    ++got[pop_tenant(sched)];
+    EXPECT_LE(std::abs(got["a"] - got["b"]), 1) << "after pop " << i;
+  }
+  EXPECT_EQ(got["a"], 8);
+  EXPECT_EQ(got["b"], 8);
+}
+
+TEST(FairScheduler, WeightedTenantGetsProportionalShare) {
+  FairScheduler sched;
+  sched.set_tenant_weight("heavy", 2.0);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_EQ(sched.push(make_job("heavy")), RejectReason::none);
+    ASSERT_EQ(sched.push(make_job("light")), RejectReason::none);
+  }
+  std::map<std::string, int> got;
+  for (int i = 0; i < 12; ++i) ++got[pop_tenant(sched)];
+  // weight 2 : weight 1 over any saturated window => 2/3 vs 1/3.
+  EXPECT_EQ(got["heavy"], 8);
+  EXPECT_EQ(got["light"], 4);
+}
+
+TEST(FairScheduler, IdleTenantDoesNotBankCredit) {
+  FairScheduler sched;
+  // "busy" consumes lots of virtual time while "late" is idle.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(sched.push(make_job("busy")), RejectReason::none);
+  }
+  for (int i = 0; i < 6; ++i) pop_tenant(sched);
+  // A newly active tenant is clamped to the current virtual time: it may
+  // win the next slot, but it must not monopolize the queue afterwards.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(sched.push(make_job("late")), RejectReason::none);
+    ASSERT_EQ(sched.push(make_job("busy")), RejectReason::none);
+  }
+  std::map<std::string, int> got;
+  for (int i = 0; i < 8; ++i) ++got[pop_tenant(sched)];
+  EXPECT_EQ(got["late"], 4);
+  EXPECT_EQ(got["busy"], 4);
+}
+
+TEST(FairScheduler, ExpiredDeadlineIsFlaggedAndNotCharged) {
+  FairScheduler sched;
+  auto expired = make_job("t");
+  expired->deadline = Clock::now() - std::chrono::milliseconds(5);
+  auto fresh = make_job("t");
+  ASSERT_EQ(sched.push(expired), RejectReason::none);
+  ASSERT_EQ(sched.push(fresh), RejectReason::none);
+
+  FairScheduler::Popped popped;
+  ASSERT_TRUE(sched.try_pop(&popped));
+  EXPECT_TRUE(popped.expired);
+  sched.on_finished("t");
+  ASSERT_TRUE(sched.try_pop(&popped));
+  EXPECT_FALSE(popped.expired);
+  sched.on_finished("t");
+}
+
+TEST(FairScheduler, RejectsWhenGlobalQueueFull) {
+  FairScheduler::Options opts;
+  opts.capacity = 2;
+  FairScheduler sched(opts);
+  EXPECT_EQ(sched.push(make_job("a")), RejectReason::none);
+  EXPECT_EQ(sched.push(make_job("b")), RejectReason::none);
+  EXPECT_EQ(sched.push(make_job("c")), RejectReason::queue_full);
+  // Space frees once a job is popped (capacity counts queued, not running).
+  FairScheduler::Popped popped;
+  ASSERT_TRUE(sched.try_pop(&popped));
+  EXPECT_EQ(sched.push(make_job("c")), RejectReason::none);
+  sched.on_finished(popped.job->spec.tenant);
+}
+
+TEST(FairScheduler, RejectsOverPerTenantInflightCap) {
+  FairScheduler::Options opts;
+  opts.per_tenant_inflight = 1;
+  FairScheduler sched(opts);
+  EXPECT_EQ(sched.push(make_job("a")), RejectReason::none);
+  EXPECT_EQ(sched.push(make_job("a")), RejectReason::tenant_limit);
+  EXPECT_EQ(sched.push(make_job("b")), RejectReason::none);  // other tenant ok
+
+  // The cap covers queued + running: still rejected while running.
+  FairScheduler::Popped popped;
+  ASSERT_TRUE(sched.try_pop(&popped));
+  ASSERT_EQ(popped.job->spec.tenant, "a");
+  EXPECT_EQ(sched.push(make_job("a")), RejectReason::tenant_limit);
+  sched.on_finished("a");
+  EXPECT_EQ(sched.push(make_job("a")), RejectReason::none);
+  ASSERT_TRUE(sched.try_pop(&popped));
+  sched.on_finished("a");
+  ASSERT_TRUE(sched.try_pop(&popped));
+  sched.on_finished("b");
+}
+
+TEST(FairScheduler, CloseRejectsPushesAndDrainsPops) {
+  FairScheduler sched;
+  ASSERT_EQ(sched.push(make_job("t")), RejectReason::none);
+  sched.close_submissions();
+  EXPECT_TRUE(sched.closed());
+  EXPECT_EQ(sched.push(make_job("t")), RejectReason::shutting_down);
+
+  // The queued job still pops; then pop() reports end-of-stream.
+  FairScheduler::Popped popped;
+  ASSERT_TRUE(sched.pop(&popped));
+  sched.on_finished("t");
+  EXPECT_FALSE(sched.pop(&popped));
+}
+
+TEST(FairScheduler, DrainQueuedReturnsEverythingAndReleasesSlots) {
+  FairScheduler::Options opts;
+  opts.per_tenant_inflight = 3;
+  FairScheduler sched(opts);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(sched.push(make_job("t", Priority::batch)), RejectReason::none);
+  }
+  const auto dropped = sched.drain_queued();
+  EXPECT_EQ(dropped.size(), 3u);
+  EXPECT_EQ(sched.queued(), 0u);
+  // Slots were released: the tenant can submit again up to its cap.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sched.push(make_job("t")), RejectReason::none);
+  }
+}
+
+TEST(FairScheduler, WaitIdleBlocksUntilLastJobFinishes) {
+  FairScheduler sched;
+  ASSERT_EQ(sched.push(make_job("t")), RejectReason::none);
+  FairScheduler::Popped popped;
+  ASSERT_TRUE(sched.try_pop(&popped));
+
+  std::atomic<bool> idle_seen{false};
+  std::thread waiter([&] {
+    sched.wait_idle();
+    idle_seen.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(idle_seen.load());  // job still running
+  sched.on_finished("t");
+  waiter.join();
+  EXPECT_TRUE(idle_seen.load());
+}
+
+// Multi-producer / multi-consumer stress; run under TSan via the
+// `sanitizer` ctest label.
+TEST(FairScheduler, StressManyProducersManyConsumers) {
+  FairScheduler::Options opts;
+  opts.capacity = 64;
+  opts.per_tenant_inflight = 32;
+  FairScheduler sched(opts);
+
+  constexpr int kProducers = 4;
+  constexpr int kJobsPerProducer = 200;
+  std::atomic<int> accepted{0};
+  std::atomic<int> popped_jobs{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      FairScheduler::Popped popped;
+      while (sched.pop(&popped)) {
+        popped_jobs.fetch_add(1);
+        sched.on_finished(popped.job->spec.tenant);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const std::string tenant = "t" + std::to_string(p);
+      const Priority pri = static_cast<Priority>(p % kNumPriorities);
+      for (int i = 0; i < kJobsPerProducer; ++i) {
+        // Retry on backpressure: consumers guarantee forward progress.
+        while (sched.push(make_job(tenant, pri)) != RejectReason::none) {
+          std::this_thread::yield();
+        }
+        accepted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  sched.close_submissions();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(accepted.load(), kProducers * kJobsPerProducer);
+  EXPECT_EQ(popped_jobs.load(), accepted.load());
+  EXPECT_EQ(sched.queued(), 0u);
+  EXPECT_EQ(sched.running(), 0u);
+}
+
+TEST(FairScheduler, RejectsInvalidOptions) {
+  FairScheduler::Options zero_cap;
+  zero_cap.capacity = 0;
+  EXPECT_THROW(FairScheduler{zero_cap}, Error);
+  FairScheduler sched;
+  EXPECT_THROW(sched.set_tenant_weight("t", 0.0), Error);
+}
+
+}  // namespace
+}  // namespace qgear::serve

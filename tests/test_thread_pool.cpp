@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace qgear {
@@ -51,6 +53,91 @@ TEST(ThreadPool, SizeReflectsWorkerCount) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);
   EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, TrySubmitRunsJobs) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE(pool.try_submit([&] { ran++; }));
+    }
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), 32);
+  }
+}
+
+TEST(ThreadPool, TrySubmitReportsBackpressure) {
+  ThreadPool pool(1, /*queue_capacity=*/2);
+  std::atomic<bool> release{false};
+  // Park the single worker so queued jobs cannot drain.
+  ASSERT_TRUE(pool.try_submit([&] {
+    while (!release.load()) std::this_thread::yield();
+  }));
+  // Wait until the blocker has been dequeued, then fill the queue.
+  while (pool.queue_size() != 0) std::this_thread::yield();
+  EXPECT_TRUE(pool.try_submit([] {}));
+  EXPECT_TRUE(pool.try_submit([] {}));
+  EXPECT_EQ(pool.queue_size(), 2u);
+  EXPECT_FALSE(pool.try_submit([] {}));  // at capacity
+  release = true;
+  pool.wait_idle();
+  EXPECT_EQ(pool.queue_size(), 0u);
+  EXPECT_EQ(pool.queue_capacity(), 2u);
+}
+
+TEST(ThreadPool, DestructionDrainsPendingJobs) {
+  std::atomic<int> ran{0};
+  std::atomic<bool> release{false};
+  {
+    ThreadPool pool(1, 64);
+    ASSERT_TRUE(pool.try_submit([&] {
+      while (!release.load()) std::this_thread::yield();
+      ran++;
+    }));
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(pool.try_submit([&] { ran++; }));
+    }
+    release = true;
+    // Destructor must run all 21 accepted jobs before joining.
+  }
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPool, BlockingSubmitWaitsForSpace) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2, /*queue_capacity=*/4);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&] { ran++; });  // blocks when the queue is full
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, JobExceptionsAreSwallowed) {
+  ThreadPool pool(1);
+  ASSERT_TRUE(pool.try_submit([] { throw std::runtime_error("boom"); }));
+  std::atomic<bool> after{false};
+  ASSERT_TRUE(pool.try_submit([&] { after = true; }));
+  pool.wait_idle();
+  EXPECT_TRUE(after.load());  // worker survived the throwing job
+}
+
+TEST(ThreadPool, JobsAndParallelForInterleave) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> job_sum{0};
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(pool.try_submit([&] { job_sum += 1; }));
+  }
+  std::atomic<std::uint64_t> range_sum{0};
+  pool.parallel_for(0, 50000, [&](std::uint64_t b, std::uint64_t e) {
+    range_sum += e - b;
+  });
+  pool.wait_idle();
+  EXPECT_EQ(job_sum.load(), 16u);
+  EXPECT_EQ(range_sum.load(), 50000u);
 }
 
 TEST(ThreadPool, ConcurrentCallersSerialized) {

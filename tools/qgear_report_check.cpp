@@ -4,10 +4,11 @@
 //
 // Implements the JSON-Schema subset the repo's schemas use: type (string
 // or array of strings), const, enum, required, properties,
-// additionalProperties (boolean or sub-schema), and items. Exits 0 when
-// the document validates, 1 with a path-qualified message otherwise —
-// CI's bench-smoke job runs it on the report emitted via
-// QGEAR_BENCH_REPORT.
+// additionalProperties (boolean or sub-schema), items, and the numeric
+// bounds minimum / maximum. Exits 0 when the document validates, 1 with
+// a path-qualified message otherwise — CI's bench-smoke job runs it on
+// the report emitted via QGEAR_BENCH_REPORT and on the serve report
+// emitted by `qgear_serve load --report`.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -92,6 +93,21 @@ void validate(const JsonValue& value, const JsonValue& schema,
     if (!ok) {
       failures.push_back({path, "value " + value.dump() + " not in enum " +
                                     en->dump()});
+    }
+  }
+
+  if (value.is_number()) {
+    const JsonValue* minimum = schema.find("minimum");
+    if (minimum != nullptr && minimum->is_number() &&
+        value.number() < minimum->number()) {
+      failures.push_back({path, "value " + value.dump() +
+                                    " below minimum " + minimum->dump()});
+    }
+    const JsonValue* maximum = schema.find("maximum");
+    if (maximum != nullptr && maximum->is_number() &&
+        value.number() > maximum->number()) {
+      failures.push_back({path, "value " + value.dump() +
+                                    " above maximum " + maximum->dump()});
     }
   }
 

@@ -1,0 +1,182 @@
+// qgear_serve — driver for the online simulation service: stands up a
+// SimService and pushes a synthetic open-loop load through it, printing a
+// human summary and (optionally) a qgear.serve.report/v1 JSON.
+//
+// Usage:
+//   qgear_serve load [--workers N] [--queue-cap Q] [--tenant-cap C]
+//                    [--rate HZ] [--jobs J] [--tenants T]
+//                    [--dup-ratio D] [--hot-circuits H]
+//                    [--qubits n] [--blocks B] [--qft-fraction F]
+//                    [--deadline-ms MS] [--timeout-ms MS]
+//                    [--cache on|off] [--cache-mb M] [--fusion W]
+//                    [--precision fp32|fp64] [--seed S]
+//                    [--report out.json] [--trace-out trace.json]
+//                    [--metrics-out metrics.json] [--log level]
+//
+// The run drains the service before reporting, so a clean run always
+// shows dropped_on_shutdown == 0 — the graceful-drain guarantee. CI's
+// serve-smoke job validates the emitted report against
+// docs/serve_report.schema.json.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "qgear/common/log.hpp"
+#include "qgear/common/strings.hpp"
+#include "qgear/obs/json.hpp"
+#include "qgear/obs/metrics.hpp"
+#include "qgear/obs/trace.hpp"
+#include "qgear/serve/loadgen.hpp"
+#include "qgear/serve/service.hpp"
+#include "qgear/sim/isa.hpp"
+#include "qgear/sim/stats.hpp"
+
+using namespace qgear;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      QGEAR_CHECK_ARG(starts_with(key, "--"), "expected --flag, got " + key);
+      key = key.substr(2);
+      const std::size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);  // --key=value
+      } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string opt(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return std::stoull(it->second);
+  }
+
+  double f64(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_load(const Args& args) {
+  const std::string trace_out = args.opt("trace-out");
+  const std::string metrics_out = args.opt("metrics-out");
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!trace_out.empty()) {
+    tracer.clear();
+    tracer.set_enabled(true);
+  }
+
+  serve::SimService::Options sopts;
+  sopts.workers = static_cast<unsigned>(args.u64("workers", 0));
+  sopts.scheduler.capacity =
+      static_cast<std::size_t>(args.u64("queue-cap", 256));
+  sopts.scheduler.per_tenant_inflight =
+      static_cast<std::size_t>(args.u64("tenant-cap", 64));
+  const std::string cache_mode = args.opt("cache", "on");
+  QGEAR_CHECK_ARG(cache_mode == "on" || cache_mode == "off",
+                  "--cache must be on or off");
+  sopts.cache.enabled = cache_mode == "on";
+  sopts.cache.max_bytes = args.u64("cache-mb", 256) << 20;
+  sopts.fusion.max_width =
+      static_cast<unsigned>(args.u64("fusion", 5));
+  const std::string precision = args.opt("precision", "fp32");
+  QGEAR_CHECK_ARG(precision == "fp32" || precision == "fp64",
+                  "--precision must be fp32 or fp64");
+  sopts.fp64 = precision == "fp64";
+
+  serve::LoadGenOptions lopts;
+  lopts.total_jobs = args.u64("jobs", 400);
+  lopts.arrival_rate_hz = args.f64("rate", 400.0);
+  lopts.tenants = static_cast<unsigned>(args.u64("tenants", 4));
+  lopts.duplicate_ratio = args.f64("dup-ratio", 0.5);
+  lopts.hot_circuits = static_cast<unsigned>(args.u64("hot-circuits", 8));
+  lopts.qubits = static_cast<unsigned>(args.u64("qubits", 10));
+  lopts.blocks = args.u64("blocks", 120);
+  lopts.qft_fraction = args.f64("qft-fraction", 0.25);
+  lopts.queue_deadline_s = args.f64("deadline-ms", 0.0) / 1e3;
+  lopts.timeout_s = args.f64("timeout-ms", 0.0) / 1e3;
+  lopts.seed = args.u64("seed", 1);
+
+  std::printf("kernel isa: %s; service: %s workers, queue %zu, "
+              "cache %s (%s)\n",
+              sim::isa_name(sim::active_isa()),
+              sopts.workers == 0 ? "auto" : std::to_string(sopts.workers).c_str(),
+              sopts.scheduler.capacity, sopts.cache.enabled ? "on" : "off",
+              human_bytes(sopts.cache.max_bytes).c_str());
+
+  serve::SimService svc(sopts);
+  const serve::LoadGenReport report = serve::run_load(svc, lopts);
+  std::printf("%s", report.summary().c_str());
+
+  if (!trace_out.empty()) {
+    tracer.set_enabled(false);
+    tracer.write_trace_json(trace_out);
+    std::printf("wrote %s: %llu span(s), %llu dropped\n", trace_out.c_str(),
+                static_cast<unsigned long long>(tracer.recorded()),
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
+  if (!metrics_out.empty()) {
+    auto& reg = obs::Registry::global();
+    sim::fold_stats(reg, svc.folded_stats(), "serve.engine");
+    obs::write_text_file(metrics_out, reg.snapshot().to_json());
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  const std::string report_out = args.opt("report");
+  if (!report_out.empty()) {
+    obs::write_text_file(report_out, report.to_json().dump());
+    std::printf("wrote %s\n", report_out.c_str());
+  }
+  // Drain is part of run_load; a graceful run never drops jobs.
+  return report.dropped_on_shutdown == 0 ? 0 : 1;
+}
+
+void print_usage() {
+  std::printf(
+      "qgear_serve <command> [flags]\n"
+      "commands: load\n"
+      "see the header of tools/qgear_serve.cpp for full flag reference.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv);
+    if (args.has("log")) {
+      log::set_level(log::parse_level(args.opt("log", "info")));
+    }
+    if (cmd == "load") return cmd_load(args);
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    print_usage();
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
