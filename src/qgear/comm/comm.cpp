@@ -76,6 +76,13 @@ std::vector<std::uint8_t> Communicator::sendrecv(
   return recv(peer, tag);
 }
 
+bool Communicator::try_recv(int src, int tag,
+                            std::vector<std::uint8_t>& out) {
+  QGEAR_CHECK_ARG(src >= 0 && src < size(), "comm: source out of range");
+  QGEAR_CHECK_ARG(src != rank_, "comm: self-receive is not supported");
+  return world_->try_take(src, rank_, tag, out);
+}
+
 void Communicator::barrier() {
   const WaitTimer wait;
   barriers_counter().add();
@@ -217,6 +224,20 @@ std::vector<std::uint8_t> World::take(int src, int dst, int tag) {
     cv_.wait(lock);
     if (failed_[dst]) throw CommError("comm: receiving rank failed");
   }
+}
+
+bool World::try_take(int src, int dst, int tag,
+                     std::vector<std::uint8_t>& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_alive(src);
+  check_alive(dst);
+  Mailbox& box = mailbox(src, dst);
+  auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                         [tag](const Message& m) { return m.tag == tag; });
+  if (it == box.queue.end()) return false;
+  out = std::move(it->data);
+  box.queue.erase(it);
+  return true;
 }
 
 void World::check_alive(int rank) const {

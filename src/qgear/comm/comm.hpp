@@ -11,6 +11,7 @@
 // run produced.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -100,6 +101,44 @@ class Communicator {
     return out;
   }
 
+  /// Non-blocking receive: if a message from `src` with `tag` is already
+  /// queued, moves it into `out` and returns true; otherwise returns false
+  /// immediately. Lets pipelined callers drain ready chunks between
+  /// compute steps instead of blocking.
+  bool try_recv(int src, int tag, std::vector<std::uint8_t>& out);
+
+  /// Chunked, pipelined exchange with `peer`: `values` is split into
+  /// chunks of `chunk_elems` elements, every chunk is posted up front
+  /// (sends are buffered and return immediately), then the peer's chunks
+  /// are received in order and handed to `consume(offset, chunk)` one at a
+  /// time — so the caller's compute on chunk k overlaps the delivery of
+  /// chunk k+1, and no full-slab receive buffer is ever materialized.
+  /// chunk_elems == 0 (or >= values.size()) degenerates to one sendrecv.
+  /// Chunks of one exchange share `tag`: per-pair FIFO ordering keeps them
+  /// in sequence, and the next exchange uses a fresh tag.
+  template <typename T, typename Fn>
+  void sendrecv_chunked(int peer, int tag, std::span<const T> values,
+                        std::uint64_t chunk_elems, Fn&& consume) {
+    const std::uint64_t n = values.size();
+    if (chunk_elems == 0 || chunk_elems >= n) {
+      const std::vector<T> theirs = sendrecv_vec<T>(peer, tag, values);
+      QGEAR_CHECK_FORMAT(theirs.size() == n,
+                         "comm: chunked exchange size mismatch");
+      consume(std::uint64_t{0}, std::span<const T>(theirs));
+      return;
+    }
+    for (std::uint64_t off = 0; off < n; off += chunk_elems) {
+      send_vec<T>(peer, tag,
+                  values.subspan(off, std::min(chunk_elems, n - off)));
+    }
+    for (std::uint64_t off = 0; off < n; off += chunk_elems) {
+      const std::vector<T> chunk = recv_vec<T>(peer, tag);
+      QGEAR_CHECK_FORMAT(chunk.size() == std::min(chunk_elems, n - off),
+                         "comm: chunked exchange chunk size mismatch");
+      consume(off, std::span<const T>(chunk));
+    }
+  }
+
   /// Synchronizes all live ranks.
   void barrier();
 
@@ -159,6 +198,7 @@ class World {
   void deliver(int src, int dst, int tag,
                std::span<const std::uint8_t> data);
   std::vector<std::uint8_t> take(int src, int dst, int tag);
+  bool try_take(int src, int dst, int tag, std::vector<std::uint8_t>& out);
   void check_alive(int rank) const;
 
   int size_;

@@ -7,8 +7,18 @@
 // data pairwise between the two ranks that differ in that bit — exactly
 // the communication schedule the performance model prices at paper scale.
 //
+// Three mechanisms keep the hot path fast (see docs/DISTRIBUTED.md):
+// slab swaps that trade a global index bit for a local one so upcoming
+// gates run communication-free (apply_circuit_remapped, planned by
+// dist/remap), chunked exchanges that overlap the 2x2 update of chunk k
+// with the delivery of chunk k+1, and a ThreadPool threaded through every
+// local sweep and exchange update loop.
+//
 // Tags: every collective gate application uses a fresh sequence number, so
-// concurrent slabs in flight can never be mismatched.
+// concurrent slabs in flight can never be mismatched. Op tags live in
+// [0, kOpTagLimit); the runner's sampler tags start at kSamplerTagBase so
+// the two spaces can never collide. Chunks of one exchange share the
+// exchange's tag: per-pair FIFO ordering keeps them in sequence.
 #pragma once
 
 #include <complex>
@@ -16,7 +26,9 @@
 
 #include "qgear/comm/comm.hpp"
 #include "qgear/common/bits.hpp"
+#include "qgear/common/thread_pool.hpp"
 #include "qgear/common/timer.hpp"
+#include "qgear/dist/remap.hpp"
 #include "qgear/obs/trace.hpp"
 #include "qgear/qiskit/circuit.hpp"
 #include "qgear/sim/apply.hpp"
@@ -24,6 +36,14 @@
 #include "qgear/sim/stats.hpp"
 
 namespace qgear::dist {
+
+/// Exclusive upper bound of the per-op tag space. DistStateVector::next_tag
+/// wraps below this.
+inline constexpr int kOpTagLimit = 1 << 28;
+/// First tag reserved for the runner's sampling/gather collectives.
+inline constexpr int kSamplerTagBase = 1 << 28;
+static_assert(kSamplerTagBase >= kOpTagLimit,
+              "sampler tags must not overlap op tags");
 
 /// Communication cost of one instruction under this engine's schedule:
 /// bytes each participating rank exchanges with its partner. Used by the
@@ -61,6 +81,26 @@ class DistStateVector {
   std::vector<amp_t>& local_amps() { return amps_; }
   const sim::EngineStats& stats() const { return stats_; }
 
+  /// Worker pool for local sweeps and exchange update loops (not owned;
+  /// nullptr = scalar loops). Every rank needs its own pool.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Splits slab exchanges into chunks of this many amplitudes so the 2x2
+  /// update of chunk k overlaps delivery of chunk k+1. 0 = one-shot.
+  void set_exchange_chunk_elems(std::uint64_t elems) {
+    exchange_chunk_elems_ = elems;
+  }
+  std::uint64_t exchange_chunk_elems() const { return exchange_chunk_elems_; }
+
+  /// Physical index-bit position currently holding logical qubit q.
+  /// Identity until apply_circuit_remapped installs a plan's final map.
+  unsigned physical_qubit(unsigned q) const {
+    QGEAR_EXPECTS(q < num_qubits_);
+    return l2p_.empty() ? q : l2p_[q];
+  }
+  /// Final logical→physical map; empty means identity.
+  const std::vector<unsigned>& qubit_map() const { return l2p_; }
+
   /// Value of this rank's global bit for global qubit q (q >= local_qubits).
   unsigned global_bit(unsigned q) const {
     QGEAR_EXPECTS(q >= local_qubits_ && q < num_qubits_);
@@ -94,6 +134,17 @@ class DistStateVector {
                            unsigned fusion_width,
                            std::vector<unsigned>* measured = nullptr);
 
+  /// Executes a communication-avoiding RemapPlan (see dist/remap.hpp):
+  /// slab swaps re-base the layout between segments, each segment's
+  /// physical-qubit instructions run under the fusion planner, and logical
+  /// swap gates have already been absorbed into the plan's qubit map. The
+  /// plan's final logical→physical map is installed so gather() and
+  /// physical_qubit() resolve logical indices afterwards. The plan must
+  /// come from plan_remap on every rank (it is deterministic), so tag
+  /// allocation stays uniform.
+  void apply_circuit_remapped(const RemapPlan& plan, unsigned fusion_width,
+                              std::vector<unsigned>* measured = nullptr);
+
   /// Sum of local |amp|^2.
   double local_norm() const {
     double total = 0;
@@ -104,33 +155,47 @@ class DistStateVector {
   /// Global norm (collective: every rank must call).
   double norm() { return comm_->allreduce_sum(local_norm()); }
 
-  /// Gathers the full state at `root` (collective). Other ranks get {}.
+  /// Gathers the full state at `root` (collective), in *logical* qubit
+  /// order: when a remapped run left a non-identity qubit map, the root
+  /// permutes the physical-layout state through it. Other ranks get {}.
   std::vector<amp_t> gather(int root = 0) {
     const int tag = next_tag();
-    if (rank_ == root) {
-      std::vector<amp_t> full(pow2(num_qubits_));
-      std::copy(amps_.begin(), amps_.end(),
-                full.begin() + static_cast<std::ptrdiff_t>(
-                                   amps_.size() * static_cast<std::uint64_t>(
-                                                      rank_)));
-      for (int src = 0; src < comm_->size(); ++src) {
-        if (src == root) continue;
-        const std::vector<amp_t> slab = comm_->template recv_vec<amp_t>(src, tag);
-        QGEAR_CHECK_FORMAT(slab.size() == amps_.size(),
-                           "dist: gathered slab size mismatch");
-        std::copy(slab.begin(), slab.end(),
-                  full.begin() + static_cast<std::ptrdiff_t>(
-                                     amps_.size() *
-                                     static_cast<std::uint64_t>(src)));
-      }
-      return full;
+    if (rank_ != root) {
+      comm_->template send_vec<amp_t>(root, tag, amps_);
+      return {};
     }
-    comm_->template send_vec<amp_t>(root, tag, amps_);
-    return {};
+    std::vector<amp_t> full(pow2(num_qubits_));
+    std::copy(amps_.begin(), amps_.end(),
+              full.begin() + static_cast<std::ptrdiff_t>(
+                                 amps_.size() * static_cast<std::uint64_t>(
+                                                    rank_)));
+    for (int src = 0; src < comm_->size(); ++src) {
+      if (src == root) continue;
+      const std::vector<amp_t> slab = comm_->template recv_vec<amp_t>(src, tag);
+      QGEAR_CHECK_FORMAT(slab.size() == amps_.size(),
+                         "dist: gathered slab size mismatch");
+      std::copy(slab.begin(), slab.end(),
+                full.begin() + static_cast<std::ptrdiff_t>(
+                                   amps_.size() *
+                                   static_cast<std::uint64_t>(src)));
+    }
+    if (l2p_.empty()) return full;
+    std::vector<amp_t> logical(full.size());
+    for (std::uint64_t p = 0; p < full.size(); ++p) {
+      std::uint64_t l = 0;
+      for (unsigned q = 0; q < num_qubits_; ++q) {
+        l |= ((p >> l2p_[q]) & 1u) << q;
+      }
+      logical[l] = full[p];
+    }
+    return logical;
   }
 
  private:
-  int next_tag() { return static_cast<int>(op_seq_++ & 0x3FFFFFFF); }
+  int next_tag() {
+    return static_cast<int>(op_seq_++ %
+                            static_cast<std::uint64_t>(kOpTagLimit));
+  }
 
   // The dispatch body of apply(); `tag` must have been allocated
   // uniformly across ranks.
@@ -140,9 +205,19 @@ class DistStateVector {
   void apply_local(const qiskit::Instruction& inst,
                    std::vector<unsigned>* measured) {
     const unsigned sweeps = sim::apply_instruction(
-        amps_.data(), local_qubits_, inst, nullptr, measured);
+        amps_.data(), local_qubits_, inst, pool_, measured);
     stats_.sweeps += sweeps;
     stats_.amp_ops += sweeps * amps_.size();
+  }
+
+  // Runs fn(begin, end) over [0, count), on the pool when one is set.
+  void sweep(std::uint64_t count,
+             const std::function<void(std::uint64_t, std::uint64_t)>& fn) {
+    if (pool_ != nullptr) {
+      pool_->parallel_for(0, count, fn);
+    } else {
+      fn(0, count);
+    }
   }
 
   bool is_local(unsigned q) const { return q < local_qubits_; }
@@ -158,6 +233,12 @@ class DistStateVector {
                                                const qiskit::Mat2& gate,
                                                int tag);
 
+  // Slab swap: exchanges index bit `lq` (local) with `gq` (global). Every
+  // rank trades the half-slab whose bit `lq` differs from its own global
+  // bit with the partner across `gq` — half the bytes of a full-slab
+  // exchange, after which gates on the swapped-in qubit are local.
+  void exchange_swap_local_global(unsigned lq, unsigned gq, int tag);
+
   unsigned num_qubits_;
   unsigned local_qubits_ = 0;
   unsigned global_qubits_ = 0;
@@ -165,6 +246,9 @@ class DistStateVector {
   int rank_;
   std::vector<amp_t> amps_;
   std::uint64_t op_seq_ = 0;
+  std::uint64_t exchange_chunk_elems_ = 0;
+  ThreadPool* pool_ = nullptr;
+  std::vector<unsigned> l2p_;  // empty = identity
   sim::EngineStats stats_;
 };
 
@@ -177,20 +261,28 @@ void DistStateVector<T>::exchange_apply_1q(unsigned q,
   const unsigned gbit = q - local_qubits_;
   const int partner = rank_ ^ (1 << gbit);
   const unsigned my_bit = global_bit(q);
-  const std::vector<amp_t> theirs =
-      comm_->template sendrecv_vec<amp_t>(partner, tag, amps_);
-  QGEAR_CHECK_FORMAT(theirs.size() == amps_.size(),
-                     "dist: exchanged slab size mismatch");
   const auto m = sim::to_precision<T>(gate);
-  if (my_bit == 0) {
-    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-      amps_[i] = m[0] * amps_[i] + m[1] * theirs[i];
-    }
-  } else {
-    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-      amps_[i] = m[2] * theirs[i] + m[3] * amps_[i];
-    }
-  }
+  comm_->template sendrecv_chunked<amp_t>(
+      partner, tag, std::span<const amp_t>(amps_), exchange_chunk_elems_,
+      [&](std::uint64_t off, std::span<const amp_t> theirs) {
+        obs::Span chunk(obs::Tracer::global(), "dist.exchange_chunk",
+                        "dist");
+        if (chunk.active()) {
+          chunk.arg("offset", off);
+          chunk.arg("amps", std::uint64_t{theirs.size()});
+        }
+        sweep(theirs.size(), [&](std::uint64_t b, std::uint64_t e) {
+          if (my_bit == 0) {
+            for (std::uint64_t k = b; k < e; ++k) {
+              amps_[off + k] = m[0] * amps_[off + k] + m[1] * theirs[k];
+            }
+          } else {
+            for (std::uint64_t k = b; k < e; ++k) {
+              amps_[off + k] = m[2] * theirs[k] + m[3] * amps_[off + k];
+            }
+          }
+        });
+      });
   ++stats_.sweeps;
   stats_.amp_ops += amps_.size();
 }
@@ -206,21 +298,70 @@ void DistStateVector<T>::exchange_apply_controlled_local_control(
   // Gather the control=1 half (local indices with the control bit set).
   const std::uint64_t half = amps_.size() / 2;
   std::vector<amp_t> mine(half);
-  for (std::uint64_t k = 0; k < half; ++k) {
-    mine[k] = amps_[insert_zero_bit(k, control) | cstride];
-  }
-  const std::vector<amp_t> theirs =
-      comm_->template sendrecv_vec<amp_t>(partner, tag, mine);
-  QGEAR_CHECK_FORMAT(theirs.size() == half,
-                     "dist: exchanged half-slab size mismatch");
+  sweep(half, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t k = b; k < e; ++k) {
+      mine[k] = amps_[insert_zero_bit(k, control) | cstride];
+    }
+  });
   const auto m = sim::to_precision<T>(gate);
-  for (std::uint64_t k = 0; k < half; ++k) {
-    const std::uint64_t i = insert_zero_bit(k, control) | cstride;
-    amps_[i] = my_bit == 0 ? m[0] * mine[k] + m[1] * theirs[k]
-                           : m[2] * theirs[k] + m[3] * mine[k];
-  }
+  comm_->template sendrecv_chunked<amp_t>(
+      partner, tag, std::span<const amp_t>(mine), exchange_chunk_elems_,
+      [&](std::uint64_t off, std::span<const amp_t> theirs) {
+        obs::Span chunk(obs::Tracer::global(), "dist.exchange_chunk",
+                        "dist");
+        if (chunk.active()) {
+          chunk.arg("offset", off);
+          chunk.arg("amps", std::uint64_t{theirs.size()});
+        }
+        sweep(theirs.size(), [&](std::uint64_t b, std::uint64_t e) {
+          for (std::uint64_t k = b; k < e; ++k) {
+            const std::uint64_t i =
+                insert_zero_bit(off + k, control) | cstride;
+            amps_[i] = my_bit == 0
+                           ? m[0] * mine[off + k] + m[1] * theirs[k]
+                           : m[2] * theirs[k] + m[3] * mine[off + k];
+          }
+        });
+      });
   ++stats_.sweeps;
-  stats_.amp_ops += amps_.size();
+  stats_.amp_ops += half;
+}
+
+template <typename T>
+void DistStateVector<T>::exchange_swap_local_global(unsigned lq, unsigned gq,
+                                                    int tag) {
+  QGEAR_EXPECTS(lq < local_qubits_ && gq >= local_qubits_ &&
+                gq < num_qubits_);
+  const unsigned gbit = gq - local_qubits_;
+  const int partner = rank_ ^ (1 << gbit);
+  // The half that moves is where local bit lq differs from this rank's
+  // global bit: rank ...g... keeps amplitudes whose swapped-in bit already
+  // equals g and trades the rest with the partner.
+  const std::uint64_t sel = global_bit(gq) == 0 ? pow2(lq) : 0;
+  const std::uint64_t half = amps_.size() / 2;
+  std::vector<amp_t> mine(half);
+  sweep(half, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t k = b; k < e; ++k) {
+      mine[k] = amps_[insert_zero_bit(k, lq) | sel];
+    }
+  });
+  comm_->template sendrecv_chunked<amp_t>(
+      partner, tag, std::span<const amp_t>(mine), exchange_chunk_elems_,
+      [&](std::uint64_t off, std::span<const amp_t> theirs) {
+        obs::Span chunk(obs::Tracer::global(), "dist.exchange_chunk",
+                        "dist");
+        if (chunk.active()) {
+          chunk.arg("offset", off);
+          chunk.arg("amps", std::uint64_t{theirs.size()});
+        }
+        sweep(theirs.size(), [&](std::uint64_t b, std::uint64_t e) {
+          for (std::uint64_t k = b; k < e; ++k) {
+            amps_[insert_zero_bit(off + k, lq) | sel] = theirs[k];
+          }
+        });
+      });
+  ++stats_.sweeps;
+  stats_.amp_ops += half;
 }
 
 template <typename T>
@@ -263,7 +404,9 @@ void DistStateVector<T>::apply_with_tag(const qiskit::Instruction& inst,
       }
       const qiskit::Mat2 g = qiskit::gate_matrix_1q(inst.kind, inst.param);
       const std::complex<T> factor(global_bit(q) ? g[3] : g[0]);
-      for (amp_t& a : amps_) a *= factor;
+      sweep(amps_.size(), [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i) amps_[i] *= factor;
+      });
       ++stats_.sweeps;
       stats_.amp_ops += amps_.size();
       return;
@@ -286,9 +429,11 @@ void DistStateVector<T>::apply_with_tag(const qiskit::Instruction& inst,
       std::uint64_t mask = 0;
       if (is_local(c)) mask |= pow2(c);
       if (is_local(t)) mask |= pow2(t);
-      for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-        if ((i & mask) == mask) amps_[i] *= phase;
-      }
+      sweep(amps_.size(), [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i) {
+          if ((i & mask) == mask) amps_[i] *= phase;
+        }
+      });
       ++stats_.sweeps;
       stats_.amp_ops += amps_.size();
       return;
@@ -364,7 +509,7 @@ void DistStateVector<T>::apply_circuit_fused(
     const sim::FusionPlan plan =
         sim::plan_fusion(segment, {.max_width = width});
     for (const sim::FusedBlock& block : plan.blocks) {
-      sim::apply_fused_block(amps_.data(), local_qubits_, block);
+      sim::apply_fused_block(amps_.data(), local_qubits_, block, pool_);
       switch (block.kernel_class) {
         case sim::KernelClass::diagonal:
           ++stats_.diag_blocks;
@@ -401,6 +546,80 @@ void DistStateVector<T>::apply_circuit_fused(
     apply_with_tag(inst, tag, measured);
   }
   flush();
+  stats_.seconds += timer.seconds();
+}
+
+template <typename T>
+void DistStateVector<T>::apply_circuit_remapped(
+    const RemapPlan& plan, unsigned fusion_width,
+    std::vector<unsigned>* measured) {
+  QGEAR_CHECK_ARG(plan.num_qubits == num_qubits_,
+                  "dist: plan qubit count mismatch");
+  QGEAR_CHECK_ARG(plan.num_local == local_qubits_,
+                  "dist: plan local qubit count mismatch");
+  QGEAR_CHECK_ARG(fusion_width >= 1, "dist: fusion width must be >= 1");
+  obs::Span span(obs::Tracer::global(), "dist.apply_circuit_remapped",
+                 "dist");
+  if (span.active()) {
+    span.arg("rank", std::uint64_t{unsigned(rank_)});
+    span.arg("slab_swaps", plan.slab_swaps);
+  }
+  WallTimer timer;
+  const unsigned width = std::min(fusion_width, local_qubits_);
+
+  qiskit::QuantumCircuit segment(local_qubits_, "local_segment");
+  auto flush = [&] {
+    if (segment.empty()) return;
+    const sim::FusionPlan fplan =
+        sim::plan_fusion(segment, {.max_width = width});
+    for (const sim::FusedBlock& block : fplan.blocks) {
+      sim::apply_fused_block(amps_.data(), local_qubits_, block, pool_);
+      switch (block.kernel_class) {
+        case sim::KernelClass::diagonal:
+          ++stats_.diag_blocks;
+          break;
+        case sim::KernelClass::permutation:
+          ++stats_.perm_blocks;
+          break;
+        case sim::KernelClass::dense:
+          ++stats_.dense_blocks;
+          break;
+      }
+      ++stats_.sweeps;
+      ++stats_.fused_blocks;
+      stats_.amp_ops += amps_.size();
+    }
+    stats_.gates += fplan.input_gates;
+    segment = qiskit::QuantumCircuit(local_qubits_, "local_segment");
+  };
+
+  for (const RemapSegment& seg : plan.segments) {
+    // A slab swap re-bases the physical layout, so every gate gathered
+    // under the previous layout must land first.
+    if (!seg.swaps.empty()) flush();
+    for (const SlabSwap& sw : seg.swaps) {
+      const int tag = next_tag();
+      exchange_swap_local_global(sw.local_phys, sw.global_phys, tag);
+    }
+    for (const qiskit::Instruction& inst : seg.insts) {
+      // Tags stay uniform across ranks: one per instruction, always.
+      const int tag = next_tag();
+      const qiskit::GateInfo& info = qiskit::gate_info(inst.kind);
+      const bool local_unitary =
+          info.unitary && info.num_qubits >= 1 &&
+          static_cast<unsigned>(inst.q0) < local_qubits_ &&
+          (info.num_qubits < 2 ||
+           static_cast<unsigned>(inst.q1) < local_qubits_);
+      if (local_unitary) {
+        segment.append(inst);
+        continue;
+      }
+      flush();
+      apply_with_tag(inst, tag, measured);
+    }
+  }
+  flush();
+  l2p_ = plan.logical_to_physical;
   stats_.seconds += timer.seconds();
 }
 

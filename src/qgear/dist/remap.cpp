@@ -1,0 +1,231 @@
+#include "qgear/dist/remap.hpp"
+
+#include <algorithm>
+
+#include "qgear/common/bits.hpp"
+#include "qgear/dist/dist_state.hpp"
+
+namespace qgear::dist {
+
+namespace {
+
+using qiskit::GateKind;
+using qiskit::Instruction;
+
+bool is_diagonal_1q(GateKind k) {
+  switch (k) {
+    case GateKind::z:
+    case GateKind::s:
+    case GateKind::sdg:
+    case GateKind::t:
+    case GateKind::tdg:
+    case GateKind::rz:
+    case GateKind::p:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Does a physical-qubit instruction trigger a pairwise exchange under the
+// baseline schedule? Mirrors exchange_bytes_for's case analysis.
+bool triggers_exchange(const Instruction& inst, unsigned num_local) {
+  switch (inst.kind) {
+    case GateKind::barrier:
+    case GateKind::measure:
+    case GateKind::cz:
+    case GateKind::cp:
+      return false;
+    case GateKind::cx:
+      return static_cast<unsigned>(inst.q1) >= num_local;
+    case GateKind::swap:
+      return static_cast<unsigned>(inst.q0) >= num_local ||
+             static_cast<unsigned>(inst.q1) >= num_local;
+    default:
+      return !is_diagonal_1q(inst.kind) &&
+             static_cast<unsigned>(inst.q0) >= num_local;
+  }
+}
+
+// Exchange cost, in half-slab units per rank, that a *logical* instruction
+// would pay if logical qubit `q` sat on a global slot: 2 for a full-slab
+// 1q exchange, 1 for the half-slab cx path. Swap gates are elided by the
+// planner and weigh nothing.
+int exchange_weight(const Instruction& inst, unsigned q) {
+  switch (inst.kind) {
+    case GateKind::cx:
+      return static_cast<unsigned>(inst.q1) == q ? 1 : 0;
+    case GateKind::barrier:
+    case GateKind::measure:
+    case GateKind::cz:
+    case GateKind::cp:
+    case GateKind::swap:
+      return 0;
+    default:
+      return !is_diagonal_1q(inst.kind) &&
+                     static_cast<unsigned>(inst.q0) == q
+                 ? 2
+                 : 0;
+  }
+}
+
+// Total bytes across all ranks for one baseline per-gate exchange:
+// per-rank bytes times the number of participating ranks (all ranks for
+// 1q exchanges and local-control cx; the control=1 half of the ranks for
+// global-control cx). swap decomposes into three cx like the engine.
+std::uint64_t baseline_bytes_total(const Instruction& inst,
+                                   unsigned num_qubits, unsigned num_local,
+                                   std::size_t amp_bytes,
+                                   std::uint64_t ranks) {
+  if (inst.kind == GateKind::swap) {
+    std::uint64_t total = 0;
+    total += baseline_bytes_total({GateKind::cx, inst.q0, inst.q1, 0.0},
+                                  num_qubits, num_local, amp_bytes, ranks);
+    total += baseline_bytes_total({GateKind::cx, inst.q1, inst.q0, 0.0},
+                                  num_qubits, num_local, amp_bytes, ranks);
+    total += baseline_bytes_total({GateKind::cx, inst.q0, inst.q1, 0.0},
+                                  num_qubits, num_local, amp_bytes, ranks);
+    return total;
+  }
+  const std::uint64_t per_rank =
+      exchange_bytes_for(inst, num_qubits, num_local, amp_bytes);
+  if (per_rank == 0) return 0;
+  std::uint64_t participants = ranks;
+  if (inst.kind == GateKind::cx &&
+      static_cast<unsigned>(inst.q0) >= num_local &&
+      static_cast<unsigned>(inst.q1) >= num_local) {
+    participants = ranks / 2;
+  }
+  return per_rank * participants;
+}
+
+}  // namespace
+
+RemapPlan plan_remap(const qiskit::QuantumCircuit& qc, unsigned num_local,
+                     RemapOptions opts) {
+  const unsigned n = qc.num_qubits();
+  QGEAR_CHECK_ARG(num_local >= 1 && num_local <= n,
+                  "remap: local qubit count out of range");
+  RemapPlan plan;
+  plan.num_qubits = n;
+  plan.num_local = num_local;
+
+  std::vector<unsigned> l2p(n), p2l(n);
+  for (unsigned q = 0; q < n; ++q) l2p[q] = p2l[q] = q;
+
+  const auto& ops = qc.instructions();
+  RemapSegment cur;
+  auto flush_segment = [&] {
+    if (cur.swaps.empty() && cur.insts.empty()) return;
+    plan.segments.push_back(std::move(cur));
+    cur = RemapSegment{};
+  };
+
+  // Rewrites a logical instruction into physical qubit ids. Measures keep
+  // their logical qubit: the engine reports logical measure targets and
+  // sampling resolves them through the final map.
+  auto rewrite = [&](Instruction inst) {
+    if (inst.kind == GateKind::measure || inst.kind == GateKind::barrier) {
+      return inst;
+    }
+    inst.q0 = static_cast<int>(l2p[static_cast<unsigned>(inst.q0)]);
+    if (inst.q1 >= 0) {
+      inst.q1 = static_cast<int>(l2p[static_cast<unsigned>(inst.q1)]);
+    }
+    return inst;
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == GateKind::swap && opts.elide_swaps) {
+      const unsigned a = static_cast<unsigned>(ops[i].q0);
+      const unsigned b = static_cast<unsigned>(ops[i].q1);
+      std::swap(p2l[l2p[a]], p2l[l2p[b]]);
+      std::swap(l2p[a], l2p[b]);
+      ++plan.elided_swap_gates;
+      continue;
+    }
+
+    Instruction inst = rewrite(ops[i]);
+    if (num_local < n && triggers_exchange(inst, num_local)) {
+      // The qubit whose global position forces the exchange: the gate
+      // target for cx, the operand itself for 1q unitaries.
+      const unsigned offender_phys = static_cast<unsigned>(
+          inst.kind == GateKind::cx ? inst.q1 : inst.q0);
+      const unsigned offender = p2l[offender_phys];
+
+      // Benefit of making the offender local, in half-slab units per
+      // rank, over the lookahead window (a slab swap costs 1 unit).
+      const std::size_t window =
+          std::min(ops.size(), i + std::size_t{opts.lookahead});
+      int saved = 0;
+      for (std::size_t j = i; j < window; ++j) {
+        saved += exchange_weight(ops[j], offender);
+      }
+
+      if (saved > 1) {
+        // Victim: the local slot whose logical qubit goes longest without
+        // needing locality itself; ties resolve to the lowest slot.
+        std::size_t best_need = 0;
+        unsigned victim = 0;
+        for (unsigned slot = 0; slot < num_local; ++slot) {
+          const unsigned lq = p2l[slot];
+          std::size_t need = window;
+          for (std::size_t j = i + 1; j < window; ++j) {
+            if (exchange_weight(ops[j], lq) > 0) {
+              need = j;
+              break;
+            }
+          }
+          if (need > best_need) {
+            best_need = need;
+            victim = slot;
+          }
+        }
+        // A slab swap re-bases the layout: pending instructions must run
+        // on the old layout first, so it opens a new segment.
+        if (!cur.insts.empty()) flush_segment();
+        cur.swaps.push_back({victim, offender_phys});
+        ++plan.slab_swaps;
+        std::swap(p2l[victim], p2l[offender_phys]);
+        l2p[p2l[victim]] = victim;
+        l2p[p2l[offender_phys]] = offender_phys;
+        inst = rewrite(ops[i]);
+      }
+    }
+    cur.insts.push_back(inst);
+  }
+  flush_segment();
+  plan.logical_to_physical = std::move(l2p);
+  return plan;
+}
+
+std::uint64_t plan_exchange_bytes_total(const RemapPlan& plan,
+                                        std::size_t amp_bytes) {
+  const std::uint64_t ranks = pow2(plan.num_qubits - plan.num_local);
+  const std::uint64_t half_slab = pow2(plan.num_local) * amp_bytes / 2;
+  std::uint64_t total = 0;
+  for (const RemapSegment& seg : plan.segments) {
+    total += static_cast<std::uint64_t>(seg.swaps.size()) * ranks * half_slab;
+    for (const qiskit::Instruction& inst : seg.insts) {
+      total += baseline_bytes_total(inst, plan.num_qubits, plan.num_local,
+                                    amp_bytes, ranks);
+    }
+  }
+  return total;
+}
+
+std::uint64_t schedule_exchange_bytes_total(const qiskit::QuantumCircuit& qc,
+                                            unsigned num_local,
+                                            std::size_t amp_bytes) {
+  const unsigned n = qc.num_qubits();
+  QGEAR_CHECK_ARG(num_local >= 1 && num_local <= n,
+                  "remap: local qubit count out of range");
+  const std::uint64_t ranks = pow2(n - num_local);
+  std::uint64_t total = 0;
+  for (const qiskit::Instruction& inst : qc.instructions()) {
+    total += baseline_bytes_total(inst, n, num_local, amp_bytes, ranks);
+  }
+  return total;
+}
+
+}  // namespace qgear::dist

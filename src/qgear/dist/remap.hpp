@@ -1,0 +1,89 @@
+// Communication-avoiding global↔local qubit remapping for the distributed
+// engine — the cuQuantum index-bit-swap analogue.
+//
+// The baseline schedule pays one pairwise slab exchange per non-diagonal
+// gate on a global qubit (full slab for 1q unitaries, half for cx with a
+// local control). A slab *swap* — exchanging index bit l (local) with
+// index bit g (global) — costs only half a slab, after which every gate
+// on the swapped-in qubit runs communication-free. The planner scans the
+// instruction stream with a lookahead window, swaps a global qubit into a
+// local slot whenever the upcoming exchange bytes it would trigger exceed
+// the swap cost, and rewrites the stream into physical-qubit segments a
+// rank can execute under the local fusion planner. Logical swap gates are
+// elided entirely: a swap is just a relabeling of the live
+// logical→physical map, costing zero communication and zero sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qgear/qiskit/circuit.hpp"
+
+namespace qgear::dist {
+
+struct RemapOptions {
+  /// Instructions scanned ahead of an exchange-triggering gate when
+  /// weighing a swap against the residual per-gate schedule.
+  unsigned lookahead = 96;
+  /// Absorb logical swap gates into the qubit map (zero cost) instead of
+  /// executing them.
+  bool elide_swaps = true;
+};
+
+/// One slab shuffle: exchange index bit `local_phys` with `global_phys`.
+/// Every rank gathers the half-slab whose bit `local_phys` differs from
+/// its own global bit and trades it with the partner rank across global
+/// bit `global_phys` — half-slab bytes per rank.
+struct SlabSwap {
+  unsigned local_phys = 0;
+  unsigned global_phys = 0;
+
+  bool operator==(const SlabSwap&) const = default;
+};
+
+/// A run of physical-qubit instructions preceded by the slab swaps that
+/// establish its layout. Measure instructions keep their *logical* qubit
+/// (sampling resolves them through the final map); everything else is
+/// rewritten to physical ids.
+struct RemapSegment {
+  std::vector<SlabSwap> swaps;
+  std::vector<qiskit::Instruction> insts;
+};
+
+struct RemapPlan {
+  unsigned num_qubits = 0;
+  unsigned num_local = 0;
+  std::vector<RemapSegment> segments;
+  /// Final logical→physical map after all swaps and elisions.
+  std::vector<unsigned> logical_to_physical;
+  std::uint64_t slab_swaps = 0;        ///< paid slab shuffles
+  std::uint64_t elided_swap_gates = 0; ///< swap gates absorbed into the map
+
+  bool identity_map() const {
+    for (unsigned q = 0; q < logical_to_physical.size(); ++q) {
+      if (logical_to_physical[q] != q) return false;
+    }
+    return true;
+  }
+};
+
+/// Plans a communication-avoiding schedule for `qc` over a slab layout
+/// with `num_local` local qubits (1 <= num_local <= qc.num_qubits()).
+/// The plan is deterministic: every rank computes the same plan from the
+/// same circuit, so tag allocation stays uniform.
+RemapPlan plan_remap(const qiskit::QuantumCircuit& qc, unsigned num_local,
+                     RemapOptions opts = {});
+
+/// Total bytes every rank together would exchange executing `plan`
+/// (slab swaps plus residual per-gate exchanges) — comparable to
+/// CommTrace::total_bytes of a remapped run without sampling/gather.
+std::uint64_t plan_exchange_bytes_total(const RemapPlan& plan,
+                                        std::size_t amp_bytes);
+
+/// Same total for the baseline per-gate schedule of `qc` (what
+/// apply_circuit / apply_circuit_fused record in the CommTrace).
+std::uint64_t schedule_exchange_bytes_total(const qiskit::QuantumCircuit& qc,
+                                            unsigned num_local,
+                                            std::size_t amp_bytes);
+
+}  // namespace qgear::dist

@@ -6,9 +6,11 @@
 
 #include <mutex>
 #include <numeric>
+#include <optional>
 
 #include "qgear/comm/comm.hpp"
 #include "qgear/dist/dist_state.hpp"
+#include "qgear/dist/remap.hpp"
 #include "qgear/obs/metrics.hpp"
 #include "qgear/obs/trace.hpp"
 #include "qgear/sim/sampler.hpp"
@@ -22,6 +24,16 @@ struct RunOptions {
   std::uint64_t seed = 12345;   ///< sampling seed
   /// Fuse local-qubit gate runs into blocked sweeps (0 = per-gate).
   unsigned fusion_width = 0;
+  /// Execute the communication-avoiding remapped schedule (dist/remap):
+  /// global qubits are swapped into local slots ahead of gate runs and
+  /// logical swap gates dissolve into the qubit map. Implies fused local
+  /// segments (fusion_width 0 runs width-1 blocks).
+  bool remap = false;
+  /// Worker threads per rank for local sweeps and exchange updates
+  /// (0 = scalar loops). Total threads = num_ranks * threads_per_rank.
+  unsigned threads_per_rank = 0;
+  /// Chunk size in bytes for pipelined slab exchanges (0 = one-shot).
+  std::uint64_t exchange_chunk_bytes = 1 << 20;
 };
 
 template <typename T>
@@ -37,12 +49,19 @@ struct RunResult {
   /// Per-rank engine statistics (index = rank).
   std::vector<sim::EngineStats> rank_stats;
   double norm = 0.0;
+  /// Bytes the circuit itself exchanged (trace snapshot before sampling
+  /// and gather traffic).
+  std::uint64_t circuit_exchange_bytes = 0;
+  /// Slab swaps the remap plan paid / swap gates it absorbed (remap only).
+  std::uint64_t remap_slab_swaps = 0;
+  std::uint64_t remap_elided_swaps = 0;
 };
 
 /// Distributed multinomial sampling: rank weights are the local norm of
 /// each slab; the root partitions the shot budget across ranks by their
 /// weight, each rank samples its local alias table, and results merge at
-/// the root keyed by the *global* basis index bits of the measured qubits.
+/// the root keyed by the *logical* basis index bits of the measured
+/// qubits (resolved through the state's qubit map after remapped runs).
 template <typename T>
 sim::Counts sample_distributed(DistStateVector<T>& state,
                                comm::Communicator& comm,
@@ -67,9 +86,11 @@ sim::Counts sample_distributed(DistStateVector<T>& state,
     span.arg("rank", std::uint64_t{unsigned(comm.rank())});
     span.arg("shots", shots);
   }
-  constexpr int kWeightTag = 1 << 29;
-  constexpr int kBudgetTag = kWeightTag + 1;
-  constexpr int kCountsTag = kWeightTag + 2;
+  // Reserved collective tags, disjoint from the op tag space by
+  // construction (kSamplerTagBase >= kOpTagLimit).
+  constexpr int kWeightTag = kSamplerTagBase;
+  constexpr int kBudgetTag = kSamplerTagBase + 1;
+  constexpr int kCountsTag = kSamplerTagBase + 2;
 
   const int rank = comm.rank();
   const int size = comm.size();
@@ -99,7 +120,8 @@ sim::Counts sample_distributed(DistStateVector<T>& state,
   }
 
   // Sample locally; keys are packed from the *full* index (local bits plus
-  // this rank's global bits).
+  // this rank's global bits), reading each measured logical qubit at its
+  // current physical position.
   const std::uint64_t my_shots = budget[rank];
   sim::Counts local_counts;
   if (my_shots > 0) {
@@ -111,11 +133,15 @@ sim::Counts sample_distributed(DistStateVector<T>& state,
     Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (rank + 1)));
     const std::uint64_t rank_bits = static_cast<std::uint64_t>(rank)
                                     << state.local_qubits();
+    std::vector<unsigned> positions(measured.size());
+    for (std::size_t j = 0; j < measured.size(); ++j) {
+      positions[j] = state.physical_qubit(measured[j]);
+    }
     for (std::uint64_t s = 0; s < my_shots; ++s) {
       const std::uint64_t full = rank_bits | sampler.sample(rng);
       std::uint64_t key = 0;
-      for (std::size_t j = 0; j < measured.size(); ++j) {
-        key |= ((full >> measured[j]) & 1u) << j;
+      for (std::size_t j = 0; j < positions.size(); ++j) {
+        key |= ((full >> positions[j]) & 1u) << j;
       }
       ++local_counts[key];
     }
@@ -154,23 +180,47 @@ RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
     run_span.arg("ranks", std::uint64_t{unsigned(opts.num_ranks)});
     run_span.arg("qubits", std::uint64_t{qc.num_qubits()});
   }
+  const unsigned num_local =
+      qc.num_qubits() -
+      log2_exact(static_cast<std::uint64_t>(opts.num_ranks));
+
+  // Planned once, outside the SPMD region: the plan is deterministic, so
+  // sharing one instance keeps every rank's tag sequence identical.
+  std::optional<RemapPlan> plan;
+  if (opts.remap) plan.emplace(plan_remap(qc, num_local));
+
   comm::World world(opts.num_ranks);
   RunResult<T> result;
   result.rank_stats.resize(opts.num_ranks);
   std::mutex result_mutex;
+  std::uint64_t circuit_bytes = 0;
 
   world.run([&](comm::Communicator& c) {
     obs::Span rank_span(obs::Tracer::global(), "dist.rank", "dist");
     if (rank_span.active()) {
       rank_span.arg("rank", std::uint64_t{unsigned(c.rank())});
     }
+    std::optional<ThreadPool> pool;
+    if (opts.threads_per_rank > 0) pool.emplace(opts.threads_per_rank);
     DistStateVector<T> state(qc.num_qubits(), c);
+    state.set_pool(pool ? &*pool : nullptr);
+    state.set_exchange_chunk_elems(opts.exchange_chunk_bytes /
+                                   sizeof(std::complex<T>));
     std::vector<unsigned> measured;
-    if (opts.fusion_width > 0) {
+    if (plan) {
+      state.apply_circuit_remapped(*plan, std::max(opts.fusion_width, 1u),
+                                   &measured);
+    } else if (opts.fusion_width > 0) {
       state.apply_circuit_fused(qc, opts.fusion_width, &measured);
     } else {
       state.apply_circuit(qc, &measured);
     }
+    // Snapshot the circuit's exchange bytes before sampling/gather add
+    // their own traffic. Between the two barriers no rank can be sending,
+    // so the trace is quiescent while rank 0 reads it.
+    c.barrier();
+    if (c.rank() == 0) circuit_bytes = world.trace().total_bytes;
+    c.barrier();
     if (measured.empty() && opts.shots > 0) {
       // Implicit full measurement, matching the single-device engines.
       measured.resize(qc.num_qubits());
@@ -195,11 +245,24 @@ RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
     }
   });
   result.trace = world.trace();
+  result.circuit_exchange_bytes = circuit_bytes;
+  if (plan) {
+    result.remap_slab_swaps = plan->slab_swaps;
+    result.remap_elided_swaps = plan->elided_swap_gates;
+  }
 
   auto& reg = obs::Registry::global();
   reg.counter("dist.runs").add();
   reg.counter("dist.exchange_bytes").add(result.trace.total_bytes);
   reg.counter("dist.messages").add(result.trace.entries.size());
+  if (plan) {
+    reg.counter("dist.remap_swaps").add(plan->slab_swaps);
+    const std::uint64_t baseline = schedule_exchange_bytes_total(
+        qc, num_local, sizeof(std::complex<T>));
+    if (baseline > circuit_bytes) {
+      reg.counter("dist.exchange_bytes_saved").add(baseline - circuit_bytes);
+    }
+  }
   sim::EngineStats merged;
   for (const auto& s : result.rank_stats) merged += s;
   reg.counter("dist.sweeps").add(merged.sweeps);

@@ -6,6 +6,7 @@
 #include "qgear/common/strings.hpp"
 #include "qgear/common/timer.hpp"
 #include "qgear/dist/dist_state.hpp"
+#include "qgear/dist/remap.hpp"
 #include "qgear/sim/fused.hpp"
 
 namespace qgear::perfmodel {
@@ -127,10 +128,80 @@ Estimate estimate_gpu(const qiskit::QuantumCircuit& qc,
     return e;
   }
 
-  // Sweep count from the real fusion planner (cheap: walks the gate list).
-  const sim::FusionPlan plan =
-      sim::plan_fusion(qc, {.max_width = config.fusion_width});
-  e.sweeps = plan.blocks.size();
+  if (config.remap && r > 0) {
+    // Walk the communication-avoiding plan the real engine executes:
+    // half-slab index-bit swaps replace per-gate exchanges, local runs
+    // fuse segment-wise, and elided swap gates cost nothing.
+    const dist::RemapPlan rplan = dist::plan_remap(qc, num_local);
+    const std::uint64_t half_slab = local_bytes / 2;
+    qiskit::QuantumCircuit run(num_local, "model_segment");
+    auto flush_run = [&] {
+      if (run.empty()) return;
+      const sim::FusionPlan fp = sim::plan_fusion(
+          run, {.max_width = std::min(config.fusion_width, num_local)});
+      e.sweeps += fp.blocks.size();
+      run = qiskit::QuantumCircuit(num_local, "model_segment");
+    };
+    for (const dist::RemapSegment& seg : rplan.segments) {
+      if (!seg.swaps.empty()) flush_run();
+      for (const dist::SlabSwap& sw : seg.swaps) {
+        const unsigned gbit = sw.global_phys - num_local;
+        // Gather + scatter touch the slab once each: one sweep.
+        ++e.sweeps;
+        e.comm_bytes_per_device += half_slab;
+        e.comm_s += exchange_time(half_slab, gbit, config.devices / 2,
+                                  config.net);
+      }
+      for (const qiskit::Instruction& inst : seg.insts) {
+        if (inst.kind == qiskit::GateKind::barrier ||
+            inst.kind == qiskit::GateKind::measure) {
+          continue;
+        }
+        const qiskit::GateInfo& info = qiskit::gate_info(inst.kind);
+        const bool local_unitary =
+            info.unitary && static_cast<unsigned>(inst.q0) < num_local &&
+            (info.num_qubits < 2 ||
+             static_cast<unsigned>(inst.q1) < num_local);
+        if (local_unitary) {
+          run.append(inst);
+          continue;
+        }
+        flush_run();
+        ++e.sweeps;  // diagonal factor sweep or exchange update
+        const std::uint64_t bytes =
+            dist::exchange_bytes_for(inst, n, num_local, amp_b);
+        if (bytes == 0) continue;
+        const int gbit = exchange_gbit(inst, num_local);
+        QGEAR_ENSURES(gbit >= 0);
+        e.comm_bytes_per_device += bytes;
+        e.comm_s += exchange_time(bytes, static_cast<unsigned>(gbit),
+                                  config.devices / 2, config.net);
+      }
+    }
+    flush_run();
+  } else {
+    // Sweep count from the real fusion planner (cheap: walks the gate
+    // list).
+    const sim::FusionPlan plan =
+        sim::plan_fusion(qc, {.max_width = config.fusion_width});
+    e.sweeps = plan.blocks.size();
+
+    // Communication: walk the exact per-gate schedule.
+    if (r > 0) {
+      for (const qiskit::Instruction& inst : qc.instructions()) {
+        const std::uint64_t bytes =
+            dist::exchange_bytes_for(inst, n, num_local, amp_b);
+        if (bytes == 0) continue;
+        const int gbit = exchange_gbit(inst, num_local);
+        QGEAR_ENSURES(gbit >= 0);
+        e.comm_bytes_per_device += bytes;
+        // All pairs exchange concurrently; wall time is one pair's time
+        // plus any shared-spine serialization.
+        e.comm_s += exchange_time(bytes, static_cast<unsigned>(gbit),
+                                  config.devices / 2, config.net);
+      }
+    }
+  }
 
   const double sweep_bytes =
       kSweepBytesPerStateByte * static_cast<double>(local_bytes);
@@ -138,22 +209,6 @@ Estimate estimate_gpu(const qiskit::QuantumCircuit& qc,
       config.gpu.mem_bandwidth_bps * config.gpu.efficiency;
   e.compute_s = static_cast<double>(e.sweeps) * sweep_bytes / sustained;
   e.launch_s = static_cast<double>(e.sweeps) * config.gpu.kernel_launch_s;
-
-  // Communication: walk the exact per-gate schedule.
-  if (r > 0) {
-    for (const qiskit::Instruction& inst : qc.instructions()) {
-      const std::uint64_t bytes =
-          dist::exchange_bytes_for(inst, n, num_local, amp_b);
-      if (bytes == 0) continue;
-      const int gbit = exchange_gbit(inst, num_local);
-      QGEAR_ENSURES(gbit >= 0);
-      e.comm_bytes_per_device += bytes;
-      // All pairs exchange concurrently; wall time is one pair's time
-      // plus any shared-spine serialization.
-      e.comm_s += exchange_time(bytes, static_cast<unsigned>(gbit),
-                                config.devices / 2, config.net);
-    }
-  }
 
   if (shots > 0) {
     // Device-side cumulative-search sampling: per-shot cost scales with

@@ -27,6 +27,10 @@ struct ClusterConfig {
   core::Precision precision = core::Precision::fp32;
   unsigned fusion_width = 5;
   bool include_container_start = true;
+  /// Price the communication-avoiding remapped schedule (dist/remap):
+  /// slab swaps at half-slab cost instead of per-gate exchanges, sweeps
+  /// from segment-wise fusion plus one per swap/residual exchange.
+  bool remap = false;
 };
 
 /// CPU-node baseline configuration.

@@ -177,5 +177,69 @@ TEST(Comm, BytesSentAccounting) {
   });
 }
 
+TEST(Comm, TryRecvNonBlocking) {
+  World w(2);
+  w.run([](Communicator& c) {
+    std::vector<std::uint8_t> out;
+    if (c.rank() == 1) {
+      // Nothing sent yet: must return false without blocking.
+      EXPECT_FALSE(c.try_recv(0, 7, out));
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      const std::vector<std::uint8_t> payload = {9, 8, 7};
+      c.send(1, 7, payload);
+    }
+    c.barrier();
+    if (c.rank() == 1) {
+      EXPECT_FALSE(c.try_recv(0, 99, out));  // wrong tag stays queued
+      EXPECT_TRUE(c.try_recv(0, 7, out));
+      EXPECT_EQ(out, (std::vector<std::uint8_t>{9, 8, 7}));
+      EXPECT_FALSE(c.try_recv(0, 7, out));  // consumed
+    }
+  });
+}
+
+TEST(Comm, ChunkedExchangeReassembles) {
+  World w(2);
+  w.run([](Communicator& c) {
+    std::vector<std::int32_t> mine(10);
+    for (int i = 0; i < 10; ++i) mine[i] = c.rank() * 100 + i;
+    std::vector<std::int32_t> got(10, -1);
+    std::vector<std::uint64_t> offsets;
+    c.sendrecv_chunked<std::int32_t>(
+        1 - c.rank(), 3, mine, /*chunk_elems=*/3,
+        [&](std::uint64_t off, std::span<const std::int32_t> chunk) {
+          offsets.push_back(off);
+          std::copy(chunk.begin(), chunk.end(),
+                    got.begin() + static_cast<std::ptrdiff_t>(off));
+        });
+    EXPECT_EQ(offsets, (std::vector<std::uint64_t>{0, 3, 6, 9}));
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(got[i], (1 - c.rank()) * 100 + i);
+    }
+  });
+}
+
+TEST(Comm, ChunkedExchangeDegeneratesToOneShot) {
+  World w(2);
+  w.run([](Communicator& c) {
+    const std::vector<double> mine = {1.0 + c.rank(), 2.0 + c.rank()};
+    for (std::uint64_t chunk : {std::uint64_t{0}, std::uint64_t{16}}) {
+      int calls = 0;
+      c.sendrecv_chunked<double>(
+          1 - c.rank(), 4, mine, chunk,
+          [&](std::uint64_t off, std::span<const double> theirs) {
+            ++calls;
+            EXPECT_EQ(off, 0u);
+            ASSERT_EQ(theirs.size(), 2u);
+            EXPECT_DOUBLE_EQ(theirs[0], 2.0 - c.rank());
+            EXPECT_DOUBLE_EQ(theirs[1], 3.0 - c.rank());
+          });
+      EXPECT_EQ(calls, 1);
+    }
+  });
+}
+
 }  // namespace
 }  // namespace qgear::comm

@@ -84,6 +84,38 @@ TEST(DistState, SwapAcrossBoundary) {
   EXPECT_LT(max_diff_vs_reference(qc, res.state), 1e-12);
 }
 
+TEST(DistState, TwoQubitGatesAcrossBoundaryAtEveryRankCount) {
+  // swap/cz/cp/cx with operands straddling the local/global boundary, in
+  // both orientations, checked at every feasible rank count.
+  for (int ranks : {2, 4, 8, 16}) {
+    const unsigned n = 6;
+    const unsigned num_local = n - log2_exact(std::uint64_t(ranks));
+    const int lo = static_cast<int>(num_local) - 1;  // highest local qubit
+    const int hi = static_cast<int>(num_local);      // lowest global qubit
+    qiskit::QuantumCircuit qc(n);
+    for (unsigned q = 0; q < n; ++q) qc.ry(0.3 * (q + 1), q);
+    qc.swap(lo, hi).cz(lo, hi).cp(0.4, hi, lo);
+    qc.cx(lo, hi).cx(hi, lo);
+    qc.swap(0, static_cast<int>(n) - 1).cx(static_cast<int>(n) - 1, 0);
+    qc.cp(0.9, 0, static_cast<int>(n) - 1);
+    const auto res = run_distributed<double>(
+        qc, {.num_ranks = ranks, .gather_state = true});
+    EXPECT_LT(max_diff_vs_reference(qc, res.state), 1e-12)
+        << "ranks=" << ranks;
+    EXPECT_NEAR(res.norm, 1.0, 1e-10);
+  }
+}
+
+TEST(DistState, HalfSlabExchangeAmpOpsCount) {
+  // The local-control/global-target cx updates only the control=1 half of
+  // the slab; amp_ops must reflect that, not the full slab.
+  qiskit::QuantumCircuit qc(4);
+  qc.h(0).cx(0, 3);  // local control 0, global target 3 at 2+ ranks
+  const auto res = run_distributed<double>(qc, {.num_ranks = 2});
+  // h: one full-slab sweep (8 amps); cx: half-slab update (4 amps).
+  EXPECT_EQ(res.rank_stats[0].amp_ops, 8u + 4u);
+}
+
 TEST(DistState, Fp32Works) {
   const auto qc = sim_test::random_circuit(6, 100, 33);
   const auto res =

@@ -241,6 +241,34 @@ TEST(PerfModel, EnergyTradeoffQuantified) {
   EXPECT_GT(e256.energy_joules, 0.0);
 }
 
+TEST(PerfModel, RemapScheduleCutsCommCost) {
+  // The remapped schedule must price at less communication than the
+  // per-gate schedule on a comm-heavy circuit, and identically on a
+  // single device (no exchanges either way).
+  const auto qft = circuits::build_qft(30, {.do_swaps = true});
+  ClusterConfig per_gate;
+  per_gate.gpu = a100_80gb();
+  per_gate.devices = 16;
+  per_gate.include_container_start = false;
+  ClusterConfig remapped = per_gate;
+  remapped.remap = true;
+  const Estimate base = estimate_gpu(qft, per_gate);
+  const Estimate avoid = estimate_gpu(qft, remapped);
+  ASSERT_TRUE(base.feasible);
+  ASSERT_TRUE(avoid.feasible);
+  EXPECT_GE(base.comm_bytes_per_device, 2 * avoid.comm_bytes_per_device);
+  EXPECT_LT(avoid.comm_s, base.comm_s);
+  EXPECT_GT(avoid.sweeps, 0u);
+
+  ClusterConfig single;
+  single.include_container_start = false;
+  ClusterConfig single_remap = single;
+  single_remap.remap = true;
+  const auto qc = blocks(30, 50);
+  EXPECT_DOUBLE_EQ(estimate_gpu(qc, single).comm_s,
+                   estimate_gpu(qc, single_remap).comm_s);
+}
+
 TEST(PerfModel, LocalCalibrationProducesSaneBandwidth) {
   const double bw = measure_local_sweep_bandwidth(14, 20);
   EXPECT_GT(bw, 1e8);    // > 100 MB/s — anything slower means a bug
