@@ -8,6 +8,8 @@
 #include "qgear/circuits/qft.hpp"
 #include "qgear/circuits/random_blocks.hpp"
 #include "qgear/common/timer.hpp"
+#include "qgear/obs/perfcount.hpp"
+#include "qgear/perfmodel/model.hpp"
 #include "qgear/qiskit/transpile.hpp"
 #include "qgear/sim/fused.hpp"
 #include "qgear/sim/isa.hpp"
@@ -138,6 +140,54 @@ void report_angle_threshold() {
       "with fidelity staying near 1 until ~pi/8.\n");
 }
 
+/// Hardware-counter cross-check of the bandwidth-bound model: a fused
+/// sweep should move ~kSweepBytesPerStateByte bytes per state byte
+/// (read + write every amplitude), so the measured last-level traffic
+/// (cache misses x 64B lines) per sweep should land near the model's
+/// prediction. Wide dense blocks add matrix FLOPs, which shows up as
+/// rising IPC, not rising traffic.
+void report_perf_counters() {
+  bench::subheading("hardware-counter cross-check vs perfmodel (fp32)");
+  const bool was_enabled = obs::PerfCounters::enabled();
+  obs::PerfCounters::set_enabled(true);
+  if (!obs::PerfCounters::supported()) {
+    obs::PerfCounters::set_enabled(was_enabled);
+    std::printf(
+        "hardware counters unavailable (perf_event_open denied or no PMU "
+        "in this container) — skipping; run with CAP_PERFMON or "
+        "kernel.perf_event_paranoid <= 2 to enable.\n");
+    return;
+  }
+  const auto qc = workload("random");
+  bench::Table table({"width", "IPC", "miss rate", "measured traffic",
+                      "modeled traffic", "ratio"});
+  for (unsigned w : {1u, 5u}) {
+    sim::FusedEngine<float> engine({.fusion = {.max_width = w}});
+    sim::StateVector<float> state(qc.num_qubits());
+    engine.apply(qc, state);
+    const sim::EngineStats& stats = engine.stats();
+    const double state_bytes =
+        static_cast<double>(state.size()) * sizeof(std::complex<float>);
+    const double modeled = static_cast<double>(stats.sweeps) * state_bytes *
+                           perfmodel::kSweepBytesPerStateByte;
+    if (!stats.perf.valid) continue;
+    const double measured =
+        static_cast<double>(stats.perf.cache_misses) * 64.0;
+    table.row({std::to_string(w), strfmt("%.2f", stats.perf.ipc()),
+               strfmt("%.1f%%", stats.perf.cache_miss_rate() * 100),
+               human_bytes(static_cast<std::uint64_t>(measured)),
+               human_bytes(static_cast<std::uint64_t>(modeled)),
+               strfmt("%.2f", measured / modeled)});
+  }
+  table.print();
+  std::printf(
+      "expected shape: traffic ratio stays O(1) across widths while the "
+      "working set exceeds LLC (the sweep is bandwidth-bound, as the model "
+      "assumes); well below 1 means the 16-qubit state fits in cache and "
+      "the model's DRAM-traffic term is an upper bound here.\n");
+  obs::PerfCounters::set_enabled(was_enabled);
+}
+
 void bm_fusion_width(benchmark::State& state) {
   const auto qc = workload("random");
   sim::FusedEngine<float> engine(
@@ -158,6 +208,7 @@ int main(int argc, char** argv) {
   report_fusion_sweep();
   report_isa_sweep();
   report_angle_threshold();
+  report_perf_counters();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   bench::write_report("ablation_fusion");

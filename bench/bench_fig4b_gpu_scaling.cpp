@@ -18,6 +18,7 @@
 #include "qgear/circuits/random_blocks.hpp"
 #include "qgear/core/transformer.hpp"
 #include "qgear/dist/runner.hpp"
+#include "qgear/obs/context.hpp"
 #include "qgear/perfmodel/model.hpp"
 
 using namespace qgear;
@@ -40,6 +41,8 @@ struct DistRun {
   std::uint64_t exchange_bytes = 0;
   std::uint64_t slab_swaps = 0;
   std::uint64_t exchange_bytes_saved = 0;
+  std::uint64_t trace_id = 0;  ///< correlates the run with its trace spans
+  std::vector<dist::RankObsSummary> per_rank;
 };
 
 std::vector<DistRun>& dist_runs() {
@@ -88,7 +91,8 @@ void report_remap_ablation() {
                    std::to_string(res.remap_slab_swaps),
                    human_bytes(saved)});
         dist_runs().push_back({name, ranks, remap, wall, bytes,
-                               res.remap_slab_swaps, saved});
+                               res.remap_slab_swaps, saved, res.trace_id,
+                               res.rank_obs});
       }
     }
   }
@@ -149,6 +153,16 @@ void write_dist_report() {
     entry.set("slab_swaps", static_cast<double>(run.slab_swaps));
     entry.set("exchange_bytes_saved",
               static_cast<double>(run.exchange_bytes_saved));
+    entry.set("trace_id", obs::trace_id_hex(run.trace_id));
+    obs::JsonValue per_rank{obs::JsonValue::Array{}};
+    for (const dist::RankObsSummary& r : run.per_rank) {
+      obs::JsonValue rank_entry{obs::JsonValue::Object{}};
+      rank_entry.set("exchange_bytes", static_cast<double>(r.exchange_bytes));
+      rank_entry.set("spans", static_cast<double>(r.spans));
+      rank_entry.set("span_seconds", r.span_seconds);
+      per_rank.push_back(std::move(rank_entry));
+    }
+    entry.set("per_rank", std::move(per_rank));
     runs.push_back(std::move(entry));
   }
   root.set("runs", std::move(runs));

@@ -17,8 +17,10 @@
 
 #include "qgear/common/strings.hpp"
 #include "qgear/common/timer.hpp"
+#include "qgear/obs/exporter.hpp"
 #include "qgear/obs/json.hpp"
 #include "qgear/obs/metrics.hpp"
+#include "qgear/obs/perfcount.hpp"
 #include "qgear/obs/trace.hpp"
 
 namespace qgear::bench {
@@ -136,12 +138,36 @@ class StageTimer {
   WallTimer timer_;
 };
 
-/// Call first in main(): turns on span recording when QGEAR_BENCH_TRACE
-/// names an output file.
+/// Periodic file-snapshot writer for batch benches (no scrape endpoint):
+/// started by init_observability() when QGEAR_SNAPSHOT_PREFIX is set.
+inline obs::SnapshotWriter& snapshot_writer() {
+  static obs::SnapshotWriter& writer = *new obs::SnapshotWriter();
+  return writer;
+}
+
+/// Call first in main():
+///   QGEAR_BENCH_TRACE=<file>       turns on span recording
+///   QGEAR_PERF=1                   turns on hardware-counter sampling
+///   QGEAR_SNAPSHOT_PREFIX=<prefix> periodic metric/trace file snapshots
+///   QGEAR_SNAPSHOT_PERIOD_S=<s>    snapshot cadence (default 10)
 inline void init_observability() {
   const char* trace = std::getenv("QGEAR_BENCH_TRACE");
   if (trace != nullptr && *trace != '\0') {
     obs::Tracer::global().set_enabled(true);
+  }
+  const char* perf = std::getenv("QGEAR_PERF");
+  if (perf != nullptr && *perf != '\0' && std::string(perf) != "0") {
+    obs::PerfCounters::set_enabled(true);
+  }
+  const char* prefix = std::getenv("QGEAR_SNAPSHOT_PREFIX");
+  if (prefix != nullptr && *prefix != '\0') {
+    obs::SnapshotWriter::Options wopts;
+    wopts.prefix = prefix;
+    const char* period = std::getenv("QGEAR_SNAPSHOT_PERIOD_S");
+    if (period != nullptr && *period != '\0') {
+      wopts.period_s = std::atof(period);
+    }
+    snapshot_writer().start(wopts);
   }
 }
 
@@ -149,6 +175,7 @@ inline void init_observability() {
 /// clocks + the full metrics registry) to QGEAR_BENCH_REPORT, and the
 /// Chrome trace to QGEAR_BENCH_TRACE. No-ops when the env vars are unset.
 inline void write_report(const std::string& bench_name) {
+  snapshot_writer().stop();
   const char* trace = std::getenv("QGEAR_BENCH_TRACE");
   if (trace != nullptr && *trace != '\0') {
     obs::Tracer& tracer = obs::Tracer::global();
@@ -165,6 +192,15 @@ inline void write_report(const std::string& bench_name) {
   root.set("stages", StageLog::global().to_json());
   root.set("metrics",
            obs::JsonValue::parse(obs::Registry::global().snapshot().to_json()));
+  if (obs::PerfCounters::enabled()) {
+    // Whether the kernel actually granted counters (perf.regions > 0 in
+    // metrics when it did); lets report consumers distinguish "perf off"
+    // from "perf requested but unavailable in this container".
+    obs::JsonValue perf{obs::JsonValue::Object{}};
+    perf.set("requested", true);
+    perf.set("available", obs::PerfCounters::supported());
+    root.set("perf", std::move(perf));
+  }
   obs::write_text_file(path, root.dump());
   std::printf("wrote report %s\n", path);
 }

@@ -11,6 +11,7 @@
 #include "qgear/comm/comm.hpp"
 #include "qgear/dist/dist_state.hpp"
 #include "qgear/dist/remap.hpp"
+#include "qgear/obs/context.hpp"
 #include "qgear/obs/metrics.hpp"
 #include "qgear/obs/trace.hpp"
 #include "qgear/sim/sampler.hpp"
@@ -34,6 +35,20 @@ struct RunOptions {
   unsigned threads_per_rank = 0;
   /// Chunk size in bytes for pipelined slab exchanges (0 = one-shot).
   std::uint64_t exchange_chunk_bytes = 1 << 20;
+  /// Trace correlation id for the whole run. 0 = adopt the caller's
+  /// ambient obs::TraceContext, or start a fresh trace. Every rank's spans
+  /// are tagged with this id plus the rank, so a single request exports as
+  /// one merged timeline with one lane per rank.
+  std::uint64_t trace_id = 0;
+};
+
+/// Per-rank observability summary of one distributed run (meaningful when
+/// tracing was enabled; zeros otherwise except exchange_bytes, which comes
+/// from the exact comm trace and is always populated).
+struct RankObsSummary {
+  std::uint64_t exchange_bytes = 0;  ///< bytes this rank *sent*
+  std::uint64_t spans = 0;           ///< spans recorded under this rank
+  double span_seconds = 0.0;         ///< summed span durations (nested incl.)
 };
 
 template <typename T>
@@ -48,6 +63,11 @@ struct RunResult {
   comm::CommTrace trace;
   /// Per-rank engine statistics (index = rank).
   std::vector<sim::EngineStats> rank_stats;
+  /// Per-rank exchange bytes and span accounting (index = rank).
+  std::vector<RankObsSummary> rank_obs;
+  /// Trace id every span of this run carries (export one merged timeline
+  /// with Tracer::write_trace_json(path, trace_id)).
+  std::uint64_t trace_id = 0;
   double norm = 0.0;
   /// Bytes the circuit itself exchanged (trace snapshot before sampling
   /// and gather traffic).
@@ -175,6 +195,19 @@ RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
                              const RunOptions& opts) {
   QGEAR_CHECK_ARG(opts.num_ranks >= 1 && is_pow2(opts.num_ranks),
                   "dist: num_ranks must be a power of two");
+  // Resolve the run's trace context: explicit id > ambient > fresh. The
+  // driver span stays on the host lane (rank -1); each SPMD thread below
+  // re-scopes the same trace_id with its own rank.
+  obs::TraceContext run_ctx;
+  if (opts.trace_id != 0) {
+    run_ctx.trace_id = opts.trace_id;
+  } else if (obs::TraceContext::current().valid()) {
+    run_ctx = obs::TraceContext::current();
+    run_ctx.rank = -1;
+  } else {
+    run_ctx = obs::TraceContext::generate();
+  }
+  obs::ContextScope run_scope(run_ctx);
   obs::Span run_span(obs::Tracer::global(), "dist.run", "dist");
   if (run_span.active()) {
     run_span.arg("ranks", std::uint64_t{unsigned(opts.num_ranks)});
@@ -196,6 +229,9 @@ RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
   std::uint64_t circuit_bytes = 0;
 
   world.run([&](comm::Communicator& c) {
+    obs::TraceContext rank_ctx = run_ctx;
+    rank_ctx.rank = c.rank();
+    obs::ContextScope rank_scope(rank_ctx);
     obs::Span rank_span(obs::Tracer::global(), "dist.rank", "dist");
     if (rank_span.active()) {
       rank_span.arg("rank", std::uint64_t{unsigned(c.rank())});
@@ -246,9 +282,29 @@ RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
   });
   result.trace = world.trace();
   result.circuit_exchange_bytes = circuit_bytes;
+  result.trace_id = run_ctx.trace_id;
   if (plan) {
     result.remap_slab_swaps = plan->slab_swaps;
     result.remap_elided_swaps = plan->elided_swap_gates;
+  }
+
+  // Per-rank observability rollup: exchange bytes come from the exact comm
+  // trace (sender-attributed); span accounting folds the ring buffer's
+  // records for this run's trace_id. Sampling/gather traffic is included
+  // in exchange_bytes — this summarizes the whole request.
+  result.rank_obs.resize(opts.num_ranks);
+  for (const comm::TraceEntry& e : result.trace.entries) {
+    if (e.src >= 0 && e.src < opts.num_ranks) {
+      result.rank_obs[e.src].exchange_bytes += e.bytes;
+    }
+  }
+  if (obs::Tracer::global().enabled()) {
+    for (const obs::SpanRecord& rec : obs::Tracer::global().snapshot()) {
+      if (rec.trace_id != run_ctx.trace_id) continue;
+      if (rec.rank < 0 || rec.rank >= opts.num_ranks) continue;
+      ++result.rank_obs[rec.rank].spans;
+      result.rank_obs[rec.rank].span_seconds += rec.dur_us * 1e-6;
+    }
   }
 
   auto& reg = obs::Registry::global();

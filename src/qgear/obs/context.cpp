@@ -1,0 +1,69 @@
+#include "qgear/obs/context.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace qgear::obs {
+
+namespace {
+
+thread_local TraceContext t_context;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TraceContext TraceContext::generate() {
+  // Process-unique: a monotone counter mixed with the clock so ids from
+  // different processes (e.g. two serve instances feeding one Prometheus)
+  // almost surely differ. Never returns 0.
+  static std::atomic<std::uint64_t> next{1};
+  const std::uint64_t salt = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  TraceContext ctx;
+  do {
+    ctx.trace_id = splitmix64(salt ^ (next.fetch_add(1) << 32));
+  } while (ctx.trace_id == 0);
+  return ctx;
+}
+
+const TraceContext& TraceContext::current() { return t_context; }
+
+std::string trace_id_hex(std::uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
+std::uint64_t parse_trace_id(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16) return 0;
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return 0;
+    }
+  }
+  return value;
+}
+
+ContextScope::ContextScope(const TraceContext& ctx) : prev_(t_context) {
+  t_context = ctx;
+}
+
+ContextScope::~ContextScope() { t_context = prev_; }
+
+}  // namespace qgear::obs

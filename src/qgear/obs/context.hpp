@@ -1,0 +1,59 @@
+// Request-scoped trace context: a 64-bit trace id (plus the rank a span
+// was recorded on) carried in a thread-local and stamped onto every Span
+// recorded while a ContextScope is live.
+//
+// The context is what turns the flat span ring into *per-request* traces:
+// serve assigns a trace id at admission and installs it on the worker
+// thread that executes the job; the distributed runner installs the same
+// trace id (with the rank filled in) on every rank thread, so one
+// request's spans — scheduler admit, cache, engine sweeps, per-rank
+// exchanges — share a trace id and can be exported as a single
+// Chrome/Perfetto trace (Tracer::to_trace_json(trace_id)).
+//
+// Cost discipline: the thread-local is only read when a span is actually
+// recorded (tracing enabled), so instrumentation with tracing disabled is
+// unchanged — one relaxed atomic load per span.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qgear::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;      ///< 0 = no request context
+  std::uint64_t parent_span = 0;   ///< seq of the logical parent span (0 = root)
+  std::int32_t rank = -1;          ///< distributed rank, -1 = not in a rank
+
+  bool valid() const { return trace_id != 0; }
+
+  /// New context with a fresh process-unique, time-salted trace id.
+  static TraceContext generate();
+
+  /// The calling thread's current context (zero context when none is
+  /// installed).
+  static const TraceContext& current();
+};
+
+/// Fixed-width lowercase hex of a trace id ("0000c0ffee15g00d" style),
+/// the form used in span args, report files and /trace?trace_id= queries.
+std::string trace_id_hex(std::uint64_t trace_id);
+
+/// Parses trace_id_hex output (or any hex string); returns 0 on garbage.
+std::uint64_t parse_trace_id(const std::string& hex);
+
+/// RAII: installs `ctx` as the calling thread's current context and
+/// restores the previous one on destruction. Nestable.
+class ContextScope {
+ public:
+  explicit ContextScope(const TraceContext& ctx);
+  ~ContextScope();
+
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace qgear::obs

@@ -1,0 +1,264 @@
+#include "qgear/obs/exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "qgear/common/error.hpp"
+#include "qgear/obs/context.hpp"
+#include "qgear/obs/json.hpp"
+
+namespace qgear::obs {
+
+namespace {
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out = "qgear_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = sanitize_metric_name(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = sanitize_metric_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + format_double(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = sanitize_metric_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.hist.buckets.size(); ++i) {
+      cumulative += h.hist.buckets[i];
+      const std::string le = i < h.hist.bounds.size()
+                                 ? format_double(h.hist.bounds[i])
+                                 : "+Inf";
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + format_double(h.hist.sum) + "\n";
+    out += name + "_count " + std::to_string(h.hist.count) + "\n";
+  }
+  return out;
+}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::start(const Options& opts) {
+  QGEAR_CHECK_ARG(!running(), "obs: exporter already running");
+  registry_ = opts.registry != nullptr ? opts.registry : &Registry::global();
+  tracer_ = opts.tracer != nullptr ? opts.tracer : &Tracer::global();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error(std::string("obs: socket() failed: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+  if (::inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw InvalidArgument("obs: bad exporter host " + opts.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("obs: cannot listen on " + opts.host + ":" +
+                std::to_string(opts.port) + ": " + why);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpExporter::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+HttpExporter::Response HttpExporter::handle(const std::string& target) const {
+  std::string path = target;
+  std::string query;
+  const std::size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    path = target.substr(0, qmark);
+    query = target.substr(qmark + 1);
+  }
+  if (path == "/metrics") {
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            to_prometheus_text(registry_->snapshot())};
+  }
+  if (path == "/snapshot") {
+    return {200, "application/json", registry_->snapshot().to_json()};
+  }
+  if (path == "/trace") {
+    std::uint64_t trace_id = 0;
+    const std::string key = "trace_id=";
+    const std::size_t pos = query.find(key);
+    if (pos != std::string::npos) {
+      std::string value = query.substr(pos + key.size());
+      const std::size_t amp = value.find('&');
+      if (amp != std::string::npos) value = value.substr(0, amp);
+      trace_id = parse_trace_id(value);
+      if (trace_id == 0) {
+        return {400, "text/plain", "bad trace_id\n"};
+      }
+    }
+    return {200, "application/json", tracer_->to_trace_json(trace_id)};
+  }
+  if (path == "/healthz" || path == "/") {
+    return {200, "text/plain", "ok\n"};
+  }
+  return {404, "text/plain", "not found\n"};
+}
+
+void HttpExporter::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    // One short request per connection; 4 KiB covers any GET we answer.
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+    if (n <= 0) {
+      ::close(fd);
+      continue;
+    }
+    buf[n] = '\0';
+    std::string method;
+    std::string target;
+    {
+      const std::string request(buf);
+      const std::size_t sp1 = request.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : request.find(' ', sp1 + 1);
+      if (sp2 != std::string::npos) {
+        method = request.substr(0, sp1);
+        target = request.substr(sp1 + 1, sp2 - sp1 - 1);
+      }
+    }
+    Response resp;
+    if (method != "GET") {
+      resp = {405, "text/plain", "method not allowed\n"};
+    } else {
+      resp = handle(target);
+    }
+    const char* reason = resp.status == 200   ? "OK"
+                         : resp.status == 400 ? "Bad Request"
+                         : resp.status == 405 ? "Method Not Allowed"
+                                              : "Not Found";
+    std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                       reason + "\r\nContent-Type: " + resp.content_type +
+                       "\r\nContent-Length: " +
+                       std::to_string(resp.body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    head += resp.body;
+    std::size_t sent = 0;
+    while (sent < head.size()) {
+      const ssize_t w = ::send(fd, head.data() + sent, head.size() - sent,
+                               MSG_NOSIGNAL);
+      if (w <= 0) break;
+      sent += static_cast<std::size_t>(w);
+    }
+    ::close(fd);
+  }
+}
+
+SnapshotWriter::~SnapshotWriter() { stop(); }
+
+void SnapshotWriter::start(const Options& opts) {
+  QGEAR_CHECK_ARG(!opts.prefix.empty(), "obs: snapshot prefix required");
+  QGEAR_CHECK_ARG(opts.period_s > 0, "obs: snapshot period must be > 0");
+  QGEAR_CHECK_ARG(!started_, "obs: snapshot writer already started");
+  opts_ = opts;
+  if (opts_.registry == nullptr) opts_.registry = &Registry::global();
+  if (opts_.tracer == nullptr) opts_.tracer = &Tracer::global();
+  started_ = true;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] {
+    // Sleep in short slices so stop() returns promptly.
+    const auto slice = std::chrono::milliseconds(20);
+    auto next = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(opts_.period_s));
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(slice);
+      if (std::chrono::steady_clock::now() < next) continue;
+      write_now();
+      next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opts_.period_s));
+    }
+  });
+}
+
+void SnapshotWriter::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  write_now();  // final snapshot: the exit dump, same path as the periodic
+  started_ = false;
+}
+
+void SnapshotWriter::write_now() const {
+  if (opts_.registry == nullptr) return;
+  const RegistrySnapshot snap = opts_.registry->snapshot();
+  const auto replace = [](const std::string& path,
+                          const std::string& content) {
+    const std::string tmp = path + ".tmp";
+    write_text_file(tmp, content);
+    std::rename(tmp.c_str(), path.c_str());
+  };
+  replace(opts_.prefix + ".metrics.json", snap.to_json());
+  replace(opts_.prefix + ".prom", to_prometheus_text(snap));
+  if (opts_.tracer->enabled() || opts_.tracer->recorded() > 0) {
+    replace(opts_.prefix + ".trace.json", opts_.tracer->to_trace_json());
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace qgear::obs

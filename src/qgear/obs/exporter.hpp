@@ -1,0 +1,123 @@
+// Live export of the observability plane: a Prometheus text formatter, a
+// tiny dependency-free HTTP exporter serving the *live* registry/tracer,
+// and a periodic file-snapshot writer for batch runs without a scrape
+// endpoint.
+//
+// The HTTP exporter answers:
+//   GET /metrics               Prometheus text exposition (0.0.4)
+//   GET /snapshot              registry snapshot as JSON
+//   GET /trace                 full Chrome Trace Event JSON
+//   GET /trace?trace_id=<hex>  one request's merged trace (context.hpp)
+//   GET /healthz               "ok"
+//
+// Every response is computed from the live Registry/Tracer at request
+// time — this is what lets you watch a 1M-job replay *while it runs*
+// instead of reading exit dumps afterwards. The server is deliberately
+// minimal: blocking accept loop on one background thread, one request per
+// connection, loopback-oriented. It is an operational introspection port,
+// not an internet-facing service.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "qgear/obs/metrics.hpp"
+#include "qgear/obs/trace.hpp"
+
+namespace qgear::obs {
+
+/// Renders a snapshot in Prometheus text exposition format. Metric names
+/// are sanitized (`serve.e2e_us` -> `qgear_serve_e2e_us`); histograms
+/// become the conventional `_bucket{le=...}` / `_sum` / `_count` series
+/// with cumulative bucket counts.
+std::string to_prometheus_text(const RegistrySnapshot& snapshot);
+
+class HttpExporter {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< 0 = kernel-assigned ephemeral port (see port())
+    Registry* registry = nullptr;  ///< nullptr = Registry::global()
+    Tracer* tracer = nullptr;      ///< nullptr = Tracer::global()
+  };
+
+  HttpExporter() = default;
+  ~HttpExporter();  // stop()
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds, listens and starts the serving thread. Throws qgear::Error
+  /// when the socket cannot be bound.
+  void start(const Options& opts);
+  void start() { start(Options{}); }
+
+  /// Stops the serving thread and closes the socket. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves port 0 to the kernel's choice).
+  int port() const { return port_; }
+
+  /// Request router, exposed for tests: maps a target like
+  /// "/trace?trace_id=abc" to (status, content_type, body).
+  struct Response {
+    int status = 200;
+    std::string content_type;
+    std::string body;
+  };
+  Response handle(const std::string& target) const;
+
+ private:
+  void serve_loop();
+
+  Registry* registry_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Periodic file-snapshot fallback: every `period_s`, writes
+/// `<prefix>.metrics.json`, `<prefix>.prom` and (when the tracer is
+/// enabled) `<prefix>.trace.json`, atomically replacing the previous
+/// snapshot (write-to-temp + rename). stop() writes one final snapshot.
+class SnapshotWriter {
+ public:
+  struct Options {
+    std::string prefix;      ///< output path prefix (required)
+    double period_s = 10.0;  ///< snapshot cadence
+    Registry* registry = nullptr;  ///< nullptr = Registry::global()
+    Tracer* tracer = nullptr;      ///< nullptr = Tracer::global()
+  };
+
+  SnapshotWriter() = default;
+  ~SnapshotWriter();  // stop()
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  void start(const Options& opts);
+  /// Stops the timer thread and writes a final snapshot. Idempotent.
+  void stop();
+
+  /// Writes one snapshot immediately (also safe while running).
+  void write_now() const;
+
+  std::uint64_t snapshots_written() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Options opts_;
+  std::atomic<bool> stop_{false};
+  mutable std::atomic<std::uint64_t> writes_{0};
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace qgear::obs

@@ -1,0 +1,167 @@
+#include "qgear/obs/perfcount.hpp"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "qgear/obs/metrics.hpp"
+
+namespace qgear::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+#if defined(__linux__)
+
+long perf_open(perf_event_attr* attr, int group_fd) {
+  return syscall(SYS_perf_event_open, attr, /*pid=*/0, /*cpu=*/-1, group_fd,
+                 /*flags=*/0);
+}
+
+int open_counter(std::uint32_t type, std::uint64_t config, int group_fd,
+                 std::uint64_t* id) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // leader starts the group
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+  const long fd = perf_open(&attr, group_fd);
+  if (fd < 0) return -1;
+  if (ioctl(static_cast<int>(fd), PERF_EVENT_IOC_ID, id) != 0) *id = 0;
+  return static_cast<int>(fd);
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+PerfCounters::~PerfCounters() {
+#if defined(__linux__)
+  for (int& fd : fds_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+#endif
+  group_fd_ = -1;
+}
+
+bool PerfCounters::open() {
+  if (opened_) return available();
+  opened_ = true;
+#if defined(__linux__)
+  static constexpr std::uint64_t kConfigs[4] = {
+      PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES};
+  for (int i = 0; i < 4; ++i) {
+    fds_[i] = open_counter(PERF_TYPE_HARDWARE, kConfigs[i],
+                           i == 0 ? -1 : fds_[0], &ids_[i]);
+    if (fds_[i] < 0) {
+      // All-or-nothing: mixed availability would skew ratios (IPC, miss
+      // rate), so a partial group is torn down and reported unavailable.
+      for (int& fd : fds_) {
+        if (fd >= 0) close(fd);
+        fd = -1;
+      }
+      return false;
+    }
+  }
+  group_fd_ = fds_[0];
+  return true;
+#else
+  return false;
+#endif
+}
+
+void PerfCounters::start() {
+#if defined(__linux__)
+  if (group_fd_ < 0) return;
+  ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+#endif
+}
+
+PerfSample PerfCounters::stop() {
+  PerfSample sample;
+#if defined(__linux__)
+  if (group_fd_ < 0) return sample;
+  ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  // PERF_FORMAT_GROUP | PERF_FORMAT_ID layout:
+  //   u64 nr; { u64 value; u64 id; } values[nr];
+  std::uint64_t buf[1 + 2 * 4] = {};
+  const ssize_t n = read(group_fd_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(sizeof(std::uint64_t))) return sample;
+  const std::uint64_t nr = buf[0];
+  for (std::uint64_t i = 0; i < nr && i < 4; ++i) {
+    const std::uint64_t value = buf[1 + 2 * i];
+    const std::uint64_t id = buf[2 + 2 * i];
+    if (id == ids_[0]) sample.cycles = value;
+    if (id == ids_[1]) sample.instructions = value;
+    if (id == ids_[2]) sample.cache_refs = value;
+    if (id == ids_[3]) sample.cache_misses = value;
+  }
+  sample.valid = true;
+#endif
+  return sample;
+}
+
+void PerfCounters::set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool PerfCounters::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+bool PerfCounters::supported() {
+  static const bool probed = [] {
+    PerfCounters probe;
+    return probe.open();
+  }();
+  return probed;
+}
+
+namespace {
+
+/// One lazily-opened counter group per thread: opening fds per measured
+/// region would dominate short sweeps.
+PerfCounters& thread_counters() {
+  thread_local PerfCounters counters;
+  counters.open();
+  return counters;
+}
+
+}  // namespace
+
+PerfScope::PerfScope(PerfSample* into) {
+  if (!PerfCounters::enabled()) return;
+  PerfCounters& counters = thread_counters();
+  if (!counters.available()) return;
+  counters_ = &counters;
+  into_ = into;
+  counters.start();
+}
+
+PerfScope::~PerfScope() {
+  if (counters_ == nullptr) return;
+  const PerfSample sample = counters_->stop();
+  if (into_ != nullptr) *into_ += sample;
+  if (sample.valid) {
+    auto& reg = Registry::global();
+    reg.counter("perf.cycles").add(sample.cycles);
+    reg.counter("perf.instructions").add(sample.instructions);
+    reg.counter("perf.cache_refs").add(sample.cache_refs);
+    reg.counter("perf.cache_misses").add(sample.cache_misses);
+    reg.counter("perf.regions").add();
+  }
+}
+
+}  // namespace qgear::obs

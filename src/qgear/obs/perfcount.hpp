@@ -1,0 +1,110 @@
+// Hardware performance-counter sampling via perf_event_open(2).
+//
+// A PerfCounters group opens cycles / instructions / cache-references /
+// cache-misses counters for the calling thread and reads deltas around a
+// measured region. Availability degrades gracefully: in containers or on
+// kernels with perf_event_paranoid locked down the open fails and the
+// sampler reports available() == false, every read returns an invalid
+// PerfSample, and callers carry on — the measured tables simply mark the
+// hardware columns n/a.
+//
+// Engine integration goes through the process-wide enable flag: sampling
+// is off by default and costs one relaxed atomic load per engine run when
+// disabled (same discipline as the tracer). Enable with
+// PerfCounters::set_enabled(true) (tools: --perf, benches: QGEAR_PERF=1);
+// results land in EngineStats and `perf.*` registry counters, giving the
+// measured per-run table the perfmodel calibration and the planned
+// autotuner consume.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace qgear::obs {
+
+/// Counter deltas over one measured region. `valid` is false when the
+/// counters could not be opened (then every field is 0).
+struct PerfSample {
+  bool valid = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_refs = 0;
+  std::uint64_t cache_misses = 0;
+
+  PerfSample& operator+=(const PerfSample& o) {
+    valid = valid || o.valid;
+    cycles += o.cycles;
+    instructions += o.instructions;
+    cache_refs += o.cache_refs;
+    cache_misses += o.cache_misses;
+    return *this;
+  }
+
+  double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+  double cache_miss_rate() const {
+    return cache_refs > 0 ? static_cast<double>(cache_misses) /
+                                static_cast<double>(cache_refs)
+                          : 0.0;
+  }
+};
+
+/// One group of per-thread hardware counters. Not thread-safe: a
+/// PerfCounters instance belongs to the thread that start()s it.
+class PerfCounters {
+ public:
+  PerfCounters() = default;
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// Opens the counter group for the calling thread. Returns false (and
+  /// stays unavailable) when the kernel refuses; safe to call once.
+  bool open();
+  bool available() const { return group_fd_ >= 0; }
+
+  /// Zeroes and starts the group counters.
+  void start();
+  /// Stops the group and returns the deltas since start().
+  PerfSample stop();
+
+  /// Process-wide switch read by engine instrumentation. Off by default;
+  /// when off, instrumented regions skip sampling entirely.
+  static void set_enabled(bool on);
+  static bool enabled();
+
+  /// True when this kernel/container can open the counter group at all
+  /// (probed once, cached).
+  static bool supported();
+
+ private:
+  int group_fd_ = -1;   ///< leader (cycles); -1 = unavailable
+  int fds_[4] = {-1, -1, -1, -1};
+  std::uint64_t ids_[4] = {0, 0, 0, 0};
+  bool opened_ = false;  ///< open() was attempted
+};
+
+/// RAII sampling of one region: opens thread-local counters on first use,
+/// start()s on construction and folds stop() deltas into `into` (and the
+/// `perf.*` registry counters) on destruction. Inactive (zero work beyond
+/// one atomic load) when PerfCounters::enabled() is false.
+class PerfScope {
+ public:
+  explicit PerfScope(PerfSample* into);
+  ~PerfScope();
+
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+  bool active() const { return counters_ != nullptr; }
+
+ private:
+  PerfCounters* counters_ = nullptr;
+  PerfSample* into_ = nullptr;
+};
+
+}  // namespace qgear::obs

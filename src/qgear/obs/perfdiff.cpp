@@ -1,0 +1,230 @@
+#include "qgear/obs/perfdiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::obs {
+
+namespace {
+
+struct Series {
+  double value = 0.0;
+  std::string kind;  // "time" (seconds) | "count" | "throughput"
+};
+
+using SeriesMap = std::map<std::string, Series>;
+
+/// Deterministic-counter prefixes worth gating in a bench report. serve.*
+/// and threadpool.* counters depend on scheduling races, and hardware
+/// perf_* counters are noisy by nature; both are excluded.
+bool deterministic_counter(const std::string& name) {
+  if (name.find("perf_") != std::string::npos) return false;
+  if (name.rfind("perf.", 0) == 0) return false;
+  for (const char* prefix : {"sim.", "engine.", "dist.", "serve.engine."}) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+void extract_bench(const JsonValue& report, SeriesMap& out) {
+  if (const JsonValue* stages = report.find("stages")) {
+    for (const JsonValue& stage : stages->array()) {
+      const std::string key = "stage:" + stage.at("name").str();
+      // Repeated stages (loops) accumulate into one series.
+      out[key].kind = "time";
+      out[key].value += stage.at("wall_seconds").number();
+    }
+  }
+  const JsonValue* metrics = report.find("metrics");
+  const JsonValue* counters =
+      metrics != nullptr ? metrics->find("counters") : nullptr;
+  if (counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->object()) {
+      if (!deterministic_counter(name)) continue;
+      out["counter:" + name] = {value.number(), "count"};
+    }
+  }
+}
+
+void extract_serve(const JsonValue& report, SeriesMap& out) {
+  if (const JsonValue* latency = report.find("latency")) {
+    for (const auto& [component, summary] : latency->object()) {
+      for (const char* pct : {"p50_us", "p95_us", "p99_us"}) {
+        if (const JsonValue* v = summary.find(pct)) {
+          out["latency:" + component + "." + pct] =
+              {v->number() / 1e6, "time"};  // stored in seconds
+        }
+      }
+    }
+  }
+  if (const JsonValue* tput = report.find("throughput_jobs_per_s")) {
+    out["throughput_jobs_per_s"] = {tput->number(), "throughput"};
+  }
+}
+
+void extract_dist(const JsonValue& report, SeriesMap& out) {
+  for (const JsonValue& run : report.at("runs").array()) {
+    const std::string key =
+        run.at("circuit").str() + "/r" +
+        std::to_string(static_cast<long long>(run.at("ranks").number())) +
+        (run.at("remap").boolean() ? "/remap" : "/baseline");
+    out["run:" + key + ":wall_seconds"] = {run.at("wall_seconds").number(),
+                                           "time"};
+    out["run:" + key + ":exchange_bytes"] =
+        {run.at("exchange_bytes").number(), "count"};
+    out["run:" + key + ":slab_swaps"] = {run.at("slab_swaps").number(),
+                                         "count"};
+  }
+}
+
+SeriesMap extract(const JsonValue& report, const std::string& schema) {
+  SeriesMap out;
+  if (schema == "qgear.bench.report/v1") {
+    extract_bench(report, out);
+  } else if (schema == "qgear.serve.report/v1") {
+    extract_serve(report, out);
+  } else if (schema == "qgear.dist.report/v1") {
+    extract_dist(report, out);
+  } else {
+    throw InvalidArgument("perfdiff: unsupported report schema " + schema);
+  }
+  return out;
+}
+
+std::string report_schema_of(const JsonValue& report) {
+  const JsonValue* schema = report.find("schema");
+  QGEAR_CHECK_ARG(schema != nullptr && schema->is_string(),
+                  "perfdiff: report has no schema member");
+  return schema->str();
+}
+
+}  // namespace
+
+PerfDiffResult diff_reports(const JsonValue& baseline,
+                            const JsonValue& current,
+                            const PerfDiffOptions& opts) {
+  const std::string schema = report_schema_of(baseline);
+  QGEAR_CHECK_ARG(report_schema_of(current) == schema,
+                  "perfdiff: reports have different schemas");
+
+  PerfDiffResult result;
+  result.report_schema = schema;
+  result.opts = opts;
+
+  const SeriesMap base = extract(baseline, schema);
+  const SeriesMap cur = extract(current, schema);
+
+  for (const auto& [key, b] : base) {
+    PerfDiffEntry entry;
+    entry.key = key;
+    entry.kind = b.kind;
+    entry.baseline = b.value;
+    const auto it = cur.find(key);
+    if (it == cur.end()) {
+      entry.missing = true;
+      entry.regression = opts.fail_on_missing;
+      result.entries.push_back(std::move(entry));
+      continue;
+    }
+    entry.current = it->second.value;
+    entry.ratio = b.value != 0.0 ? entry.current / b.value : 0.0;
+    if (b.kind == "time") {
+      const bool above_floor = std::max(entry.baseline, entry.current) >=
+                               opts.min_seconds;
+      entry.regression =
+          above_floor &&
+          entry.current > entry.baseline * (1.0 + opts.time_tolerance);
+    } else if (b.kind == "throughput") {
+      entry.regression =
+          entry.current < entry.baseline * (1.0 - opts.time_tolerance);
+    } else {  // count: drift in either direction invalidates the baseline
+      const double scale = std::max(std::fabs(entry.baseline), 1.0);
+      entry.regression = std::fabs(entry.current - entry.baseline) >
+                         opts.count_tolerance * scale;
+    }
+    result.entries.push_back(std::move(entry));
+  }
+  // New keys in `current` are informational only (ratio 0, baseline 0).
+  for (const auto& [key, c] : cur) {
+    if (base.count(key) != 0) continue;
+    PerfDiffEntry entry;
+    entry.key = key;
+    entry.kind = c.kind;
+    entry.current = c.value;
+    result.entries.push_back(std::move(entry));
+  }
+
+  std::stable_sort(result.entries.begin(), result.entries.end(),
+                   [](const PerfDiffEntry& a, const PerfDiffEntry& b) {
+                     if (a.regression != b.regression) return a.regression;
+                     return a.key < b.key;
+                   });
+  for (const PerfDiffEntry& e : result.entries) {
+    if (e.regression) ++result.regressions;
+  }
+  return result;
+}
+
+JsonValue PerfDiffResult::to_json() const {
+  JsonValue root{JsonValue::Object{}};
+  root.set("schema", "qgear.perf_diff.report/v1");
+  root.set("report_schema", report_schema);
+  JsonValue options{JsonValue::Object{}};
+  options.set("time_tolerance", opts.time_tolerance);
+  options.set("count_tolerance", opts.count_tolerance);
+  options.set("min_seconds", opts.min_seconds);
+  options.set("fail_on_missing", opts.fail_on_missing);
+  root.set("options", std::move(options));
+  root.set("regressions", std::uint64_t{regressions});
+  root.set("regressed", regressed());
+  JsonValue entries_json{JsonValue::Array{}};
+  for (const PerfDiffEntry& e : entries) {
+    JsonValue entry{JsonValue::Object{}};
+    entry.set("key", e.key);
+    entry.set("kind", e.kind);
+    entry.set("baseline", e.baseline);
+    entry.set("current", e.current);
+    entry.set("ratio", e.ratio);
+    entry.set("regression", e.regression);
+    entry.set("missing", e.missing);
+    entries_json.push_back(std::move(entry));
+  }
+  root.set("entries", std::move(entries_json));
+  return root;
+}
+
+std::string PerfDiffResult::summary() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "perf diff (%s): %zu series, %llu regression(s); "
+                "tolerance time %.0f%% count %.0f%%\n",
+                report_schema.c_str(), entries.size(),
+                static_cast<unsigned long long>(regressions),
+                opts.time_tolerance * 100, opts.count_tolerance * 100);
+  out += buf;
+  std::size_t shown = 0;
+  for (const PerfDiffEntry& e : entries) {
+    // All regressions, then the biggest movers up to a screenful.
+    const bool mover = e.ratio != 0.0 && std::fabs(e.ratio - 1.0) > 0.01;
+    if (!e.regression && !(mover && shown < 12)) continue;
+    if (e.missing) {
+      std::snprintf(buf, sizeof(buf), "  %s %-52s missing from current\n",
+                    e.regression ? "FAIL" : "warn", e.key.c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  %s %-52s %11.6g -> %11.6g  (%.2fx)\n",
+                    e.regression ? "FAIL" : "  ok", e.key.c_str(),
+                    e.baseline, e.current, e.ratio);
+    }
+    out += buf;
+    ++shown;
+  }
+  return out;
+}
+
+}  // namespace qgear::obs

@@ -1,0 +1,73 @@
+// Noise-aware comparison of two performance reports — the library behind
+// the `qgear_perf_diff` tool and CI's perf-sentinel step.
+//
+// Understands the three report schemas the repo emits:
+//   qgear.bench.report/v1   stage wall clocks + metrics registry dump
+//   qgear.serve.report/v1   latency percentiles + throughput
+//   qgear.dist.report/v1    per-run wall clock / exchange bytes / swaps
+//
+// Series are classified by how they may legitimately move:
+//   time        wall clocks, latency percentiles. Noisy: a regression is
+//               current > baseline * (1 + time_tolerance), and series
+//               where both sides sit under `min_seconds` are ignored
+//               (micro-stage jitter is not signal).
+//   count       deterministic work counters (sweeps, amp_ops, exchange
+//               bytes, slab swaps). Exact by default: any relative drift
+//               beyond count_tolerance fails in *either* direction —
+//               a count that moved means the schedule changed and the
+//               baseline must be re-committed deliberately.
+//   throughput  jobs/s style, higher is better; regression is
+//               current < baseline * (1 - time_tolerance).
+//
+// Both reports must carry the same "schema" member. Keys present on only
+// one side are reported as missing/new and are not regressions (unless
+// fail_on_missing), so adding a bench stage does not break the sentinel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qgear/obs/json.hpp"
+
+namespace qgear::obs {
+
+struct PerfDiffOptions {
+  double time_tolerance = 0.10;   ///< allowed relative slowdown on time
+  double count_tolerance = 0.0;   ///< allowed relative drift on counters
+  double min_seconds = 1e-4;      ///< ignore time series under this floor
+  bool fail_on_missing = false;   ///< baseline key absent from current
+};
+
+struct PerfDiffEntry {
+  std::string key;
+  std::string kind;  ///< "time" | "count" | "throughput"
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;  ///< current / baseline (0 when baseline == 0)
+  bool regression = false;
+  bool missing = false;  ///< in baseline, absent from current
+};
+
+struct PerfDiffResult {
+  std::string report_schema;  ///< schema of the compared reports
+  PerfDiffOptions opts;
+  std::vector<PerfDiffEntry> entries;  ///< regressions first, then by key
+  std::uint64_t regressions = 0;
+
+  bool regressed() const { return regressions > 0; }
+
+  /// Serializes as qgear.perf_diff.report/v1
+  /// (docs/perf_diff.schema.json).
+  JsonValue to_json() const;
+  /// Human-readable table: every regression plus the largest movers.
+  std::string summary() const;
+};
+
+/// Compares two parsed reports of the same schema. Throws
+/// InvalidArgument on schema mismatch or an unsupported schema.
+PerfDiffResult diff_reports(const JsonValue& baseline,
+                            const JsonValue& current,
+                            const PerfDiffOptions& opts = {});
+
+}  // namespace qgear::obs

@@ -1,0 +1,73 @@
+#include "qgear/obs/shutdown.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+namespace qgear::obs {
+
+namespace {
+
+std::mutex& flush_mutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::vector<std::function<void()>>& callbacks() {
+  static std::vector<std::function<void()>>* v =
+      new std::vector<std::function<void()>>();
+  return *v;
+}
+
+bool g_flushed = false;
+
+}  // namespace
+
+void on_shutdown_flush(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(flush_mutex());
+  callbacks().push_back(std::move(fn));
+}
+
+bool flush_now() {
+  std::vector<std::function<void()>> to_run;
+  {
+    std::lock_guard<std::mutex> lock(flush_mutex());
+    if (g_flushed) return false;
+    g_flushed = true;
+    to_run = callbacks();
+  }
+  for (const auto& fn : to_run) {
+    try {
+      fn();
+    } catch (...) {
+      // A failed export must not abort the remaining flushes.
+    }
+  }
+  return true;
+}
+
+void install_signal_flush() {
+  static std::once_flag installed;
+  std::call_once(installed, [] {
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    // Block in the calling (main) thread; threads created afterwards
+    // inherit the mask, so only the watcher ever sees these signals.
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    std::thread([set]() mutable {
+      int sig = 0;
+      if (sigwait(&set, &sig) != 0) return;
+      std::fprintf(stderr, "qgear: caught %s, flushing telemetry\n",
+                   sig == SIGINT ? "SIGINT" : "SIGTERM");
+      flush_now();
+      _exit(128 + sig);
+    }).detach();
+  });
+}
+
+}  // namespace qgear::obs

@@ -1,0 +1,33 @@
+// Flush-on-signal support for the CLI tools: the metrics/trace files
+// qgear_cli and qgear_serve write at clean exit are also written when the
+// process is interrupted (SIGINT) or terminated (SIGTERM).
+//
+// Design: signal handlers cannot safely serialize JSON or take mutexes,
+// so no export code runs in handler context. install_signal_flush()
+// blocks SIGINT/SIGTERM in the whole process (the mask is inherited by
+// every thread created afterwards — call it early in main) and starts a
+// watcher thread parked in sigwait(). On delivery the watcher runs the
+// registered flush callbacks as ordinary thread code — the exact export
+// path used at clean shutdown — then _exit()s with the conventional
+// 128+signo status. Callbacks run at most once process-wide: a clean exit
+// that already flushed marks them done via flush_now().
+#pragma once
+
+#include <functional>
+
+namespace qgear::obs {
+
+/// Registers a callback to run once at flush time (signal or explicit
+/// flush_now()). Callbacks run in registration order.
+void on_shutdown_flush(std::function<void()> fn);
+
+/// Blocks SIGINT/SIGTERM and starts the sigwait watcher thread.
+/// Idempotent; call before spawning worker threads.
+void install_signal_flush();
+
+/// Runs the registered callbacks now (at most once process-wide; later
+/// calls and a later signal are no-ops). Returns false when a previous
+/// flush already ran.
+bool flush_now();
+
+}  // namespace qgear::obs

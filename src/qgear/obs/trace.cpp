@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "qgear/common/error.hpp"
+#include "qgear/obs/context.hpp"
 #include "qgear/obs/json.hpp"
 
 namespace qgear::obs {
@@ -66,12 +67,15 @@ std::uint64_t Tracer::now_us() const {
           .count());
 }
 
-std::string Tracer::to_trace_json() const {
+std::string Tracer::to_trace_json(std::uint64_t trace_id) const {
   const std::vector<SpanRecord> spans = snapshot();
   JsonValue events{JsonValue::Array{}};
   for (const SpanRecord& s : spans) {
+    if (trace_id != 0 && s.trace_id != trace_id) continue;
     JsonValue args{JsonValue::Object{}};
     args.set("depth", static_cast<std::uint64_t>(s.depth));
+    if (s.trace_id != 0) args.set("trace_id", trace_id_hex(s.trace_id));
+    if (s.rank >= 0) args.set("rank", static_cast<std::uint64_t>(s.rank));
     for (const auto& [k, v] : s.args) args.set(k, v);
     JsonValue ev{JsonValue::Object{}};
     ev.set("name", s.name);
@@ -79,7 +83,9 @@ std::string Tracer::to_trace_json() const {
     ev.set("ph", "X");
     ev.set("ts", s.start_us);
     ev.set("dur", s.dur_us);
-    ev.set("pid", 1);
+    // One Chrome "process" lane per distributed rank; pid 1 is the
+    // non-distributed (host process) lane.
+    ev.set("pid", s.rank >= 0 ? s.rank + 2 : 1);
     ev.set("tid", static_cast<std::uint64_t>(s.tid));
     ev.set("args", std::move(args));
     events.push_back(std::move(ev));
@@ -87,11 +93,20 @@ std::string Tracer::to_trace_json() const {
   JsonValue root{JsonValue::Object{}};
   root.set("traceEvents", std::move(events));
   root.set("displayTimeUnit", "ms");
+  // Ring-buffer accounting: a trace with dropped > 0 is missing its oldest
+  // spans and must not be read as complete.
+  JsonValue other{JsonValue::Object{}};
+  other.set("recorded", recorded());
+  other.set("dropped", dropped());
+  other.set("capacity", static_cast<std::uint64_t>(capacity()));
+  if (trace_id != 0) other.set("trace_id", trace_id_hex(trace_id));
+  root.set("otherData", std::move(other));
   return root.dump();
 }
 
-void Tracer::write_trace_json(const std::string& path) const {
-  write_text_file(path, to_trace_json());
+void Tracer::write_trace_json(const std::string& path,
+                              std::uint64_t trace_id) const {
+  write_text_file(path, to_trace_json(trace_id));
 }
 
 Tracer& Tracer::global() {
@@ -112,6 +127,9 @@ void Span::init(Tracer& tracer, const char* name, const char* cat) {
   rec_.cat = cat;
   rec_.tid = Tracer::thread_id();
   rec_.depth = t_depth++;
+  const TraceContext& ctx = TraceContext::current();
+  rec_.trace_id = ctx.trace_id;
+  rec_.rank = ctx.rank;
   rec_.start_us = tracer.now_us();
 }
 

@@ -32,6 +32,8 @@ struct SpanRecord {
   std::uint32_t tid = 0;       ///< small per-process thread index
   std::uint32_t depth = 0;     ///< nesting level on that thread
   std::uint64_t seq = 0;       ///< global record sequence number (1-based)
+  std::uint64_t trace_id = 0;  ///< request context (0 = none); see context.hpp
+  std::int32_t rank = -1;      ///< distributed rank the span ran on (-1 = none)
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -61,9 +63,16 @@ class Tracer {
   std::uint64_t now_us() const;
 
   /// Serializes the buffer as Chrome Trace Event JSON
-  /// ({"traceEvents": [...]} with "ph":"X" complete events).
-  std::string to_trace_json() const;
-  void write_trace_json(const std::string& path) const;
+  /// ({"traceEvents": [...]} with "ph":"X" complete events). A non-zero
+  /// `trace_id` filters to that request's spans — the per-request merged
+  /// trace. Rank-tagged spans get their rank as the Chrome "pid", so a
+  /// distributed request renders as one lane per rank. The root carries an
+  /// "otherData" record with ring-buffer accounting (recorded / dropped /
+  /// capacity), so truncated traces are detectable instead of silently
+  /// misleading.
+  std::string to_trace_json(std::uint64_t trace_id = 0) const;
+  void write_trace_json(const std::string& path,
+                        std::uint64_t trace_id = 0) const;
 
   /// The tracer qgear's built-in instrumentation records into.
   static Tracer& global();

@@ -15,6 +15,7 @@
 #include <string>
 #include <utility>
 
+#include "qgear/obs/context.hpp"
 #include "qgear/qiskit/circuit.hpp"
 #include "qgear/sim/stats.hpp"
 
@@ -65,6 +66,11 @@ struct JobSpec {
   /// End-to-end budget; execution stops cooperatively (between fused
   /// blocks) once exceeded (0 = no timeout). Measured from submission.
   double timeout_s = 0.0;
+  /// Trace correlation id. 0 = adopt the submitter's ambient
+  /// obs::TraceContext, or generate a fresh one when there is none; every
+  /// span the job produces (admit, compile, execute) carries this id, so
+  /// `GET /trace?trace_id=<hex>` returns the request's merged timeline.
+  std::uint64_t trace_id = 0;
 };
 
 /// How an accepted job ended, with its latency breakdown.
@@ -78,6 +84,7 @@ struct JobResult {
   double compile_s = 0;     ///< transpile + fusion planning (0 on hit)
   double execute_s = 0;     ///< amplitude sweeps
   double e2e_s = 0;         ///< submit -> terminal
+  std::uint64_t trace_id = 0;  ///< correlation id of the job's spans
   sim::EngineStats stats;   ///< execution counters (completed jobs)
 };
 
@@ -88,6 +95,7 @@ using Clock = std::chrono::steady_clock;
 struct JobState {
   JobSpec spec;
   std::uint64_t id = 0;
+  obs::TraceContext ctx;          ///< resolved at submit (see JobSpec)
   std::uint64_t fingerprint = 0;  ///< cache key (computed at submit)
   double cost = 1.0;              ///< fair-share charge (gates * 2^n)
   Clock::time_point submit_time{};
@@ -112,6 +120,7 @@ class JobTicket {
   bool accepted() const { return state_ != nullptr; }
   RejectReason reject_reason() const { return reason_; }
   std::uint64_t job_id() const { return state_ ? state_->id : 0; }
+  std::uint64_t trace_id() const { return state_ ? state_->ctx.trace_id : 0; }
 
   /// Future for the terminal JobResult (valid only when accepted()).
   const std::shared_future<JobResult>& result() const { return result_; }

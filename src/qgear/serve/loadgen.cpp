@@ -15,8 +15,6 @@
 
 namespace qgear::serve {
 
-namespace {
-
 double percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double rank = p * static_cast<double>(sorted.size() - 1);
@@ -25,6 +23,8 @@ double percentile(const std::vector<double>& sorted, double p) {
   const double frac = rank - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
+
+namespace {
 
 obs::JsonValue latency_json(const LatencySummary& s) {
   obs::JsonValue o{obs::JsonValue::Object{}};

@@ -46,6 +46,11 @@ struct LatencySummary {
   double max_us = 0;
 };
 
+/// Linear-interpolated order statistic over an ascending-sorted sample
+/// (p in [0,1]). Empty input yields 0; a single sample is every
+/// percentile of itself.
+double percentile(const std::vector<double>& sorted, double p);
+
 LatencySummary summarize_latency(std::vector<double> seconds);
 
 struct TenantReport {

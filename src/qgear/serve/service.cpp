@@ -7,6 +7,7 @@
 #include "qgear/common/bits.hpp"
 #include "qgear/common/log.hpp"
 #include "qgear/common/timer.hpp"
+#include "qgear/obs/context.hpp"
 #include "qgear/obs/metrics.hpp"
 #include "qgear/obs/trace.hpp"
 #include "qgear/qiskit/fingerprint.hpp"
@@ -121,6 +122,21 @@ JobTicket SimService::submit(JobSpec spec) {
   auto state = std::make_shared<JobState>();
   state->spec = std::move(spec);
   state->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // Trace correlation: an explicit id wins, else the submitter's ambient
+  // context is adopted, else a fresh trace begins at admission.
+  if (state->spec.trace_id != 0) {
+    state->ctx.trace_id = state->spec.trace_id;
+  } else if (obs::TraceContext::current().valid()) {
+    state->ctx = obs::TraceContext::current();
+  } else {
+    state->ctx = obs::TraceContext::generate();
+  }
+  obs::ContextScope admit_scope(state->ctx);
+  obs::Span admit_span(obs::Tracer::global(), "serve.submit", "serve");
+  if (admit_span.active()) {
+    admit_span.arg("tenant", state->spec.tenant);
+    admit_span.arg("job_id", std::to_string(state->id));
+  }
   state->fingerprint = qiskit::circuit_fingerprint(state->spec.circuit);
   // Fair-share charge: one amplitude sweep per gate is the upper bound of
   // the work a circuit can cost, so gates * 2^n orders tenants sensibly
@@ -163,6 +179,7 @@ void SimService::worker_loop() {
 void SimService::finish(JobState& job, JobResult&& result) {
   result.job_id = job.id;
   result.tenant = job.spec.tenant;
+  result.trace_id = job.ctx.trace_id;
   result.e2e_s = seconds_between(job.submit_time, Clock::now());
   status_counter(result.status).add();
   queue_wait_hist().observe(result.queue_wait_s * 1e6);
@@ -192,6 +209,10 @@ void SimService::process(FairScheduler::Popped popped) {
     return;
   }
 
+  // The worker thread adopts the job's trace context for the duration of
+  // the job: every span below (including engine-level sweep spans) is
+  // tagged with the request's trace_id.
+  obs::ContextScope trace_scope(job.ctx);
   obs::Span span(obs::Tracer::global(), "serve.job", "serve");
   if (span.active()) {
     span.arg("tenant", job.spec.tenant);
@@ -201,10 +222,17 @@ void SimService::process(FairScheduler::Popped popped) {
 
   try {
     WallTimer compile_timer;
-    std::shared_ptr<const CompiledCircuit> compiled = cache_.get_or_compile(
-        job.fingerprint,
-        [&] { return compile_circuit(job.spec.circuit, opts_.fusion); },
-        &result.cache_hit);
+    std::shared_ptr<const CompiledCircuit> compiled;
+    {
+      obs::Span compile_span(obs::Tracer::global(), "serve.compile", "serve");
+      compiled = cache_.get_or_compile(
+          job.fingerprint,
+          [&] { return compile_circuit(job.spec.circuit, opts_.fusion); },
+          &result.cache_hit);
+      if (compile_span.active()) {
+        compile_span.arg("cache_hit", result.cache_hit ? "true" : "false");
+      }
+    }
     result.compile_s = compile_timer.seconds();
 
     if (job.cancel_requested.load(std::memory_order_relaxed)) {

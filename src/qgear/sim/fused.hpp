@@ -75,6 +75,9 @@ class FusedEngine {
   void apply_plan(const FusionPlan& plan, StateVector<T>& state) {
     obs::Tracer& tracer = obs::Tracer::global();
     obs::Span sweep_span(tracer, "sweep", "sim");
+    // Hardware counters (when obs::PerfCounters::set_enabled) cover the
+    // whole sweep loop; the sample folds into stats_.perf on scope exit.
+    obs::PerfScope perf_scope(&stats_.perf);
     const EngineStats before = stats_;
     WallTimer timer;
     for (const FusedBlock& block : plan.blocks) {

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "qgear/obs/metrics.hpp"
+#include "qgear/obs/perfcount.hpp"
 
 namespace qgear::sim {
 
@@ -18,6 +19,10 @@ struct EngineStats {
   std::uint64_t dense_blocks = 0; ///< blocks routed to the dense kernel
   std::uint64_t amp_ops = 0;      ///< total amplitude read-modify-writes
   double seconds = 0.0;           ///< accumulated wall-clock across runs
+  /// Hardware-counter sample covering the engine's sweeps. `valid` only
+  /// when perf counters were enabled *and* the kernel granted the group
+  /// (obs::PerfCounters::supported()); zeros otherwise.
+  obs::PerfSample perf;
 
   void reset() { *this = EngineStats{}; }
 
@@ -32,6 +37,7 @@ struct EngineStats {
     dense_blocks += o.dense_blocks;
     amp_ops += o.amp_ops;
     seconds += o.seconds;
+    perf += o.perf;
     return *this;
   }
 };
@@ -53,6 +59,11 @@ inline void fold_stats(obs::Registry& reg, const EngineStats& s,
   reg.counter(prefix + ".dense_blocks").add(s.dense_blocks);
   reg.counter(prefix + ".amp_ops").add(s.amp_ops);
   reg.gauge(prefix + ".seconds").add(s.seconds);
+  if (s.perf.valid) {
+    reg.counter(prefix + ".perf_cycles").add(s.perf.cycles);
+    reg.counter(prefix + ".perf_instructions").add(s.perf.instructions);
+    reg.counter(prefix + ".perf_cache_misses").add(s.perf.cache_misses);
+  }
 }
 
 }  // namespace qgear::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "qgear/sim/reference.hpp"
 #include "tests/sim_test_util.hpp"
 
@@ -236,6 +238,48 @@ TEST(DistState, StatsPerRank) {
   for (const auto& s : res.rank_stats) {
     EXPECT_EQ(s.gates, qc.size());
   }
+}
+
+TEST(DistTrace, RankSpansMergeUnderOneTraceId) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  const auto qc = sim_test::random_circuit(6, 60, 3);
+  const auto res = run_distributed<double>(qc, {.num_ranks = 4});
+  tracer.set_enabled(false);
+  ASSERT_NE(res.trace_id, 0u);
+
+  // Every rank thread tags its spans with the run's trace_id; the merged
+  // per-request export must contain spans from all four ranks.
+  std::set<std::int32_t> ranks_seen;
+  for (const obs::SpanRecord& rec : tracer.snapshot()) {
+    if (rec.trace_id != res.trace_id) continue;
+    if (rec.rank >= 0) ranks_seen.insert(rec.rank);
+  }
+  EXPECT_EQ(ranks_seen.size(), 4u);
+
+  // The per-rank rollup mirrors the same data: spans were counted for
+  // every rank, and sender-attributed exchange bytes sum to the total.
+  ASSERT_EQ(res.rank_obs.size(), 4u);
+  std::uint64_t bytes = 0;
+  for (const RankObsSummary& r : res.rank_obs) {
+    EXPECT_GT(r.spans, 0u);
+    bytes += r.exchange_bytes;
+  }
+  EXPECT_EQ(bytes, res.trace.total_bytes);
+  tracer.clear();
+}
+
+TEST(DistTrace, ExplicitTraceIdIsAdopted) {
+  const auto qc = sim_test::random_circuit(5, 20, 4);
+  RunOptions opts;
+  opts.num_ranks = 2;
+  opts.trace_id = 0xABCDEF01u;
+  const auto res = run_distributed<double>(qc, opts);
+  EXPECT_EQ(res.trace_id, 0xABCDEF01u);
+  // Tracing disabled: exchange accounting still populated, spans zero.
+  ASSERT_EQ(res.rank_obs.size(), 2u);
+  EXPECT_EQ(res.rank_obs[0].spans, 0u);
 }
 
 TEST(ExchangeBytes, CaseAnalysis) {

@@ -1,0 +1,119 @@
+#include "qgear/obs/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "qgear/obs/trace.hpp"
+
+namespace qgear::obs {
+namespace {
+
+TEST(TraceContext, DefaultIsInvalid) {
+  TraceContext ctx;
+  EXPECT_FALSE(ctx.valid());
+  EXPECT_EQ(ctx.trace_id, 0u);
+  EXPECT_EQ(ctx.rank, -1);
+}
+
+TEST(TraceContext, GenerateProducesDistinctNonZeroIds) {
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 64; ++i) {
+    const TraceContext ctx = TraceContext::generate();
+    EXPECT_TRUE(ctx.valid());
+    ids.insert(ctx.trace_id);
+  }
+  EXPECT_EQ(ids.size(), 64u);
+}
+
+TEST(TraceContext, CurrentDefaultsToInvalid) {
+  // Run on a fresh thread so earlier tests' scopes cannot leak in.
+  std::thread([] {
+    EXPECT_FALSE(TraceContext::current().valid());
+  }).join();
+}
+
+TEST(ContextScope, InstallsAndRestores) {
+  std::thread([] {
+    const TraceContext outer = TraceContext::generate();
+    {
+      ContextScope scope(outer);
+      EXPECT_EQ(TraceContext::current().trace_id, outer.trace_id);
+      TraceContext inner = TraceContext::generate();
+      inner.rank = 3;
+      {
+        ContextScope nested(inner);
+        EXPECT_EQ(TraceContext::current().trace_id, inner.trace_id);
+        EXPECT_EQ(TraceContext::current().rank, 3);
+      }
+      EXPECT_EQ(TraceContext::current().trace_id, outer.trace_id);
+    }
+    EXPECT_FALSE(TraceContext::current().valid());
+  }).join();
+}
+
+TEST(ContextScope, IsPerThread) {
+  const TraceContext ctx = TraceContext::generate();
+  ContextScope scope(ctx);
+  std::thread([] {
+    EXPECT_FALSE(TraceContext::current().valid());
+  }).join();
+  EXPECT_EQ(TraceContext::current().trace_id, ctx.trace_id);
+}
+
+TEST(TraceIdHex, RoundTrips) {
+  EXPECT_EQ(parse_trace_id(trace_id_hex(0xDEADBEEFull)), 0xDEADBEEFull);
+  EXPECT_EQ(trace_id_hex(0).size(), 16u);
+  EXPECT_EQ(parse_trace_id(trace_id_hex(~0ull)), ~0ull);
+}
+
+TEST(TraceIdHex, ParseRejectsGarbage) {
+  EXPECT_EQ(parse_trace_id(""), 0u);
+  EXPECT_EQ(parse_trace_id("xyz"), 0u);
+  EXPECT_EQ(parse_trace_id("0123456789abcdef0"), 0u);  // 17 chars
+  EXPECT_EQ(parse_trace_id("00ff"), 0xffu);
+}
+
+TEST(Span, CapturesAmbientContext) {
+  Tracer tracer(16);
+  tracer.set_enabled(true);
+  TraceContext ctx = TraceContext::generate();
+  ctx.rank = 2;
+  {
+    ContextScope scope(ctx);
+    Span span(tracer, "work", "test");
+  }
+  { Span untagged(tracer, "other", "test"); }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, ctx.trace_id);
+  EXPECT_EQ(spans[0].rank, 2);
+  EXPECT_EQ(spans[1].trace_id, 0u);
+  EXPECT_EQ(spans[1].rank, -1);
+}
+
+TEST(Tracer, ExportFiltersByTraceId) {
+  Tracer tracer(16);
+  tracer.set_enabled(true);
+  const TraceContext a = TraceContext::generate();
+  const TraceContext b = TraceContext::generate();
+  {
+    ContextScope scope(a);
+    Span span(tracer, "a_work", "test");
+  }
+  {
+    ContextScope scope(b);
+    Span span(tracer, "b_work", "test");
+  }
+  const std::string all = tracer.to_trace_json();
+  EXPECT_NE(all.find("a_work"), std::string::npos);
+  EXPECT_NE(all.find("b_work"), std::string::npos);
+  const std::string only_a = tracer.to_trace_json(a.trace_id);
+  EXPECT_NE(only_a.find("a_work"), std::string::npos);
+  EXPECT_EQ(only_a.find("b_work"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qgear::obs

@@ -1,0 +1,81 @@
+#include "qgear/obs/perfcount.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/obs/metrics.hpp"
+
+namespace qgear::obs {
+namespace {
+
+TEST(PerfSample, AccumulatesAndDerivesRatios) {
+  PerfSample a;
+  EXPECT_FALSE(a.valid);
+  EXPECT_DOUBLE_EQ(a.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(a.cache_miss_rate(), 0.0);
+  PerfSample b;
+  b.valid = true;
+  b.cycles = 100;
+  b.instructions = 250;
+  b.cache_refs = 40;
+  b.cache_misses = 10;
+  a += b;
+  a += b;
+  EXPECT_TRUE(a.valid);
+  EXPECT_EQ(a.cycles, 200u);
+  EXPECT_EQ(a.instructions, 500u);
+  EXPECT_DOUBLE_EQ(a.ipc(), 2.5);
+  EXPECT_DOUBLE_EQ(a.cache_miss_rate(), 0.25);
+}
+
+TEST(PerfCounters, DisabledScopeIsNoOp) {
+  PerfCounters::set_enabled(false);
+  PerfSample sample;
+  { PerfScope scope(&sample); }
+  EXPECT_FALSE(sample.valid);
+  EXPECT_EQ(sample.cycles, 0u);
+}
+
+TEST(PerfCounters, GracefulWhenUnsupported) {
+  // supported() probes perf_event_open once; in locked-down containers it
+  // returns false and every scope must degrade to a no-op, not crash.
+  PerfCounters::set_enabled(true);
+  PerfSample sample;
+  {
+    PerfScope scope(&sample);
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+  }
+  PerfCounters::set_enabled(false);
+  if (PerfCounters::supported()) {
+    EXPECT_TRUE(sample.valid);
+    EXPECT_GT(sample.instructions, 0u);
+    EXPECT_GT(sample.cycles, 0u);
+    // Samples fold into the global registry as perf.* counters.
+    const auto snap = Registry::global().snapshot();
+    const auto* regions = snap.find_counter("perf.regions");
+    ASSERT_NE(regions, nullptr);
+    EXPECT_GE(regions->value, 1u);
+  } else {
+    EXPECT_FALSE(sample.valid);
+  }
+}
+
+TEST(PerfCounters, OpenIsAllOrNothing) {
+  PerfCounters counters;
+  const bool ok = counters.open();
+  EXPECT_EQ(ok, counters.available());
+  // Re-open is idempotent.
+  EXPECT_EQ(counters.open(), ok);
+  if (ok) {
+    counters.start();
+    const PerfSample s = counters.stop();
+    EXPECT_TRUE(s.valid);
+  } else {
+    counters.start();  // must be safe on an unavailable group
+    const PerfSample s = counters.stop();
+    EXPECT_FALSE(s.valid);
+  }
+}
+
+}  // namespace
+}  // namespace qgear::obs

@@ -1,0 +1,201 @@
+#include "qgear/obs/perfdiff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qgear/common/error.hpp"
+#include "qgear/obs/json.hpp"
+
+namespace qgear::obs {
+namespace {
+
+JsonValue bench_report(double stage_seconds, double sweeps) {
+  JsonValue root{JsonValue::Object{}};
+  root.set("schema", "qgear.bench.report/v1");
+  root.set("bench", "synthetic");
+  JsonValue stages{JsonValue::Array{}};
+  JsonValue stage{JsonValue::Object{}};
+  stage.set("name", "apply");
+  stage.set("wall_seconds", stage_seconds);
+  stages.push_back(std::move(stage));
+  root.set("stages", std::move(stages));
+  JsonValue counters{JsonValue::Object{}};
+  counters.set("sim.sweeps", sweeps);
+  counters.set("serve.submitted", 123.0);  // scheduling-noise: not gated
+  counters.set("perf.cycles", 1e9);        // hardware-noise: not gated
+  JsonValue metrics{JsonValue::Object{}};
+  metrics.set("counters", std::move(counters));
+  root.set("metrics", std::move(metrics));
+  return root;
+}
+
+const PerfDiffEntry* find_entry(const PerfDiffResult& r,
+                                const std::string& key) {
+  for (const auto& e : r.entries) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+TEST(PerfDiff, IdenticalReportsPass) {
+  const auto result =
+      diff_reports(bench_report(1.0, 500), bench_report(1.0, 500));
+  EXPECT_FALSE(result.regressed());
+  EXPECT_EQ(result.regressions, 0u);
+  EXPECT_EQ(result.report_schema, "qgear.bench.report/v1");
+}
+
+TEST(PerfDiff, TwentyPercentSlowdownFailsDefaultTolerance) {
+  const auto result =
+      diff_reports(bench_report(1.0, 500), bench_report(1.2, 500));
+  EXPECT_TRUE(result.regressed());
+  const auto* entry = find_entry(result, "stage:apply");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->regression);
+  EXPECT_NEAR(entry->ratio, 1.2, 1e-9);
+  // Regressions sort first.
+  EXPECT_TRUE(result.entries.front().regression);
+}
+
+TEST(PerfDiff, SlowdownWithinTolerancePasses) {
+  const auto result =
+      diff_reports(bench_report(1.0, 500), bench_report(1.05, 500));
+  EXPECT_FALSE(result.regressed());
+  PerfDiffOptions generous;
+  generous.time_tolerance = 0.5;
+  EXPECT_FALSE(
+      diff_reports(bench_report(1.0, 500), bench_report(1.4, 500), generous)
+          .regressed());
+}
+
+TEST(PerfDiff, SpeedupIsNotARegression) {
+  EXPECT_FALSE(
+      diff_reports(bench_report(1.0, 500), bench_report(0.5, 500))
+          .regressed());
+}
+
+TEST(PerfDiff, MicroStagesUnderFloorAreIgnored) {
+  // 2x slowdown, but both sides sit under min_seconds: jitter, not signal.
+  const auto result =
+      diff_reports(bench_report(2e-5, 500), bench_report(5e-5, 500));
+  EXPECT_FALSE(result.regressed());
+}
+
+TEST(PerfDiff, DeterministicCounterDriftFailsBothDirections) {
+  EXPECT_TRUE(diff_reports(bench_report(1.0, 500), bench_report(1.0, 501))
+                  .regressed());
+  EXPECT_TRUE(diff_reports(bench_report(1.0, 500), bench_report(1.0, 499))
+                  .regressed());
+  PerfDiffOptions loose;
+  loose.count_tolerance = 0.01;
+  EXPECT_FALSE(
+      diff_reports(bench_report(1.0, 500), bench_report(1.0, 501), loose)
+          .regressed());
+}
+
+TEST(PerfDiff, NoisyCountersAreNotGated) {
+  const auto result =
+      diff_reports(bench_report(1.0, 500), bench_report(1.0, 500));
+  EXPECT_EQ(find_entry(result, "counter:serve.submitted"), nullptr);
+  EXPECT_EQ(find_entry(result, "counter:perf.cycles"), nullptr);
+  EXPECT_NE(find_entry(result, "counter:sim.sweeps"), nullptr);
+}
+
+TEST(PerfDiff, MissingKeysFailOnlyWhenAsked) {
+  JsonValue current = bench_report(1.0, 500);
+  JsonValue baseline = bench_report(1.0, 500);
+  JsonValue extra_stage{JsonValue::Object{}};
+  extra_stage.set("name", "warmup");
+  extra_stage.set("wall_seconds", 0.5);
+  baseline.object()[2].second.push_back(std::move(extra_stage));  // stages
+  ASSERT_EQ(baseline.object()[2].first, "stages");
+  const auto lax = diff_reports(baseline, current);
+  EXPECT_FALSE(lax.regressed());
+  const auto* missing = find_entry(lax, "stage:warmup");
+  ASSERT_NE(missing, nullptr);
+  EXPECT_TRUE(missing->missing);
+  PerfDiffOptions strict;
+  strict.fail_on_missing = true;
+  EXPECT_TRUE(diff_reports(baseline, current, strict).regressed());
+}
+
+TEST(PerfDiff, ServeReportLatencyAndThroughput) {
+  auto serve_report = [](double p95_us, double tput) {
+    JsonValue root{JsonValue::Object{}};
+    root.set("schema", "qgear.serve.report/v1");
+    JsonValue summary{JsonValue::Object{}};
+    summary.set("p50_us", p95_us / 2);
+    summary.set("p95_us", p95_us);
+    summary.set("p99_us", p95_us * 2);
+    JsonValue latency{JsonValue::Object{}};
+    latency.set("e2e", std::move(summary));
+    root.set("latency", std::move(latency));
+    root.set("throughput_jobs_per_s", tput);
+    return root;
+  };
+  // 30% p95 blowup fails; 30% throughput drop fails; both within 10% pass.
+  EXPECT_TRUE(diff_reports(serve_report(1000, 100), serve_report(1300, 100))
+                  .regressed());
+  EXPECT_TRUE(diff_reports(serve_report(1000, 100), serve_report(1000, 70))
+                  .regressed());
+  EXPECT_FALSE(diff_reports(serve_report(1000, 100), serve_report(1050, 95))
+                   .regressed());
+  // Throughput gains are fine.
+  EXPECT_FALSE(diff_reports(serve_report(1000, 100), serve_report(1000, 140))
+                   .regressed());
+}
+
+TEST(PerfDiff, DistReportKeysRunsByConfiguration) {
+  auto dist_report = [](double wall, double bytes) {
+    JsonValue root{JsonValue::Object{}};
+    root.set("schema", "qgear.dist.report/v1");
+    JsonValue runs{JsonValue::Array{}};
+    JsonValue run{JsonValue::Object{}};
+    run.set("circuit", "qft20");
+    run.set("ranks", 8);
+    run.set("remap", true);
+    run.set("wall_seconds", wall);
+    run.set("exchange_bytes", bytes);
+    run.set("slab_swaps", 12.0);
+    runs.push_back(std::move(run));
+    root.set("runs", std::move(runs));
+    return root;
+  };
+  const auto ok = diff_reports(dist_report(2.0, 1e6), dist_report(2.1, 1e6));
+  EXPECT_FALSE(ok.regressed());
+  EXPECT_NE(find_entry(ok, "run:qft20/r8/remap:wall_seconds"), nullptr);
+  // Exchange bytes are deterministic: any drift is a schedule change.
+  EXPECT_TRUE(diff_reports(dist_report(2.0, 1e6), dist_report(2.0, 1.1e6))
+                  .regressed());
+}
+
+TEST(PerfDiff, SchemaMismatchThrows) {
+  JsonValue serve{JsonValue::Object{}};
+  serve.set("schema", "qgear.serve.report/v1");
+  EXPECT_THROW(diff_reports(bench_report(1, 1), serve), InvalidArgument);
+  JsonValue unknown{JsonValue::Object{}};
+  unknown.set("schema", "qgear.mystery/v9");
+  EXPECT_THROW(diff_reports(unknown, unknown), InvalidArgument);
+  JsonValue empty{JsonValue::Object{}};
+  EXPECT_THROW(diff_reports(empty, empty), InvalidArgument);
+}
+
+TEST(PerfDiff, JsonReportRoundTripsAndSummarizes) {
+  const auto result =
+      diff_reports(bench_report(1.0, 500), bench_report(1.5, 500));
+  const JsonValue json = result.to_json();
+  EXPECT_EQ(json.at("schema").str(), "qgear.perf_diff.report/v1");
+  EXPECT_EQ(json.at("report_schema").str(), "qgear.bench.report/v1");
+  EXPECT_TRUE(json.at("regressed").boolean());
+  EXPECT_DOUBLE_EQ(json.at("regressions").number(), 1.0);
+  EXPECT_FALSE(json.at("entries").array().empty());
+  // dump/parse round-trip keeps the structure schema-checkable.
+  const JsonValue reparsed = JsonValue::parse(json.dump());
+  EXPECT_EQ(reparsed.at("entries").array().size(),
+            json.at("entries").array().size());
+  const std::string text = result.summary();
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("stage:apply"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qgear::obs

@@ -1,0 +1,80 @@
+#include "qgear/serve/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qgear::serve {
+namespace {
+
+TEST(Percentile, EmptyInputIsZero) {
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(percentile(none, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(none, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(none, 1.0), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.99), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 42.0);
+}
+
+TEST(Percentile, AllEqualSamplesAreFlat) {
+  const std::vector<double> flat(100, 7.0);
+  EXPECT_DOUBLE_EQ(percentile(flat, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(flat, 0.95), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(flat, 0.99), 7.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 1.0), 10.0);
+  const std::vector<double> three = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(three, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(three, 0.25), 1.5);
+}
+
+TEST(LatencySummary, EmptyInput) {
+  const LatencySummary s = summarize_latency({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 0.0);
+}
+
+TEST(LatencySummary, SingleSample) {
+  const LatencySummary s = summarize_latency({0.002});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.p50_us, 2000.0);
+  EXPECT_DOUBLE_EQ(s.p95_us, 2000.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 2000.0);
+  EXPECT_DOUBLE_EQ(s.mean_us, 2000.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 2000.0);
+}
+
+TEST(LatencySummary, AllEqualSamples) {
+  const LatencySummary s = summarize_latency(std::vector<double>(50, 0.001));
+  EXPECT_EQ(s.count, 50u);
+  EXPECT_DOUBLE_EQ(s.p50_us, 1000.0);
+  EXPECT_DOUBLE_EQ(s.p95_us, 1000.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 1000.0);
+  EXPECT_NEAR(s.mean_us, 1000.0, 1e-6);  // summed, not exact in binary fp
+  EXPECT_DOUBLE_EQ(s.max_us, 1000.0);
+}
+
+TEST(LatencySummary, SortsUnorderedInput) {
+  const LatencySummary s = summarize_latency({0.003, 0.001, 0.002});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.p50_us, 2000.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 3000.0);
+  EXPECT_DOUBLE_EQ(s.mean_us, 2000.0);
+}
+
+}  // namespace
+}  // namespace qgear::serve

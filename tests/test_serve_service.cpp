@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "qgear/obs/context.hpp"
 #include "qgear/obs/json.hpp"
 #include "qgear/qiskit/circuit.hpp"
 #include "qgear/serve/loadgen.hpp"
@@ -218,6 +219,33 @@ TEST(SimService, StressConcurrentSubmittersWithCancels) {
   svc.drain();
   EXPECT_GT(accepted.load(), 0);
   EXPECT_EQ(svc.dropped_jobs(), 0u);
+}
+
+TEST(SimService, JobsCarryTraceContext) {
+  SimService svc(small_service(2));
+
+  // No ambient context: the service mints a trace id at admission, the
+  // ticket exposes it immediately, and the result carries the same id.
+  JobTicket ticket = svc.submit(spec_for(layered_circuit(4, 2)));
+  ASSERT_TRUE(ticket.accepted());
+  EXPECT_NE(ticket.trace_id(), 0u);
+  EXPECT_EQ(ticket.result().get().trace_id, ticket.trace_id());
+
+  // An explicit trace id on the spec wins over generation.
+  JobSpec spec = spec_for(layered_circuit(4, 2));
+  spec.trace_id = 0x1234abcdu;
+  JobTicket pinned = svc.submit(std::move(spec));
+  ASSERT_TRUE(pinned.accepted());
+  EXPECT_EQ(pinned.trace_id(), 0x1234abcdu);
+  EXPECT_EQ(pinned.result().get().trace_id, 0x1234abcdu);
+
+  // An ambient caller context is adopted when the spec does not pin one.
+  obs::TraceContext ambient;
+  ambient.trace_id = 0x55aa55aau;
+  obs::ContextScope scope(ambient);
+  JobTicket adopted = svc.submit(spec_for(layered_circuit(4, 2)));
+  ASSERT_TRUE(adopted.accepted());
+  EXPECT_EQ(adopted.trace_id(), 0x55aa55aau);
 }
 
 TEST(LoadGen, SmokeRunProducesConsistentReport) {

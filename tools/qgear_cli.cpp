@@ -36,6 +36,7 @@
 #include "qgear/core/transformer.hpp"
 #include "qgear/obs/json.hpp"
 #include "qgear/obs/metrics.hpp"
+#include "qgear/obs/shutdown.hpp"
 #include "qgear/obs/trace.hpp"
 #include "qgear/perfmodel/model.hpp"
 #include "qgear/qh5/file.hpp"
@@ -196,6 +197,21 @@ int cmd_run(const Args& args) {
   if (!trace_out.empty()) {
     tracer.clear();
     tracer.set_enabled(true);
+  }
+  // An interrupted run flushes the same files a clean exit writes
+  // (engine stats folded so far are missing, spans/metrics are not).
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    obs::install_signal_flush();
+    if (!trace_out.empty()) {
+      obs::on_shutdown_flush(
+          [trace_out, &tracer] { tracer.write_trace_json(trace_out); });
+    }
+    if (!metrics_out.empty()) {
+      obs::on_shutdown_flush([metrics_out] {
+        obs::write_text_file(metrics_out,
+                             obs::Registry::global().snapshot().to_json());
+      });
+    }
   }
 
   core::TransformerOptions opts;

@@ -1,0 +1,102 @@
+// qgear_perf_diff — the perf-regression sentinel. Compares two
+// performance reports of the same schema (qgear.bench.report/v1,
+// qgear.serve.report/v1 or qgear.dist.report/v1) with noise-aware
+// thresholds and exits non-zero when the current run regressed.
+//
+// Usage:
+//   qgear_perf_diff baseline.json current.json
+//       [--tolerance F]        relative slowdown allowed on time series
+//                              (default 0.10; CI uses a generous value
+//                              because shared runners are noisy)
+//       [--count-tolerance F]  relative drift allowed on deterministic
+//                              work counters (default 0 = exact)
+//       [--min-seconds S]      ignore time series under this floor
+//                              (default 1e-4)
+//       [--fail-on-missing]    a baseline key absent from current fails
+//       [--json out.json]      write qgear.perf_diff.report/v1
+//
+// Exit codes: 0 = within tolerance, 1 = regression detected, 2 = usage /
+// unreadable or mismatched reports.
+
+#include <cstdio>
+#include <string>
+
+#include "qgear/common/error.hpp"
+#include "qgear/obs/json.hpp"
+#include "qgear/obs/perfdiff.hpp"
+
+using namespace qgear;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "qgear_perf_diff <baseline.json> <current.json> [--tolerance F]\n"
+      "  [--count-tolerance F] [--min-seconds S] [--fail-on-missing]\n"
+      "  [--json out.json]\n"
+      "see the header of tools/qgear_perf_diff.cpp for semantics.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path, json_out;
+  obs::PerfDiffOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--tolerance") {
+      opts.time_tolerance = std::stod(value());
+    } else if (arg == "--count-tolerance") {
+      opts.count_tolerance = std::stod(value());
+    } else if (arg == "--min-seconds") {
+      opts.min_seconds = std::stod(value());
+    } else if (arg == "--fail-on-missing") {
+      opts.fail_on_missing = true;
+    } else if (arg == "--json") {
+      json_out = value();
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      print_usage();
+      return 2;
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      std::fprintf(stderr, "error: unexpected argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  try {
+    const obs::JsonValue baseline =
+        obs::JsonValue::parse(obs::read_text_file(baseline_path));
+    const obs::JsonValue current =
+        obs::JsonValue::parse(obs::read_text_file(current_path));
+    const obs::PerfDiffResult result =
+        obs::diff_reports(baseline, current, opts);
+    std::printf("%s", result.summary().c_str());
+    if (!json_out.empty()) {
+      obs::write_text_file(json_out, result.to_json().dump());
+      std::printf("wrote %s\n", json_out.c_str());
+    }
+    return result.regressed() ? 1 : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

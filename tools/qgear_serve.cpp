@@ -12,6 +12,19 @@
 //                    [--precision fp32|fp64] [--seed S]
 //                    [--report out.json] [--trace-out trace.json]
 //                    [--metrics-out metrics.json] [--log level]
+//                    [--listen PORT] [--snapshot-prefix P]
+//                    [--snapshot-period-s S] [--perf]
+//
+// --listen starts the live HTTP exporter (obs/exporter.hpp): /metrics is
+// Prometheus text, /snapshot and /trace are JSON, all computed from the
+// live registry/tracer while the load runs. PORT 0 picks an ephemeral
+// port; the bound port is printed either way. --snapshot-prefix writes
+// periodic file snapshots for runs nobody scrapes. --perf turns on
+// hardware-counter sampling around engine sweeps.
+//
+// SIGINT/SIGTERM flush the --trace-out/--metrics-out files through the
+// same export path as a clean exit before terminating with 128+signo
+// (obs/shutdown.hpp).
 //
 // The run drains the service before reporting, so a clean run always
 // shows dropped_on_shutdown == 0 — the graceful-drain guarantee. CI's
@@ -24,8 +37,11 @@
 
 #include "qgear/common/log.hpp"
 #include "qgear/common/strings.hpp"
+#include "qgear/obs/exporter.hpp"
 #include "qgear/obs/json.hpp"
 #include "qgear/obs/metrics.hpp"
+#include "qgear/obs/perfcount.hpp"
+#include "qgear/obs/shutdown.hpp"
 #include "qgear/obs/trace.hpp"
 #include "qgear/serve/loadgen.hpp"
 #include "qgear/serve/service.hpp"
@@ -86,6 +102,46 @@ int cmd_load(const Args& args) {
     tracer.clear();
     tracer.set_enabled(true);
   }
+  if (args.has("perf")) obs::PerfCounters::set_enabled(true);
+
+  // Interrupted runs still flush the same files a clean exit writes (the
+  // watcher thread runs these callbacks, then _exit(128+signo)).
+  obs::install_signal_flush();
+  if (!trace_out.empty()) {
+    obs::on_shutdown_flush([trace_out, &tracer] {
+      tracer.write_trace_json(trace_out);
+      std::printf("wrote %s: %llu span(s), %llu dropped\n", trace_out.c_str(),
+                  static_cast<unsigned long long>(tracer.recorded()),
+                  static_cast<unsigned long long>(tracer.dropped()));
+    });
+  }
+  if (!metrics_out.empty()) {
+    obs::on_shutdown_flush([metrics_out] {
+      obs::write_text_file(metrics_out,
+                           obs::Registry::global().snapshot().to_json());
+      std::printf("wrote %s\n", metrics_out.c_str());
+    });
+  }
+
+  obs::HttpExporter exporter;
+  if (args.has("listen")) {
+    obs::HttpExporter::Options eopts;
+    eopts.port = static_cast<int>(args.u64("listen", 0));
+    exporter.start(eopts);
+    std::printf("live exporter on http://127.0.0.1:%d  "
+                "(/metrics /snapshot /trace /healthz)\n",
+                exporter.port());
+    // Scrapers parse this line to find an ephemeral port; make it visible
+    // immediately even when stdout is a (fully buffered) file.
+    std::fflush(stdout);
+  }
+  obs::SnapshotWriter snapshots;
+  if (args.has("snapshot-prefix")) {
+    obs::SnapshotWriter::Options wopts;
+    wopts.prefix = args.opt("snapshot-prefix");
+    wopts.period_s = args.f64("snapshot-period-s", 10.0);
+    snapshots.start(wopts);
+  }
 
   serve::SimService::Options sopts;
   sopts.workers = static_cast<unsigned>(args.u64("workers", 0));
@@ -129,19 +185,14 @@ int cmd_load(const Args& args) {
   const serve::LoadGenReport report = serve::run_load(svc, lopts);
   std::printf("%s", report.summary().c_str());
 
-  if (!trace_out.empty()) {
-    tracer.set_enabled(false);
-    tracer.write_trace_json(trace_out);
-    std::printf("wrote %s: %llu span(s), %llu dropped\n", trace_out.c_str(),
-                static_cast<unsigned long long>(tracer.recorded()),
-                static_cast<unsigned long long>(tracer.dropped()));
-  }
-  if (!metrics_out.empty()) {
-    auto& reg = obs::Registry::global();
-    sim::fold_stats(reg, svc.folded_stats(), "serve.engine");
-    obs::write_text_file(metrics_out, reg.snapshot().to_json());
-    std::printf("wrote %s\n", metrics_out.c_str());
-  }
+  // Clean exit takes the same export path the signal watcher would:
+  // fold engine stats, then run the registered flush callbacks once.
+  if (!trace_out.empty()) tracer.set_enabled(false);
+  sim::fold_stats(obs::Registry::global(), svc.folded_stats(),
+                  "serve.engine");
+  snapshots.stop();
+  exporter.stop();
+  obs::flush_now();
   const std::string report_out = args.opt("report");
   if (!report_out.empty()) {
     obs::write_text_file(report_out, report.to_json().dump());
