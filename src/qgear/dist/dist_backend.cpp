@@ -1,0 +1,145 @@
+#include "qgear/dist/dist_backend.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "qgear/common/error.hpp"
+#include "qgear/dist/runner.hpp"
+#include "qgear/sim/state.hpp"
+
+namespace qgear::dist {
+
+namespace {
+
+class DistBackend final : public sim::Backend {
+ public:
+  explicit DistBackend(const sim::BackendOptions& o) : opts_(o) {}
+
+  std::string name() const override { return "dist"; }
+
+  void init_state(unsigned num_qubits) override {
+    const unsigned ranks = resolved_ranks();
+    QGEAR_CHECK_ARG(num_qubits >= 1, "dist: need at least one qubit");
+    QGEAR_CHECK_ARG((std::uint64_t{1} << std::min(num_qubits, 32u)) >= ranks,
+                    "dist: more ranks than amplitudes");
+    circuit_.emplace(num_qubits);
+    stats_.reset();
+  }
+
+  unsigned num_qubits() const override {
+    return circuit_ ? circuit_->num_qubits() : 0;
+  }
+
+  void apply_circuit(const qiskit::QuantumCircuit& qc,
+                     std::vector<unsigned>* measured) override {
+    require_state();
+    circuit_->compose(qc);
+    if (measured != nullptr) {
+      for (const qiskit::Instruction& inst : qc.instructions()) {
+        if (inst.kind == qiskit::GateKind::measure) {
+          measured->push_back(static_cast<unsigned>(inst.q0));
+        }
+      }
+    }
+  }
+
+  sim::Counts sample(const std::vector<unsigned>& measured_qubits,
+                     std::uint64_t shots, Rng& rng) override {
+    require_state();
+    // Replay with the requested qubits as the program's measurements so
+    // keys pack exactly like the in-process backends (bit j = qubit
+    // measured_qubits[j]); empty = implicit full measurement.
+    qiskit::QuantumCircuit qc = unitary_part();
+    for (unsigned q : measured_qubits) qc.measure(static_cast<int>(q));
+    RunOptions ro = run_options();
+    ro.shots = shots;
+    ro.seed = rng();
+    RunResult<double> result = run_distributed<double>(qc, ro);
+    fold_rank_stats(result);
+    return std::move(result.counts);
+  }
+
+  double expectation(const sim::PauliTerm& term) override {
+    return sim::expectation(gathered_state(), term);
+  }
+  double expectation(const sim::Observable& obs) override {
+    return sim::expectation(gathered_state(), obs);
+  }
+
+  std::uint64_t memory_estimate(
+      const qiskit::QuantumCircuit& qc) const override {
+    // Still a dense statevector — just partitioned. Cluster-wide bytes.
+    constexpr std::uint64_t kAmpBytes = sizeof(std::complex<double>);
+    const unsigned n = qc.num_qubits();
+    if (n >= 60) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << n) * kAmpBytes;
+  }
+
+  const sim::EngineStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.reset(); }
+
+ private:
+  void require_state() const {
+    QGEAR_CHECK_ARG(circuit_.has_value(),
+                    "dist: init_state must precede use");
+  }
+
+  unsigned resolved_ranks() const {
+    unsigned r = opts_.dist_ranks != 0 ? opts_.dist_ranks : 4;
+    // Round down to a power of two (run_distributed requires it).
+    while ((r & (r - 1)) != 0) r &= r - 1;
+    return std::max(1u, r);
+  }
+
+  RunOptions run_options() const {
+    RunOptions ro;
+    ro.num_ranks = static_cast<int>(resolved_ranks());
+    ro.fusion_width = opts_.fusion.max_width;
+    ro.threads_per_rank = opts_.dist_threads_per_rank;
+    return ro;
+  }
+
+  /// The accumulated circuit without its measure instructions (sampling
+  /// re-adds the qubits the caller asks for).
+  qiskit::QuantumCircuit unitary_part() const {
+    qiskit::QuantumCircuit qc(circuit_->num_qubits(), circuit_->name());
+    for (const qiskit::Instruction& inst : circuit_->instructions()) {
+      if (inst.kind != qiskit::GateKind::measure) qc.append(inst);
+    }
+    return qc;
+  }
+
+  sim::StateVector<double> gathered_state() {
+    require_state();
+    const unsigned n = circuit_->num_qubits();
+    QGEAR_CHECK_ARG(n <= 28,
+                    "dist: expectation gathers the full state (n <= 28)");
+    RunOptions ro = run_options();
+    ro.gather_state = true;
+    RunResult<double> result = run_distributed<double>(unitary_part(), ro);
+    fold_rank_stats(result);
+    sim::StateVector<double> state(n);
+    QGEAR_ENSURES(result.state.size() == state.size());
+    std::copy(result.state.begin(), result.state.end(), state.data());
+    return state;
+  }
+
+  void fold_rank_stats(const RunResult<double>& result) {
+    for (const sim::EngineStats& s : result.rank_stats) stats_ += s;
+  }
+
+  sim::BackendOptions opts_;
+  std::optional<qiskit::QuantumCircuit> circuit_;
+  sim::EngineStats stats_;
+};
+
+}  // namespace
+
+void register_dist_backend() {
+  sim::Backend::register_backend("dist", [](const sim::BackendOptions& o) {
+    return std::unique_ptr<sim::Backend>(new DistBackend(o));
+  });
+}
+
+}  // namespace qgear::dist

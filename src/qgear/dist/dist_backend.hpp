@@ -1,0 +1,25 @@
+// Distributed statevector as a sim::Backend.
+//
+// qgear_dist layers above qgear_sim, so the backend cannot self-register
+// from the sim registry's translation unit — call register_dist_backend()
+// once at program start (the CLI tools and dist tests do) and "dist"
+// becomes creatable like any other name:
+//
+//   qgear::dist::register_dist_backend();
+//   auto be = qgear::sim::Backend::create("dist", opts);
+//
+// Semantics are replay-based: apply_circuit accumulates the composed
+// circuit, and each sample()/expectation() call replays it through
+// run_distributed across BackendOptions::dist_ranks SPMD ranks. That
+// keeps the one-shot SPMD driver untouched while conforming to the
+// incremental Backend lifecycle.
+#pragma once
+
+#include "qgear/sim/backend.hpp"
+
+namespace qgear::dist {
+
+/// Registers the "dist" backend factory with sim::Backend. Idempotent.
+void register_dist_backend();
+
+}  // namespace qgear::dist

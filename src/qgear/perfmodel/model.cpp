@@ -293,4 +293,20 @@ double measure_local_sweep_bandwidth(unsigned num_qubits, unsigned blocks,
   return bandwidth;
 }
 
+BackendMemoryEstimate estimate_backend_memory(
+    const qiskit::QuantumCircuit& qc, const std::string& backend,
+    std::uint64_t budget_bytes, const sim::BackendOptions& opts) {
+  BackendMemoryEstimate e;
+  e.backend = backend;
+  e.mem_bytes = sim::Backend::memory_estimate_for(backend, qc, opts);
+  if (budget_bytes > 0 && e.mem_bytes > budget_bytes) {
+    e.feasible = false;
+    e.infeasible_reason =
+        strfmt("%s needs %s, budget is %s", backend.c_str(),
+               human_bytes(e.mem_bytes).c_str(),
+               human_bytes(budget_bytes).c_str());
+  }
+  return e;
+}
+
 }  // namespace qgear::perfmodel

@@ -9,11 +9,13 @@
 // paper-scale times; EXPERIMENTS.md records both.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "qgear/core/transformer.hpp"
 #include "qgear/perfmodel/specs.hpp"
 #include "qgear/qiskit/circuit.hpp"
+#include "qgear/sim/backend.hpp"
 #include "qgear/sim/isa.hpp"
 
 namespace qgear::perfmodel {
@@ -75,6 +77,21 @@ Estimate estimate_gpu(const qiskit::QuantumCircuit& qc,
 Estimate estimate_cpu(const qiskit::QuantumCircuit& qc,
                       const CpuBaselineConfig& config,
                       std::uint64_t shots = 0);
+
+/// Memory price of one circuit under a named sim::Backend — the serve
+/// admission currency — plus feasibility against a byte budget. This is
+/// where the backend choice shows up at paper scale: a 50-qubit GHZ
+/// prices at 16 PiB dense but a few hundred MiB on dd/mps.
+struct BackendMemoryEstimate {
+  std::string backend;
+  std::uint64_t mem_bytes = 0;
+  bool feasible = true;             ///< fits `budget_bytes` (0 = no budget)
+  std::string infeasible_reason;
+};
+
+BackendMemoryEstimate estimate_backend_memory(
+    const qiskit::QuantumCircuit& qc, const std::string& backend,
+    std::uint64_t budget_bytes = 0, const sim::BackendOptions& opts = {});
 
 /// Link class between exchange partners `gbit` global-qubit levels apart.
 enum class LinkClass { nvlink, slingshot, cross_rack };

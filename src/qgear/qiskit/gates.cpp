@@ -107,4 +107,42 @@ bool is_controlled_gate(GateKind kind) {
   return kind == GateKind::cx || kind == GateKind::cz || kind == GateKind::cp;
 }
 
+Mat4 gate_matrix_2q(GateKind kind, double param, unsigned q0, unsigned q1) {
+  QGEAR_CHECK_ARG(q0 != q1,
+                  "gate_matrix_2q: two-qubit gate needs distinct qubits");
+  Mat4 u{};
+  if (kind == GateKind::swap) {
+    // out(hi, lo) = (in_lo, in_hi)
+    for (unsigned ih = 0; ih < 2; ++ih) {
+      for (unsigned il = 0; il < 2; ++il) {
+        u[(2 * il + ih) * 4 + (2 * ih + il)] = cd(1, 0);
+      }
+    }
+    return u;
+  }
+  QGEAR_CHECK_ARG(is_controlled_gate(kind),
+                  "gate_matrix_2q: not a two-qubit unitary: " +
+                      std::string(gate_info(kind).name));
+  const Mat2 tm = controlled_target_matrix(kind, param);
+  const bool control_is_hi = q0 > q1;
+  for (unsigned cin = 0; cin < 2; ++cin) {
+    for (unsigned tin = 0; tin < 2; ++tin) {
+      const unsigned in_hi = control_is_hi ? cin : tin;
+      const unsigned in_lo = control_is_hi ? tin : cin;
+      const unsigned col = 2 * in_hi + in_lo;
+      if (cin == 0) {
+        u[col * 4 + col] = cd(1, 0);
+        continue;
+      }
+      for (unsigned tout = 0; tout < 2; ++tout) {
+        const unsigned out_hi = control_is_hi ? 1u : tout;
+        const unsigned out_lo = control_is_hi ? tout : 1u;
+        const unsigned row = 2 * out_hi + out_lo;
+        u[row * 4 + col] = tm[tout * 2 + tin];
+      }
+    }
+  }
+  return u;
+}
+
 }  // namespace qgear::qiskit

@@ -58,6 +58,17 @@ Mat2 gate_matrix_1q(GateKind kind, double param);
 /// target when the control is |1>. Throws for swap.
 Mat2 controlled_target_matrix(GateKind kind, double param);
 
+/// Row-major 4x4 unitary {u[row*4+col]}.
+using Mat4 = std::array<cd, 16>;
+
+/// The 4x4 matrix of a two-qubit gate over the ordered basis index
+/// 2*bit(q_hi) + bit(q_lo), where q_hi = max(q0, q1) and q_lo =
+/// min(q0, q1). `q0` is the control (or first swap operand), `q1` the
+/// target — the same operand convention as Instruction. Shared by the
+/// decision-diagram and MPS engines, which both need the gate as an
+/// explicit position-ordered matrix.
+Mat4 gate_matrix_2q(GateKind kind, double param, unsigned q0, unsigned q1);
+
 /// True for cx / cz / cp.
 bool is_controlled_gate(GateKind kind);
 

@@ -39,6 +39,7 @@ enum class RejectReason : int {
   queue_full,     ///< global bounded queue at capacity
   tenant_limit,   ///< tenant's in-flight cap (queued + running) reached
   shutting_down,  ///< service is draining or stopped
+  memory_budget,  ///< backend memory estimate exceeds the service budget
 };
 
 const char* reject_reason_name(RejectReason r);
@@ -71,6 +72,11 @@ struct JobSpec {
   /// span the job produces (admit, compile, execute) carries this id, so
   /// `GET /trace?trace_id=<hex>` returns the request's merged timeline.
   std::uint64_t trace_id = 0;
+  /// Simulation backend for this job (empty = the service default).
+  /// Admission prices the job with *this* backend's memory_estimate, so a
+  /// 50-qubit GHZ job is admissible on "dd"/"mps" even though its dense
+  /// statevector price would dwarf any budget.
+  std::string backend;
 };
 
 /// How an accepted job ended, with its latency breakdown.
@@ -85,6 +91,7 @@ struct JobResult {
   double execute_s = 0;     ///< amplitude sweeps
   double e2e_s = 0;         ///< submit -> terminal
   std::uint64_t trace_id = 0;  ///< correlation id of the job's spans
+  std::string backend;      ///< backend that executed (or would have)
   sim::EngineStats stats;   ///< execution counters (completed jobs)
 };
 
@@ -97,7 +104,9 @@ struct JobState {
   std::uint64_t id = 0;
   obs::TraceContext ctx;          ///< resolved at submit (see JobSpec)
   std::uint64_t fingerprint = 0;  ///< cache key (computed at submit)
-  double cost = 1.0;              ///< fair-share charge (gates * 2^n)
+  std::string backend;            ///< resolved backend name
+  std::uint64_t mem_bytes = 0;    ///< backend memory_estimate at submit
+  double cost = 1.0;  ///< fair-share charge (gates * backend amps-equiv)
   Clock::time_point submit_time{};
   Clock::time_point deadline{};      ///< zero when no queue deadline
   Clock::time_point timeout_at{};    ///< zero when no timeout

@@ -106,6 +106,8 @@ LoadGenReport run_load(SimService& svc, const LoadGenOptions& opts) {
   report.cache_enabled = svc.cache().enabled();
   report.cache_max_bytes = svc.cache().max_bytes();
   report.fp64 = svc.options().fp64;
+  report.backend = svc.options().backend;
+  report.memory_budget_bytes = svc.options().memory_budget_bytes;
 
   WallTimer wall;
   const auto start = std::chrono::steady_clock::now();
@@ -155,6 +157,9 @@ LoadGenReport run_load(SimService& svc, const LoadGenOptions& opts) {
           break;
         case RejectReason::tenant_limit:
           ++report.rejected_tenant_limit;
+          break;
+        case RejectReason::memory_budget:
+          ++report.rejected_memory_budget;
           break;
         default:
           ++report.rejected_shutting_down;
@@ -239,6 +244,8 @@ obs::JsonValue LoadGenReport::to_json() const {
   config.set("cache_enabled", cache_enabled);
   config.set("cache_max_bytes", std::uint64_t{cache_max_bytes});
   config.set("precision", fp64 ? "fp64" : "fp32");
+  config.set("backend", backend);
+  config.set("memory_budget_bytes", std::uint64_t{memory_budget_bytes});
   config.set("tenants", opts.tenants);
   config.set("arrival_rate_hz", opts.arrival_rate_hz);
   config.set("duplicate_ratio", opts.duplicate_ratio);
@@ -265,6 +272,8 @@ obs::JsonValue LoadGenReport::to_json() const {
   totals.set("rejected_tenant_limit", std::uint64_t{rejected_tenant_limit});
   totals.set("rejected_shutting_down",
              std::uint64_t{rejected_shutting_down});
+  totals.set("rejected_memory_budget",
+             std::uint64_t{rejected_memory_budget});
   root.set("totals", std::move(totals));
 
   root.set("wall_seconds", wall_seconds);
@@ -311,8 +320,8 @@ std::string LoadGenReport::summary() const {
   out += strfmt(
       "serve load: %llu submitted, %llu accepted, %llu completed, "
       "%llu rejected (%llu queue_full / %llu tenant_limit / %llu "
-      "shutting_down), %llu expired, %llu timed out, %llu cancelled, "
-      "%llu failed, %llu dropped\n",
+      "shutting_down / %llu memory_budget), %llu expired, %llu timed out, "
+      "%llu cancelled, %llu failed, %llu dropped\n",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(accepted),
       static_cast<unsigned long long>(completed),
@@ -320,14 +329,15 @@ std::string LoadGenReport::summary() const {
       static_cast<unsigned long long>(rejected_queue_full),
       static_cast<unsigned long long>(rejected_tenant_limit),
       static_cast<unsigned long long>(rejected_shutting_down),
+      static_cast<unsigned long long>(rejected_memory_budget),
       static_cast<unsigned long long>(deadline_expired),
       static_cast<unsigned long long>(timed_out),
       static_cast<unsigned long long>(cancelled),
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(dropped_on_shutdown));
-  out += strfmt("  wall %s, throughput %.1f jobs/s, workers %u\n",
+  out += strfmt("  wall %s, throughput %.1f jobs/s, workers %u, backend %s\n",
                 human_seconds(wall_seconds).c_str(), throughput_jobs_per_s,
-                workers);
+                workers, backend.c_str());
   const auto line = [](const char* name, const LatencySummary& s) {
     return strfmt("  %-11s p50 %s  p95 %s  p99 %s  max %s (n=%llu)\n", name,
                   human_seconds(s.p50_us / 1e6).c_str(),

@@ -71,6 +71,8 @@ struct LoadGenReport {
   bool cache_enabled = true;
   std::uint64_t cache_max_bytes = 0;
   bool fp64 = false;
+  std::string backend = "fused";
+  std::uint64_t memory_budget_bytes = 0;  ///< 0 = unlimited
 
   std::uint64_t submitted = 0;
   std::uint64_t accepted = 0;
@@ -83,6 +85,7 @@ struct LoadGenReport {
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_tenant_limit = 0;
   std::uint64_t rejected_shutting_down = 0;
+  std::uint64_t rejected_memory_budget = 0;
   std::uint64_t cache_hits_among_completed = 0;
 
   double wall_seconds = 0;  ///< first submit -> drain complete
@@ -102,7 +105,7 @@ struct LoadGenReport {
 
   std::uint64_t rejected_total() const {
     return rejected_queue_full + rejected_tenant_limit +
-           rejected_shutting_down;
+           rejected_shutting_down + rejected_memory_budget;
   }
 
   /// Serializes as qgear.serve.report/v1 (docs/serve_report.schema.json).

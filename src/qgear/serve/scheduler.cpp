@@ -44,6 +44,8 @@ const char* reject_reason_name(RejectReason r) {
       return "tenant_limit";
     case RejectReason::shutting_down:
       return "shutting_down";
+    case RejectReason::memory_budget:
+      return "memory_budget";
   }
   return "unknown";
 }

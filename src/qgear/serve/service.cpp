@@ -1,10 +1,11 @@
 #include "qgear/serve/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <utility>
 
-#include "qgear/common/bits.hpp"
+#include "qgear/common/error.hpp"
 #include "qgear/common/log.hpp"
 #include "qgear/common/timer.hpp"
 #include "qgear/obs/context.hpp"
@@ -37,11 +38,15 @@ obs::Counter& rejected_counter(RejectReason r) {
       obs::Registry::global().counter("serve.rejected.tenant_limit");
   static obs::Counter& shutdown =
       obs::Registry::global().counter("serve.rejected.shutting_down");
+  static obs::Counter& memory =
+      obs::Registry::global().counter("serve.rejected.memory_budget");
   switch (r) {
     case RejectReason::tenant_limit:
       return tenant;
     case RejectReason::shutting_down:
       return shutdown;
+    case RejectReason::memory_budget:
+      return memory;
     default:
       return full;
   }
@@ -138,12 +143,29 @@ JobTicket SimService::submit(JobSpec spec) {
     admit_span.arg("job_id", std::to_string(state->id));
   }
   state->fingerprint = qiskit::circuit_fingerprint(state->spec.circuit);
-  // Fair-share charge: one amplitude sweep per gate is the upper bound of
-  // the work a circuit can cost, so gates * 2^n orders tenants sensibly
-  // across mixed circuit sizes (the exact constant cancels in the ratio).
-  const unsigned n = std::min(state->spec.circuit.num_qubits(), 40u);
-  state->cost = static_cast<double>(state->spec.circuit.size() + 1) *
-                static_cast<double>(pow2(n));
+  state->backend =
+      state->spec.backend.empty() ? opts_.backend : state->spec.backend;
+  QGEAR_CHECK_ARG(sim::Backend::is_registered(state->backend),
+                  "serve: unknown backend '" + state->backend + "'");
+  // Price the job in the bytes *its* backend would need. This is the
+  // admission currency: a dd/mps job is charged its structure-aware
+  // estimate, not the 2^n statevector price that would reject every
+  // large-but-sparse circuit.
+  state->mem_bytes = sim::Backend::memory_estimate_for(
+      state->backend, state->spec.circuit, backend_options());
+  if (opts_.memory_budget_bytes > 0 &&
+      state->mem_bytes > opts_.memory_budget_bytes) {
+    rejected_counter(RejectReason::memory_budget).add();
+    return JobTicket(RejectReason::memory_budget);
+  }
+  // Fair-share charge: one sweep over the resident state per gate is the
+  // upper bound of the work a circuit can cost, so gates * amplitudes
+  // (memory estimate / bytes-per-amp) orders tenants sensibly across
+  // mixed circuit sizes and backends. For statevector backends this is
+  // exactly the old gates * 2^n charge.
+  state->cost =
+      static_cast<double>(state->spec.circuit.size() + 1) *
+      std::max(static_cast<double>(state->mem_bytes) / 16.0, 1.0);
   state->submit_time = Clock::now();
   if (state->spec.queue_deadline_s > 0) {
     state->deadline =
@@ -196,6 +218,7 @@ void SimService::finish(JobState& job, JobResult&& result) {
 void SimService::process(FairScheduler::Popped popped) {
   JobState& job = *popped.job;
   JobResult result;
+  result.backend = job.backend;
   result.queue_wait_s = seconds_between(job.submit_time, Clock::now());
 
   if (popped.expired) {
@@ -217,7 +240,32 @@ void SimService::process(FairScheduler::Popped popped) {
   if (span.active()) {
     span.arg("tenant", job.spec.tenant);
     span.arg("priority", priority_name(job.spec.priority));
+    span.arg("backend", job.backend);
     span.arg("fingerprint", qiskit::fingerprint_hex(job.fingerprint));
+  }
+
+  // Non-statevector backends bypass the fused-block compile cache (their
+  // execution is not plan-shaped) and run through sim::Backend with the
+  // same cooperative cancellation granularity.
+  if (job.backend != "fused") {
+    try {
+      WallTimer exec_timer;
+      const bool ran_to_completion = execute_backend(job, &result.stats);
+      result.execute_s = exec_timer.seconds();
+      if (ran_to_completion) {
+        result.status = JobStatus::completed;
+      } else if (job.cancel_requested.load(std::memory_order_relaxed)) {
+        result.status = JobStatus::cancelled;
+      } else {
+        result.status = JobStatus::timed_out;
+      }
+    } catch (const std::exception& e) {
+      result.status = JobStatus::failed;
+      result.error = e.what();
+      log::warn(std::string("serve: job failed: ") + e.what());
+    }
+    finish(job, std::move(result));
+    return;
   }
 
   try {
@@ -296,6 +344,39 @@ bool SimService::execute_plan(JobState& job, const CompiledCircuit& compiled,
     stats->gates += block.source_gates;
   }
   stats->seconds += timer.seconds();
+  return true;
+}
+
+sim::BackendOptions SimService::backend_options() const {
+  sim::BackendOptions bo;
+  bo.pool = nullptr;  // inter-job parallelism only, like the fused path
+  bo.fusion = opts_.fusion;
+  bo.dd = opts_.dd;
+  bo.mps = opts_.mps;
+  return bo;
+}
+
+bool SimService::execute_backend(JobState& job, sim::EngineStats* stats) {
+  auto backend = sim::Backend::create(job.backend, backend_options());
+  const qiskit::QuantumCircuit& qc = job.spec.circuit;
+  backend->init_state(qc.num_qubits());
+  // Cooperative cancellation/timeout between chunks of gates — the
+  // backend analogue of the fused path's between-block checks.
+  constexpr std::size_t kChunkGates = 32;
+  const auto& instructions = qc.instructions();
+  for (std::size_t start = 0; start < instructions.size();
+       start += kChunkGates) {
+    if (job.cancel_requested.load(std::memory_order_relaxed)) return false;
+    if (job.has_timeout() && Clock::now() > job.timeout_at) return false;
+    const std::size_t stop =
+        std::min(start + kChunkGates, instructions.size());
+    qiskit::QuantumCircuit chunk(qc.num_qubits());
+    for (std::size_t i = start; i < stop; ++i) {
+      chunk.append(instructions[i]);
+    }
+    backend->apply_circuit(chunk);
+  }
+  *stats += backend->stats();  // engines track their own seconds
   return true;
 }
 

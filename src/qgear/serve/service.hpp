@@ -35,6 +35,7 @@
 #include "qgear/serve/compile_cache.hpp"
 #include "qgear/serve/job.hpp"
 #include "qgear/serve/scheduler.hpp"
+#include "qgear/sim/backend.hpp"
 #include "qgear/sim/fusion.hpp"
 
 namespace qgear::serve {
@@ -49,6 +50,17 @@ class SimService {
     bool fp64 = false;  ///< execution precision (default fp32)
     /// Fair-share weights (absent tenants default to 1.0).
     std::map<std::string, double> tenant_weights;
+    /// Default execution backend for jobs whose JobSpec leaves `backend`
+    /// empty. "fused" keeps the cached fused-block fast path; any other
+    /// registered name executes through sim::Backend.
+    std::string backend = "fused";
+    /// Admission cap on a single job's backend memory_estimate, in bytes
+    /// (0 = unlimited). The estimate is priced per backend — a dd/mps job
+    /// is admitted by *its* structure-aware cost, never the 2^n
+    /// statevector price.
+    std::uint64_t memory_budget_bytes = 0;
+    sim::DdEngine::Options dd;    ///< dd backend knobs (node budget)
+    sim::MpsEngine::Options mps;  ///< mps backend knobs (cutoff/max bond)
   };
 
   SimService() : SimService(Options{}) {}
@@ -86,7 +98,9 @@ class SimService {
   template <typename T>
   bool execute_plan(JobState& job, const CompiledCircuit& compiled,
                     sim::EngineStats* stats);
+  bool execute_backend(JobState& job, sim::EngineStats* stats);
   void finish(JobState& job, JobResult&& result);
+  sim::BackendOptions backend_options() const;
 
   Options opts_;
   unsigned num_workers_ = 1;

@@ -1,0 +1,635 @@
+#include "qgear/sim/dd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "qgear/common/error.hpp"
+#include "qgear/common/timer.hpp"
+#include "qgear/obs/metrics.hpp"
+#include "qgear/obs/trace.hpp"
+#include "qgear/qiskit/gates.hpp"
+
+namespace qgear::sim {
+
+namespace dd {
+
+namespace {
+
+using cd = std::complex<double>;
+
+constexpr std::size_t kChunkNodes = 4096;
+/// Relative magnitude below which a child weight is snapped to exact zero
+/// (keeps diagrams reduced in the face of floating-point cancellation).
+constexpr double kZeroSnap = 1e-12;
+/// Absolute tolerance for unique-table weight matching (weights are
+/// normalized, |w| <= 1).
+constexpr double kMergeTol = 1e-10;
+
+Edge scaled(const Edge& e, const cd& w) {
+  if (e.is_zero() || w == cd(0, 0)) return Edge{e.node, {0, 0}};
+  return Edge{e.node, e.w * w};
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::int64_t quantize(double x) {
+  // Coarse enough that weights within kMergeTol almost always share a
+  // bucket; a boundary miss only costs a duplicate node, not correctness.
+  return std::llround(x * 1048576.0);
+}
+
+}  // namespace
+
+std::size_t Package::AddKeyHash::operator()(const AddKey& k) const {
+  std::uint64_t h = 0;
+  h = mix(h, reinterpret_cast<std::uintptr_t>(k.a));
+  h = mix(h, reinterpret_cast<std::uintptr_t>(k.b));
+  std::uint64_t bits;
+  const double parts[4] = {k.wa.real(), k.wa.imag(), k.wb.real(),
+                           k.wb.imag()};
+  for (double p : parts) {
+    std::memcpy(&bits, &p, sizeof(bits));
+    h = mix(h, bits);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+Package::Package(std::uint64_t max_nodes) {
+  max_nodes_ = std::max<std::uint64_t>(max_nodes, 1024);
+  terminal_.terminal = true;
+  // Bucket count: power of two near max_nodes, capped so an engine with a
+  // huge budget doesn't pre-pay gigabytes of empty buckets.
+  std::uint64_t buckets = 1024;
+  while (buckets < max_nodes_ && buckets < (std::uint64_t{1} << 20)) {
+    buckets <<= 1;
+  }
+  table_.assign(static_cast<std::size_t>(buckets), nullptr);
+}
+
+Package::~Package() = default;
+
+std::uint64_t Package::hash_node(unsigned var, const Edge& e0,
+                                 const Edge& e1) {
+  std::uint64_t h = var;
+  h = mix(h, reinterpret_cast<std::uintptr_t>(e0.node));
+  h = mix(h, static_cast<std::uint64_t>(quantize(e0.w.real())));
+  h = mix(h, static_cast<std::uint64_t>(quantize(e0.w.imag())));
+  h = mix(h, reinterpret_cast<std::uintptr_t>(e1.node));
+  h = mix(h, static_cast<std::uint64_t>(quantize(e1.w.real())));
+  h = mix(h, static_cast<std::uint64_t>(quantize(e1.w.imag())));
+  return h;
+}
+
+bool Package::weights_close(const cd& a, const cd& b) {
+  return std::abs(a.real() - b.real()) <= kMergeTol &&
+         std::abs(a.imag() - b.imag()) <= kMergeTol;
+}
+
+Node* Package::alloc_node() {
+  if (live_nodes_ >= max_nodes_) {
+    throw OutOfMemoryBudget(
+        "dd: live node count would exceed max_nodes=" +
+        std::to_string(max_nodes_) +
+        " (circuit builds too much entanglement for the DD paradigm; "
+        "raise the node budget or use a statevector/mps backend)");
+  }
+  Node* v;
+  if (free_list_ != nullptr) {
+    v = free_list_;
+    free_list_ = v->next;
+    *v = Node{};
+  } else {
+    if (pool_.empty() || pool_.back().size() == pool_.back().capacity()) {
+      pool_.emplace_back();
+      pool_.back().reserve(kChunkNodes);
+    }
+    pool_.back().emplace_back();
+    v = &pool_.back().back();
+  }
+  ++live_nodes_;
+  peak_nodes_ = std::max(peak_nodes_, live_nodes_);
+  return v;
+}
+
+void Package::unlink_from_table(Node* v) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      hash_node(v->var, v->e[0], v->e[1]) & (table_.size() - 1));
+  Node** link = &table_[bucket];
+  while (*link != nullptr) {
+    if (*link == v) {
+      *link = v->next;
+      return;
+    }
+    link = &(*link)->next;
+  }
+}
+
+Edge Package::make_node(unsigned var, Edge e0, Edge e1) {
+  // Canonicalize: zero-weight children always point at the terminal.
+  const double m0 = std::abs(e0.w);
+  const double m1 = std::abs(e1.w);
+  const double m = std::max(m0, m1);
+  if (m == 0.0) return zero_edge();
+  if (m0 < kZeroSnap * m) e0 = zero_edge();
+  if (m1 < kZeroSnap * m) e1 = zero_edge();
+
+  // Normalize on the larger-magnitude child; its weight becomes exactly 1.
+  const bool pivot1 = std::abs(e1.w) > std::abs(e0.w);
+  const cd top = pivot1 ? e1.w : e0.w;
+  if (!e0.is_zero()) e0.w /= top;
+  if (!e1.is_zero()) e1.w /= top;
+  (pivot1 ? e1 : e0).w = cd(1, 0);
+
+  const std::size_t bucket = static_cast<std::size_t>(
+      hash_node(var, e0, e1) & (table_.size() - 1));
+  for (Node* c = table_[bucket]; c != nullptr; c = c->next) {
+    if (c->var == var && c->e[0].node == e0.node && c->e[1].node == e1.node &&
+        weights_close(c->e[0].w, e0.w) && weights_close(c->e[1].w, e1.w)) {
+      return Edge{c, top};
+    }
+  }
+
+  Node* v = alloc_node();
+  v->var = var;
+  v->e[0] = e0;
+  v->e[1] = e1;
+  for (int b = 0; b < 2; ++b) {
+    if (!v->e[b].node->terminal) ++v->e[b].node->ref;
+  }
+  v->next = table_[bucket];
+  table_[bucket] = v;
+  return Edge{v, top};
+}
+
+Edge Package::make_basis_state(unsigned n, std::uint64_t x) {
+  QGEAR_CHECK_ARG(n >= 1, "dd: basis state needs at least one qubit");
+  Edge e{&terminal_, {1, 0}};
+  for (unsigned k = 0; k < n; ++k) {
+    const bool bit = k < 64 && ((x >> k) & 1) != 0;
+    e = bit ? make_node(k, zero_edge(), e) : make_node(k, e, zero_edge());
+  }
+  return e;
+}
+
+void Package::inc_ref(Edge e) {
+  if (e.node != nullptr && !e.node->terminal) ++e.node->ref;
+}
+
+void Package::dec_ref(Edge e) {
+  if (e.node == nullptr || e.node->terminal) return;
+  QGEAR_EXPECTS(e.node->ref > 0);
+  --e.node->ref;
+}
+
+void Package::collect_garbage() {
+  clear_caches();
+  std::vector<Node*> stack;
+  for (auto& chunk : pool_) {
+    for (Node& v : chunk) {
+      if (!v.dead && v.ref == 0) stack.push_back(&v);
+    }
+  }
+  while (!stack.empty()) {
+    Node* v = stack.back();
+    stack.pop_back();
+    if (v->dead || v->ref != 0) continue;
+    unlink_from_table(v);
+    for (int b = 0; b < 2; ++b) {
+      Node* c = v->e[b].node;
+      if (c != nullptr && !c->terminal) {
+        QGEAR_EXPECTS(c->ref > 0);
+        if (--c->ref == 0) stack.push_back(c);
+      }
+    }
+    v->dead = true;
+    v->next = free_list_;
+    free_list_ = v;
+    --live_nodes_;
+  }
+}
+
+void Package::clear_caches() {
+  apply_cache_.clear();
+  add_cache_.clear();
+  inner_cache_.clear();
+  norm_cache_.clear();
+}
+
+Edge Package::add(Edge a, Edge b) {
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  if (a.node->terminal && b.node->terminal) {
+    const cd w = a.w + b.w;
+    if (std::abs(w) < kZeroSnap * std::max(std::abs(a.w), std::abs(b.w))) {
+      return zero_edge();
+    }
+    return Edge{&terminal_, w};
+  }
+  QGEAR_EXPECTS(!a.node->terminal && !b.node->terminal);
+  QGEAR_EXPECTS(a.node->var == b.node->var);
+  if (b.node < a.node) std::swap(a, b);  // addition commutes; share entries
+
+  const AddKey key{a.node, b.node, a.w, b.w};
+  if (auto it = add_cache_.find(key); it != add_cache_.end()) {
+    return it->second;
+  }
+  Edge r[2];
+  for (int i = 0; i < 2; ++i) {
+    r[i] = add(scaled(a.node->e[i], a.w), scaled(b.node->e[i], b.w));
+  }
+  const Edge res = make_node(a.node->var, r[0], r[1]);
+  add_cache_.emplace(key, res);
+  return res;
+}
+
+Edge Package::apply1_rec(Node* v, unsigned q, const cd* u, std::uint64_t op,
+                         unsigned slot) {
+  const void* tag = reinterpret_cast<const void*>(
+      static_cast<std::uintptr_t>(op * 8 + slot));
+  const std::pair<const void*, const void*> key{v, tag};
+  if (auto it = apply_cache_.find(key); it != apply_cache_.end()) {
+    return it->second;
+  }
+  Edge res;
+  if (v->var == q) {
+    const Edge lo = v->e[0];
+    const Edge hi = v->e[1];
+    const Edge r0 = add(scaled(lo, u[0]), scaled(hi, u[1]));
+    const Edge r1 = add(scaled(lo, u[2]), scaled(hi, u[3]));
+    res = make_node(q, r0, r1);
+  } else {
+    QGEAR_EXPECTS(v->var > q);
+    Edge r[2];
+    for (int b = 0; b < 2; ++b) {
+      const Edge c = v->e[b];
+      if (c.is_zero()) {
+        r[b] = zero_edge();
+      } else {
+        r[b] = scaled(apply1_rec(c.node, q, u, op, slot), c.w);
+      }
+    }
+    res = make_node(v->var, r[0], r[1]);
+  }
+  apply_cache_.emplace(key, res);
+  return res;
+}
+
+Edge Package::apply_mat2(Edge root, unsigned q, const cd u[4]) {
+  if (root.is_zero()) return zero_edge();
+  QGEAR_EXPECTS(!root.node->terminal && root.node->var >= q);
+  const std::uint64_t op = ++op_seq_;
+  Edge r = apply1_rec(root.node, q, u, op, 4);
+  return scaled(r, root.w);
+}
+
+Edge Package::apply2_rec(Node* v, unsigned q_hi, unsigned q_lo, const cd* u,
+                         std::uint64_t op) {
+  const void* tag = reinterpret_cast<const void*>(
+      static_cast<std::uintptr_t>(op * 8 + 5));
+  const std::pair<const void*, const void*> key{v, tag};
+  if (auto it = apply_cache_.find(key); it != apply_cache_.end()) {
+    return it->second;
+  }
+  Edge res;
+  if (v->var > q_hi) {
+    Edge r[2];
+    for (int b = 0; b < 2; ++b) {
+      const Edge c = v->e[b];
+      if (c.is_zero()) {
+        r[b] = zero_edge();
+      } else {
+        r[b] = scaled(apply2_rec(c.node, q_hi, q_lo, u, op), c.w);
+      }
+    }
+    res = make_node(v->var, r[0], r[1]);
+  } else {
+    QGEAR_EXPECTS(v->var == q_hi);
+    Edge r[2];
+    for (unsigned s = 0; s < 2; ++s) {
+      Edge acc = zero_edge();
+      for (unsigned t = 0; t < 2; ++t) {
+        const Edge c = v->e[t];
+        if (c.is_zero()) continue;
+        // 2x2 block acting on q_lo for (hi_out = s, hi_in = t).
+        const cd b[4] = {u[(2 * s + 0) * 4 + (2 * t + 0)],
+                         u[(2 * s + 0) * 4 + (2 * t + 1)],
+                         u[(2 * s + 1) * 4 + (2 * t + 0)],
+                         u[(2 * s + 1) * 4 + (2 * t + 1)]};
+        if (b[0] == cd(0, 0) && b[1] == cd(0, 0) && b[2] == cd(0, 0) &&
+            b[3] == cd(0, 0)) {
+          continue;
+        }
+        const Edge sub =
+            scaled(apply1_rec(c.node, q_lo, b, op, 2 * s + t), c.w);
+        acc = add(acc, sub);
+      }
+      r[s] = acc;
+    }
+    res = make_node(q_hi, r[0], r[1]);
+  }
+  apply_cache_.emplace(key, res);
+  return res;
+}
+
+Edge Package::apply_mat4(Edge root, unsigned q_hi, unsigned q_lo,
+                         const cd u[16]) {
+  QGEAR_EXPECTS(q_hi > q_lo);
+  if (root.is_zero()) return zero_edge();
+  QGEAR_EXPECTS(!root.node->terminal && root.node->var >= q_hi);
+  const std::uint64_t op = ++op_seq_;
+  Edge r = apply2_rec(root.node, q_hi, q_lo, u, op);
+  return scaled(r, root.w);
+}
+
+Edge Package::apply_instruction(Edge root, const qiskit::Instruction& inst) {
+  const qiskit::GateInfo& info = qiskit::gate_info(inst.kind);
+  if (!info.unitary) return root;  // measure/barrier: engine bookkeeping
+
+  if (info.num_qubits == 1) {
+    const qiskit::Mat2 m = qiskit::gate_matrix_1q(inst.kind, inst.param);
+    return apply_mat2(root, static_cast<unsigned>(inst.q0), m.data());
+  }
+
+  const unsigned a = static_cast<unsigned>(inst.q0);
+  const unsigned b = static_cast<unsigned>(inst.q1);
+  const qiskit::Mat4 u = qiskit::gate_matrix_2q(inst.kind, inst.param, a, b);
+  return apply_mat4(root, std::max(a, b), std::min(a, b), u.data());
+}
+
+std::complex<double> Package::inner_rec(const Node* a, const Node* b) {
+  if (a->terminal || b->terminal) {
+    QGEAR_EXPECTS(a->terminal && b->terminal);
+    return cd(1, 0);
+  }
+  const std::pair<const void*, const void*> key{a, b};
+  if (auto it = inner_cache_.find(key); it != inner_cache_.end()) {
+    return it->second;
+  }
+  cd acc(0, 0);
+  for (int i = 0; i < 2; ++i) {
+    const Edge& ea = a->e[i];
+    const Edge& eb = b->e[i];
+    if (ea.is_zero() || eb.is_zero()) continue;
+    acc += std::conj(ea.w) * eb.w * inner_rec(ea.node, eb.node);
+  }
+  inner_cache_.emplace(key, acc);
+  return acc;
+}
+
+std::complex<double> Package::inner_product(Edge a, Edge b) {
+  if (a.is_zero() || b.is_zero()) return cd(0, 0);
+  return std::conj(a.w) * b.w * inner_rec(a.node, b.node);
+}
+
+double Package::norm_rec(const Node* v) {
+  if (v->terminal) return 1.0;
+  if (auto it = norm_cache_.find(v); it != norm_cache_.end()) {
+    return it->second;
+  }
+  double acc = 0;
+  for (int i = 0; i < 2; ++i) {
+    const Edge& e = v->e[i];
+    if (e.is_zero()) continue;
+    acc += std::norm(e.w) * norm_rec(e.node);
+  }
+  norm_cache_.emplace(v, acc);
+  return acc;
+}
+
+double Package::norm2(Edge e) {
+  if (e.is_zero()) return 0.0;
+  return std::norm(e.w) * norm_rec(e.node);
+}
+
+std::complex<double> Package::amplitude(Edge root, std::uint64_t index,
+                                        unsigned n) const {
+  if (root.is_zero()) return cd(0, 0);
+  cd w = root.w;
+  const Node* v = root.node;
+  for (unsigned k = n; k-- > 0;) {
+    QGEAR_EXPECTS(!v->terminal);
+    const Edge& e = v->e[(index >> k) & 1];
+    if (e.is_zero()) return cd(0, 0);
+    w *= e.w;
+    v = e.node;
+  }
+  QGEAR_EXPECTS(v->terminal);
+  return w;
+}
+
+}  // namespace dd
+
+// ---------------------------------------------------------------------------
+// DdEngine
+
+DdEngine::DdEngine() : DdEngine(Options{}) {}
+DdEngine::DdEngine(Options opts) : opts_(opts) {}
+DdEngine::~DdEngine() {
+  if (pkg_ != nullptr) pkg_->dec_ref(root_);
+}
+
+void DdEngine::init_state(unsigned num_qubits) {
+  QGEAR_CHECK_ARG(num_qubits >= 1 && num_qubits <= 1024,
+                  "dd: qubit count must be in 1..1024");
+  pkg_ = std::make_unique<dd::Package>(opts_.max_nodes);
+  num_qubits_ = num_qubits;
+  root_ = pkg_->make_basis_state(num_qubits, 0);
+  pkg_->inc_ref(root_);
+}
+
+void DdEngine::apply(const qiskit::QuantumCircuit& qc,
+                     std::vector<unsigned>* measured) {
+  QGEAR_CHECK_ARG(pkg_ != nullptr, "dd: init_state must precede apply");
+  QGEAR_CHECK_ARG(qc.num_qubits() == num_qubits_,
+                  "dd: circuit and state qubit counts differ");
+  obs::Tracer& tracer = obs::Tracer::global();
+  obs::Span apply_span(tracer, "dd.apply", "sim");
+  const EngineStats before = stats_;
+  WallTimer timer;
+  std::uint64_t gc_watermark =
+      std::max<std::uint64_t>(4096, 2 * pkg_->live_nodes());
+  for (const qiskit::Instruction& inst : qc.instructions()) {
+    ++stats_.gates;
+    if (inst.kind == qiskit::GateKind::barrier) continue;
+    if (inst.kind == qiskit::GateKind::measure) {
+      if (measured != nullptr) {
+        measured->push_back(static_cast<unsigned>(inst.q0));
+      }
+      continue;
+    }
+    try {
+      const dd::Edge next = pkg_->apply_instruction(root_, inst);
+      pkg_->inc_ref(next);
+      pkg_->dec_ref(root_);
+      root_ = next;
+    } catch (...) {
+      // Reclaim the failed gate's intermediates so the engine stays usable
+      // (old root is intact — the gate simply did not happen).
+      pkg_->collect_garbage();
+      stats_.seconds += timer.seconds();
+      stats_.dd_nodes = std::max(stats_.dd_nodes, pkg_->peak_nodes());
+      throw;
+    }
+    pkg_->clear_caches();
+    if (pkg_->live_nodes() > gc_watermark) {
+      pkg_->collect_garbage();
+      gc_watermark = std::max<std::uint64_t>(4096, 2 * pkg_->live_nodes());
+    }
+    ++stats_.sweeps;
+    stats_.amp_ops += pkg_->live_nodes();
+  }
+  stats_.dd_nodes = std::max(stats_.dd_nodes, pkg_->peak_nodes());
+  stats_.seconds += timer.seconds();
+
+  auto& reg = obs::Registry::global();
+  reg.counter("sim.gates").add(stats_.gates - before.gates);
+  reg.counter("sim.sweeps").add(stats_.sweeps - before.sweeps);
+  reg.counter("sim.amp_ops").add(stats_.amp_ops - before.amp_ops);
+  if (apply_span.active()) {
+    apply_span.arg("gates", stats_.gates - before.gates);
+    apply_span.arg("qubits", std::uint64_t{qc.num_qubits()});
+    apply_span.arg("live_nodes", pkg_->live_nodes());
+  }
+}
+
+Counts DdEngine::sample(const std::vector<unsigned>& measured_qubits,
+                        std::uint64_t shots, Rng& rng) {
+  QGEAR_CHECK_ARG(pkg_ != nullptr, "dd: init_state must precede sample");
+  std::vector<unsigned> mq = measured_qubits;
+  if (mq.empty()) {
+    mq.resize(num_qubits_);
+    for (unsigned q = 0; q < num_qubits_; ++q) mq[q] = q;
+  }
+  QGEAR_CHECK_ARG(mq.size() <= 64,
+                  "dd: at most 64 qubits can be packed into one outcome key");
+  for (std::size_t j = 0; j < mq.size(); ++j) {
+    QGEAR_CHECK_ARG(mq[j] < num_qubits_, "dd: measured qubit out of range");
+    QGEAR_CHECK_ARG(j == 0 || mq[j] > mq[j - 1],
+                    "dd: measured qubits must be strictly ascending");
+  }
+  const double total = pkg_->norm2(root_);  // primes the norm memo
+  QGEAR_CHECK_ARG(total > 0, "dd: cannot sample a zero-norm state");
+
+  Counts counts;
+  std::vector<int> bits(num_qubits_, 0);
+  for (std::uint64_t shot = 0; shot < shots; ++shot) {
+    const dd::Node* v = root_.node;
+    for (unsigned k = num_qubits_; k-- > 0;) {
+      const dd::Edge& e0 = v->e[0];
+      const dd::Edge& e1 = v->e[1];
+      const double w1 = pkg_->norm2(e1);
+      const double w0 = pkg_->norm2(e0);
+      const int bit = rng.uniform() * (w0 + w1) < w1 ? 1 : 0;
+      bits[k] = bit;
+      v = (bit ? e1 : e0).node;
+    }
+    std::uint64_t key = 0;
+    for (std::size_t j = 0; j < mq.size(); ++j) {
+      key |= static_cast<std::uint64_t>(bits[mq[j]]) << j;
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+double DdEngine::expectation(const PauliTerm& term) {
+  QGEAR_CHECK_ARG(pkg_ != nullptr, "dd: init_state must precede expectation");
+  QGEAR_CHECK_ARG(term.ops.size() <= num_qubits_,
+                  "dd: Pauli term acts on more qubits than the state has");
+  using cd = std::complex<double>;
+  static constexpr cd kX[4] = {{0, 0}, {1, 0}, {1, 0}, {0, 0}};
+  static constexpr cd kY[4] = {{0, 0}, {0, -1}, {0, 1}, {0, 0}};
+  static constexpr cd kZ[4] = {{1, 0}, {0, 0}, {0, 0}, {-1, 0}};
+  dd::Edge e = root_;
+  for (unsigned q = 0; q < term.ops.size(); ++q) {
+    const cd* m = nullptr;
+    switch (term.ops[q]) {
+      case Pauli::I: continue;
+      case Pauli::X: m = kX; break;
+      case Pauli::Y: m = kY; break;
+      case Pauli::Z: m = kZ; break;
+    }
+    e = pkg_->apply_mat2(e, q, m);
+  }
+  const double value = term.coefficient * pkg_->inner_product(root_, e).real();
+  // The P|psi> intermediates are unreferenced; reclaim them now.
+  pkg_->collect_garbage();
+  return value;
+}
+
+double DdEngine::expectation(const Observable& obs) {
+  double acc = 0;
+  for (const PauliTerm& term : obs.terms()) acc += expectation(term);
+  return acc;
+}
+
+std::complex<double> DdEngine::amplitude(std::uint64_t index) const {
+  QGEAR_CHECK_ARG(pkg_ != nullptr, "dd: init_state must precede amplitude");
+  return pkg_->amplitude(root_, index, num_qubits_);
+}
+
+double DdEngine::norm() const {
+  QGEAR_CHECK_ARG(pkg_ != nullptr, "dd: init_state must precede norm");
+  return std::sqrt(pkg_->norm2(root_));
+}
+
+std::vector<std::complex<double>> DdEngine::to_statevector() const {
+  QGEAR_CHECK_ARG(pkg_ != nullptr,
+                  "dd: init_state must precede to_statevector");
+  QGEAR_CHECK_ARG(num_qubits_ <= 26,
+                  "dd: to_statevector limited to 26 qubits");
+  std::vector<std::complex<double>> out(std::uint64_t{1} << num_qubits_,
+                                        {0, 0});
+  if (root_.is_zero()) return out;
+  struct Frame {
+    const dd::Node* node;
+    std::complex<double> w;
+    std::uint64_t idx;
+  };
+  std::vector<Frame> stack{{root_.node, root_.w, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.node->terminal) {
+      out[f.idx] = f.w;
+      continue;
+    }
+    for (int b = 0; b < 2; ++b) {
+      const dd::Edge& e = f.node->e[b];
+      if (e.is_zero()) continue;
+      stack.push_back({e.node, f.w * e.w,
+                       f.idx | (std::uint64_t{static_cast<unsigned>(b)}
+                                << f.node->var)});
+    }
+  }
+  return out;
+}
+
+std::uint64_t DdEngine::live_nodes() const {
+  return pkg_ != nullptr ? pkg_->live_nodes() : 0;
+}
+
+std::uint64_t DdEngine::peak_nodes() const {
+  return pkg_ != nullptr ? pkg_->peak_nodes() : 0;
+}
+
+std::uint64_t DdEngine::memory_estimate(const qiskit::QuantumCircuit& qc,
+                                        std::uint64_t max_nodes) {
+  if (max_nodes == 0) max_nodes = Options{}.max_nodes;
+  const unsigned n = qc.num_qubits();
+  // Any n-qubit state fits in a complete binary tree of < 2^(n+1) nodes;
+  // the runtime budget caps the diagram hard (apply throws past it). The
+  // estimate is therefore a capacity price — the most the engine can ever
+  // hold resident — not a per-circuit prediction.
+  std::uint64_t nodes = max_nodes;
+  if (n < 62) nodes = std::min(nodes, std::uint64_t{1} << (n + 1));
+  constexpr std::uint64_t kBytesPerNode =
+      sizeof(dd::Node) + sizeof(dd::Node*);  // node + unique-table share
+  return nodes * kBytesPerNode;
+}
+
+}  // namespace qgear::sim

@@ -1,0 +1,225 @@
+// Decision-diagram simulation engine (JKQ DDSIM style).
+//
+// Represents the state as a quasi-reduced quantum multiple-valued decision
+// diagram: one node level per qubit (level n-1 at the root, qubit k decided
+// at level k), normalized edge weights, and a hashed unique table that
+// merges structurally identical subtrees. Structured states stay tiny —
+// a GHZ or basis state is O(n) nodes regardless of n — which breaks the
+// 2^n statevector memory wall for sparse/structured circuits. Dense
+// random states degrade gracefully to O(2^n) nodes; DdEngine::Options::
+// max_nodes converts that blow-up into a clean error instead of an OOM.
+//
+// Memory management is reference counting on the node table: children are
+// ref'd at node creation, root edges are ref'd by the engine, and a
+// mark-free garbage sweep reclaims dead nodes whenever the live count
+// crosses a watermark (gates only ever add intermediates, so collection
+// between gates is safe).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "qgear/common/rng.hpp"
+#include "qgear/qiskit/circuit.hpp"
+#include "qgear/sim/observable.hpp"
+#include "qgear/sim/sampler.hpp"
+#include "qgear/sim/stats.hpp"
+
+namespace qgear::sim {
+
+namespace dd {
+
+struct Node;
+
+/// A weighted pointer into the diagram. `node == nullptr` never occurs;
+/// the zero vector is the terminal node with weight 0.
+struct Edge {
+  Node* node = nullptr;
+  std::complex<double> w{0, 0};
+
+  bool is_zero() const { return w == std::complex<double>(0, 0); }
+};
+
+struct Node {
+  Edge e[2];             ///< child for qubit bit 0 / 1
+  Node* next = nullptr;  ///< unique-table chain / free list
+  std::uint32_t ref = 0;
+  unsigned var = 0;      ///< qubit index this node decides
+  bool terminal = false;
+  bool dead = false;     ///< on the free list (garbage-collected)
+};
+
+/// Node table + the DD algebra (make-node normalization, gate
+/// application, addition, inner products). One package per engine.
+class Package {
+ public:
+  explicit Package(std::uint64_t max_nodes);
+  ~Package();
+  Package(const Package&) = delete;
+  Package& operator=(const Package&) = delete;
+
+  Node* terminal() { return &terminal_; }
+  Edge zero_edge() { return Edge{&terminal_, {0, 0}}; }
+
+  /// The |x> basis state over `n` qubits as a DD (n nodes).
+  Edge make_basis_state(unsigned n, std::uint64_t x = 0);
+
+  /// Normalizing node constructor: returns the canonical edge for
+  /// (var; e0, e1), merging through the unique table.
+  Edge make_node(unsigned var, Edge e0, Edge e1);
+
+  /// Applies a 2x2 matrix (not necessarily unitary) to qubit `q`.
+  Edge apply_mat2(Edge root, unsigned q, const std::complex<double> u[4]);
+
+  /// Applies a 4x4 matrix to the qubit pair (q_hi > q_lo); basis index of
+  /// the 4x4 is 2*bit(q_hi) + bit(q_lo).
+  Edge apply_mat4(Edge root, unsigned q_hi, unsigned q_lo,
+                  const std::complex<double> u[16]);
+
+  /// Applies one circuit instruction (measure/barrier are no-ops).
+  Edge apply_instruction(Edge root, const qiskit::Instruction& inst);
+
+  /// Pointwise sum of two DDs rooted at the same level.
+  Edge add(Edge a, Edge b);
+
+  /// <a|b> — complex inner product of two state DDs.
+  std::complex<double> inner_product(Edge a, Edge b);
+
+  /// Squared norm of the state below `e` (terminal = 1).
+  double norm2(Edge e);
+
+  /// Amplitude of basis state `index` (O(n) walk).
+  std::complex<double> amplitude(Edge root, std::uint64_t index,
+                                 unsigned n) const;
+
+  /// Protects `e`'s node from garbage collection (call per live root).
+  void inc_ref(Edge e);
+  void dec_ref(Edge e);
+
+  /// Frees every ref == 0 node (cascading). Called automatically between
+  /// gates once `live_nodes` crosses the collection watermark.
+  void collect_garbage();
+
+  /// Drops memoization caches (call between gates; entries key on node
+  /// pointers which a collection may recycle).
+  void clear_caches();
+
+  std::uint64_t live_nodes() const { return live_nodes_; }
+  std::uint64_t peak_nodes() const { return peak_nodes_; }
+  std::uint64_t max_nodes() const { return max_nodes_; }
+
+ private:
+  Node* alloc_node();
+  void unlink_from_table(Node* v);
+  static std::uint64_t hash_node(unsigned var, const Edge& e0,
+                                 const Edge& e1);
+  static bool weights_close(const std::complex<double>& a,
+                            const std::complex<double>& b);
+
+  Edge apply1_rec(Node* v, unsigned q, const std::complex<double>* u,
+                  std::uint64_t op, unsigned slot);
+  Edge apply2_rec(Node* v, unsigned q_hi, unsigned q_lo,
+                  const std::complex<double>* u, std::uint64_t op);
+  std::complex<double> inner_rec(const Node* a, const Node* b);
+  double norm_rec(const Node* v);
+
+  Node terminal_;
+  std::deque<std::vector<Node>> pool_;
+  Node* free_list_ = nullptr;
+  std::vector<Node*> table_;  ///< unique table buckets (chained via next)
+  std::uint64_t live_nodes_ = 0;
+  std::uint64_t peak_nodes_ = 0;
+  std::uint64_t max_nodes_ = 0;
+  std::uint64_t op_seq_ = 0;  ///< versions apply-cache tags across gates
+
+  struct PairHash {
+    std::size_t operator()(const std::pair<const void*, const void*>& p)
+        const {
+      const auto a = reinterpret_cast<std::uintptr_t>(p.first);
+      const auto b = reinterpret_cast<std::uintptr_t>(p.second);
+      return std::hash<std::uintptr_t>{}(a * 0x9E3779B97F4A7C15ull ^ b);
+    }
+  };
+  struct AddKey {
+    const Node* a;
+    const Node* b;
+    std::complex<double> wa;
+    std::complex<double> wb;
+    bool operator==(const AddKey&) const = default;
+  };
+  struct AddKeyHash {
+    std::size_t operator()(const AddKey& k) const;
+  };
+
+  // Per-gate memoization; cleared by clear_caches().
+  std::unordered_map<std::pair<const void*, const void*>, Edge, PairHash>
+      apply_cache_;  ///< key: (node, matrix-slot tag)
+  std::unordered_map<AddKey, Edge, AddKeyHash> add_cache_;
+  std::unordered_map<std::pair<const void*, const void*>,
+                     std::complex<double>, PairHash>
+      inner_cache_;
+  std::unordered_map<const void*, double> norm_cache_;
+};
+
+}  // namespace dd
+
+/// The decision-diagram backend engine: reference-engine-shaped API over
+/// a dd::Package.
+class DdEngine {
+ public:
+  struct Options {
+    /// Live-node ceiling; an apply that would exceed it throws
+    /// OutOfMemoryBudget (the DD analogue of the statevector budget).
+    std::uint64_t max_nodes = std::uint64_t{1} << 22;
+  };
+
+  DdEngine();
+  explicit DdEngine(Options opts);
+  ~DdEngine();
+
+  void init_state(unsigned num_qubits);
+  unsigned num_qubits() const { return num_qubits_; }
+
+  /// Applies all instructions in order; measure targets append to
+  /// `measured`. Callable repeatedly — circuits compose.
+  void apply(const qiskit::QuantumCircuit& qc,
+             std::vector<unsigned>* measured = nullptr);
+
+  /// Samples `shots` outcomes of `measured_qubits` (empty = all qubits,
+  /// ascending). O(n) per shot after an O(nodes) norm pass.
+  Counts sample(const std::vector<unsigned>& measured_qubits,
+                std::uint64_t shots, Rng& rng);
+
+  double expectation(const PauliTerm& term);
+  double expectation(const Observable& obs);
+
+  std::complex<double> amplitude(std::uint64_t index) const;
+  double norm() const;
+
+  /// Dense materialization (diagnostics/tests; requires n <= 26).
+  std::vector<std::complex<double>> to_statevector() const;
+
+  std::uint64_t live_nodes() const;
+  std::uint64_t peak_nodes() const;
+
+  /// Resident bytes a circuit is expected to need under this paradigm:
+  /// the structure-aware node estimate priced by serve admission.
+  static std::uint64_t memory_estimate(const qiskit::QuantumCircuit& qc,
+                                       std::uint64_t max_nodes);
+
+  const EngineStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  Options opts_;
+  std::unique_ptr<dd::Package> pkg_;
+  dd::Edge root_;
+  unsigned num_qubits_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace qgear::sim

@@ -18,6 +18,9 @@ struct EngineStats {
   std::uint64_t perm_blocks = 0;  ///< blocks routed to the permutation kernel
   std::uint64_t dense_blocks = 0; ///< blocks routed to the dense kernel
   std::uint64_t amp_ops = 0;      ///< total amplitude read-modify-writes
+  std::uint64_t dd_nodes = 0;     ///< peak live DD nodes (dd engine)
+  std::uint64_t mps_max_bond = 0; ///< peak bond dimension (mps engine)
+  double truncation_error = 0.0;  ///< accumulated discarded weight (mps)
   double seconds = 0.0;           ///< accumulated wall-clock across runs
   /// Hardware-counter sample covering the engine's sweeps. `valid` only
   /// when perf counters were enabled *and* the kernel granted the group
@@ -36,6 +39,11 @@ struct EngineStats {
     perm_blocks += o.perm_blocks;
     dense_blocks += o.dense_blocks;
     amp_ops += o.amp_ops;
+    // Peak gauges merge by max (a batch's peak is the largest run's peak);
+    // truncation error is additive like every other accumulator.
+    if (o.dd_nodes > dd_nodes) dd_nodes = o.dd_nodes;
+    if (o.mps_max_bond > mps_max_bond) mps_max_bond = o.mps_max_bond;
+    truncation_error += o.truncation_error;
     seconds += o.seconds;
     perf += o.perf;
     return *this;
@@ -58,6 +66,13 @@ inline void fold_stats(obs::Registry& reg, const EngineStats& s,
   reg.counter(prefix + ".perm_blocks").add(s.perm_blocks);
   reg.counter(prefix + ".dense_blocks").add(s.dense_blocks);
   reg.counter(prefix + ".amp_ops").add(s.amp_ops);
+  if (s.dd_nodes > 0) reg.gauge(prefix + ".dd_nodes").set(double(s.dd_nodes));
+  if (s.mps_max_bond > 0) {
+    reg.gauge(prefix + ".mps_max_bond").set(double(s.mps_max_bond));
+  }
+  if (s.truncation_error > 0) {
+    reg.gauge(prefix + ".truncation_error").add(s.truncation_error);
+  }
   reg.gauge(prefix + ".seconds").add(s.seconds);
   if (s.perf.valid) {
     reg.counter(prefix + ".perf_cycles").add(s.perf.cycles);

@@ -1,0 +1,172 @@
+#include "qgear/sim/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::sim {
+
+namespace {
+
+using cd = std::complex<double>;
+
+// One-sided Jacobi on the columns of a (m×n, m >= n, column-major blocks):
+// repeatedly applies 2x2 unitaries on column pairs until all pairs are
+// orthogonal, accumulating the rotations into v. On exit the columns of g
+// are A·V: orthogonal vectors whose norms are the singular values.
+void jacobi_columns(std::vector<std::vector<cd>>& g,
+                    std::vector<std::vector<cd>>& v) {
+  const std::size_t n = g.size();
+  const std::size_t m = n == 0 ? 0 : g[0].size();
+  constexpr double kTol = 1e-14;
+  constexpr int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double alpha = 0, beta = 0;
+        cd gamma(0, 0);
+        for (std::size_t r = 0; r < m; ++r) {
+          alpha += std::norm(g[i][r]);
+          beta += std::norm(g[j][r]);
+          gamma += std::conj(g[i][r]) * g[j][r];
+        }
+        const double mag = std::abs(gamma);
+        if (mag <= kTol * std::sqrt(alpha * beta) || mag == 0.0) continue;
+        rotated = true;
+        // Phase-align column j so the pair reduces to a real rotation:
+        // gamma = |gamma| e^{i phi}; J mixes (i, j) with that phase folded
+        // into the off-diagonal entries, keeping J unitary.
+        const cd phase = gamma / mag;
+        const double zeta = (beta - alpha) / (2.0 * mag);
+        const double sgn = zeta >= 0 ? 1.0 : -1.0;
+        const double t =
+            sgn / (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        const cd s_ij = s * phase;             // J(i,j)
+        const cd s_ji = -s * std::conj(phase); // J(j,i)
+        for (std::size_t r = 0; r < m; ++r) {
+          const cd gi = g[i][r];
+          const cd gj = g[j][r];
+          g[i][r] = c * gi + s_ji * gj;
+          g[j][r] = s_ij * gi + c * gj;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const cd vi = v[i][r];
+          const cd vj = v[j][r];
+          v[i][r] = c * vi + s_ji * vj;
+          v[j][r] = s_ij * vi + c * vj;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+}
+
+SvdResult svd_tall(const cd* a, std::size_t m, std::size_t n) {
+  // Column-major working copies: g[j] is column j of A, v[j] column j of V.
+  std::vector<std::vector<cd>> g(n, std::vector<cd>(m));
+  std::vector<std::vector<cd>> v(n, std::vector<cd>(n, cd(0, 0)));
+  for (std::size_t j = 0; j < n; ++j) {
+    v[j][j] = cd(1, 0);
+    for (std::size_t r = 0; r < m; ++r) g[j][r] = a[r * n + j];
+  }
+  jacobi_columns(g, v);
+
+  std::vector<double> norms(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0;
+    for (std::size_t r = 0; r < m; ++r) acc += std::norm(g[j][r]);
+    norms[j] = std::sqrt(acc);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return norms[x] > norms[y]; });
+
+  SvdResult out;
+  out.m = m;
+  out.n = n;
+  out.k = n;
+  out.s.resize(n);
+  out.u.assign(m * n, cd(0, 0));
+  out.vh.assign(n * n, cd(0, 0));
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t src = order[c];
+    const double sv = norms[src];
+    out.s[c] = sv;
+    if (sv > 0) {
+      for (std::size_t r = 0; r < m; ++r) out.u[r * n + c] = g[src][r] / sv;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      out.vh[c * n + j] = std::conj(v[src][j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvdResult svd_complex(const cd* a, std::size_t m, std::size_t n) {
+  QGEAR_EXPECTS(m > 0 && n > 0);
+  if (m >= n) return svd_tall(a, m, n);
+  // Wide matrix: SVD of A^H (n×m, tall) gives A^H = U' S V'^H, so
+  // A = V' S U'^H — swap factors back.
+  std::vector<cd> ah(n * m);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      ah[c * m + r] = std::conj(a[r * n + c]);
+    }
+  }
+  const SvdResult t = svd_tall(ah.data(), n, m);
+  SvdResult out;
+  out.m = m;
+  out.n = n;
+  out.k = t.k;  // == m
+  out.s = t.s;
+  out.u.assign(m * out.k, cd(0, 0));
+  out.vh.assign(out.k * n, cd(0, 0));
+  // U = V' (from t.vh rows, conjugated), Vh = U'^H (from t.u, conjugated).
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < out.k; ++c) {
+      out.u[r * out.k + c] = std::conj(t.vh[c * m + r]);
+    }
+  }
+  for (std::size_t c = 0; c < out.k; ++c) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out.vh[c * n + j] = std::conj(t.u[j * t.k + c]);
+    }
+  }
+  return out;
+}
+
+std::size_t truncation_rank(const std::vector<double>& s, double cutoff,
+                            std::size_t max_rank) {
+  QGEAR_EXPECTS(!s.empty());
+  double total = 0;
+  for (double sv : s) total += sv * sv;
+  std::size_t k = s.size();
+  if (total > 0) {
+    if (cutoff > 0) {
+      // Drop the largest tail whose squared weight stays within cutoff.
+      double discarded = 0;
+      while (k > 1) {
+        const double sv2 = s[k - 1] * s[k - 1];
+        if (discarded + sv2 > cutoff * total) break;
+        discarded += sv2;
+        --k;
+      }
+    } else {
+      while (k > 1 && s[k - 1] <= 0) --k;
+    }
+  } else {
+    k = 1;
+  }
+  if (max_rank > 0) k = std::min(k, max_rank);
+  return k;
+}
+
+}  // namespace qgear::sim

@@ -1,0 +1,37 @@
+// Dense complex SVD — the MPS engine's truncation primitive.
+//
+// One-sided Jacobi: numerically robust, dependency-free, and accurate to
+// machine precision for the small bond-dimension matrices (≤ ~1k rows)
+// the MPS two-qubit gate produces. Not tuned for large dense algebra.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace qgear::sim {
+
+/// Result of svd_complex: A = U · diag(s) · Vh with U (m×k), Vh (k×n),
+/// k = min(m, n), singular values sorted descending. U's columns and Vh's
+/// rows are orthonormal.
+struct SvdResult {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::vector<std::complex<double>> u;   ///< m×k, row-major
+  std::vector<double> s;                 ///< k singular values, descending
+  std::vector<std::complex<double>> vh;  ///< k×n, row-major
+};
+
+/// Computes the thin SVD of the m×n row-major matrix `a`.
+SvdResult svd_complex(const std::complex<double>* a, std::size_t m,
+                      std::size_t n);
+
+/// Picks the number of singular values to keep: the smallest k such that
+/// the discarded squared weight sum(s[k:]^2) is at most `cutoff` times the
+/// total squared weight (k >= 1; max_rank > 0 additionally caps k).
+/// cutoff <= 0 keeps every nonzero singular value.
+std::size_t truncation_rank(const std::vector<double>& s, double cutoff,
+                            std::size_t max_rank);
+
+}  // namespace qgear::sim

@@ -1,0 +1,177 @@
+#include "qgear/sim/dd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "qgear/common/error.hpp"
+#include "qgear/common/rng.hpp"
+#include "qgear/qiskit/circuit.hpp"
+#include "qgear/sim/reference.hpp"
+#include "qgear/sim/state.hpp"
+#include "tests/sim_test_util.hpp"
+
+namespace qgear::sim {
+namespace {
+
+std::vector<std::complex<double>> reference_state(
+    const qiskit::QuantumCircuit& qc) {
+  StateVector<double> state(qc.num_qubits());
+  ReferenceEngine<double> engine;
+  engine.apply(qc, state);
+  return {state.data(), state.data() + state.size()};
+}
+
+TEST(DdEngine, BasisStateAfterInit) {
+  DdEngine engine;
+  engine.init_state(3);
+  EXPECT_NEAR(std::abs(engine.amplitude(0) - 1.0), 0.0, 1e-15);
+  for (std::uint64_t i = 1; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(engine.amplitude(i)), 0.0, 1e-15);
+  }
+  EXPECT_NEAR(engine.norm(), 1.0, 1e-12);
+}
+
+TEST(DdEngine, MatchesReferenceOnRandomCircuits) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const unsigned n = 2 + static_cast<unsigned>(seed % 6);
+    const auto qc = sim_test::random_circuit(n, 50, seed);
+    const auto expected = reference_state(qc);
+
+    DdEngine engine;
+    engine.init_state(n);
+    engine.apply(qc);
+    const auto got = engine.to_statevector();
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(std::abs(got[i] - expected[i]), 0.0, 1e-9)
+          << "seed " << seed << " amplitude " << i;
+    }
+  }
+}
+
+TEST(DdEngine, GhzFiftyQubitsIsCompact) {
+  qiskit::QuantumCircuit qc(50);
+  qc.h(0);
+  for (unsigned q = 0; q + 1 < 50; ++q) qc.cx(q, q + 1);
+
+  DdEngine engine;
+  engine.init_state(50);
+  engine.apply(qc);
+
+  const double r = 1.0 / std::sqrt(2.0);
+  const std::uint64_t ones = (~std::uint64_t{0}) >> 14;  // 2^50 - 1
+  EXPECT_NEAR(std::abs(engine.amplitude(0) - r), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(engine.amplitude(ones) - r), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(engine.amplitude(1)), 0.0, 1e-15);
+
+  // A GHZ chain is linear in n as a decision diagram (a dense 50-qubit
+  // state would need ~2^50 nodes).
+  EXPECT_LT(engine.peak_nodes(), 5000u);
+
+  Rng rng(7);
+  const Counts counts = engine.sample({}, 500, rng);
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : counts) {
+    EXPECT_TRUE(key == 0 || key == ones) << "impossible outcome " << key;
+    total += count;
+  }
+  EXPECT_EQ(total, 500u);
+
+  EXPECT_NEAR(engine.expectation(PauliTerm::parse("ZZ")), 1.0, 1e-10);
+  EXPECT_NEAR(engine.expectation(PauliTerm::parse("X")), 0.0, 1e-10);
+}
+
+TEST(DdEngine, SampleSubsetUsesAscendingQubits) {
+  qiskit::QuantumCircuit qc(4);
+  qc.x(2);  // deterministic |0100>
+  DdEngine engine;
+  engine.init_state(4);
+  engine.apply(qc);
+  Rng rng(3);
+  const Counts counts = engine.sample({1, 2}, 100, rng);
+  ASSERT_EQ(counts.size(), 1u);
+  // Key bit j is the value of measured[j]: qubit 1 -> 0, qubit 2 -> 1.
+  EXPECT_EQ(counts.begin()->first, 0b10u);
+  EXPECT_THROW(
+      {
+        Rng r2(4);
+        engine.sample({2, 1}, 10, r2);
+      },
+      InvalidArgument);
+}
+
+TEST(DdEngine, NodeBudgetThrowsAndStateSurvives) {
+  DdEngine::Options opts;
+  opts.max_nodes = 64;  // far below what a dense random state needs
+  DdEngine engine(opts);
+  engine.init_state(12);
+  const auto qc = sim_test::random_circuit(12, 120, 99);
+  EXPECT_THROW(engine.apply(qc), OutOfMemoryBudget);
+  // Exception safety is per gate: the failed gate did not happen, so the
+  // engine holds a valid (normalized) prefix of the circuit and stays
+  // usable for further work.
+  EXPECT_NEAR(engine.norm(), 1.0, 1e-10);
+  qiskit::QuantumCircuit one_gate(12);
+  one_gate.x(0);
+  EXPECT_NO_THROW(engine.apply(one_gate));
+  EXPECT_NEAR(engine.norm(), 1.0, 1e-10);
+}
+
+TEST(DdEngine, GarbageCollectionReclaimsIntermediates) {
+  qiskit::QuantumCircuit qc(30);
+  qc.h(0);
+  for (unsigned q = 0; q + 1 < 30; ++q) qc.cx(q, q + 1);
+  DdEngine engine;
+  engine.init_state(30);
+  engine.apply(qc);
+  // expectation() collects garbage internally; afterwards only the live
+  // GHZ diagram (linear in n) remains.
+  engine.expectation(PauliTerm::parse("Z"));
+  EXPECT_LT(engine.live_nodes(), 200u);
+}
+
+TEST(DdEngine, ApplyComposesAcrossCalls) {
+  const auto first = sim_test::random_circuit(5, 20, 11);
+  const auto second = sim_test::random_circuit(5, 20, 12);
+  qiskit::QuantumCircuit composed(5);
+  composed.compose(first);
+  composed.compose(second);
+  const auto expected = reference_state(composed);
+
+  DdEngine engine;
+  engine.init_state(5);
+  engine.apply(first);
+  engine.apply(second);
+  const auto got = engine.to_statevector();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(std::abs(got[i] - expected[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(DdEngine, StatsCountGatesAndNodes) {
+  DdEngine engine;
+  engine.init_state(6);
+  engine.apply(sim_test::random_circuit(6, 30, 5));
+  EXPECT_EQ(engine.stats().gates, 30u);
+  EXPECT_GT(engine.stats().dd_nodes, 0u);
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().gates, 0u);
+}
+
+TEST(DdEngine, MemoryEstimateSaturatesAtNodeBudget) {
+  qiskit::QuantumCircuit small(4);
+  qiskit::QuantumCircuit large(50);
+  const std::uint64_t small_est = DdEngine::memory_estimate(small, 1 << 22);
+  const std::uint64_t large_est = DdEngine::memory_estimate(large, 1 << 22);
+  EXPECT_LT(small_est, large_est);
+  // Beyond the budget the price is the budget, not 2^n.
+  qiskit::QuantumCircuit huge(60);
+  EXPECT_EQ(DdEngine::memory_estimate(huge, 1 << 22), large_est);
+  EXPECT_LT(large_est, std::uint64_t{1} << 31);  // well under 2 GiB
+}
+
+}  // namespace
+}  // namespace qgear::sim

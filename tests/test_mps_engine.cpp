@@ -1,0 +1,172 @@
+#include "qgear/sim/mps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "qgear/common/rng.hpp"
+#include "qgear/qiskit/circuit.hpp"
+#include "qgear/sim/reference.hpp"
+#include "qgear/sim/state.hpp"
+#include "tests/sim_test_util.hpp"
+
+namespace qgear::sim {
+namespace {
+
+std::vector<std::complex<double>> reference_state(
+    const qiskit::QuantumCircuit& qc) {
+  StateVector<double> state(qc.num_qubits());
+  ReferenceEngine<double> engine;
+  engine.apply(qc, state);
+  return {state.data(), state.data() + state.size()};
+}
+
+MpsEngine exact_engine() {
+  MpsEngine::Options opts;
+  opts.cutoff = 0.0;   // keep every nonzero singular value
+  opts.max_bond = 0;   // unlimited bond dimension
+  return MpsEngine(opts);
+}
+
+TEST(MpsEngine, BasisStateAfterInit) {
+  MpsEngine engine;
+  engine.init_state(4);
+  EXPECT_NEAR(std::abs(engine.amplitude(0) - 1.0), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(engine.amplitude(9)), 0.0, 1e-15);
+  EXPECT_NEAR(engine.norm(), 1.0, 1e-12);
+  EXPECT_EQ(engine.max_bond_dimension(), 1u);
+}
+
+TEST(MpsEngine, ExactlyMatchesReferenceOnRandomCircuits) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const unsigned n = 2 + static_cast<unsigned>(seed % 6);
+    const auto qc = sim_test::random_circuit(n, 50, seed + 100);
+    const auto expected = reference_state(qc);
+
+    MpsEngine engine = exact_engine();
+    engine.init_state(n);
+    engine.apply(qc);
+    EXPECT_NEAR(engine.truncation_error(), 0.0, 1e-14);
+    const auto got = engine.to_statevector();
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(std::abs(got[i] - expected[i]), 0.0, 1e-8)
+          << "seed " << seed << " amplitude " << i;
+    }
+  }
+}
+
+TEST(MpsEngine, GhzFiftyQubitsBondTwo) {
+  qiskit::QuantumCircuit qc(50);
+  qc.h(0);
+  for (unsigned q = 0; q + 1 < 50; ++q) qc.cx(q, q + 1);
+
+  MpsEngine engine;
+  engine.init_state(50);
+  engine.apply(qc);
+
+  const double r = 1.0 / std::sqrt(2.0);
+  const std::uint64_t ones = (~std::uint64_t{0}) >> 14;
+  EXPECT_EQ(engine.max_bond_dimension(), 2u);
+  EXPECT_NEAR(std::abs(engine.amplitude(0) - r), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(engine.amplitude(ones) - r), 0.0, 1e-10);
+  EXPECT_NEAR(engine.norm(), 1.0, 1e-10);
+
+  // n > 20 exercises the perfect-sampling path (no dense statevector).
+  Rng rng(5);
+  const Counts counts = engine.sample({}, 400, rng);
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : counts) {
+    EXPECT_TRUE(key == 0 || key == ones) << "impossible outcome " << key;
+    total += count;
+  }
+  EXPECT_EQ(total, 400u);
+
+  EXPECT_NEAR(engine.expectation(PauliTerm::parse("ZZ")), 1.0, 1e-10);
+  EXPECT_NEAR(engine.expectation(PauliTerm::parse("Z")), 0.0, 1e-10);
+}
+
+TEST(MpsEngine, NonAdjacentGatesRouteThroughSwaps) {
+  qiskit::QuantumCircuit qc(6);
+  qc.h(0);
+  qc.cx(0, 5);  // maximally non-adjacent
+  qc.cp(0.7, 5, 1);
+  qc.swap(0, 4);
+  const auto expected = reference_state(qc);
+
+  MpsEngine engine = exact_engine();
+  engine.init_state(6);
+  engine.apply(qc);
+  const auto got = engine.to_statevector();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(std::abs(got[i] - expected[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(MpsEngine, TruncationErrorMonotoneInCutoff) {
+  const auto qc = sim_test::random_circuit(10, 120, 17);
+  const double cutoffs[] = {1e-2, 1e-4, 1e-8, 1e-12};
+  double prev = 1e300;
+  for (const double cutoff : cutoffs) {
+    MpsEngine::Options opts;
+    opts.cutoff = cutoff;
+    opts.max_bond = 0;
+    MpsEngine engine(opts);
+    engine.init_state(10);
+    engine.apply(qc);
+    EXPECT_LE(engine.truncation_error(), prev + 1e-12)
+        << "cutoff " << cutoff;
+    prev = engine.truncation_error();
+  }
+  // The loosest cutoff must actually have truncated something on a
+  // volume-law random circuit, or the property is vacuous.
+  MpsEngine::Options loose;
+  loose.cutoff = 1e-2;
+  MpsEngine engine(loose);
+  engine.init_state(10);
+  engine.apply(qc);
+  EXPECT_GT(engine.truncation_error(), 0.0);
+}
+
+TEST(MpsEngine, MaxBondCapsGrowth) {
+  MpsEngine::Options opts;
+  opts.cutoff = 0.0;
+  opts.max_bond = 4;
+  MpsEngine engine(opts);
+  engine.init_state(12);
+  engine.apply(sim_test::random_circuit(12, 80, 23));
+  EXPECT_LE(engine.max_bond_dimension(), 4u);
+  EXPECT_NEAR(engine.norm(), 1.0, 1e-9);  // renormalized after truncation
+}
+
+TEST(MpsEngine, StatsTrackBondAndTruncation) {
+  MpsEngine::Options opts;
+  opts.cutoff = 1e-2;
+  MpsEngine engine(opts);
+  engine.init_state(8);
+  engine.apply(sim_test::random_circuit(8, 60, 31));
+  EXPECT_EQ(engine.stats().gates, 60u);
+  EXPECT_GT(engine.stats().mps_max_bond, 1u);
+  EXPECT_GT(engine.stats().truncation_error, 0.0);
+}
+
+TEST(MpsEngine, MemoryEstimateStructureAware) {
+  // GHZ chain: every cut is crossed once, so bonds stay at 2 and the
+  // estimate is linear in n, nowhere near 2^n.
+  qiskit::QuantumCircuit ghz(40);
+  ghz.h(0);
+  for (unsigned q = 0; q + 1 < 40; ++q) ghz.cx(q, q + 1);
+  const std::uint64_t est = MpsEngine::memory_estimate(ghz, {});
+  EXPECT_LT(est, std::uint64_t{1} << 20);  // well under 1 MiB
+  // More entangling layers -> larger estimate.
+  qiskit::QuantumCircuit deep(40);
+  for (int layer = 0; layer < 12; ++layer) {
+    for (unsigned q = 0; q + 1 < 40; ++q) deep.cx(q, q + 1);
+  }
+  EXPECT_GT(MpsEngine::memory_estimate(deep, {}), est);
+}
+
+}  // namespace
+}  // namespace qgear::sim

@@ -1,0 +1,105 @@
+#include "qgear/sim/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "qgear/common/rng.hpp"
+
+namespace qgear::sim {
+namespace {
+
+using Cx = std::complex<double>;
+
+std::vector<Cx> random_matrix(std::size_t m, std::size_t n,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Cx> a(m * n);
+  for (auto& x : a) x = Cx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return a;
+}
+
+/// max |(U diag(s) Vh - A)_ij|
+double reconstruction_error(const std::vector<Cx>& a, const SvdResult& r) {
+  double max_err = 0;
+  for (std::size_t i = 0; i < r.m; ++i) {
+    for (std::size_t j = 0; j < r.n; ++j) {
+      Cx sum = 0;
+      for (std::size_t l = 0; l < r.k; ++l) {
+        sum += r.u[i * r.k + l] * r.s[l] * r.vh[l * r.n + j];
+      }
+      max_err = std::max(max_err, std::abs(sum - a[i * r.n + j]));
+    }
+  }
+  return max_err;
+}
+
+/// max deviation of U^H U (and Vh Vh^H) from the identity.
+double orthonormality_error(const SvdResult& r) {
+  double max_err = 0;
+  for (std::size_t c1 = 0; c1 < r.k; ++c1) {
+    for (std::size_t c2 = 0; c2 < r.k; ++c2) {
+      Cx uu = 0, vv = 0;
+      for (std::size_t i = 0; i < r.m; ++i) {
+        uu += std::conj(r.u[i * r.k + c1]) * r.u[i * r.k + c2];
+      }
+      for (std::size_t j = 0; j < r.n; ++j) {
+        vv += r.vh[c1 * r.n + j] * std::conj(r.vh[c2 * r.n + j]);
+      }
+      const double want = c1 == c2 ? 1.0 : 0.0;
+      max_err = std::max(max_err, std::abs(uu - want));
+      max_err = std::max(max_err, std::abs(vv - want));
+    }
+  }
+  return max_err;
+}
+
+TEST(SvdComplex, ReconstructsRandomMatrices) {
+  const std::size_t shapes[][2] = {{1, 1}, {2, 2}, {4, 4}, {3, 7},
+                                   {7, 3}, {8, 8}, {16, 4}};
+  std::uint64_t seed = 50;
+  for (const auto& shape : shapes) {
+    const std::size_t m = shape[0], n = shape[1];
+    const auto a = random_matrix(m, n, seed++);
+    const SvdResult r = svd_complex(a.data(), m, n);
+    ASSERT_EQ(r.k, std::min(m, n));
+    EXPECT_LT(reconstruction_error(a, r), 1e-11) << m << "x" << n;
+    EXPECT_LT(orthonormality_error(r), 1e-11) << m << "x" << n;
+    for (std::size_t i = 0; i + 1 < r.k; ++i) {
+      EXPECT_GE(r.s[i], r.s[i + 1]);  // sorted descending
+    }
+  }
+}
+
+TEST(SvdComplex, RankDeficientMatrixHasZeroTail) {
+  // Outer product -> rank 1: every singular value past the first is ~0.
+  const auto u = random_matrix(6, 1, 90);
+  const auto v = random_matrix(1, 5, 91);
+  std::vector<Cx> a(6 * 5);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) a[i * 5 + j] = u[i] * v[j];
+  }
+  const SvdResult r = svd_complex(a.data(), 6, 5);
+  EXPECT_GT(r.s[0], 0.0);
+  for (std::size_t i = 1; i < r.k; ++i) EXPECT_LT(r.s[i], 1e-12);
+  EXPECT_LT(reconstruction_error(a, r), 1e-11);
+}
+
+TEST(TruncationRank, RespectsCutoffAndCap) {
+  const std::vector<double> s = {1.0, 0.5, 1e-3, 1e-8};
+  // cutoff <= 0 keeps every nonzero value.
+  EXPECT_EQ(truncation_rank(s, 0.0, 0), 4u);
+  // Discarding s[3] loses (1e-8)^2 / total — far below 1e-10? No:
+  // (1e-8)^2 = 1e-16, total ~1.25, so even cutoff 1e-15 drops it.
+  EXPECT_EQ(truncation_rank(s, 1e-15, 0), 3u);
+  // A loose cutoff drops everything but the dominant values.
+  EXPECT_EQ(truncation_rank(s, 1e-2, 0), 2u);
+  // max_rank caps regardless of cutoff; k never drops below 1.
+  EXPECT_EQ(truncation_rank(s, 0.0, 2), 2u);
+  EXPECT_EQ(truncation_rank({1.0}, 0.9999, 0), 1u);
+}
+
+}  // namespace
+}  // namespace qgear::sim

@@ -7,6 +7,7 @@
 //   qgear_cli gen-random  --qubits N --blocks B [--circuits C] [--seed S]
 //                         --out circuits.qh5
 //   qgear_cli gen-qft     --qubits N [--no-swaps] --out circuits.qh5
+//   qgear_cli gen-ghz     --qubits N --out circuits.qh5
 //   qgear_cli gen-image   --addr M --data D [--seed S] --out circuits.qh5
 //   qgear_cli info        --in circuits.qh5
 //   qgear_cli run         --in circuits.qh5 [--target nvidia|cpu-aer|
@@ -14,17 +15,37 @@
 //                         [--shots S] [--precision fp32|fp64]
 //                         [--fusion W] [--trace-out trace.json]
 //                         [--metrics-out metrics.json]
+//   qgear_cli run         --in circuits.qh5 --backend NAME [--shots S]
+//                         [--seed S] [--mps-cutoff C] [--mps-max-bond B]
+//                         [--dd-max-nodes N] [--dist-ranks R] [--fusion W]
+//                         [--report out.json]
+//   qgear_cli diff-reports --a a.json --b b.json [--marginal-tol T]
+//                         [--exp-tol T]
 //   qgear_cli estimate    --in circuits.qh5 [--devices R] [--gpu 40|80]
 //                         [--shots S] [--precision fp32|fp64]
+//   qgear_cli estimate    --in circuits.qh5 --backend NAME|all
+//                         [--budget-mb M] [--dd-max-nodes N]
+//                         [--mps-cutoff C] [--mps-max-bond B]
 //   qgear_cli qasm-export --in circuits.qh5 --index I --out circuit.qasm
+//
+// `run --backend` executes through the pluggable sim::Backend registry
+// (reference | fused | dd | mps | dist; QGEAR_BACKEND sets the default
+// when the flag's value is empty) and emits a qgear.backend.report/v1
+// JSON with sampled counts and per-qubit Z expectations —
+// `diff-reports` compares two such reports within tolerances, which is
+// how CI checks cross-backend equivalence.
 //
 // Flags accept both "--key value" and "--key=value". Observability:
 // `--trace-out` records a Chrome Trace Event file (chrome://tracing /
 // Perfetto) of the run, `--metrics-out` dumps the metrics registry as
 // JSON, and `--log <level>` (or QGEAR_LOG) sets stderr verbosity.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -32,8 +53,11 @@
 #include "qgear/circuits/qft.hpp"
 #include "qgear/circuits/random_blocks.hpp"
 #include "qgear/common/log.hpp"
+#include "qgear/common/rng.hpp"
 #include "qgear/common/strings.hpp"
+#include "qgear/common/timer.hpp"
 #include "qgear/core/transformer.hpp"
+#include "qgear/dist/dist_backend.hpp"
 #include "qgear/obs/json.hpp"
 #include "qgear/obs/metrics.hpp"
 #include "qgear/obs/shutdown.hpp"
@@ -41,7 +65,9 @@
 #include "qgear/perfmodel/model.hpp"
 #include "qgear/qh5/file.hpp"
 #include "qgear/qiskit/qasm.hpp"
+#include "qgear/sim/backend.hpp"
 #include "qgear/sim/isa.hpp"
+#include "qgear/sim/observable.hpp"
 #include "qgear/sim/stats.hpp"
 
 using namespace qgear;
@@ -96,6 +122,12 @@ class Args {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
     return std::stoull(it->second);
+  }
+
+  double f64(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return std::stod(it->second);
   }
 
  private:
@@ -160,6 +192,17 @@ int cmd_gen_qft(const Args& args) {
   return 0;
 }
 
+int cmd_gen_ghz(const Args& args) {
+  const unsigned n = static_cast<unsigned>(args.u64("qubits", 50));
+  QGEAR_CHECK_ARG(n >= 2, "--qubits must be >= 2");
+  qiskit::QuantumCircuit qc(n, strfmt("ghz%u", n));
+  qc.h(0);
+  for (unsigned q = 0; q + 1 < n; ++q) qc.cx(q, q + 1);
+  qc.measure_all();
+  save_circuits({qc}, args.required("out"));
+  return 0;
+}
+
 int cmd_gen_image(const Args& args) {
   const unsigned m = static_cast<unsigned>(args.u64("addr", 6));
   const unsigned d = static_cast<unsigned>(args.u64("data", 2));
@@ -190,7 +233,113 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+sim::BackendOptions backend_options_from_args(const Args& args) {
+  sim::BackendOptions bo;
+  bo.fusion.max_width = static_cast<unsigned>(args.u64("fusion", 5));
+  bo.dd.max_nodes = args.u64("dd-max-nodes", bo.dd.max_nodes);
+  bo.mps.cutoff = args.f64("mps-cutoff", bo.mps.cutoff);
+  bo.mps.max_bond =
+      static_cast<std::size_t>(args.u64("mps-max-bond", bo.mps.max_bond));
+  bo.dist_ranks = static_cast<unsigned>(args.u64("dist-ranks", 0));
+  return bo;
+}
+
+/// The --backend execution path: circuits run through the pluggable
+/// registry and the results land in a qgear.backend.report/v1 document.
+int cmd_run_backend(const Args& args) {
+  std::string name = args.opt("backend");
+  if (name.empty()) name = sim::Backend::default_name();
+  const sim::BackendOptions bo = backend_options_from_args(args);
+  const std::uint64_t shots = args.u64("shots", 0);
+  const std::uint64_t seed = args.u64("seed", 12345);
+
+  obs::JsonValue report{obs::JsonValue::Object{}};
+  report.set("schema", "qgear.backend.report/v1");
+  report.set("backend", name);
+  report.set("shots", shots);
+  report.set("seed", seed);
+  obs::JsonValue circuits_json{obs::JsonValue::Array{}};
+
+  const core::GateTensor tensor = load_circuits(args.required("in"));
+  for (std::uint32_t c = 0; c < tensor.num_circuits(); ++c) {
+    const auto qc = core::decode_circuit(tensor, c);
+    auto backend = sim::Backend::create(name, bo);
+    const std::uint64_t mem_bytes = backend->memory_estimate(qc);
+
+    WallTimer timer;
+    backend->init_state(qc.num_qubits());
+    std::vector<unsigned> measured;
+    backend->apply_circuit(qc, &measured);
+    std::sort(measured.begin(), measured.end());
+    measured.erase(std::unique(measured.begin(), measured.end()),
+                   measured.end());
+
+    sim::Counts counts;
+    if (shots > 0) {
+      Rng rng(seed + c);
+      counts = backend->sample(measured, shots, rng);
+    }
+    std::vector<double> z(qc.num_qubits());
+    for (unsigned q = 0; q < qc.num_qubits(); ++q) {
+      sim::PauliTerm term;
+      term.ops.assign(q + 1, sim::Pauli::I);
+      term.ops[q] = sim::Pauli::Z;
+      z[q] = backend->expectation(term);
+    }
+    const double wall = timer.seconds();
+
+    std::printf("[%u] %s via %s: %u qubits, %zu gates, %s wall, "
+                "mem estimate %s\n",
+                c, qc.name().c_str(), name.c_str(), qc.num_qubits(),
+                qc.size(), human_seconds(wall).c_str(),
+                human_bytes(mem_bytes).c_str());
+
+    obs::JsonValue cj{obs::JsonValue::Object{}};
+    cj.set("name", qc.name());
+    cj.set("qubits", qc.num_qubits());
+    cj.set("gates", std::uint64_t{qc.size()});
+    cj.set("memory_estimate_bytes", mem_bytes);
+    cj.set("wall_seconds", wall);
+    obs::JsonValue mj{obs::JsonValue::Array{}};
+    // Key-bit order: bit j of a counts key is the value of measured[j]
+    // (all qubits ascending when the circuit has no measure ops).
+    if (measured.empty()) {
+      for (unsigned q = 0; q < qc.num_qubits(); ++q) mj.push_back(q);
+    } else {
+      for (unsigned q : measured) mj.push_back(q);
+    }
+    cj.set("measured", std::move(mj));
+    obs::JsonValue counts_json{obs::JsonValue::Object{}};
+    for (const auto& [key, count] : counts) {
+      counts_json.set(strfmt("%llu", static_cast<unsigned long long>(key)),
+                      count);
+    }
+    cj.set("counts", std::move(counts_json));
+    obs::JsonValue zj{obs::JsonValue::Array{}};
+    for (double v : z) zj.push_back(v);
+    cj.set("z_expectations", std::move(zj));
+    const sim::EngineStats& st = backend->stats();
+    obs::JsonValue sj{obs::JsonValue::Object{}};
+    sj.set("gates", st.gates);
+    sj.set("sweeps", st.sweeps);
+    sj.set("dd_nodes", st.dd_nodes);
+    sj.set("mps_max_bond", st.mps_max_bond);
+    sj.set("truncation_error", st.truncation_error);
+    cj.set("stats", std::move(sj));
+    circuits_json.push_back(std::move(cj));
+  }
+  report.set("circuits", std::move(circuits_json));
+
+  const std::string report_out = args.opt("report");
+  if (!report_out.empty()) {
+    obs::write_text_file(report_out, report.dump());
+    std::printf("wrote %s\n", report_out.c_str());
+  }
+  return 0;
+}
+
 int cmd_run(const Args& args) {
+  if (args.has("backend")) return cmd_run_backend(args);
   const std::string trace_out = args.opt("trace-out");
   const std::string metrics_out = args.opt("metrics-out");
   obs::Tracer& tracer = obs::Tracer::global();
@@ -283,7 +432,125 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+obs::JsonValue load_json(const std::string& path) {
+  std::ifstream in(path);
+  QGEAR_CHECK_ARG(in.good(), "cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return obs::JsonValue::parse(buf.str());
+}
+
+/// Per-qubit P(bit = 1) marginals of a sampled counts object, in
+/// measured-qubit order. Sampled marginals concentrate at 1/sqrt(shots),
+/// unlike the joint empirical distribution, so they are the right
+/// cross-backend comparison for wide-support circuits.
+std::vector<double> sampled_marginals(const obs::JsonValue& circuit) {
+  const auto& measured = circuit.at("measured").array();
+  std::vector<double> ones(measured.size(), 0.0);
+  double total = 0;
+  for (const auto& [key, count] : circuit.at("counts").object()) {
+    const std::uint64_t k = std::stoull(key);
+    const double cnt = count.number();
+    total += cnt;
+    for (std::size_t j = 0; j < measured.size(); ++j) {
+      if ((k >> j) & 1) ones[j] += cnt;
+    }
+  }
+  if (total > 0) {
+    for (double& v : ones) v /= total;
+  }
+  return ones;
+}
+
+/// Compares two qgear.backend.report/v1 documents circuit-by-circuit:
+/// sampled per-qubit marginals within --marginal-tol and exact Z
+/// expectations within --exp-tol. Exit 0 = equivalent.
+int cmd_diff_reports(const Args& args) {
+  const obs::JsonValue a = load_json(args.required("a"));
+  const obs::JsonValue b = load_json(args.required("b"));
+  QGEAR_CHECK_ARG(a.at("schema").str() == "qgear.backend.report/v1" &&
+                      b.at("schema").str() == "qgear.backend.report/v1",
+                  "diff-reports: expected qgear.backend.report/v1 inputs");
+  const double marginal_tol = args.f64("marginal-tol", 0.05);
+  const double exp_tol = args.f64("exp-tol", 0.02);
+  const auto& ca = a.at("circuits").array();
+  const auto& cb = b.at("circuits").array();
+  if (ca.size() != cb.size()) {
+    std::fprintf(stderr, "circuit count mismatch: %zu vs %zu\n", ca.size(),
+                 cb.size());
+    return 1;
+  }
+  int failures = 0;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    const auto& x = ca[i];
+    const auto& y = cb[i];
+    const std::string cname = x.at("name").str();
+    if (x.at("qubits").number() != y.at("qubits").number()) {
+      std::fprintf(stderr, "[%zu] %s: qubit count mismatch\n", i,
+                   cname.c_str());
+      ++failures;
+      continue;
+    }
+    double max_marg = 0;
+    const bool have_counts = !x.at("counts").object().empty() &&
+                             !y.at("counts").object().empty();
+    if (have_counts) {
+      const auto ma = sampled_marginals(x);
+      const auto mb = sampled_marginals(y);
+      QGEAR_CHECK_ARG(ma.size() == mb.size(),
+                      "diff-reports: measured-qubit mismatch in " + cname);
+      for (std::size_t j = 0; j < ma.size(); ++j) {
+        max_marg = std::max(max_marg, std::abs(ma[j] - mb[j]));
+      }
+    }
+    double max_exp = 0;
+    const auto& za = x.at("z_expectations").array();
+    const auto& zb = y.at("z_expectations").array();
+    for (std::size_t j = 0; j < std::min(za.size(), zb.size()); ++j) {
+      max_exp =
+          std::max(max_exp, std::abs(za[j].number() - zb[j].number()));
+    }
+    const bool ok = max_marg <= marginal_tol && max_exp <= exp_tol;
+    std::printf("[%zu] %s: max |dP1| %.4f (tol %.4f), max |d<Z>| %.4f "
+                "(tol %.4f)%s -> %s\n",
+                i, cname.c_str(), max_marg, marginal_tol, max_exp, exp_tol,
+                have_counts ? "" : " [no counts]", ok ? "OK" : "FAIL");
+    if (!ok) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "diff-reports: %d circuit(s) differ beyond "
+                 "tolerance (%s vs %s)\n",
+                 failures, a.at("backend").str().c_str(),
+                 b.at("backend").str().c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int cmd_estimate(const Args& args) {
+  if (args.has("backend")) {
+    const core::GateTensor tensor = load_circuits(args.required("in"));
+    const sim::BackendOptions bo = backend_options_from_args(args);
+    const std::uint64_t budget = args.u64("budget-mb", 0) << 20;
+    std::vector<std::string> names;
+    const std::string sel = args.opt("backend");
+    if (sel.empty() || sel == "all") {
+      names = sim::Backend::available();
+    } else {
+      names = split(sel, ',');
+    }
+    for (std::uint32_t c = 0; c < tensor.num_circuits(); ++c) {
+      const auto qc = core::decode_circuit(tensor, c);
+      std::printf("[%u] %s (%u qubits, %zu gates):\n", c, qc.name().c_str(),
+                  qc.num_qubits(), qc.size());
+      for (const std::string& nm : names) {
+        const auto e = perfmodel::estimate_backend_memory(qc, nm, budget, bo);
+        std::printf("  %-10s %12s%s\n", nm.c_str(),
+                    human_bytes(e.mem_bytes).c_str(),
+                    e.feasible ? "" : "  (over budget)");
+      }
+    }
+    return 0;
+  }
   const core::GateTensor tensor = load_circuits(args.required("in"));
   perfmodel::ClusterConfig cfg;
   cfg.devices = static_cast<int>(args.u64("devices", 1));
@@ -324,8 +591,8 @@ int cmd_qasm_export(const Args& args) {
 void print_usage() {
   std::printf(
       "qgear_cli <command> [flags]\n"
-      "commands: gen-random gen-qft gen-image info run estimate "
-      "qasm-export\n"
+      "commands: gen-random gen-qft gen-ghz gen-image info run "
+      "diff-reports estimate qasm-export\n"
       "see the header of tools/qgear_cli.cpp for full flag reference.\n");
 }
 
@@ -337,14 +604,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  dist::register_dist_backend();  // make "dist" creatable by name
   try {
     const Args args(argc, argv);
     if (args.has("log")) log::set_level(log::parse_level(args.required("log")));
     if (cmd == "gen-random") return cmd_gen_random(args);
     if (cmd == "gen-qft") return cmd_gen_qft(args);
+    if (cmd == "gen-ghz") return cmd_gen_ghz(args);
     if (cmd == "gen-image") return cmd_gen_image(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "run") return cmd_run(args);
+    if (cmd == "diff-reports") return cmd_diff_reports(args);
     if (cmd == "estimate") return cmd_estimate(args);
     if (cmd == "qasm-export") return cmd_qasm_export(args);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());

@@ -10,6 +10,7 @@
 //                    [--deadline-ms MS] [--timeout-ms MS]
 //                    [--cache on|off] [--cache-mb M] [--fusion W]
 //                    [--precision fp32|fp64] [--seed S]
+//                    [--backend NAME] [--memory-budget-mb M]
 //                    [--report out.json] [--trace-out trace.json]
 //                    [--metrics-out metrics.json] [--log level]
 //                    [--listen PORT] [--snapshot-prefix P]
@@ -160,6 +161,10 @@ int cmd_load(const Args& args) {
   QGEAR_CHECK_ARG(precision == "fp32" || precision == "fp64",
                   "--precision must be fp32 or fp64");
   sopts.fp64 = precision == "fp64";
+  sopts.backend = args.opt("backend", "fused");
+  QGEAR_CHECK_ARG(sim::Backend::is_registered(sopts.backend),
+                  "--backend: unknown backend '" + sopts.backend + "'");
+  sopts.memory_budget_bytes = args.u64("memory-budget-mb", 0) << 20;
 
   serve::LoadGenOptions lopts;
   lopts.total_jobs = args.u64("jobs", 400);
