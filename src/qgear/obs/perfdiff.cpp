@@ -19,11 +19,14 @@ struct Series {
 using SeriesMap = std::map<std::string, Series>;
 
 /// Deterministic-counter prefixes worth gating in a bench report. serve.*
-/// and threadpool.* counters depend on scheduling races, and hardware
-/// perf_* counters are noisy by nature; both are excluded.
+/// and threadpool.* counters depend on scheduling races, hardware perf_*
+/// counters are noisy by nature, and route.* counters track autotuner
+/// decisions that legitimately shift with host calibration; all are
+/// excluded.
 bool deterministic_counter(const std::string& name) {
   if (name.find("perf_") != std::string::npos) return false;
   if (name.rfind("perf.", 0) == 0) return false;
+  if (name.rfind("route.", 0) == 0) return false;
   for (const char* prefix : {"sim.", "engine.", "dist.", "serve.engine."}) {
     if (name.rfind(prefix, 0) == 0) return true;
   }

@@ -1,0 +1,98 @@
+#include "qgear/route/calibration.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "qgear/common/error.hpp"
+#include "qgear/common/log.hpp"
+
+namespace qgear::route {
+
+obs::JsonValue Calibration::to_json() const {
+  obs::JsonValue j{obs::JsonValue::Object{}};
+  j.set("schema", "qgear.route.calibration/v1");
+  j.set("sweep_bw_fp32_bps", sweep_bw_fp32_bps);
+  j.set("sweep_bw_fp64_bps", sweep_bw_fp64_bps);
+  j.set("sweep_launch_s", sweep_launch_s);
+  j.set("dense_flops_ps", dense_flops_ps);
+  j.set("dd_gate_base_s", dd_gate_base_s);
+  j.set("dd_gate_node_s", dd_gate_node_s);
+  j.set("mps_unit1q_s", mps_unit1q_s);
+  j.set("mps_unit2q_s", mps_unit2q_s);
+  obs::JsonValue pts{obs::JsonValue::Array{}};
+  for (const MeasuredPoint& p : measured) {
+    obs::JsonValue e{obs::JsonValue::Object{}};
+    e.set("circuit", p.circuit);
+    e.set("backend", p.backend);
+    e.set("precision", p.precision);
+    e.set("qubits", p.qubits);
+    e.set("gates", p.gates);
+    e.set("measured_s", p.measured_s);
+    e.set("analytic_s", p.analytic_s);
+    pts.push_back(std::move(e));
+  }
+  j.set("measured", std::move(pts));
+  return j;
+}
+
+Calibration Calibration::from_json(const obs::JsonValue& j) {
+  QGEAR_CHECK_ARG(j.is_object() && j.find("schema") != nullptr &&
+                      j.at("schema").str() == "qgear.route.calibration/v1",
+                  "calibration: not a qgear.route.calibration/v1 document");
+  Calibration c;
+  auto num = [&](const char* key, double fallback) {
+    const obs::JsonValue* v = j.find(key);
+    return v != nullptr && v->is_number() ? v->number() : fallback;
+  };
+  c.sweep_bw_fp32_bps = num("sweep_bw_fp32_bps", c.sweep_bw_fp32_bps);
+  c.sweep_bw_fp64_bps = num("sweep_bw_fp64_bps", c.sweep_bw_fp64_bps);
+  c.sweep_launch_s = num("sweep_launch_s", c.sweep_launch_s);
+  c.dense_flops_ps = num("dense_flops_ps", c.dense_flops_ps);
+  c.dd_gate_base_s = num("dd_gate_base_s", c.dd_gate_base_s);
+  c.dd_gate_node_s = num("dd_gate_node_s", c.dd_gate_node_s);
+  c.mps_unit1q_s = num("mps_unit1q_s", c.mps_unit1q_s);
+  c.mps_unit2q_s = num("mps_unit2q_s", c.mps_unit2q_s);
+  if (const obs::JsonValue* pts = j.find("measured");
+      pts != nullptr && pts->is_array()) {
+    for (const obs::JsonValue& e : pts->array()) {
+      MeasuredPoint p;
+      p.circuit = e.at("circuit").str();
+      p.backend = e.at("backend").str();
+      p.precision = e.at("precision").str();
+      p.qubits = static_cast<unsigned>(e.at("qubits").number());
+      p.gates = static_cast<std::uint64_t>(e.at("gates").number());
+      p.measured_s = e.at("measured_s").number();
+      p.analytic_s = e.at("analytic_s").number();
+      c.measured.push_back(std::move(p));
+    }
+  }
+  return c;
+}
+
+void Calibration::save(const std::string& path) const {
+  obs::write_text_file(path, to_json().dump() + "\n");
+}
+
+Calibration Calibration::load(const std::string& path) {
+  Calibration c = from_json(obs::JsonValue::parse(obs::read_text_file(path)));
+  c.source = path;
+  return c;
+}
+
+const Calibration& Calibration::host_default() {
+  static Calibration cached;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("QGEAR_ROUTE_CALIBRATION");
+    if (env == nullptr || env[0] == '\0') return;  // built-in defaults
+    try {
+      cached = load(env);
+    } catch (const std::exception& e) {
+      log::warn(std::string("route: ignoring QGEAR_ROUTE_CALIBRATION=") +
+                env + " (" + e.what() + "); using built-in defaults");
+    }
+  });
+  return cached;
+}
+
+}  // namespace qgear::route

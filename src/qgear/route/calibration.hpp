@@ -1,0 +1,74 @@
+// Calibration data for the router's time model.
+//
+// Two layers, in increasing fidelity:
+//
+//  1. Host constants — sustained sweep bandwidth per precision (from the
+//     perfmodel bandwidth probe), per-block launch overhead, arithmetic
+//     throughput (what makes very wide fusion lose), and per-unit costs
+//     for the dd / mps engines. Defaults are order-of-magnitude sane for
+//     a modern x86 core so an uncalibrated binary still routes
+//     reasonably.
+//
+//  2. A small measured lookup table: (circuit, backend, precision) ->
+//     {measured seconds, the analytic estimate at calibration time}.
+//     The cost model blends these as a per-(backend, precision) scale
+//     factor weighted by workload similarity, so suite-like circuits get
+//     near-measured predictions while novel shapes degrade gracefully to
+//     the analytic model.
+//
+// `qgear_cli calibrate` refreshes both layers and writes the JSON
+// (schema `qgear.route.calibration/v1`); a committed baseline lives at
+// bench/baselines/route/calibration.json. Consumers load via
+// `Calibration::load(path)` or `host_default()` which honours the
+// QGEAR_ROUTE_CALIBRATION env var.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qgear/obs/json.hpp"
+
+namespace qgear::route {
+
+/// One measured data point for the lookup table.
+struct MeasuredPoint {
+  std::string circuit;    ///< label, e.g. "qft12"
+  std::string backend;    ///< registered backend name
+  std::string precision;  ///< "fp32" | "fp64"
+  unsigned qubits = 0;
+  std::uint64_t gates = 0;
+  double measured_s = 0.0;  ///< wall seconds, median of repeats
+  double analytic_s = 0.0;  ///< cost-model estimate at calibration time
+};
+
+struct Calibration {
+  // Host constants (layer 1).
+  double sweep_bw_fp32_bps = 8.0e9;   ///< fused-sweep bandwidth, fp32
+  double sweep_bw_fp64_bps = 6.0e9;   ///< fused-sweep bandwidth, fp64
+  double sweep_launch_s = 2.0e-7;     ///< per fused block / per gate
+  double dense_flops_ps = 1.0e11;     ///< dense-kernel arithmetic rate
+  double dd_gate_base_s = 2.0e-6;     ///< dd per-gate fixed cost
+  double dd_gate_node_s = 1.5e-8;     ///< dd per-gate per-active-node cost
+  double mps_unit1q_s = 5.0e-9;       ///< mps 1q cost per chi^2 element
+  double mps_unit2q_s = 2.0e-9;       ///< mps 2q/SVD cost per chi^3 element
+
+  // Measured lookup table (layer 2).
+  std::vector<MeasuredPoint> measured;
+
+  /// Where this calibration came from ("" = built-in defaults).
+  std::string source;
+
+  obs::JsonValue to_json() const;
+  static Calibration from_json(const obs::JsonValue& j);
+
+  void save(const std::string& path) const;
+  static Calibration load(const std::string& path);
+
+  /// Built-in defaults, overridden by the file named in
+  /// QGEAR_ROUTE_CALIBRATION when set and readable (a broken path warns
+  /// and falls back). Cached after the first call.
+  static const Calibration& host_default();
+};
+
+}  // namespace qgear::route

@@ -75,8 +75,15 @@ struct JobSpec {
   /// Simulation backend for this job (empty = the service default).
   /// Admission prices the job with *this* backend's memory_estimate, so a
   /// 50-qubit GHZ job is admissible on "dd"/"mps" even though its dense
-  /// statevector price would dwarf any budget.
+  /// statevector price would dwarf any budget. "auto" asks the router
+  /// (route::plan) to pick backend × precision × fusion width under the
+  /// service's memory budget and accuracy bound.
   std::string backend;
+  /// Execution precision: "fp32", "fp64", or "" for the service default
+  /// (Options::fp64 on the fused path; engine-native fp64 elsewhere).
+  /// Only the statevector backends honor fp32; the router sets this for
+  /// backend=auto jobs.
+  std::string precision;
 };
 
 /// How an accepted job ended, with its latency breakdown.
@@ -92,6 +99,10 @@ struct JobResult {
   double e2e_s = 0;         ///< submit -> terminal
   std::uint64_t trace_id = 0;  ///< correlation id of the job's spans
   std::string backend;      ///< backend that executed (or would have)
+  std::string precision;    ///< resolved execution precision
+  /// Router/cost-model execute-time estimate priced at admission — the
+  /// fair-share charge (see qgear.serve.report/v1 "admission").
+  double est_execute_s = 0;
   sim::EngineStats stats;   ///< execution counters (completed jobs)
 };
 
@@ -105,8 +116,10 @@ struct JobState {
   obs::TraceContext ctx;          ///< resolved at submit (see JobSpec)
   std::uint64_t fingerprint = 0;  ///< cache key (computed at submit)
   std::string backend;            ///< resolved backend name
+  std::string precision;          ///< resolved "fp32"/"fp64"
   std::uint64_t mem_bytes = 0;    ///< backend memory_estimate at submit
-  double cost = 1.0;  ///< fair-share charge (gates * backend amps-equiv)
+  double est_seconds = 0;         ///< cost-model time estimate at submit
+  double cost = 1.0;  ///< fair-share charge (estimated execute seconds)
   Clock::time_point submit_time{};
   Clock::time_point deadline{};      ///< zero when no queue deadline
   Clock::time_point timeout_at{};    ///< zero when no timeout

@@ -176,11 +176,15 @@ LoadGenReport run_load(SimService& svc, const LoadGenOptions& opts) {
   report.wall_seconds = wall.seconds();
 
   std::vector<double> e2e, queue_wait, compile, execute, e2e_hit, e2e_miss;
+  std::vector<double> est_execute;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> routed;
   std::map<std::string, std::vector<double>> tenant_e2e;
   for (PendingJob& pj : jobs) {
     const JobResult r = pj.ticket.result().get();
     queue_wait.push_back(r.queue_wait_s);
     e2e.push_back(r.e2e_s);
+    est_execute.push_back(r.est_execute_s);
+    ++routed[{r.backend, r.precision}];
     switch (r.status) {
       case JobStatus::completed: {
         ++report.completed;
@@ -224,6 +228,11 @@ LoadGenReport run_load(SimService& svc, const LoadGenOptions& opts) {
   report.execute = summarize_latency(std::move(execute));
   report.e2e_cache_hit = summarize_latency(std::move(e2e_hit));
   report.e2e_cache_miss = summarize_latency(std::move(e2e_miss));
+  report.est_execute = summarize_latency(std::move(est_execute));
+  for (const auto& [key, count] : routed) {
+    report.routed.push_back(
+        LoadGenReport::RoutedBucket{key.first, key.second, count});
+  }
   report.cache = svc.cache().stats();
   for (auto& [name, tr] : tenants) {
     tr.p95_e2e_us = summarize_latency(std::move(tenant_e2e[name])).p95_us;
@@ -300,6 +309,20 @@ obs::JsonValue LoadGenReport::to_json() const {
   cache_json.set("entries", std::uint64_t{cache.entries});
   root.set("cache", std::move(cache_json));
 
+  JsonValue admission{JsonValue::Object{}};
+  admission.set("pricing", "time_estimate");
+  admission.set("est_execute", latency_json(est_execute));
+  JsonValue routed_json{JsonValue::Array{}};
+  for (const RoutedBucket& rb : routed) {
+    JsonValue b{JsonValue::Object{}};
+    b.set("backend", rb.backend);
+    b.set("precision", rb.precision);
+    b.set("jobs", std::uint64_t{rb.jobs});
+    routed_json.push_back(std::move(b));
+  }
+  admission.set("routed", std::move(routed_json));
+  root.set("admission", std::move(admission));
+
   JsonValue tenants_json{JsonValue::Array{}};
   for (const TenantReport& tr : tenants) {
     JsonValue t{JsonValue::Object{}};
@@ -350,6 +373,15 @@ std::string LoadGenReport::summary() const {
   out += line("queue_wait", queue_wait);
   out += line("compile", compile);
   out += line("execute", execute);
+  out += line("est_execute", est_execute);
+  if (!routed.empty()) {
+    out += "  routed:";
+    for (const RoutedBucket& rb : routed) {
+      out += strfmt(" %s/%s=%llu", rb.backend.c_str(), rb.precision.c_str(),
+                    static_cast<unsigned long long>(rb.jobs));
+    }
+    out += "\n";
+  }
   out += strfmt(
       "  cache %s: %llu hits / %llu misses (%.0f%% hit rate), "
       "%llu evictions, %llu single-flight waits, %s resident\n",

@@ -103,6 +103,18 @@ struct LoadGenReport {
   CompilationCache::Stats cache;
   std::vector<TenantReport> tenants;
 
+  /// Admission pricing (router time model): distribution of the per-job
+  /// execute-time estimates that now drive the fair-share cost, and the
+  /// resolved backend × precision mix (one bucket per combination —
+  /// non-trivial when the service backend is "auto").
+  LatencySummary est_execute;
+  struct RoutedBucket {
+    std::string backend;
+    std::string precision;
+    std::uint64_t jobs = 0;
+  };
+  std::vector<RoutedBucket> routed;
+
   std::uint64_t rejected_total() const {
     return rejected_queue_full + rejected_tenant_limit +
            rejected_shutting_down + rejected_memory_budget;

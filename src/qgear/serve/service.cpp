@@ -12,6 +12,7 @@
 #include "qgear/obs/metrics.hpp"
 #include "qgear/obs/trace.hpp"
 #include "qgear/qiskit/fingerprint.hpp"
+#include "qgear/route/route.hpp"
 #include "qgear/sim/fused.hpp"
 #include "qgear/sim/state.hpp"
 
@@ -145,27 +146,72 @@ JobTicket SimService::submit(JobSpec spec) {
   state->fingerprint = qiskit::circuit_fingerprint(state->spec.circuit);
   state->backend =
       state->spec.backend.empty() ? opts_.backend : state->spec.backend;
-  QGEAR_CHECK_ARG(sim::Backend::is_registered(state->backend),
-                  "serve: unknown backend '" + state->backend + "'");
-  // Price the job in the bytes *its* backend would need. This is the
-  // admission currency: a dd/mps job is charged its structure-aware
-  // estimate, not the 2^n statevector price that would reject every
-  // large-but-sparse circuit.
-  state->mem_bytes = sim::Backend::memory_estimate_for(
-      state->backend, state->spec.circuit, backend_options());
-  if (opts_.memory_budget_bytes > 0 &&
-      state->mem_bytes > opts_.memory_budget_bytes) {
-    rejected_counter(RejectReason::memory_budget).add();
-    return JobTicket(RejectReason::memory_budget);
+  if (state->backend == "auto") {
+    // Placement policy: the router picks backend × precision × fusion
+    // width under the service memory budget and accuracy bound. Runs in
+    // the admit trace scope, so the route.plan span (and its route.*
+    // counters) nest under this request's trace id.
+    route::Budget budget;
+    budget.memory_bytes = opts_.memory_budget_bytes;
+    budget.max_error = opts_.route_max_error;
+    route::RouteOptions ro;
+    ro.calibration = opts_.calibration;
+    ro.base = backend_options();
+    const route::Placement placement =
+        route::plan(state->spec.circuit, budget, ro);
+    if (!placement.feasible) {
+      rejected_counter(RejectReason::memory_budget).add();
+      return JobTicket(RejectReason::memory_budget);
+    }
+    state->backend = placement.choice.config.backend;
+    state->precision = placement.choice.config.precision;
+    state->mem_bytes = placement.choice.mem_bytes;
+    state->est_seconds = placement.choice.seconds;
+    if (admit_span.active()) {
+      admit_span.arg("routed_backend", state->backend);
+      admit_span.arg("routed_precision", state->precision);
+    }
+  } else {
+    QGEAR_CHECK_ARG(sim::Backend::is_registered(state->backend),
+                    "serve: unknown backend '" + state->backend + "'");
+    // Resolve precision: an explicit JobSpec ask wins on the statevector
+    // backends; the fused default follows Options::fp64; dd/mps/dist are
+    // double-precision engines regardless.
+    const bool statevector =
+        state->backend == "fused" || state->backend == "reference";
+    if (!state->spec.precision.empty() && statevector) {
+      QGEAR_CHECK_ARG(state->spec.precision == "fp32" ||
+                          state->spec.precision == "fp64",
+                      "serve: precision must be fp32 or fp64");
+      state->precision = state->spec.precision;
+    } else if (state->backend == "fused") {
+      state->precision = opts_.fp64 ? "fp64" : "fp32";
+    } else {
+      state->precision = "fp64";
+    }
+    // Price the job in the bytes *its* backend would need. This is the
+    // admission currency: a dd/mps job is charged its structure-aware
+    // estimate, not the 2^n statevector price that would reject every
+    // large-but-sparse circuit.
+    sim::BackendOptions bo = backend_options();
+    bo.fp32 = statevector && state->precision == "fp32";
+    state->mem_bytes = sim::Backend::memory_estimate_for(
+        state->backend, state->spec.circuit, bo);
+    if (opts_.memory_budget_bytes > 0 &&
+        state->mem_bytes > opts_.memory_budget_bytes) {
+      rejected_counter(RejectReason::memory_budget).add();
+      return JobTicket(RejectReason::memory_budget);
+    }
+    state->est_seconds =
+        route::time_estimate_for(state->backend, state->precision,
+                                 state->spec.circuit, opts_.calibration, bo)
+            .seconds;
   }
-  // Fair-share charge: one sweep over the resident state per gate is the
-  // upper bound of the work a circuit can cost, so gates * amplitudes
-  // (memory estimate / bytes-per-amp) orders tenants sensibly across
-  // mixed circuit sizes and backends. For statevector backends this is
-  // exactly the old gates * 2^n charge.
-  state->cost =
-      static_cast<double>(state->spec.circuit.size() + 1) *
-      std::max(static_cast<double>(state->mem_bytes) / 16.0, 1.0);
+  // Fair-share charge: the cost model's execute-time estimate. Replaces
+  // the old gates×amplitudes proxy — tenants are now charged in the
+  // same currency the latency SLO is written in, and a dd/mps job that
+  // finishes in milliseconds no longer pays a statevector-sized share.
+  state->cost = std::max(state->est_seconds, 1e-9);
   state->submit_time = Clock::now();
   if (state->spec.queue_deadline_s > 0) {
     state->deadline =
@@ -219,6 +265,8 @@ void SimService::process(FairScheduler::Popped popped) {
   JobState& job = *popped.job;
   JobResult result;
   result.backend = job.backend;
+  result.precision = job.precision;
+  result.est_execute_s = job.est_seconds;
   result.queue_wait_s = seconds_between(job.submit_time, Clock::now());
 
   if (popped.expired) {
@@ -296,8 +344,9 @@ void SimService::process(FairScheduler::Popped popped) {
 
     WallTimer exec_timer;
     const bool ran_to_completion =
-        opts_.fp64 ? execute_plan<double>(job, *compiled, &result.stats)
-                   : execute_plan<float>(job, *compiled, &result.stats);
+        job.precision == "fp64"
+            ? execute_plan<double>(job, *compiled, &result.stats)
+            : execute_plan<float>(job, *compiled, &result.stats);
     result.execute_s = exec_timer.seconds();
     if (ran_to_completion) {
       result.status = JobStatus::completed;
@@ -357,7 +406,9 @@ sim::BackendOptions SimService::backend_options() const {
 }
 
 bool SimService::execute_backend(JobState& job, sim::EngineStats* stats) {
-  auto backend = sim::Backend::create(job.backend, backend_options());
+  sim::BackendOptions bo = backend_options();
+  bo.fp32 = job.precision == "fp32";
+  auto backend = sim::Backend::create(job.backend, bo);
   const qiskit::QuantumCircuit& qc = job.spec.circuit;
   backend->init_state(qc.num_qubits());
   // Cooperative cancellation/timeout between chunks of gates — the
@@ -393,6 +444,9 @@ void SimService::shutdown(bool graceful) {
     for (const std::shared_ptr<JobState>& job : scheduler_.drain_queued()) {
       JobResult result;
       result.status = JobStatus::dropped;
+      result.backend = job->backend;
+      result.precision = job->precision;
+      result.est_execute_s = job->est_seconds;
       result.queue_wait_s = seconds_between(job->submit_time, Clock::now());
       dropped_.fetch_add(1, std::memory_order_relaxed);
       finish(*job, std::move(result));

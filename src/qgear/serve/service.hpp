@@ -32,6 +32,7 @@
 #include <string>
 
 #include "qgear/common/thread_pool.hpp"
+#include "qgear/route/calibration.hpp"
 #include "qgear/serve/compile_cache.hpp"
 #include "qgear/serve/job.hpp"
 #include "qgear/serve/scheduler.hpp"
@@ -52,7 +53,9 @@ class SimService {
     std::map<std::string, double> tenant_weights;
     /// Default execution backend for jobs whose JobSpec leaves `backend`
     /// empty. "fused" keeps the cached fused-block fast path; any other
-    /// registered name executes through sim::Backend.
+    /// registered name executes through sim::Backend; "auto" routes each
+    /// job through route::plan (backend × precision × fusion width under
+    /// the memory budget and `route_max_error`).
     std::string backend = "fused";
     /// Admission cap on a single job's backend memory_estimate, in bytes
     /// (0 = unlimited). The estimate is priced per backend — a dd/mps job
@@ -61,6 +64,15 @@ class SimService {
     std::uint64_t memory_budget_bytes = 0;
     sim::DdEngine::Options dd;    ///< dd backend knobs (node budget)
     sim::MpsEngine::Options mps;  ///< mps backend knobs (cutoff/max bond)
+    /// Accuracy budget the router enforces for `backend=auto` jobs: fp32
+    /// (and aggressive mps truncation) are forbidden when the propagated
+    /// error bound exceeds it.
+    double route_max_error = 1e-4;
+    /// Calibration for the router's time model. Prices admission (the
+    /// fair-share cost is the estimated execute time) and backend=auto
+    /// placement. Defaults to Calibration::host_default(), which honors
+    /// QGEAR_ROUTE_CALIBRATION.
+    route::Calibration calibration = route::Calibration::host_default();
   };
 
   SimService() : SimService(Options{}) {}

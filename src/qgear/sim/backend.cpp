@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "qgear/common/error.hpp"
+#include "qgear/common/log.hpp"
 #include "qgear/sim/fused.hpp"
 #include "qgear/sim/reference.hpp"
 #include "qgear/sim/state.hpp"
@@ -16,14 +17,14 @@ namespace qgear::sim {
 
 namespace {
 
-/// Bytes of a dense double-precision statevector, saturating for large n.
-std::uint64_t statevector_bytes(unsigned n) {
-  constexpr std::uint64_t kAmpBytes = sizeof(std::complex<double>);
+/// Bytes of a dense statevector at `amp_bytes` per amplitude,
+/// saturating for large n.
+std::uint64_t statevector_bytes(unsigned n, std::uint64_t amp_bytes) {
   if (n >= 60) return std::numeric_limits<std::uint64_t>::max();
-  return (std::uint64_t{1} << n) * kAmpBytes;
+  return (std::uint64_t{1} << n) * amp_bytes;
 }
 
-template <typename Engine>
+template <typename Engine, typename T>
 class StateVectorBackend : public Backend {
  public:
   void init_state(unsigned num_qubits) override {
@@ -52,7 +53,7 @@ class StateVectorBackend : public Backend {
   }
   std::uint64_t memory_estimate(
       const qiskit::QuantumCircuit& qc) const override {
-    return statevector_bytes(qc.num_qubits());
+    return statevector_bytes(qc.num_qubits(), sizeof(std::complex<T>));
   }
   const EngineStats& stats() const override { return engine_.stats(); }
   void reset_stats() override { engine_.reset_stats(); }
@@ -64,22 +65,24 @@ class StateVectorBackend : public Backend {
   }
 
   Engine engine_;
-  std::optional<StateVector<double>> state_;
+  std::optional<StateVector<T>> state_;
 };
 
+template <typename T>
 class ReferenceBackend final
-    : public StateVectorBackend<ReferenceEngine<double>> {
+    : public StateVectorBackend<ReferenceEngine<T>, T> {
  public:
   explicit ReferenceBackend(const BackendOptions& o) {
-    engine_ = ReferenceEngine<double>({o.pool});
+    this->engine_ = ReferenceEngine<T>({o.pool});
   }
   std::string name() const override { return "reference"; }
 };
 
-class FusedBackend final : public StateVectorBackend<FusedEngine<double>> {
+template <typename T>
+class FusedBackend final : public StateVectorBackend<FusedEngine<T>, T> {
  public:
   explicit FusedBackend(const BackendOptions& o) {
-    engine_ = FusedEngine<double>({o.fusion, o.pool});
+    this->engine_ = FusedEngine<T>({o.fusion, o.pool});
   }
   std::string name() const override { return "fused"; }
 };
@@ -168,10 +171,12 @@ void ensure_builtins() {
     auto& r = registry();
     std::lock_guard<std::mutex> lock(r.mu);
     r.factories["reference"] = [](const BackendOptions& o) {
-      return std::unique_ptr<Backend>(new ReferenceBackend(o));
+      return o.fp32 ? std::unique_ptr<Backend>(new ReferenceBackend<float>(o))
+                    : std::unique_ptr<Backend>(new ReferenceBackend<double>(o));
     };
     r.factories["fused"] = [](const BackendOptions& o) {
-      return std::unique_ptr<Backend>(new FusedBackend(o));
+      return o.fp32 ? std::unique_ptr<Backend>(new FusedBackend<float>(o))
+                    : std::unique_ptr<Backend>(new FusedBackend<double>(o));
     };
     r.factories["dd"] = [](const BackendOptions& o) {
       return std::unique_ptr<Backend>(new DdBackend(o));
@@ -239,7 +244,12 @@ bool Backend::is_registered(const std::string& name) {
 
 std::string Backend::default_name() {
   const char* env = std::getenv("QGEAR_BACKEND");
-  if (env != nullptr && env[0] != '\0') return env;
+  if (env != nullptr && env[0] != '\0') {
+    if (is_registered(env)) return env;
+    log::warn(std::string("backend: QGEAR_BACKEND='") + env +
+              "' is not registered; falling back to 'fused'");
+    return "fused";
+  }
   return "fused";
 }
 

@@ -45,6 +45,13 @@ struct BackendOptions {
   MpsEngine::Options mps;      ///< truncation cutoff / bond cap
   unsigned dist_ranks = 0;     ///< dist backend: SPMD ranks (0 = auto)
   unsigned dist_threads_per_rank = 1;  ///< dist backend: rank parallelism
+  /// Statevector backends (reference, fused) run single precision when
+  /// set: half the memory, roughly half the sweep traffic, ~1e-7
+  /// per-gate rounding instead of ~1e-16. dd/mps ignore it (their
+  /// numerics are double and their error is structural: node budget /
+  /// SVD truncation). qgear::route owns the decision of when fp32 is
+  /// acceptable (accuracy budget) — see docs/AUTOTUNER.md.
+  bool fp32 = false;
 };
 
 /// Abstract simulation engine. Lifecycle: init_state -> apply_circuit
@@ -104,7 +111,9 @@ class Backend {
   static bool is_registered(const std::string& name);
 
   /// The `QGEAR_BACKEND` environment override, or "fused" when unset —
-  /// how test suites re-run engine-agnostic suites per backend.
+  /// how test suites re-run engine-agnostic suites per backend. An
+  /// unregistered override warns once and falls back to "fused" so a
+  /// typo degrades the run instead of aborting every create() call.
   static std::string default_name();
 
   /// Convenience: create(name, opts)->memory_estimate(qc).

@@ -60,6 +60,54 @@ TEST(BackendRegistry, DefaultNameFollowsEnvironment) {
   }
 }
 
+TEST(BackendRegistry, UnknownEnvBackendFallsBackToFused) {
+  const char* prev = std::getenv("QGEAR_BACKEND");
+  const std::string saved = prev ? prev : "";
+  setenv("QGEAR_BACKEND", "no-such-engine", 1);
+  // Warns and falls back instead of exploding at first create() — a bad
+  // env var must not take down a service that never asked for it.
+  EXPECT_EQ(Backend::default_name(), "fused");
+  auto be = Backend::create(Backend::default_name());
+  EXPECT_EQ(be->name(), "fused");
+  if (prev) {
+    setenv("QGEAR_BACKEND", saved.c_str(), 1);
+  } else {
+    unsetenv("QGEAR_BACKEND");
+  }
+}
+
+TEST(BackendOptionsFp32, StatevectorBackendsRunSinglePrecision) {
+  BackendOptions fp32;
+  fp32.fp32 = true;
+  for (const char* name : {"reference", "fused"}) {
+    auto be = Backend::create(name, fp32);
+    qiskit::QuantumCircuit bell(2);
+    bell.h(0);
+    bell.cx(0, 1);
+    be->init_state(2);
+    be->apply_circuit(bell);
+    PauliTerm zz;
+    zz.ops = {Pauli::Z, Pauli::Z};
+    // Bell state: <ZZ> = 1 exactly; fp32 rounding stays well under 1e-5.
+    EXPECT_NEAR(be->expectation(zz), 1.0, 1e-5) << name;
+  }
+}
+
+TEST(BackendOptionsFp32, HalvesTheStatevectorMemoryEstimate) {
+  qiskit::QuantumCircuit qc(20);
+  BackendOptions fp64;
+  BackendOptions fp32;
+  fp32.fp32 = true;
+  for (const char* name : {"reference", "fused"}) {
+    const std::uint64_t full = Backend::memory_estimate_for(name, qc, fp64);
+    const std::uint64_t half = Backend::memory_estimate_for(name, qc, fp32);
+    EXPECT_EQ(half * 2, full) << name;
+  }
+  // Compact engines ignore the flag: same price either way.
+  EXPECT_EQ(Backend::memory_estimate_for("dd", qc, fp32),
+            Backend::memory_estimate_for("dd", qc, fp64));
+}
+
 TEST(BackendRegistry, EveryBuiltinRunsABellCircuit) {
   qiskit::QuantumCircuit bell(2);
   bell.h(0).cx(0, 1);

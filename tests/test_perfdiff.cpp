@@ -8,7 +8,8 @@
 namespace qgear::obs {
 namespace {
 
-JsonValue bench_report(double stage_seconds, double sweeps) {
+JsonValue bench_report(double stage_seconds, double sweeps,
+                       double route_chosen = 7.0) {
   JsonValue root{JsonValue::Object{}};
   root.set("schema", "qgear.bench.report/v1");
   root.set("bench", "synthetic");
@@ -22,6 +23,7 @@ JsonValue bench_report(double stage_seconds, double sweeps) {
   counters.set("sim.sweeps", sweeps);
   counters.set("serve.submitted", 123.0);  // scheduling-noise: not gated
   counters.set("perf.cycles", 1e9);        // hardware-noise: not gated
+  counters.set("route.chosen.fused", route_chosen);  // calibration-dependent
   JsonValue metrics{JsonValue::Object{}};
   metrics.set("counters", std::move(counters));
   root.set("metrics", std::move(metrics));
@@ -98,6 +100,15 @@ TEST(PerfDiff, NoisyCountersAreNotGated) {
   EXPECT_EQ(find_entry(result, "counter:serve.submitted"), nullptr);
   EXPECT_EQ(find_entry(result, "counter:perf.cycles"), nullptr);
   EXPECT_NE(find_entry(result, "counter:sim.sweeps"), nullptr);
+}
+
+TEST(PerfDiff, RouteCountersAreExemptFromDriftGating) {
+  // route.* counters track autotuner decisions, which legitimately move
+  // when the host recalibrates — drift there is not a regression.
+  const auto result =
+      diff_reports(bench_report(1.0, 500, 7.0), bench_report(1.0, 500, 3.0));
+  EXPECT_FALSE(result.regressed());
+  EXPECT_EQ(find_entry(result, "counter:route.chosen.fused"), nullptr);
 }
 
 TEST(PerfDiff, MissingKeysFailOnlyWhenAsked) {

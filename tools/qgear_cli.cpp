@@ -19,12 +19,21 @@
 //                         [--seed S] [--mps-cutoff C] [--mps-max-bond B]
 //                         [--dd-max-nodes N] [--dist-ranks R] [--fusion W]
 //                         [--report out.json]
+//   qgear_cli run         --in circuits.qh5 --auto [--budget-mb M]
+//                         [--max-error E] [--calibration cal.json]
+//                         [--shots S] [--seed S] [--report out.json]
+//   qgear_cli plan        --in circuits.qh5 [--budget-mb M]
+//                         [--max-error E] [--time-budget-s T]
+//                         [--calibration cal.json] [--report out.json]
+//   qgear_cli calibrate   --out calibration.json [--repeats R]
+//                         [--probe-qubits N] [--skip-suite]
 //   qgear_cli diff-reports --a a.json --b b.json [--marginal-tol T]
 //                         [--exp-tol T]
 //   qgear_cli estimate    --in circuits.qh5 [--devices R] [--gpu 40|80]
 //                         [--shots S] [--precision fp32|fp64]
 //   qgear_cli estimate    --in circuits.qh5 --backend NAME|all
-//                         [--budget-mb M] [--dd-max-nodes N]
+//                         [--budget-mb M] [--max-error E]
+//                         [--calibration cal.json] [--dd-max-nodes N]
 //                         [--mps-cutoff C] [--mps-max-bond B]
 //   qgear_cli qasm-export --in circuits.qh5 --index I --out circuit.qasm
 //
@@ -33,7 +42,16 @@
 // when the flag's value is empty) and emits a qgear.backend.report/v1
 // JSON with sampled counts and per-qubit Z expectations —
 // `diff-reports` compares two such reports within tolerances, which is
-// how CI checks cross-backend equivalence.
+// how CI checks cross-backend equivalence. Route-only members a report
+// may carry (`precision`, `route`, rationale text) are deliberately
+// ignored by the diff, so an autotuned run compares cleanly against a
+// pinned-backend run.
+//
+// `run --auto` routes each circuit through route::plan (backend x
+// precision x ISA x fusion width under --budget-mb / --max-error) and
+// then executes the chosen placement; `plan` prints/exports the decision
+// (qgear.route.report/v1) without executing; `calibrate` refreshes the
+// router's time-model constants and measured lookup table.
 //
 // Flags accept both "--key value" and "--key=value". Observability:
 // `--trace-out` records a Chrome Trace Event file (chrome://tracing /
@@ -65,6 +83,10 @@
 #include "qgear/perfmodel/model.hpp"
 #include "qgear/qh5/file.hpp"
 #include "qgear/qiskit/qasm.hpp"
+#include "qgear/qiskit/transpile.hpp"
+#include "qgear/route/calibration.hpp"
+#include "qgear/route/cost.hpp"
+#include "qgear/route/route.hpp"
 #include "qgear/sim/backend.hpp"
 #include "qgear/sim/isa.hpp"
 #include "qgear/sim/observable.hpp"
@@ -244,14 +266,35 @@ sim::BackendOptions backend_options_from_args(const Args& args) {
   return bo;
 }
 
+route::Calibration calibration_from_args(const Args& args) {
+  const std::string path = args.opt("calibration");
+  return path.empty() ? route::Calibration::host_default()
+                      : route::Calibration::load(path);
+}
+
 /// The --backend execution path: circuits run through the pluggable
 /// registry and the results land in a qgear.backend.report/v1 document.
+/// With --auto (or --backend auto) each circuit is first routed through
+/// route::plan and executed on the chosen backend x precision x ISA x
+/// fusion width; the decision is recorded in the per-circuit `route`
+/// member.
 int cmd_run_backend(const Args& args) {
   std::string name = args.opt("backend");
-  if (name.empty()) name = sim::Backend::default_name();
-  const sim::BackendOptions bo = backend_options_from_args(args);
+  const bool auto_route = args.has("auto") || name == "auto";
+  if (name.empty() && !auto_route) name = sim::Backend::default_name();
+  const sim::BackendOptions base = backend_options_from_args(args);
   const std::uint64_t shots = args.u64("shots", 0);
   const std::uint64_t seed = args.u64("seed", 12345);
+
+  route::Budget budget;
+  route::RouteOptions ropts;
+  if (auto_route) {
+    name = "auto";
+    budget.memory_bytes = args.u64("budget-mb", 0) << 20;
+    budget.max_error = args.f64("max-error", 1e-4);
+    ropts.calibration = calibration_from_args(args);
+    ropts.base = base;
+  }
 
   obs::JsonValue report{obs::JsonValue::Object{}};
   report.set("schema", "qgear.backend.report/v1");
@@ -263,7 +306,32 @@ int cmd_run_backend(const Args& args) {
   const core::GateTensor tensor = load_circuits(args.required("in"));
   for (std::uint32_t c = 0; c < tensor.num_circuits(); ++c) {
     const auto qc = core::decode_circuit(tensor, c);
-    auto backend = sim::Backend::create(name, bo);
+
+    sim::BackendOptions bo = base;
+    std::string exec_name = name;
+    std::string precision = bo.fp32 ? "fp32" : "fp64";
+    route::Placement placement;
+    if (auto_route) {
+      placement = route::plan(qc, budget, ropts);
+      if (!placement.feasible) {
+        std::fprintf(stderr, "[%u] %s: no feasible placement — %s\n", c,
+                     qc.name().c_str(),
+                     placement.rationale.empty()
+                         ? "(no rationale)"
+                         : placement.rationale.back().c_str());
+        return 1;
+      }
+      const route::CandidateConfig& cfg = placement.choice.config;
+      exec_name = cfg.backend;
+      precision = cfg.precision;
+      bo.fp32 = cfg.precision == "fp32";
+      if (cfg.fusion_width > 0) bo.fusion.max_width = cfg.fusion_width;
+      sim::set_active_isa(cfg.isa);
+      for (const std::string& line : placement.rationale) {
+        std::printf("[%u] %s: %s\n", c, qc.name().c_str(), line.c_str());
+      }
+    }
+    auto backend = sim::Backend::create(exec_name, bo);
     const std::uint64_t mem_bytes = backend->memory_estimate(qc);
 
     WallTimer timer;
@@ -288,10 +356,10 @@ int cmd_run_backend(const Args& args) {
     }
     const double wall = timer.seconds();
 
-    std::printf("[%u] %s via %s: %u qubits, %zu gates, %s wall, "
+    std::printf("[%u] %s via %s/%s: %u qubits, %zu gates, %s wall, "
                 "mem estimate %s\n",
-                c, qc.name().c_str(), name.c_str(), qc.num_qubits(),
-                qc.size(), human_seconds(wall).c_str(),
+                c, qc.name().c_str(), exec_name.c_str(), precision.c_str(),
+                qc.num_qubits(), qc.size(), human_seconds(wall).c_str(),
                 human_bytes(mem_bytes).c_str());
 
     obs::JsonValue cj{obs::JsonValue::Object{}};
@@ -300,6 +368,20 @@ int cmd_run_backend(const Args& args) {
     cj.set("gates", std::uint64_t{qc.size()});
     cj.set("memory_estimate_bytes", mem_bytes);
     cj.set("wall_seconds", wall);
+    if (auto_route) {
+      cj.set("precision", precision);
+      obs::JsonValue rj{obs::JsonValue::Object{}};
+      rj.set("backend", exec_name);
+      rj.set("precision", precision);
+      rj.set("isa", sim::isa_name(placement.choice.config.isa));
+      rj.set("fusion_width", placement.choice.config.fusion_width);
+      rj.set("time_est_s", placement.choice.seconds);
+      rj.set("memory_est_bytes", placement.choice.mem_bytes);
+      obs::JsonValue why{obs::JsonValue::Array{}};
+      for (const std::string& line : placement.rationale) why.push_back(line);
+      rj.set("rationale", std::move(why));
+      cj.set("route", std::move(rj));
+    }
     obs::JsonValue mj{obs::JsonValue::Array{}};
     // Key-bit order: bit j of a counts key is the value of measured[j]
     // (all qubits ascending when the circuit has no measure ops).
@@ -339,7 +421,7 @@ int cmd_run_backend(const Args& args) {
 }
 
 int cmd_run(const Args& args) {
-  if (args.has("backend")) return cmd_run_backend(args);
+  if (args.has("backend") || args.has("auto")) return cmd_run_backend(args);
   const std::string trace_out = args.opt("trace-out");
   const std::string metrics_out = args.opt("metrics-out");
   obs::Tracer& tracer = obs::Tracer::global();
@@ -429,6 +511,185 @@ int cmd_run(const Args& args) {
                 metrics_out.c_str(), snap.counters.size(),
                 snap.gauges.size(), snap.histograms.size());
   }
+  return 0;
+}
+
+/// `qgear_cli plan` — routes every circuit in the tensor and prints the
+/// decisions without executing anything. --report writes the combined
+/// qgear.route.report/v1 document (docs/route_report.schema.json).
+int cmd_plan(const Args& args) {
+  route::Budget budget;
+  budget.memory_bytes = args.u64("budget-mb", 0) << 20;
+  budget.max_error = args.f64("max-error", 1e-4);
+  budget.time_s = args.f64("time-budget-s", 0.0);
+  route::RouteOptions ropts;
+  ropts.calibration = calibration_from_args(args);
+  ropts.base = backend_options_from_args(args);
+  if (args.has("include-dist")) ropts.include_dist = true;
+
+  const core::GateTensor tensor = load_circuits(args.required("in"));
+  std::vector<std::string> names;
+  std::vector<route::Placement> placements;
+  for (std::uint32_t c = 0; c < tensor.num_circuits(); ++c) {
+    const auto qc = core::decode_circuit(tensor, c);
+    route::Placement p = route::plan(qc, budget, ropts);
+    std::printf("[%u] %s:\n", c, qc.name().c_str());
+    for (const std::string& line : p.rationale) {
+      std::printf("    %s\n", line.c_str());
+    }
+    if (args.has("verbose")) {
+      for (const route::Candidate& alt : p.alternatives) {
+        std::printf("    %-10s %s isa=%-6s w=%u  %10s  %10s%s%s\n",
+                    alt.config.backend.c_str(), alt.config.precision.c_str(),
+                    sim::isa_name(alt.config.isa), alt.config.fusion_width,
+                    human_seconds(alt.seconds).c_str(),
+                    human_bytes(alt.mem_bytes).c_str(),
+                    alt.feasible ? "" : "  REJECTED: ",
+                    alt.reject_reason.c_str());
+      }
+    }
+    names.push_back(qc.name());
+    placements.push_back(std::move(p));
+  }
+
+  const std::string report_out = args.opt("report");
+  if (!report_out.empty()) {
+    obs::write_text_file(
+        report_out, route::make_report(names, placements, budget).dump());
+    std::printf("wrote %s\n", report_out.c_str());
+  }
+  const bool all_feasible =
+      std::all_of(placements.begin(), placements.end(),
+                  [](const route::Placement& p) { return p.feasible; });
+  return all_feasible ? 0 : 1;
+}
+
+/// Times one backend run (init + apply) of `qc`, best of `repeats`. Min,
+/// not median: scheduler noise only adds time, and bench_route_sweep
+/// measures candidates the same way, so the stored ratios stay
+/// comparable to what the sweep observes.
+double measure_backend_wall(const std::string& backend,
+                            const sim::BackendOptions& bo,
+                            const qiskit::QuantumCircuit& qc,
+                            unsigned repeats) {
+  double best = 0.0;
+  for (unsigned r = 0; r < std::max(repeats, 1u); ++r) {
+    auto b = sim::Backend::create(backend, bo);
+    b->init_state(qc.num_qubits());
+    WallTimer timer;
+    std::vector<unsigned> measured;
+    b->apply_circuit(qc, &measured);
+    const double wall = timer.seconds();
+    if (best == 0.0 || wall < best) best = wall;
+    if (wall > 1.0) break;  // slow configs don't need noise suppression
+  }
+  return best;
+}
+
+/// `qgear_cli calibrate` — refreshes the router's time model for this
+/// host and writes qgear.route.calibration/v1 JSON. Layer 1: sweep
+/// bandwidth per precision (the fp32 number comes straight from the
+/// perfmodel probe the GPU estimator already trusts). Layer 2: measured
+/// wall times for the routing suite (qft12 / random12 / ghz40) on every
+/// backend x precision where the pair is tractable, paired with the
+/// analytic estimate so the cost model can learn a per-pair scale.
+int cmd_calibrate(const Args& args) {
+  const unsigned repeats = static_cast<unsigned>(args.u64("repeats", 3));
+  const unsigned probe_qubits =
+      static_cast<unsigned>(args.u64("probe-qubits", 18));
+
+  route::Calibration calib;
+  calib.source = "qgear_cli calibrate";
+  calib.sweep_bw_fp32_bps =
+      perfmodel::measure_local_sweep_bandwidth(probe_qubits, 40);
+  {
+    // fp64 bandwidth via a fused fp64 backend run of the same shape.
+    const auto qc = circuits::generate_random_circuit(
+        {.num_qubits = probe_qubits, .num_blocks = 40, .seed = 99});
+    sim::BackendOptions bo;
+    auto b = sim::Backend::create("fused", bo);
+    b->init_state(probe_qubits);
+    WallTimer timer;
+    std::vector<unsigned> measured;
+    b->apply_circuit(qc, &measured);
+    const double seconds = timer.seconds();
+    const double bytes = double(b->stats().sweeps) *
+                         perfmodel::kSweepBytesPerStateByte *
+                         std::ldexp(16.0, int(probe_qubits));
+    calib.sweep_bw_fp64_bps = bytes / std::max(seconds, 1e-9);
+  }
+  std::printf("sweep bandwidth: fp32 %s/s, fp64 %s/s (%u-qubit probe)\n",
+              human_bytes(std::uint64_t(calib.sweep_bw_fp32_bps)).c_str(),
+              human_bytes(std::uint64_t(calib.sweep_bw_fp64_bps)).c_str(),
+              probe_qubits);
+
+  if (!args.has("skip-suite")) {
+    // The measured suite: same circuits the CI route-smoke job runs.
+    auto qft12 = circuits::build_qft(12, {});
+    auto random12 = circuits::generate_random_circuit(
+        {.num_qubits = 12, .num_blocks = 120, .seed = 1});
+    qiskit::QuantumCircuit ghz40(40, "ghz40");
+    ghz40.h(0);
+    for (unsigned q = 0; q + 1 < 40; ++q) ghz40.cx(q, q + 1);
+
+    struct SuiteRun {
+      const char* label;
+      const qiskit::QuantumCircuit* qc;
+      const char* backend;
+      const char* precision;
+    };
+    // Statevector pairs stop at 12 qubits; ghz40 is compact-engine
+    // territory (2^40 amplitudes never fit), which is the point: the
+    // table should teach the model where each engine family wins.
+    const SuiteRun suite[] = {
+        {"qft12", &qft12, "fused", "fp32"},
+        {"qft12", &qft12, "fused", "fp64"},
+        {"qft12", &qft12, "reference", "fp32"},
+        {"qft12", &qft12, "reference", "fp64"},
+        {"qft12", &qft12, "dd", "fp64"},
+        {"qft12", &qft12, "mps", "fp64"},
+        {"random12", &random12, "fused", "fp32"},
+        {"random12", &random12, "fused", "fp64"},
+        {"random12", &random12, "reference", "fp32"},
+        {"random12", &random12, "reference", "fp64"},
+        {"random12", &random12, "dd", "fp64"},
+        {"random12", &random12, "mps", "fp64"},
+        {"ghz40", &ghz40, "dd", "fp64"},
+        {"ghz40", &ghz40, "mps", "fp64"},
+    };
+    // Analytic estimates are priced against the layer-1 constants only
+    // (an empty measured table): the stored measured/analytic ratio must
+    // be relative to the pure model, or scales would compound when the
+    // cost model later re-applies the lookup table.
+    route::Calibration layer1 = calib;
+    layer1.measured.clear();
+    for (const SuiteRun& run : suite) {
+      sim::BackendOptions bo;
+      bo.fp32 = std::string(run.precision) == "fp32";
+      route::MeasuredPoint p;
+      p.circuit = run.label;
+      p.backend = run.backend;
+      p.precision = run.precision;
+      p.qubits = run.qc->num_qubits();
+      p.gates = run.qc->size();
+      p.measured_s = measure_backend_wall(run.backend, bo, *run.qc, repeats);
+      p.analytic_s = route::time_estimate_for(run.backend, run.precision,
+                                              qiskit::transpile(*run.qc),
+                                              layer1, bo)
+                         .seconds;
+      std::printf("  %-9s %-10s %s: measured %s, analytic %s (x%.2f)\n",
+                  p.circuit.c_str(), p.backend.c_str(), p.precision.c_str(),
+                  human_seconds(p.measured_s).c_str(),
+                  human_seconds(p.analytic_s).c_str(),
+                  p.analytic_s > 0 ? p.measured_s / p.analytic_s : 0.0);
+      calib.measured.push_back(std::move(p));
+    }
+  }
+
+  const std::string out = args.str("out", "calibration.json");
+  calib.save(out);
+  std::printf("wrote %s (%zu measured point(s))\n", out.c_str(),
+              calib.measured.size());
   return 0;
 }
 
@@ -538,15 +799,32 @@ int cmd_estimate(const Args& args) {
     } else {
       names = split(sel, ',');
     }
+    const double max_error = args.f64("max-error", 1e-4);
+    const route::Calibration calib = calibration_from_args(args);
     for (std::uint32_t c = 0; c < tensor.num_circuits(); ++c) {
       const auto qc = core::decode_circuit(tensor, c);
+      const auto tqc = qiskit::transpile(qc);
       std::printf("[%u] %s (%u qubits, %zu gates):\n", c, qc.name().c_str(),
                   qc.num_qubits(), qc.size());
+      std::printf("  %-10s %12s %12s %6s\n", "backend", "memory", "time",
+                  "prec");
       for (const std::string& nm : names) {
-        const auto e = perfmodel::estimate_backend_memory(qc, nm, budget, bo);
-        std::printf("  %-10s %12s%s\n", nm.c_str(),
-                    human_bytes(e.mem_bytes).c_str(),
-                    e.feasible ? "" : "  (over budget)");
+        // Chosen precision per backend: fp32 where the engine supports
+        // it and the propagated error stays inside --max-error. The
+        // memory column is at that precision (the serve admission
+        // currency), like perfmodel::estimate_backend_memory but
+        // precision-aware.
+        const auto e32 = route::time_estimate_for(nm, "fp32", tqc, calib, bo);
+        const auto e64 = route::time_estimate_for(nm, "fp64", tqc, calib, bo);
+        const bool pick32 = e32.supported && e32.error_bound <= max_error &&
+                            e32.seconds <= e64.seconds;
+        const auto& t = pick32 ? e32 : e64;
+        const bool over = budget > 0 && t.mem_bytes > budget;
+        std::printf("  %-10s %12s %12s %6s%s\n", nm.c_str(),
+                    human_bytes(t.mem_bytes).c_str(),
+                    human_seconds(t.seconds).c_str(),
+                    pick32 ? "fp32" : "fp64",
+                    over ? "  (over budget)" : "");
       }
     }
     return 0;
@@ -591,8 +869,8 @@ int cmd_qasm_export(const Args& args) {
 void print_usage() {
   std::printf(
       "qgear_cli <command> [flags]\n"
-      "commands: gen-random gen-qft gen-ghz gen-image info run "
-      "diff-reports estimate qasm-export\n"
+      "commands: gen-random gen-qft gen-ghz gen-image info run plan "
+      "calibrate diff-reports estimate qasm-export\n"
       "see the header of tools/qgear_cli.cpp for full flag reference.\n");
 }
 
@@ -614,6 +892,8 @@ int main(int argc, char** argv) {
     if (cmd == "gen-image") return cmd_gen_image(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "run") return cmd_run(args);
+    if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "calibrate") return cmd_calibrate(args);
     if (cmd == "diff-reports") return cmd_diff_reports(args);
     if (cmd == "estimate") return cmd_estimate(args);
     if (cmd == "qasm-export") return cmd_qasm_export(args);

@@ -10,7 +10,7 @@
 //                    [--deadline-ms MS] [--timeout-ms MS]
 //                    [--cache on|off] [--cache-mb M] [--fusion W]
 //                    [--precision fp32|fp64] [--seed S]
-//                    [--backend NAME] [--memory-budget-mb M]
+//                    [--backend NAME|auto] [--memory-budget-mb M]
 //                    [--report out.json] [--trace-out trace.json]
 //                    [--metrics-out metrics.json] [--log level]
 //                    [--listen PORT] [--snapshot-prefix P]
@@ -162,8 +162,10 @@ int cmd_load(const Args& args) {
                   "--precision must be fp32 or fp64");
   sopts.fp64 = precision == "fp64";
   sopts.backend = args.opt("backend", "fused");
-  QGEAR_CHECK_ARG(sim::Backend::is_registered(sopts.backend),
-                  "--backend: unknown backend '" + sopts.backend + "'");
+  QGEAR_CHECK_ARG(
+      sopts.backend == "auto" || sim::Backend::is_registered(sopts.backend),
+      "--backend: unknown backend '" + sopts.backend + "' (use a registered "
+      "backend or 'auto' to route per job)");
   sopts.memory_budget_bytes = args.u64("memory-budget-mb", 0) << 20;
 
   serve::LoadGenOptions lopts;
