@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <limits>
+#include <string>
 #include <thread>
 
+#include "qgear/fault/fault.hpp"
 #include "qgear/obs/metrics.hpp"
 
 namespace qgear::comm {
@@ -31,6 +34,47 @@ obs::Histogram& barrier_wait_hist() {
   static obs::Histogram& h =
       obs::Registry::global().histogram("comm.barrier_wait_us");
   return h;
+}
+
+obs::Counter& chunks_dropped_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("comm.chunks_dropped");
+  return c;
+}
+
+obs::Counter& chunks_resent_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("comm.chunks_resent");
+  return c;
+}
+
+obs::Counter& resend_requests_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("comm.resend_requests");
+  return c;
+}
+
+obs::Counter& chunk_timeouts_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("comm.chunk_timeouts");
+  return c;
+}
+
+// Resilient-exchange control plane. Control messages ride a tag derived
+// from the data tag: negative, below the broadcast tag (-42), so they
+// never collide with op tags [0, 2^28), sampler tags (>= 2^28), or
+// broadcasts. Layout: [u8 opcode][u64 offset].
+constexpr std::uint8_t kCtrlResend = 1;
+constexpr std::uint8_t kCtrlDone = 2;
+
+int ctrl_tag_for(int tag) { return -tag - 100; }
+
+std::vector<std::uint8_t> encode_ctrl(std::uint8_t opcode,
+                                      std::uint64_t offset) {
+  std::vector<std::uint8_t> msg(1 + sizeof(offset));
+  msg[0] = opcode;
+  std::memcpy(msg.data() + 1, &offset, sizeof(offset));
+  return msg;
 }
 
 /// Microsecond stopwatch for wait-time histograms.
@@ -81,6 +125,138 @@ bool Communicator::try_recv(int src, int tag,
   QGEAR_CHECK_ARG(src >= 0 && src < size(), "comm: source out of range");
   QGEAR_CHECK_ARG(src != rank_, "comm: self-receive is not supported");
   return world_->try_take(src, rank_, tag, out);
+}
+
+void Communicator::send_chunk_framed(int peer, int tag, std::uint64_t offset,
+                                     std::span<const std::uint8_t> payload) {
+  fault::maybe_delay(fault::Site::comm_delay);
+  if (fault::should_inject(fault::Site::comm_drop)) {
+    // Model a lost packet: the message is never delivered. The peer's
+    // receive timeout + re-send request recovers it.
+    chunks_dropped_counter().add();
+    return;
+  }
+  std::vector<std::uint8_t> msg(sizeof(offset) + payload.size());
+  std::memcpy(msg.data(), &offset, sizeof(offset));
+  std::memcpy(msg.data() + sizeof(offset), payload.data(), payload.size());
+  send(peer, tag, msg);
+}
+
+void Communicator::sendrecv_chunked_resilient(
+    int peer, int tag, std::span<const std::uint8_t> data,
+    std::uint64_t chunk_bytes, const ResilienceOptions& resilience,
+    const std::function<void(std::uint64_t, std::span<const std::uint8_t>)>&
+        consume) {
+  QGEAR_CHECK_ARG(peer >= 0 && peer < size() && peer != rank_,
+                  "comm: resilient exchange peer out of range");
+  QGEAR_CHECK_ARG(tag >= 0 && tag < std::numeric_limits<int>::max() - 100,
+                  "comm: resilient exchange needs a non-negative tag");
+  const std::uint64_t n = data.size();
+  if (chunk_bytes == 0 || chunk_bytes > n) chunk_bytes = n;
+  const std::uint64_t num_chunks =
+      (n == 0) ? 0 : (n + chunk_bytes - 1) / chunk_bytes;
+  const int ctrl = ctrl_tag_for(tag);
+  const auto timeout = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(resilience.timeout_s));
+
+  auto chunk_at = [&](std::uint64_t idx) {
+    const std::uint64_t off = idx * chunk_bytes;
+    return data.subspan(off, std::min(chunk_bytes, n - off));
+  };
+  for (std::uint64_t idx = 0; idx < num_chunks; ++idx) {
+    send_chunk_framed(peer, tag, idx * chunk_bytes, chunk_at(idx));
+  }
+
+  std::vector<bool> have(num_chunks, false);
+  std::uint64_t have_count = 0;
+  std::vector<unsigned> resends(num_chunks, 0);
+  bool sent_done = false;
+  bool peer_done = false;
+  unsigned idle_timeouts = 0;
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+
+  while (have_count < num_chunks || !peer_done) {
+    if (have_count == num_chunks && !sent_done) {
+      send(peer, ctrl, encode_ctrl(kCtrlDone, 0));
+      sent_done = true;
+    }
+    std::vector<std::uint8_t> msg;
+    int got_tag = 0;
+    if (!world_->take_any_until(peer, rank_, tag, ctrl, deadline, msg,
+                                &got_tag)) {
+      chunk_timeouts_counter().add();
+      if (have_count == num_chunks) {
+        // Everything here; just waiting for the peer's DONE. The peer is
+        // either still computing or still recovering chunks from us (its
+        // re-send requests land on the ctrl tag and reset this counter).
+        if (++idle_timeouts > resilience.max_resends) {
+          throw CommError("comm: timed out waiting for peer " +
+                          std::to_string(peer) +
+                          " to finish resilient exchange");
+        }
+        deadline = std::chrono::steady_clock::now() + timeout;
+        continue;
+      }
+      // Ask the peer to re-send every chunk still missing.
+      for (std::uint64_t idx = 0; idx < num_chunks; ++idx) {
+        if (have[idx]) continue;
+        if (resends[idx] >= resilience.max_resends) {
+          throw CommError(
+              "comm: chunk at offset " + std::to_string(idx * chunk_bytes) +
+              " from rank " + std::to_string(peer) + " lost after " +
+              std::to_string(resilience.max_resends) + " re-send requests");
+        }
+        ++resends[idx];
+        resend_requests_counter().add();
+        send(peer, ctrl, encode_ctrl(kCtrlResend, idx * chunk_bytes));
+      }
+      deadline = std::chrono::steady_clock::now() + timeout;
+      continue;
+    }
+    idle_timeouts = 0;
+    deadline = std::chrono::steady_clock::now() + timeout;
+    if (got_tag == tag) {
+      QGEAR_CHECK_FORMAT(msg.size() >= sizeof(std::uint64_t),
+                         "comm: resilient chunk shorter than its frame");
+      std::uint64_t offset = 0;
+      std::memcpy(&offset, msg.data(), sizeof(offset));
+      QGEAR_CHECK_FORMAT(offset < n && offset % chunk_bytes == 0,
+                         "comm: resilient chunk offset out of range");
+      const std::uint64_t idx = offset / chunk_bytes;
+      const std::uint64_t expect = std::min(chunk_bytes, n - offset);
+      QGEAR_CHECK_FORMAT(msg.size() - sizeof(offset) == expect,
+                         "comm: resilient chunk size mismatch");
+      if (have[idx]) continue;  // duplicate from a crossed re-send
+      have[idx] = true;
+      ++have_count;
+      consume(offset,
+              {msg.data() + sizeof(offset), msg.size() - sizeof(offset)});
+    } else {
+      QGEAR_CHECK_FORMAT(msg.size() == 1 + sizeof(std::uint64_t),
+                         "comm: malformed resilient control message");
+      std::uint64_t offset = 0;
+      std::memcpy(&offset, msg.data() + 1, sizeof(offset));
+      switch (msg[0]) {
+        case kCtrlDone:
+          peer_done = true;
+          break;
+        case kCtrlResend: {
+          QGEAR_CHECK_FORMAT(offset < n && offset % chunk_bytes == 0,
+                             "comm: re-send request offset out of range");
+          chunks_resent_counter().add();
+          send_chunk_framed(peer, tag, offset, chunk_at(offset / chunk_bytes));
+          break;
+        }
+        default:
+          throw FormatError("comm: unknown resilient control opcode");
+      }
+    }
+  }
+  // The loop exits without announcing completion when the peer's DONE
+  // arrived before our own last chunk did: the final receive satisfies
+  // both exit conditions at once. The peer is still waiting for our DONE.
+  if (!sent_done) send(peer, ctrl, encode_ctrl(kCtrlDone, 0));
 }
 
 void Communicator::barrier() {
@@ -222,6 +398,43 @@ std::vector<std::uint8_t> World::take(int src, int dst, int tag) {
                       std::to_string(src));
     }
     cv_.wait(lock);
+    if (failed_[dst]) throw CommError("comm: receiving rank failed");
+  }
+}
+
+bool World::take_any_until(int src, int dst, int tag_a, int tag_b,
+                           std::chrono::steady_clock::time_point deadline,
+                           std::vector<std::uint8_t>& out, int* got_tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  check_alive(dst);
+  Mailbox& box = mailbox(src, dst);
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [tag_a, tag_b](const Message& m) {
+                             return m.tag == tag_a || m.tag == tag_b;
+                           });
+    if (it != box.queue.end()) {
+      out = std::move(it->data);
+      if (got_tag != nullptr) *got_tag = it->tag;
+      box.queue.erase(it);
+      return true;
+    }
+    if (failed_[src]) {
+      throw CommError("comm: receive from failed rank " +
+                      std::to_string(src));
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last look: a message may have raced the deadline.
+      auto last = std::find_if(box.queue.begin(), box.queue.end(),
+                               [tag_a, tag_b](const Message& m) {
+                                 return m.tag == tag_a || m.tag == tag_b;
+                               });
+      if (last == box.queue.end()) return false;
+      out = std::move(last->data);
+      if (got_tag != nullptr) *got_tag = last->tag;
+      box.queue.erase(last);
+      return true;
+    }
     if (failed_[dst]) throw CommError("comm: receiving rank failed");
   }
 }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -53,6 +54,13 @@ struct CommTrace {
 };
 
 class World;
+
+/// Tunables for the fault-tolerant chunked exchange. timeout_s <= 0
+/// selects the legacy lossless path (no framing, no fault hooks).
+struct ResilienceOptions {
+  double timeout_s = 0.0;   ///< per-wait receive deadline (seconds)
+  unsigned max_resends = 3; ///< per-chunk re-send budget before CommError
+};
 
 /// Per-rank handle; all operations are called from that rank's thread.
 class Communicator {
@@ -139,6 +147,46 @@ class Communicator {
     }
   }
 
+  /// Fault-tolerant variant of sendrecv_chunked: every data chunk is
+  /// framed with its byte offset, receives wait at most
+  /// `resilience.timeout_s` before requesting a bounded re-send from the
+  /// peer, and the exchange ends with a DONE handshake so each side keeps
+  /// servicing re-send requests until its peer has everything. Chunks may
+  /// arrive (and be consumed) out of order — `consume(offset, chunk)`
+  /// must tolerate any order. Dropped/stalled chunks come from the fault
+  /// injector (fault::Site::comm_drop / comm_delay), which only hooks
+  /// this resilient path. timeout_s <= 0 falls back to the legacy
+  /// in-order path above.
+  template <typename T, typename Fn>
+  void sendrecv_chunked(int peer, int tag, std::span<const T> values,
+                        std::uint64_t chunk_elems, Fn&& consume,
+                        const ResilienceOptions& resilience) {
+    if (resilience.timeout_s <= 0.0) {
+      sendrecv_chunked<T>(peer, tag, values, chunk_elems,
+                          std::forward<Fn>(consume));
+      return;
+    }
+    const std::uint64_t n = values.size();
+    const std::uint64_t chunk_bytes =
+        (chunk_elems == 0 || chunk_elems >= n) ? values.size_bytes()
+                                               : chunk_elems * sizeof(T);
+    sendrecv_chunked_resilient(
+        peer, tag,
+        {reinterpret_cast<const std::uint8_t*>(values.data()),
+         values.size_bytes()},
+        chunk_bytes, resilience,
+        [&](std::uint64_t off_bytes, std::span<const std::uint8_t> payload) {
+          QGEAR_CHECK_FORMAT(off_bytes % sizeof(T) == 0 &&
+                                 payload.size() % sizeof(T) == 0,
+                             "comm: resilient chunk not element-aligned");
+          // Copy out of the frame: payload alignment inside the framed
+          // message is not guaranteed to match T.
+          std::vector<T> chunk(payload.size() / sizeof(T));
+          std::memcpy(chunk.data(), payload.data(), payload.size());
+          consume(off_bytes / sizeof(T), std::span<const T>(chunk));
+        });
+  }
+
   /// Synchronizes all live ranks.
   void barrier();
 
@@ -153,6 +201,18 @@ class Communicator {
  private:
   friend class World;
   Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+
+  /// Byte-level engine behind the resilient sendrecv_chunked overload.
+  void sendrecv_chunked_resilient(
+      int peer, int tag, std::span<const std::uint8_t> data,
+      std::uint64_t chunk_bytes, const ResilienceOptions& resilience,
+      const std::function<void(std::uint64_t,
+                               std::span<const std::uint8_t>)>& consume);
+
+  /// Sends one offset-framed data chunk, applying the comm_delay /
+  /// comm_drop fault hooks (a dropped chunk is simply never delivered).
+  void send_chunk_framed(int peer, int tag, std::uint64_t offset,
+                         std::span<const std::uint8_t> payload);
 
   World* world_;
   int rank_;
@@ -199,6 +259,11 @@ class World {
                std::span<const std::uint8_t> data);
   std::vector<std::uint8_t> take(int src, int dst, int tag);
   bool try_take(int src, int dst, int tag, std::vector<std::uint8_t>& out);
+  /// Waits until `deadline` for a message from src matching tag_a or
+  /// tag_b; returns false on timeout. `*got_tag` reports which matched.
+  bool take_any_until(int src, int dst, int tag_a, int tag_b,
+                      std::chrono::steady_clock::time_point deadline,
+                      std::vector<std::uint8_t>& out, int* got_tag);
   void check_alive(int rank) const;
 
   int size_;

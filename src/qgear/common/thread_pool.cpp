@@ -6,6 +6,7 @@
 
 #include "qgear/common/error.hpp"
 #include "qgear/common/log.hpp"
+#include "qgear/fault/fault.hpp"
 #include "qgear/obs/metrics.hpp"
 
 namespace qgear {
@@ -53,6 +54,12 @@ obs::Gauge& job_queue_depth_gauge() {
   static obs::Gauge& g =
       obs::Registry::global().gauge("threadpool.job_queue_depth");
   return g;
+}
+
+obs::Counter& jobs_aborted_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("threadpool.jobs_aborted");
+  return c;
 }
 
 }  // namespace
@@ -157,7 +164,14 @@ void ThreadPool::wait_idle() {
 void ThreadPool::run_job(Job& job) {
   const auto t0 = std::chrono::steady_clock::now();
   try {
+    // Fault site: a worker job that dies on pickup. The pool itself
+    // survives (this handler) — callers that need the job's effect get
+    // it back via their own retry layer (see serve::RetryPolicy).
+    fault::maybe_throw(fault::Site::pool_abort, "thread pool job pickup");
     job();
+  } catch (const fault::FaultInjected& e) {
+    jobs_aborted_counter().add();
+    log::error(std::string("thread pool job aborted: ") + e.what());
   } catch (const std::exception& e) {
     log::error(std::string("thread pool job threw: ") + e.what());
   } catch (...) {

@@ -1,0 +1,279 @@
+#include "qgear/fault/fault.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "qgear/obs/metrics.hpp"
+
+namespace qgear::fault {
+namespace {
+
+// splitmix64 — the standard 64-bit finalizer; good enough to decorrelate
+// (seed, site, draw-index) triples into uniform verdicts.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double hash_to_unit(std::uint64_t h) {
+  // Top 53 bits → double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+obs::Counter& injected_counter(Site site) {
+  auto& reg = obs::Registry::global();
+  static obs::Counter* counters[kNumSites] = {
+      &reg.counter("fault.injected.comm.delay"),
+      &reg.counter("fault.injected.comm.drop"),
+      &reg.counter("fault.injected.pool.abort"),
+      &reg.counter("fault.injected.backend.oom"),
+      &reg.counter("fault.injected.serve.worker"),
+  };
+  return *counters[static_cast<unsigned>(site)];
+}
+
+}  // namespace
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::comm_delay:
+      return "comm.delay";
+    case Site::comm_drop:
+      return "comm.drop";
+    case Site::pool_abort:
+      return "pool.abort";
+    case Site::backend_oom:
+      return "backend.oom";
+    case Site::serve_worker:
+      return "serve.worker";
+  }
+  return "comm.delay";  // unreachable; switch above is exhaustive
+}
+
+std::optional<Site> site_from_name(const std::string& name) {
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    const Site site = static_cast<Site>(i);
+    if (name == site_name(site)) return site;
+  }
+  return std::nullopt;
+}
+
+bool FaultPlan::any() const {
+  for (const SiteConfig& cfg : sites) {
+    if (cfg.probability > 0.0) return true;
+  }
+  return false;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim surrounding whitespace.
+    while (!entry.empty() && std::isspace(static_cast<unsigned char>(
+                                 entry.front()))) {
+      entry.erase(entry.begin());
+    }
+    while (!entry.empty() &&
+           std::isspace(static_cast<unsigned char>(entry.back()))) {
+      entry.pop_back();
+    }
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    QGEAR_CHECK_ARG(eq != std::string::npos && eq > 0,
+                    "fault plan: entry '" + entry +
+                        "' is not <site>=<probability> or seed=<n>");
+    const std::string key = entry.substr(0, eq);
+    std::string value = entry.substr(eq + 1);
+    QGEAR_CHECK_ARG(!value.empty(),
+                    "fault plan: entry '" + entry + "' has an empty value");
+
+    if (key == "seed") {
+      try {
+        plan.seed = std::stoull(value);
+      } catch (const std::exception&) {
+        throw InvalidArgument("fault plan: bad seed '" + value + "'");
+      }
+      continue;
+    }
+
+    const std::optional<Site> site = site_from_name(key);
+    QGEAR_CHECK_ARG(site.has_value(),
+                    "fault plan: unknown site '" + key + "'");
+    SiteConfig& cfg = plan.site(*site);
+
+    // value is <probability>[:<max_triggers>][@<delay_us>]
+    const std::size_t at = value.find('@');
+    if (at != std::string::npos) {
+      const std::string delay = value.substr(at + 1);
+      try {
+        cfg.delay_us = std::stoull(delay);
+      } catch (const std::exception&) {
+        throw InvalidArgument("fault plan: bad delay '" + delay + "' in '" +
+                              entry + "'");
+      }
+      value = value.substr(0, at);
+    }
+    const std::size_t colon = value.find(':');
+    if (colon != std::string::npos) {
+      const std::string cap = value.substr(colon + 1);
+      try {
+        cfg.max_triggers = std::stoull(cap);
+      } catch (const std::exception&) {
+        throw InvalidArgument("fault plan: bad trigger cap '" + cap +
+                              "' in '" + entry + "'");
+      }
+      value = value.substr(0, colon);
+    }
+    try {
+      cfg.probability = std::stod(value);
+    } catch (const std::exception&) {
+      throw InvalidArgument("fault plan: bad probability '" + value +
+                            "' in '" + entry + "'");
+    }
+    QGEAR_CHECK_ARG(cfg.probability >= 0.0 && cfg.probability <= 1.0,
+                    "fault plan: probability for '" + key +
+                        "' must be in [0, 1]");
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    const Site site = static_cast<Site>(i);
+    const SiteConfig& cfg = sites[i];
+    if (cfg.probability <= 0.0) continue;
+    out << ';' << site_name(site) << '=' << cfg.probability;
+    if (cfg.max_triggers != 0) out << ':' << cfg.max_triggers;
+    if (site == Site::comm_delay && cfg.delay_us != SiteConfig{}.delay_us) {
+      out << '@' << cfg.delay_us;
+    }
+  }
+  return out.str();
+}
+
+std::optional<FaultPlan> FaultPlan::from_env() {
+  const char* spec = std::getenv("QGEAR_FAULT_PLAN");
+  if (spec == nullptr || *spec == '\0') return std::nullopt;
+  return parse(spec);
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  // Publish the plan fields before flipping armed_: hooks that observe
+  // armed_==true must see the new probabilities, and draw counters
+  // restart so verdict sequences are reproducible per arm().
+  armed_.store(false, std::memory_order_seq_cst);
+  seed_.store(plan.seed, std::memory_order_relaxed);
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    probability_[i].store(plan.sites[i].probability,
+                          std::memory_order_relaxed);
+    max_triggers_[i].store(plan.sites[i].max_triggers,
+                           std::memory_order_relaxed);
+    delay_us_[i].store(plan.sites[i].delay_us, std::memory_order_relaxed);
+    draws_[i].store(0, std::memory_order_relaxed);
+    fired_[i].store(0, std::memory_order_relaxed);
+  }
+  armed_.store(plan.any(), std::memory_order_seq_cst);
+}
+
+void FaultInjector::disarm() {
+  armed_.store(false, std::memory_order_seq_cst);
+}
+
+bool FaultInjector::should_inject(Site site) {
+  const unsigned idx = static_cast<unsigned>(site);
+  static obs::Counter& checks = obs::Registry::global().counter("fault.checks");
+  checks.add(1);
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+
+  const double p = probability_[idx].load(std::memory_order_relaxed);
+  if (p <= 0.0) return false;
+
+  // Counter-keyed draw: the k-th check at this site gets verdict
+  // hash(seed, site, k) < p, independent of thread interleaving.
+  const std::uint64_t draw = draws_[idx].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seed = seed_.load(std::memory_order_relaxed);
+  const std::uint64_t h =
+      splitmix64(splitmix64(seed ^ (0x5151ULL * (idx + 1))) ^ draw);
+  if (hash_to_unit(h) >= p) return false;
+
+  const std::uint64_t cap = max_triggers_[idx].load(std::memory_order_relaxed);
+  const std::uint64_t prior = fired_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (cap != 0 && prior >= cap) {
+    fired_[idx].fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  injected_counter(site).add(1);
+  return true;
+}
+
+std::uint64_t FaultInjector::delay_us(Site site) const {
+  return delay_us_[static_cast<unsigned>(site)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::triggered(Site site) const {
+  return fired_[static_cast<unsigned>(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::triggered_total() const {
+  std::uint64_t total = 0;
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    total += fired_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+FaultPlan FaultInjector::plan() const {
+  FaultPlan plan;
+  plan.seed = seed_.load(std::memory_order_relaxed);
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    plan.sites[i].probability =
+        probability_[i].load(std::memory_order_relaxed);
+    plan.sites[i].max_triggers =
+        max_triggers_[i].load(std::memory_order_relaxed);
+    plan.sites[i].delay_us = delay_us_[i].load(std::memory_order_relaxed);
+  }
+  return plan;
+}
+
+bool maybe_delay(Site site) {
+  FaultInjector& fi = FaultInjector::global();
+  if (!fi.armed() || !fi.should_inject(site)) return false;
+  std::this_thread::sleep_for(std::chrono::microseconds(fi.delay_us(site)));
+  return true;
+}
+
+void maybe_throw(Site site, const char* where) {
+  if (should_inject(site)) {
+    throw FaultInjected(std::string("fault injected at ") + site_name(site) +
+                        " (" + where + ")");
+  }
+}
+
+void maybe_throw_oom(const char* where) {
+  if (should_inject(Site::backend_oom)) {
+    throw OutOfMemoryBudget(std::string("fault injected: synthetic "
+                                        "OutOfMemoryBudget (") +
+                            where + ")");
+  }
+}
+
+}  // namespace qgear::fault

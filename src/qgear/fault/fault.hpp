@@ -1,0 +1,164 @@
+// Deterministic, seed-driven fault injection.
+//
+// A FaultPlan names per-site probabilities ("2% of chunked-exchange
+// receives stall", "every 40th fused block throws OutOfMemoryBudget")
+// and the FaultInjector evaluates them with a counter-keyed hash, so a
+// given (seed, site, draw-index) always produces the same verdict no
+// matter how threads interleave. Production code guards every hook with
+// the inline `armed()` fast path — one relaxed atomic load when the
+// injector is disarmed — so shipping the hooks costs nothing.
+//
+// Sites are wired into comm (chunk delay/drop), the ThreadPool (worker
+// job abort), backend execution (synthetic OutOfMemoryBudget between
+// fused blocks / gate chunks), and serve workers. The resilience
+// machinery that survives these faults (retry/backoff, backend
+// downgrade, comm re-send, segment checkpointing) lives next to the
+// code it protects; see docs/RESILIENCE.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "qgear/common/error.hpp"
+
+namespace qgear::fault {
+
+/// Thrown by injection hooks that simulate a transient crash (worker
+/// abort, serve-worker fault). Derives Error so generic handlers treat
+/// it like any other recoverable failure.
+class FaultInjected : public Error {
+ public:
+  explicit FaultInjected(const std::string& what) : Error(what) {}
+};
+
+/// Every place a fault can be injected. Keep site_name() and
+/// site_from_name() in sync (both switches are exhaustive; the compiler
+/// flags a missing entry).
+enum class Site : unsigned {
+  comm_delay = 0,  ///< stall a chunked-exchange data chunk
+  comm_drop,       ///< drop a chunked-exchange data chunk
+  pool_abort,      ///< abort a ThreadPool job (throws FaultInjected)
+  backend_oom,     ///< synthetic OutOfMemoryBudget between fused blocks
+  serve_worker,    ///< fault a serve worker mid-job (throws FaultInjected)
+};
+inline constexpr unsigned kNumSites = 5;
+
+/// Canonical spec name, e.g. "comm.drop". Never returns "unknown".
+const char* site_name(Site site);
+
+/// Inverse of site_name(); nullopt for unrecognized names.
+std::optional<Site> site_from_name(const std::string& name);
+
+/// Per-site configuration.
+struct SiteConfig {
+  double probability = 0.0;       ///< chance each check fires, [0, 1]
+  std::uint64_t max_triggers = 0; ///< cap on fires; 0 = unlimited
+  std::uint64_t delay_us = 200;   ///< stall length for comm_delay
+};
+
+/// A full plan: seed + per-site configs. Round-trips through the spec
+/// string format:
+///
+///   seed=7;comm.drop=0.05;comm.delay=0.1:3@500;backend.oom=0.02
+///
+/// Entries are `;`-separated. `seed=N` sets the seed; every other entry
+/// is `<site>=<probability>[:<max_triggers>][@<delay_us>]`.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::array<SiteConfig, kNumSites> sites{};
+
+  const SiteConfig& site(Site s) const {
+    return sites[static_cast<unsigned>(s)];
+  }
+  SiteConfig& site(Site s) { return sites[static_cast<unsigned>(s)]; }
+
+  /// True when any site has a nonzero probability.
+  bool any() const;
+
+  /// Parses the spec format above. Throws InvalidArgument on bad specs.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Canonical spec string (parse(to_string()) round-trips).
+  std::string to_string() const;
+
+  /// Reads QGEAR_FAULT_PLAN; nullopt when unset or empty.
+  static std::optional<FaultPlan> from_env();
+};
+
+/// Process-wide injector. Disarmed by default; arm(plan) activates the
+/// hooks. Verdicts are deterministic in (seed, site, draw index): the
+/// k-th check at a site fires iff hash(seed, site, k) < probability.
+class FaultInjector {
+ public:
+  static FaultInjector& global();
+
+  void arm(const FaultPlan& plan);
+  void disarm();
+
+  /// Fast path for call sites: one relaxed load when disarmed.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Draws the next verdict for `site`. Counts fault.checks and, on a
+  /// fire, fault.injected.<site>. Only call when armed() (a disarmed
+  /// injector returns false, but pays the counter cost).
+  bool should_inject(Site site);
+
+  /// Configured stall for comm_delay (µs).
+  std::uint64_t delay_us(Site site) const;
+
+  /// Fires so far at `site` (for tests and the chaos report).
+  std::uint64_t triggered(Site site) const;
+
+  /// Total fires across all sites since the last arm().
+  std::uint64_t triggered_total() const;
+
+  /// Copy of the active plan (default-constructed when disarmed).
+  FaultPlan plan() const;
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  // Plan fields are copied into flat arrays on arm() so should_inject
+  // never takes a lock; probabilities are immutable while armed.
+  std::array<std::atomic<double>, kNumSites> probability_{};
+  std::array<std::atomic<std::uint64_t>, kNumSites> max_triggers_{};
+  std::array<std::atomic<std::uint64_t>, kNumSites> delay_us_{};
+  std::array<std::atomic<std::uint64_t>, kNumSites> draws_{};
+  std::array<std::atomic<std::uint64_t>, kNumSites> fired_{};
+  std::atomic<std::uint64_t> seed_{1};
+};
+
+/// `FaultInjector::global().armed() && ...should_inject(site)` in one
+/// call — the shape every hook uses.
+inline bool should_inject(Site site) {
+  FaultInjector& fi = FaultInjector::global();
+  return fi.armed() && fi.should_inject(site);
+}
+
+/// Sleeps for the site's configured delay when the draw fires.
+/// Returns true when a delay was injected.
+bool maybe_delay(Site site);
+
+/// Throws FaultInjected tagged with the site name when the draw fires.
+void maybe_throw(Site site, const char* where);
+
+/// Throws OutOfMemoryBudget (the real exception backends raise) when
+/// the backend_oom draw fires.
+void maybe_throw_oom(const char* where);
+
+/// RAII arm/disarm for tests and benches.
+class ArmScope {
+ public:
+  explicit ArmScope(const FaultPlan& plan) {
+    FaultInjector::global().arm(plan);
+  }
+  ~ArmScope() { FaultInjector::global().disarm(); }
+  ArmScope(const ArmScope&) = delete;
+  ArmScope& operator=(const ArmScope&) = delete;
+};
+
+}  // namespace qgear::fault

@@ -27,6 +27,15 @@ bool deterministic_counter(const std::string& name) {
   if (name.find("perf_") != std::string::npos) return false;
   if (name.rfind("perf.", 0) == 0) return false;
   if (name.rfind("route.", 0) == 0) return false;
+  // Chaos-run counters are nondeterministic by design and must never be
+  // gated: fault.* tracks injected faults (probability × timing), and the
+  // serve resilience counters (serve.retries, serve.degraded, ...) follow
+  // them. serve.* is already outside the allowlist below except for the
+  // serve.engine. work counters, but fault.* is called out explicitly so
+  // a future allowlist edit cannot accidentally pull it in.
+  if (name.rfind("fault.", 0) == 0) return false;
+  if (name.rfind("serve.retries", 0) == 0) return false;
+  if (name.rfind("serve.degraded", 0) == 0) return false;
   for (const char* prefix : {"sim.", "engine.", "dist.", "serve.engine."}) {
     if (name.rfind(prefix, 0) == 0) return true;
   }

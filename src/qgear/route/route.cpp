@@ -108,8 +108,18 @@ Placement plan(const qiskit::QuantumCircuit& qc, const Budget& budget,
     width_sweeps[i] = sim::plan_fusion(tqc, fo).blocks.size();
   }
 
+  const auto excluded = [&](const std::string& backend) {
+    return std::find(opts.exclude_backends.begin(),
+                     opts.exclude_backends.end(),
+                     backend) != opts.exclude_backends.end();
+  };
+
   auto& reg = obs::Registry::global();
   for (const CandidateConfig& cfg : configs) {
+    if (excluded(cfg.backend)) {
+      reg.counter("route.candidates_excluded").add();
+      continue;
+    }
     std::uint64_t sweeps = 0;
     if (cfg.backend == "fused") {
       for (std::size_t i = 0; i < opts.fusion_widths.size(); ++i)
@@ -155,6 +165,10 @@ Placement plan(const qiskit::QuantumCircuit& qc, const Budget& budget,
   out.feasible = !out.alternatives.empty() && out.alternatives.front().feasible;
 
   // Rationale: what was chosen and the load-bearing reasons.
+  if (!opts.exclude_backends.empty()) {
+    out.rationale.push_back("excluded backends (degraded fallback): " +
+                            join(opts.exclude_backends, ", "));
+  }
   out.rationale.push_back(strfmt(
       "%u qubits, depth %u, %llu gates (%llu two-qubit), clifford %.0f%%, "
       "bond exponent max %u",

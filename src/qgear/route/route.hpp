@@ -73,6 +73,10 @@ struct RouteOptions {
   /// Consider the distributed backend (off by default: single-process
   /// dist replay never beats local fused; serve shards opt in).
   bool include_dist = false;
+  /// Backends to drop from the candidate space. Serve's degradation path
+  /// re-plans with every backend that already failed a job excluded, so
+  /// the fallback chain (e.g. dd -> mps -> fused) never revisits one.
+  std::vector<std::string> exclude_backends;
 };
 
 /// Routes `qc`. Transpiles, extracts features, prices and ranks the

@@ -12,8 +12,10 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "qgear/obs/context.hpp"
 #include "qgear/qiskit/circuit.hpp"
@@ -32,6 +34,8 @@ enum class Priority : int {
 inline constexpr int kNumPriorities = 3;
 
 const char* priority_name(Priority p);
+/// Inverse of priority_name(); nullopt for unrecognized names.
+std::optional<Priority> priority_from_name(const std::string& name);
 
 /// Why admission control refused a submission.
 enum class RejectReason : int {
@@ -41,8 +45,11 @@ enum class RejectReason : int {
   shutting_down,  ///< service is draining or stopped
   memory_budget,  ///< backend memory estimate exceeds the service budget
 };
+inline constexpr int kNumRejectReasons = 5;
 
 const char* reject_reason_name(RejectReason r);
+/// Inverse of reject_reason_name(); nullopt for unrecognized names.
+std::optional<RejectReason> reject_reason_from_name(const std::string& name);
 
 /// Terminal state of an accepted job.
 enum class JobStatus : int {
@@ -53,8 +60,11 @@ enum class JobStatus : int {
   dropped,           ///< service shut down non-gracefully with job pending
   failed,            ///< compile/execute threw (see `error`)
 };
+inline constexpr int kNumJobStatuses = 6;
 
 const char* job_status_name(JobStatus s);
+/// Inverse of job_status_name(); nullopt for unrecognized names.
+std::optional<JobStatus> job_status_from_name(const std::string& name);
 
 /// What the submitter asks for.
 struct JobSpec {
@@ -104,6 +114,16 @@ struct JobResult {
   /// fair-share charge (see qgear.serve.report/v1 "admission").
   double est_execute_s = 0;
   sim::EngineStats stats;   ///< execution counters (completed jobs)
+  /// Resilience outcome (see docs/RESILIENCE.md): how many attempts the
+  /// job took (1 = first try), whether it was downgraded to a fallback
+  /// backend after OutOfMemoryBudget, and the full chain of backends
+  /// tried in order (size > 1 only when degraded).
+  unsigned attempts = 1;
+  bool degraded = false;
+  std::vector<std::string> fallback_chain;
+  /// Fused blocks restored from a segment checkpoint instead of being
+  /// recomputed (nonzero only on retried checkpointed jobs).
+  std::uint64_t checkpoint_blocks = 0;
 };
 
 using Clock = std::chrono::steady_clock;
@@ -121,10 +141,19 @@ struct JobState {
   double est_seconds = 0;         ///< cost-model time estimate at submit
   double cost = 1.0;  ///< fair-share charge (estimated execute seconds)
   Clock::time_point submit_time{};
+  Clock::time_point last_enqueue{};  ///< submit, or the latest retry requeue
   Clock::time_point deadline{};      ///< zero when no queue deadline
   Clock::time_point timeout_at{};    ///< zero when no timeout
   std::atomic<bool> cancel_requested{false};
   std::promise<JobResult> promise;
+
+  // Resilience bookkeeping (touched only by the worker that owns the job
+  // and the retry nurse, never concurrently).
+  unsigned attempt = 0;  ///< failed attempts so far
+  bool degraded = false;
+  std::vector<std::string> failed_backends;  ///< excluded on re-plan
+  std::string checkpoint_path;  ///< empty = checkpointing off for this job
+  std::uint64_t checkpoint_blocks = 0;  ///< blocks in the saved checkpoint
 
   bool has_deadline() const { return deadline != Clock::time_point{}; }
   bool has_timeout() const { return timeout_at != Clock::time_point{}; }

@@ -108,6 +108,9 @@ LoadGenReport run_load(SimService& svc, const LoadGenOptions& opts) {
   report.fp64 = svc.options().fp64;
   report.backend = svc.options().backend;
   report.memory_budget_bytes = svc.options().memory_budget_bytes;
+  report.retry_max_attempts = svc.options().retry.max_attempts;
+  report.retry_backoff_ms = svc.options().retry.backoff_ms;
+  report.checkpoint_every = svc.options().checkpoint_every;
 
   WallTimer wall;
   const auto start = std::chrono::steady_clock::now();
@@ -151,7 +154,11 @@ LoadGenReport run_load(SimService& svc, const LoadGenOptions& opts) {
     JobTicket ticket = svc.submit(std::move(spec));
     if (!ticket.accepted()) {
       ++tr.rejected;
+      // Exhaustive on purpose (-Wswitch): a new RejectReason must pick a
+      // bucket here instead of silently counting as shutting_down.
       switch (ticket.reject_reason()) {
+        case RejectReason::none:
+          break;  // unreachable: accepted() was false
         case RejectReason::queue_full:
           ++report.rejected_queue_full;
           break;
@@ -161,7 +168,7 @@ LoadGenReport run_load(SimService& svc, const LoadGenOptions& opts) {
         case RejectReason::memory_budget:
           ++report.rejected_memory_budget;
           break;
-        default:
+        case RejectReason::shutting_down:
           ++report.rejected_shutting_down;
           break;
       }
@@ -185,6 +192,13 @@ LoadGenReport run_load(SimService& svc, const LoadGenOptions& opts) {
     e2e.push_back(r.e2e_s);
     est_execute.push_back(r.est_execute_s);
     ++routed[{r.backend, r.precision}];
+    if (r.attempts > 1) {
+      ++report.retried_jobs;
+      report.retries_total += r.attempts - 1;
+    }
+    report.max_attempts_seen = std::max(report.max_attempts_seen, r.attempts);
+    if (r.degraded) ++report.degraded_jobs;
+    report.checkpoint_blocks_restored += r.checkpoint_blocks;
     switch (r.status) {
       case JobStatus::completed: {
         ++report.completed;
@@ -265,6 +279,9 @@ obs::JsonValue LoadGenReport::to_json() const {
   config.set("queue_deadline_s", opts.queue_deadline_s);
   config.set("timeout_s", opts.timeout_s);
   config.set("seed", std::uint64_t{opts.seed});
+  config.set("retry_max_attempts", retry_max_attempts);
+  config.set("retry_backoff_ms", retry_backoff_ms);
+  config.set("checkpoint_every", std::uint64_t{checkpoint_every});
   root.set("config", std::move(config));
 
   JsonValue totals{JsonValue::Object{}};
@@ -287,6 +304,15 @@ obs::JsonValue LoadGenReport::to_json() const {
 
   root.set("wall_seconds", wall_seconds);
   root.set("throughput_jobs_per_s", throughput_jobs_per_s);
+
+  JsonValue resilience{JsonValue::Object{}};
+  resilience.set("retried_jobs", std::uint64_t{retried_jobs});
+  resilience.set("retries_total", std::uint64_t{retries_total});
+  resilience.set("degraded_jobs", std::uint64_t{degraded_jobs});
+  resilience.set("max_attempts_seen", max_attempts_seen);
+  resilience.set("checkpoint_blocks_restored",
+                 std::uint64_t{checkpoint_blocks_restored});
+  root.set("resilience", std::move(resilience));
 
   JsonValue latency{JsonValue::Object{}};
   latency.set("e2e", latency_json(e2e));
@@ -381,6 +407,15 @@ std::string LoadGenReport::summary() const {
                     static_cast<unsigned long long>(rb.jobs));
     }
     out += "\n";
+  }
+  if (retried_jobs > 0 || degraded_jobs > 0) {
+    out += strfmt(
+        "  resilience: %llu jobs retried (%llu extra attempts, max %u), "
+        "%llu degraded, %llu checkpointed blocks restored\n",
+        static_cast<unsigned long long>(retried_jobs),
+        static_cast<unsigned long long>(retries_total), max_attempts_seen,
+        static_cast<unsigned long long>(degraded_jobs),
+        static_cast<unsigned long long>(checkpoint_blocks_restored));
   }
   out += strfmt(
       "  cache %s: %llu hits / %llu misses (%.0f%% hit rate), "

@@ -73,6 +73,10 @@ struct LoadGenReport {
   bool fp64 = false;
   std::string backend = "fused";
   std::uint64_t memory_budget_bytes = 0;  ///< 0 = unlimited
+  // Resilience configuration echo.
+  unsigned retry_max_attempts = 1;
+  double retry_backoff_ms = 0;
+  std::uint64_t checkpoint_every = 0;
 
   std::uint64_t submitted = 0;
   std::uint64_t accepted = 0;
@@ -114,6 +118,16 @@ struct LoadGenReport {
     std::uint64_t jobs = 0;
   };
   std::vector<RoutedBucket> routed;
+
+  /// Resilience outcomes across all accepted jobs (docs/RESILIENCE.md):
+  /// how many jobs needed more than one attempt, the total extra attempts
+  /// spent, jobs downgraded to a fallback backend, and fused blocks the
+  /// retries recovered from segment checkpoints instead of recomputing.
+  std::uint64_t retried_jobs = 0;
+  std::uint64_t retries_total = 0;
+  std::uint64_t degraded_jobs = 0;
+  unsigned max_attempts_seen = 1;
+  std::uint64_t checkpoint_blocks_restored = 0;
 
   std::uint64_t rejected_total() const {
     return rejected_queue_full + rejected_tenant_limit +

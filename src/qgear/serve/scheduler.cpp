@@ -19,6 +19,10 @@ obs::Gauge& running_gauge() {
   static obs::Gauge& g = obs::Registry::global().gauge("serve.sched.running");
   return g;
 }
+obs::Gauge& deferred_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("serve.sched.deferred");
+  return g;
+}
 
 }  // namespace
 
@@ -32,6 +36,14 @@ const char* priority_name(Priority p) {
       return "batch";
   }
   return "unknown";
+}
+
+std::optional<Priority> priority_from_name(const std::string& name) {
+  for (int i = 0; i < kNumPriorities; ++i) {
+    const Priority p = static_cast<Priority>(i);
+    if (name == priority_name(p)) return p;
+  }
+  return std::nullopt;
 }
 
 const char* reject_reason_name(RejectReason r) {
@@ -50,6 +62,14 @@ const char* reject_reason_name(RejectReason r) {
   return "unknown";
 }
 
+std::optional<RejectReason> reject_reason_from_name(const std::string& name) {
+  for (int i = 0; i < kNumRejectReasons; ++i) {
+    const RejectReason r = static_cast<RejectReason>(i);
+    if (name == reject_reason_name(r)) return r;
+  }
+  return std::nullopt;
+}
+
 const char* job_status_name(JobStatus s) {
   switch (s) {
     case JobStatus::completed:
@@ -66,6 +86,14 @@ const char* job_status_name(JobStatus s) {
       return "failed";
   }
   return "unknown";
+}
+
+std::optional<JobStatus> job_status_from_name(const std::string& name) {
+  for (int i = 0; i < kNumJobStatuses; ++i) {
+    const JobStatus s = static_cast<JobStatus>(i);
+    if (name == job_status_name(s)) return s;
+  }
+  return std::nullopt;
 }
 
 FairScheduler::FairScheduler(Options opts) : opts_(opts) {
@@ -140,7 +168,12 @@ bool FairScheduler::pop(Popped* out) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (pop_locked(out)) return true;
-    if (closed_) return false;
+    // Workers may only exit when nothing can produce more work: running
+    // jobs can defer for retry and deferred jobs re-enter the queue, so
+    // both must have drained along with the queue itself.
+    if (closed_ && queued_ == 0 && running_ == 0 && deferred_ == 0) {
+      return false;
+    }
     pop_cv_.wait(lock);
   }
 }
@@ -161,6 +194,54 @@ void FairScheduler::on_finished(const std::string& tenant) {
     running_gauge().set(static_cast<double>(running_));
   }
   idle_cv_.notify_all();
+  // A closed scheduler's pop() waiters gate on running_ reaching zero.
+  pop_cv_.notify_all();
+}
+
+void FairScheduler::defer(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(tenant);
+  QGEAR_EXPECTS(it != tenants_.end() && it->second.inflight > 0);
+  QGEAR_EXPECTS(running_ > 0);
+  --running_;
+  ++deferred_;
+  running_gauge().set(static_cast<double>(running_));
+  deferred_gauge().set(static_cast<double>(deferred_));
+  // No notify: the job's in-flight slot stays held, so neither pop()
+  // waiters (no new work yet) nor wait_idle() (still busy) can advance.
+}
+
+void FairScheduler::push_retry(std::shared_ptr<JobState> job) {
+  QGEAR_EXPECTS(job != nullptr);
+  const int pri = static_cast<int>(job->spec.priority);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    QGEAR_EXPECTS(deferred_ > 0);
+    Tenant& t = tenants_[job->spec.tenant];
+    if (t.queued == 0) t.pass = std::max(t.pass, vtime_);
+    job->last_enqueue = Clock::now();
+    t.queues[pri].push_back(std::move(job));
+    ++t.queued;
+    --deferred_;
+    ++queued_;
+    queued_gauge().set(static_cast<double>(queued_));
+    deferred_gauge().set(static_cast<double>(deferred_));
+  }
+  pop_cv_.notify_one();
+}
+
+void FairScheduler::on_deferred_dropped(const std::string& tenant) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenants_.find(tenant);
+    QGEAR_EXPECTS(it != tenants_.end() && it->second.inflight > 0);
+    QGEAR_EXPECTS(deferred_ > 0);
+    --it->second.inflight;
+    --deferred_;
+    deferred_gauge().set(static_cast<double>(deferred_));
+  }
+  idle_cv_.notify_all();
+  pop_cv_.notify_all();
 }
 
 void FairScheduler::close_submissions() {
@@ -209,9 +290,16 @@ std::size_t FairScheduler::running() const {
   return running_;
 }
 
+std::size_t FairScheduler::deferred() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deferred_;
+}
+
 void FairScheduler::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+  idle_cv_.wait(lock, [this] {
+    return queued_ == 0 && running_ == 0 && deferred_ == 0;
+  });
 }
 
 }  // namespace qgear::serve

@@ -68,6 +68,21 @@ class FairScheduler {
   /// terminal state.
   void on_finished(const std::string& tenant);
 
+  /// Moves a popped job from "running" to "deferred": the worker is done
+  /// with it for now, but a retry will re-enter it via push_retry() — so
+  /// its in-flight slot stays held and pop()/wait_idle() keep waiting.
+  /// Call INSTEAD of on_finished (exactly one of the two per pop).
+  void defer(const std::string& tenant);
+
+  /// Re-enqueues a deferred job for another attempt. Skips admission
+  /// (the job's slot never left) and works after close_submissions(), so
+  /// retries complete during a graceful drain.
+  void push_retry(std::shared_ptr<JobState> job);
+
+  /// Releases a deferred job's slot without re-running it (non-graceful
+  /// shutdown: the caller completes it as dropped).
+  void on_deferred_dropped(const std::string& tenant);
+
   /// Stops admission (push returns shutting_down). Queued jobs continue
   /// to pop; once the queue drains, pop returns false.
   void close_submissions();
@@ -80,8 +95,9 @@ class FairScheduler {
 
   std::size_t queued() const;
   std::size_t running() const;
+  std::size_t deferred() const;
 
-  /// Blocks until no job is queued or running.
+  /// Blocks until no job is queued, running, or deferred for retry.
   void wait_idle();
 
  private:
@@ -102,6 +118,7 @@ class FairScheduler {
   std::map<std::string, Tenant> tenants_;
   std::size_t queued_ = 0;
   std::size_t running_ = 0;
+  std::size_t deferred_ = 0;  ///< awaiting retry (slot held, not queued)
   double vtime_ = 0.0;  ///< pass of the most recently scheduled tenant
   bool closed_ = false;
 };

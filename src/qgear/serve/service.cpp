@@ -2,15 +2,22 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
+#include <filesystem>
+#include <functional>
 #include <utility>
 
 #include "qgear/common/error.hpp"
 #include "qgear/common/log.hpp"
+#include "qgear/common/strings.hpp"
 #include "qgear/common/timer.hpp"
+#include "qgear/core/state_io.hpp"
+#include "qgear/fault/fault.hpp"
 #include "qgear/obs/context.hpp"
 #include "qgear/obs/metrics.hpp"
 #include "qgear/obs/trace.hpp"
+#include "qgear/qh5/file.hpp"
 #include "qgear/qiskit/fingerprint.hpp"
 #include "qgear/route/route.hpp"
 #include "qgear/sim/fused.hpp"
@@ -33,6 +40,8 @@ obs::Counter& accepted_counter() {
   return c;
 }
 obs::Counter& rejected_counter(RejectReason r) {
+  static obs::Counter& none =
+      obs::Registry::global().counter("serve.rejected.none");
   static obs::Counter& full =
       obs::Registry::global().counter("serve.rejected.queue_full");
   static obs::Counter& tenant =
@@ -41,16 +50,21 @@ obs::Counter& rejected_counter(RejectReason r) {
       obs::Registry::global().counter("serve.rejected.shutting_down");
   static obs::Counter& memory =
       obs::Registry::global().counter("serve.rejected.memory_budget");
+  // Exhaustive on purpose: a new RejectReason must name its counter here
+  // or fail to compile (-Wswitch), instead of silently riding a default.
   switch (r) {
+    case RejectReason::none:
+      return none;
+    case RejectReason::queue_full:
+      return full;
     case RejectReason::tenant_limit:
       return tenant;
     case RejectReason::shutting_down:
       return shutdown;
     case RejectReason::memory_budget:
       return memory;
-    default:
-      return full;
   }
+  return full;
 }
 obs::Counter& status_counter(JobStatus s) {
   static obs::Counter& completed =
@@ -99,6 +113,40 @@ obs::Histogram& e2e_hist() {
   static obs::Histogram& h = obs::Registry::global().histogram("serve.e2e_us");
   return h;
 }
+obs::Counter& retries_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.retries");
+  return c;
+}
+obs::Counter& degraded_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.degraded");
+  return c;
+}
+obs::Counter& retry_budget_exhausted_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("serve.retry_budget_exhausted");
+  return c;
+}
+obs::Counter& checkpoint_saves_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("serve.checkpoint_saves");
+  return c;
+}
+obs::Counter& checkpoint_restores_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("serve.checkpoint_restores");
+  return c;
+}
+
+// Deterministic jitter in [0, 1): hash of (job id, attempt) — the same
+// retried job always backs off the same amount, which keeps chaos runs
+// reproducible under QGEAR_FAULT_PLAN seeds.
+double jitter_unit(std::uint64_t job_id, unsigned attempt) {
+  std::uint64_t x = job_id * 0x9e3779b97f4a7c15ULL + attempt;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
 
 }  // namespace
 
@@ -119,6 +167,7 @@ SimService::SimService(Options opts)
     const bool ok = pool_->try_submit([this] { worker_loop(); });
     QGEAR_ENSURES(ok);  // capacity == num_workers_, queue starts empty
   }
+  retry_thread_ = std::thread([this] { retry_loop(); });
 }
 
 SimService::~SimService() { shutdown(/*graceful=*/true); }
@@ -212,7 +261,20 @@ JobTicket SimService::submit(JobSpec spec) {
   // same currency the latency SLO is written in, and a dd/mps job that
   // finishes in milliseconds no longer pays a statevector-sized share.
   state->cost = std::max(state->est_seconds, 1e-9);
+  // Segment checkpointing applies to the fused (plan-shaped) path only;
+  // other engines have no state snapshot at a block boundary.
+  if (opts_.checkpoint_every > 0 && state->backend == "fused") {
+    namespace fs = std::filesystem;
+    const fs::path dir = opts_.checkpoint_dir.empty()
+                             ? fs::temp_directory_path()
+                             : fs::path(opts_.checkpoint_dir);
+    state->checkpoint_path =
+        (dir / strfmt("qgear_ckpt_%p_%llu.qh5", static_cast<const void*>(this),
+                      static_cast<unsigned long long>(state->id)))
+            .string();
+  }
   state->submit_time = Clock::now();
+  state->last_enqueue = state->submit_time;
   if (state->spec.queue_deadline_s > 0) {
     state->deadline =
         state->submit_time +
@@ -239,8 +301,10 @@ void SimService::worker_loop() {
   FairScheduler::Popped popped;
   while (scheduler_.pop(&popped)) {
     const std::string tenant = popped.job->spec.tenant;
-    process(std::move(popped));
-    scheduler_.on_finished(tenant);
+    const bool deferred = process(std::move(popped));
+    // A deferred job keeps its slot; push_retry / on_deferred_dropped
+    // release it instead of on_finished.
+    if (!deferred) scheduler_.on_finished(tenant);
   }
 }
 
@@ -249,6 +313,13 @@ void SimService::finish(JobState& job, JobResult&& result) {
   result.tenant = job.spec.tenant;
   result.trace_id = job.ctx.trace_id;
   result.e2e_s = seconds_between(job.submit_time, Clock::now());
+  result.attempts = job.attempt + 1;
+  result.degraded = job.degraded;
+  if (job.degraded) {
+    result.fallback_chain = job.failed_backends;
+    result.fallback_chain.push_back(job.backend);
+  }
+  remove_checkpoint(job);
   status_counter(result.status).add();
   queue_wait_hist().observe(result.queue_wait_s * 1e6);
   e2e_hist().observe(result.e2e_s * 1e6);
@@ -261,28 +332,30 @@ void SimService::finish(JobState& job, JobResult&& result) {
   job.promise.set_value(std::move(result));
 }
 
-void SimService::process(FairScheduler::Popped popped) {
-  JobState& job = *popped.job;
+bool SimService::process(FairScheduler::Popped popped) {
+  std::shared_ptr<JobState> shared = std::move(popped.job);
+  JobState& job = *shared;
   JobResult result;
   result.backend = job.backend;
   result.precision = job.precision;
   result.est_execute_s = job.est_seconds;
-  result.queue_wait_s = seconds_between(job.submit_time, Clock::now());
+  result.queue_wait_s = seconds_between(job.last_enqueue, Clock::now());
 
   if (popped.expired) {
     result.status = JobStatus::deadline_expired;
     finish(job, std::move(result));
-    return;
+    return false;
   }
   if (job.cancel_requested.load(std::memory_order_relaxed)) {
     result.status = JobStatus::cancelled;
     finish(job, std::move(result));
-    return;
+    return false;
   }
 
   // The worker thread adopts the job's trace context for the duration of
   // the job: every span below (including engine-level sweep spans) is
-  // tagged with the request's trace_id.
+  // tagged with the request's trace_id. Retried attempts re-enter here
+  // and so share the id — one trace shows the whole retry chain.
   obs::ContextScope trace_scope(job.ctx);
   obs::Span span(obs::Tracer::global(), "serve.job", "serve");
   if (span.active()) {
@@ -290,13 +363,30 @@ void SimService::process(FairScheduler::Popped popped) {
     span.arg("priority", priority_name(job.spec.priority));
     span.arg("backend", job.backend);
     span.arg("fingerprint", qiskit::fingerprint_hex(job.fingerprint));
+    span.arg("attempt", std::to_string(job.attempt + 1));
   }
 
-  // Non-statevector backends bypass the fused-block compile cache (their
-  // execution is not plan-shaped) and run through sim::Backend with the
-  // same cooperative cancellation granularity.
-  if (job.backend != "fused") {
-    try {
+  // Failure policy: invalid-input class errors are permanent (retrying
+  // cannot fix the circuit); OutOfMemoryBudget degrades onto a fallback
+  // backend; everything else is transient and retries under RetryPolicy.
+  auto fail_or_retry = [&](const std::string& what, bool oom,
+                           bool permanent) -> bool {
+    if (!permanent && maybe_retry(shared, what, oom)) return true;
+    result.status = JobStatus::failed;
+    result.error = what;
+    log::warn(std::string("serve: job failed: ") + what);
+    finish(job, std::move(result));
+    return false;
+  };
+
+  try {
+    // Fault site: a serve worker that dies while holding the job.
+    fault::maybe_throw(fault::Site::serve_worker, "serve worker");
+
+    // Non-statevector backends bypass the fused-block compile cache
+    // (their execution is not plan-shaped) and run through sim::Backend
+    // with the same cooperative cancellation granularity.
+    if (job.backend != "fused") {
       WallTimer exec_timer;
       const bool ran_to_completion = execute_backend(job, &result.stats);
       result.execute_s = exec_timer.seconds();
@@ -307,16 +397,10 @@ void SimService::process(FairScheduler::Popped popped) {
       } else {
         result.status = JobStatus::timed_out;
       }
-    } catch (const std::exception& e) {
-      result.status = JobStatus::failed;
-      result.error = e.what();
-      log::warn(std::string("serve: job failed: ") + e.what());
+      finish(job, std::move(result));
+      return false;
     }
-    finish(job, std::move(result));
-    return;
-  }
 
-  try {
     WallTimer compile_timer;
     std::shared_ptr<const CompiledCircuit> compiled;
     {
@@ -334,19 +418,19 @@ void SimService::process(FairScheduler::Popped popped) {
     if (job.cancel_requested.load(std::memory_order_relaxed)) {
       result.status = JobStatus::cancelled;
       finish(job, std::move(result));
-      return;
+      return false;
     }
     if (job.has_timeout() && Clock::now() > job.timeout_at) {
       result.status = JobStatus::timed_out;
       finish(job, std::move(result));
-      return;
+      return false;
     }
 
     WallTimer exec_timer;
     const bool ran_to_completion =
         job.precision == "fp64"
-            ? execute_plan<double>(job, *compiled, &result.stats)
-            : execute_plan<float>(job, *compiled, &result.stats);
+            ? execute_plan<double>(job, *compiled, &result.stats, &result)
+            : execute_plan<float>(job, *compiled, &result.stats, &result);
     result.execute_s = exec_timer.seconds();
     if (ran_to_completion) {
       result.status = JobStatus::completed;
@@ -356,24 +440,43 @@ void SimService::process(FairScheduler::Popped popped) {
       result.status = JobStatus::timed_out;
     }
     finish(job, std::move(result));
+    return false;
+  } catch (const InvalidArgument& e) {
+    return fail_or_retry(e.what(), /*oom=*/false, /*permanent=*/true);
+  } catch (const FormatError& e) {
+    return fail_or_retry(e.what(), /*oom=*/false, /*permanent=*/true);
+  } catch (const LogicViolation& e) {
+    return fail_or_retry(e.what(), /*oom=*/false, /*permanent=*/true);
+  } catch (const OutOfMemoryBudget& e) {
+    return fail_or_retry(e.what(), /*oom=*/true, /*permanent=*/false);
   } catch (const std::exception& e) {
-    result.status = JobStatus::failed;
-    result.error = e.what();
-    log::warn(std::string("serve: job failed: ") + e.what());
-    finish(job, std::move(result));
+    return fail_or_retry(e.what(), /*oom=*/false, /*permanent=*/false);
   }
 }
 
 template <typename T>
 bool SimService::execute_plan(JobState& job, const CompiledCircuit& compiled,
-                              sim::EngineStats* stats) {
+                              sim::EngineStats* stats, JobResult* result) {
   sim::StateVector<T> state(compiled.num_qubits);
+  // A retried attempt resumes from the last segment checkpoint instead of
+  // recomputing every block it already swept.
+  std::size_t start_block = 0;
+  if (job.attempt > 0 && !job.checkpoint_path.empty()) {
+    start_block = static_cast<std::size_t>(
+        try_restore_checkpoint<T>(job, &state));
+    result->checkpoint_blocks = start_block;
+  }
+  const auto& blocks = compiled.plan.blocks;
   WallTimer timer;
-  for (const sim::FusedBlock& block : compiled.plan.blocks) {
+  for (std::size_t i = start_block; i < blocks.size(); ++i) {
     // Cooperative cancellation/timeout: checked between fused blocks, the
     // natural preemption granularity of an amplitude-sweep engine.
     if (job.cancel_requested.load(std::memory_order_relaxed)) return false;
     if (job.has_timeout() && Clock::now() > job.timeout_at) return false;
+    // Fault site: synthetic memory-budget exhaustion mid-execution, the
+    // trigger for backend degradation (and checkpoint-resumed retries).
+    fault::maybe_throw_oom("serve fused block");
+    const sim::FusedBlock& block = blocks[i];
     sim::apply_fused_block(state.data(), state.num_qubits(), block,
                            /*pool=*/nullptr);
     switch (block.kernel_class) {
@@ -391,6 +494,12 @@ bool SimService::execute_plan(JobState& job, const CompiledCircuit& compiled,
     ++stats->fused_blocks;
     stats->amp_ops += state.size();
     stats->gates += block.source_gates;
+    // Segment checkpoint every N blocks (never after the last one — the
+    // job is about to finish and the file would be deleted immediately).
+    if (!job.checkpoint_path.empty() && opts_.checkpoint_every > 0 &&
+        (i + 1) % opts_.checkpoint_every == 0 && i + 1 < blocks.size()) {
+      save_checkpoint<T>(job, state, i + 1);
+    }
   }
   stats->seconds += timer.seconds();
   return true;
@@ -419,6 +528,9 @@ bool SimService::execute_backend(JobState& job, sim::EngineStats* stats) {
        start += kChunkGates) {
     if (job.cancel_requested.load(std::memory_order_relaxed)) return false;
     if (job.has_timeout() && Clock::now() > job.timeout_at) return false;
+    // Fault site: synthetic memory-budget exhaustion between gate chunks
+    // (e.g. a dd node-budget blowup), the trigger for degradation.
+    fault::maybe_throw_oom("serve backend chunk");
     const std::size_t stop =
         std::min(start + kChunkGates, instructions.size());
     qiskit::QuantumCircuit chunk(qc.num_qubits());
@@ -431,6 +543,220 @@ bool SimService::execute_backend(JobState& job, sim::EngineStats* stats) {
   return true;
 }
 
+bool SimService::maybe_retry(const std::shared_ptr<JobState>& job,
+                             const std::string& error, bool oom) {
+  JobState& j = *job;
+  // No retries once a non-graceful shutdown started, for a cancelled job,
+  // or past the job's own timeout — fail now instead of parking.
+  if (dropping_.load(std::memory_order_relaxed)) return false;
+  if (j.cancel_requested.load(std::memory_order_relaxed)) return false;
+  if (j.has_timeout() && Clock::now() > j.timeout_at) return false;
+
+  // Graceful degradation: OutOfMemoryBudget means this backend cannot run
+  // the job, so backing off and retrying the same plan is pointless.
+  // Re-plan with the failed backends excluded and retry immediately.
+  // Independent of max_attempts and naturally bounded: each degradation
+  // excludes one more backend from a finite candidate space.
+  if (oom && opts_.degrade_on_oom && try_degrade(j)) {
+    ++j.attempt;
+    degraded_counter().add();
+    log::warn(strfmt("serve: job %llu degraded to backend '%s' after: %s",
+                     static_cast<unsigned long long>(j.id), j.backend.c_str(),
+                     error.c_str()));
+    scheduler_.defer(j.spec.tenant);
+    enqueue_retry(job, Clock::now());
+    return true;
+  }
+
+  if (j.attempt + 1 >= opts_.retry.max_attempts) return false;
+  if (opts_.retry.tenant_retry_budget > 0) {
+    std::lock_guard<std::mutex> lock(retry_mutex_);
+    std::uint64_t& used = tenant_retries_[j.spec.tenant];
+    if (used >= opts_.retry.tenant_retry_budget) {
+      retry_budget_exhausted_counter().add();
+      return false;
+    }
+    ++used;
+  }
+  retries_counter().add();
+
+  // Exponential backoff with deterministic ± jitter.
+  double backoff_ms =
+      opts_.retry.backoff_ms *
+      std::pow(opts_.retry.backoff_multiplier, static_cast<double>(j.attempt));
+  backoff_ms *= 1.0 + opts_.retry.jitter *
+                          (2.0 * jitter_unit(j.id, j.attempt + 1) - 1.0);
+  backoff_ms = std::max(backoff_ms, 0.0);
+  ++j.attempt;
+  log::warn(strfmt("serve: job %llu attempt %u failed (%s); retrying in "
+                   "%.1f ms",
+                   static_cast<unsigned long long>(j.id), j.attempt,
+                   error.c_str(), backoff_ms));
+  scheduler_.defer(j.spec.tenant);
+  enqueue_retry(job,
+                Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       backoff_ms)));
+  return true;
+}
+
+bool SimService::try_degrade(JobState& job) {
+  job.failed_backends.push_back(job.backend);
+  route::Budget budget;
+  budget.memory_bytes = opts_.memory_budget_bytes;
+  budget.max_error = opts_.route_max_error;
+  route::RouteOptions ro;
+  ro.calibration = opts_.calibration;
+  ro.base = backend_options();
+  ro.exclude_backends = job.failed_backends;
+  const route::Placement placement =
+      route::plan(job.spec.circuit, budget, ro);
+  if (!placement.feasible) return false;
+  job.degraded = true;
+  job.backend = placement.choice.config.backend;
+  job.precision = placement.choice.config.precision;
+  job.mem_bytes = placement.choice.mem_bytes;
+  job.est_seconds = placement.choice.seconds;
+  job.cost = std::max(job.est_seconds, 1e-9);
+  // Checkpointing follows the fused path: drop a stale checkpoint when
+  // degrading off it, start one when degrading onto it.
+  if (job.backend != "fused" && !job.checkpoint_path.empty()) {
+    remove_checkpoint(job);
+    job.checkpoint_path.clear();
+    job.checkpoint_blocks = 0;
+  } else if (job.backend == "fused" && job.checkpoint_path.empty() &&
+             opts_.checkpoint_every > 0) {
+    namespace fs = std::filesystem;
+    const fs::path dir = opts_.checkpoint_dir.empty()
+                             ? fs::temp_directory_path()
+                             : fs::path(opts_.checkpoint_dir);
+    job.checkpoint_path =
+        (dir / strfmt("qgear_ckpt_%p_%llu.qh5", static_cast<const void*>(this),
+                      static_cast<unsigned long long>(job.id)))
+            .string();
+  }
+  return true;
+}
+
+void SimService::enqueue_retry(std::shared_ptr<JobState> job,
+                               Clock::time_point due) {
+  {
+    std::lock_guard<std::mutex> lock(retry_mutex_);
+    retry_heap_.push_back(DeferredJob{due, std::move(job)});
+    std::push_heap(retry_heap_.begin(), retry_heap_.end(), std::greater<>{});
+  }
+  retry_cv_.notify_all();
+}
+
+void SimService::retry_loop() {
+  std::unique_lock<std::mutex> lock(retry_mutex_);
+  for (;;) {
+    // Non-graceful shutdown: everything parked here completes as dropped,
+    // including jobs that slip in after shutdown's own drop_deferred()
+    // (a worker may have been mid-maybe_retry when dropping_ flipped).
+    if (dropping_.load(std::memory_order_relaxed) && !retry_heap_.empty()) {
+      std::vector<DeferredJob> parked;
+      parked.swap(retry_heap_);
+      lock.unlock();
+      for (DeferredJob& d : parked) complete_dropped(*d.job);
+      lock.lock();
+      continue;
+    }
+    if (retry_heap_.empty()) {
+      if (retry_stop_) return;
+      retry_cv_.wait(lock);
+      continue;
+    }
+    const Clock::time_point due = retry_heap_.front().due;
+    if (due > Clock::now()) {
+      retry_cv_.wait_until(lock, due);
+      continue;
+    }
+    std::pop_heap(retry_heap_.begin(), retry_heap_.end(), std::greater<>{});
+    std::shared_ptr<JobState> job = std::move(retry_heap_.back().job);
+    retry_heap_.pop_back();
+    lock.unlock();
+    scheduler_.push_retry(std::move(job));
+    lock.lock();
+  }
+}
+
+void SimService::complete_dropped(JobState& job) {
+  JobResult result;
+  result.status = JobStatus::dropped;
+  result.backend = job.backend;
+  result.precision = job.precision;
+  result.est_execute_s = job.est_seconds;
+  result.queue_wait_s = seconds_between(job.last_enqueue, Clock::now());
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  const std::string tenant = job.spec.tenant;
+  finish(job, std::move(result));
+  scheduler_.on_deferred_dropped(tenant);
+}
+
+void SimService::drop_deferred() {
+  std::vector<DeferredJob> parked;
+  {
+    std::lock_guard<std::mutex> lock(retry_mutex_);
+    parked.swap(retry_heap_);
+  }
+  for (DeferredJob& d : parked) complete_dropped(*d.job);
+}
+
+template <typename T>
+void SimService::save_checkpoint(JobState& job,
+                                 const sim::StateVector<T>& state,
+                                 std::uint64_t blocks_done) {
+  // Best effort: a checkpoint failure must never fail the job. Written
+  // tmp-then-rename so a crash mid-write leaves the previous checkpoint.
+  try {
+    const std::string tmp = job.checkpoint_path + ".tmp";
+    qh5::File file = qh5::File::create(tmp);
+    qh5::Group& root = file.root();
+    root.set_attr("fingerprint", static_cast<std::int64_t>(job.fingerprint));
+    root.set_attr("precision", job.precision);
+    root.set_attr("blocks_done", static_cast<std::int64_t>(blocks_done));
+    core::save_state(state, root.create_group("state"));
+    file.flush();
+    std::filesystem::rename(tmp, job.checkpoint_path);
+    job.checkpoint_blocks = blocks_done;
+    checkpoint_saves_counter().add();
+  } catch (const std::exception& e) {
+    log::warn(std::string("serve: checkpoint save failed: ") + e.what());
+  }
+}
+
+template <typename T>
+std::uint64_t SimService::try_restore_checkpoint(JobState& job,
+                                                 sim::StateVector<T>* state) {
+  if (job.checkpoint_path.empty() || job.checkpoint_blocks == 0) return 0;
+  try {
+    if (!std::filesystem::exists(job.checkpoint_path)) return 0;
+    qh5::File file = qh5::File::open(job.checkpoint_path);
+    const qh5::Group& root = file.root();
+    // A degraded job may have changed precision since the save; the
+    // fingerprint/precision attrs gate against resuming a stale state.
+    if (static_cast<std::uint64_t>(root.attr_i64("fingerprint")) !=
+            job.fingerprint ||
+        root.attr_str("precision") != job.precision) {
+      return 0;
+    }
+    *state = core::load_state<T>(root.group("state"));
+    checkpoint_restores_counter().add();
+    return static_cast<std::uint64_t>(root.attr_i64("blocks_done"));
+  } catch (const std::exception& e) {
+    log::warn(std::string("serve: checkpoint restore failed: ") + e.what());
+    return 0;
+  }
+}
+
+void SimService::remove_checkpoint(JobState& job) {
+  if (job.checkpoint_path.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove(job.checkpoint_path, ec);
+  std::filesystem::remove(job.checkpoint_path + ".tmp", ec);
+}
+
 void SimService::drain() {
   scheduler_.close_submissions();
   scheduler_.wait_idle();
@@ -439,6 +765,13 @@ void SimService::drain() {
 void SimService::shutdown(bool graceful) {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
   if (shut_down_) return;
+  if (!graceful) {
+    // Refuse new retries first: a job failing from here on completes as
+    // failed instead of parking in the retry nurse, and the nurse drops
+    // (not requeues) anything already parked.
+    dropping_.store(true, std::memory_order_relaxed);
+    retry_cv_.notify_all();
+  }
   scheduler_.close_submissions();
   if (!graceful) {
     for (const std::shared_ptr<JobState>& job : scheduler_.drain_queued()) {
@@ -447,12 +780,19 @@ void SimService::shutdown(bool graceful) {
       result.backend = job->backend;
       result.precision = job->precision;
       result.est_execute_s = job->est_seconds;
-      result.queue_wait_s = seconds_between(job->submit_time, Clock::now());
+      result.queue_wait_s = seconds_between(job->last_enqueue, Clock::now());
       dropped_.fetch_add(1, std::memory_order_relaxed);
       finish(*job, std::move(result));
     }
+    drop_deferred();
   }
   scheduler_.wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(retry_mutex_);
+    retry_stop_ = true;
+  }
+  retry_cv_.notify_all();
+  if (retry_thread_.joinable()) retry_thread_.join();
   pool_.reset();  // worker loops have exited (pop() returns false)
   shut_down_ = true;
 }

@@ -26,10 +26,13 @@
 // serve.job span per executed job.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "qgear/common/thread_pool.hpp"
 #include "qgear/route/calibration.hpp"
@@ -40,6 +43,24 @@
 #include "qgear/sim/fusion.hpp"
 
 namespace qgear::serve {
+
+/// How the service retries transiently-failed jobs (injected faults,
+/// worker aborts, comm errors — anything but an invalid-input class
+/// error). Backed-off re-entries go through FairScheduler::push_retry,
+/// so a retried job keeps its in-flight slot and fair-share identity.
+struct RetryPolicy {
+  /// Total attempts per job including the first (1 = never retry).
+  unsigned max_attempts = 1;
+  /// Base backoff before the second attempt, milliseconds.
+  double backoff_ms = 10.0;
+  /// Exponential growth per further attempt.
+  double backoff_multiplier = 2.0;
+  /// ± fraction of deterministic jitter (hash of job id and attempt).
+  double jitter = 0.2;
+  /// Cap on total retries per tenant (0 = unlimited). Exhausted budget
+  /// fails the job instead of retrying (serve.retry_budget_exhausted).
+  std::uint64_t tenant_retry_budget = 0;
+};
 
 class SimService {
  public:
@@ -73,6 +94,19 @@ class SimService {
     /// placement. Defaults to Calibration::host_default(), which honors
     /// QGEAR_ROUTE_CALIBRATION.
     route::Calibration calibration = route::Calibration::host_default();
+    /// Retry/backoff for transient job failures.
+    RetryPolicy retry;
+    /// Re-plan a job whose backend threw OutOfMemoryBudget onto the next
+    /// feasible backend (route::plan with the failed ones excluded) and
+    /// retry it immediately, marked degraded. Bounded: each degradation
+    /// excludes one more backend.
+    bool degrade_on_oom = true;
+    /// Segment checkpointing for fused-path jobs: serialize the state to
+    /// qh5 every N fused blocks so a retried attempt resumes instead of
+    /// recomputing (0 = off). See docs/RESILIENCE.md for the format.
+    std::uint64_t checkpoint_every = 0;
+    /// Directory for checkpoint files (empty = the system temp dir).
+    std::string checkpoint_dir;
   };
 
   SimService() : SimService(Options{}) {}
@@ -106,13 +140,38 @@ class SimService {
 
  private:
   void worker_loop();
-  void process(FairScheduler::Popped popped);
+  /// Runs one popped job to a terminal state OR defers it for retry.
+  /// Returns true when the job was deferred (the scheduler slot is then
+  /// released by push_retry/on_deferred_dropped, not on_finished).
+  bool process(FairScheduler::Popped popped);
   template <typename T>
   bool execute_plan(JobState& job, const CompiledCircuit& compiled,
-                    sim::EngineStats* stats);
+                    sim::EngineStats* stats, JobResult* result);
   bool execute_backend(JobState& job, sim::EngineStats* stats);
   void finish(JobState& job, JobResult&& result);
   sim::BackendOptions backend_options() const;
+
+  /// Decides whether the failed attempt retries (with backoff), degrades
+  /// to a fallback backend (on OOM), or fails for good. On retry/degrade
+  /// the job is handed to the retry nurse and true is returned.
+  bool maybe_retry(const std::shared_ptr<JobState>& job,
+                   const std::string& error, bool oom);
+  /// Re-plans an OOM-failed job with its failed backends excluded.
+  bool try_degrade(JobState& job);
+  void retry_loop();
+  void enqueue_retry(std::shared_ptr<JobState> job, Clock::time_point due);
+  /// Completes every job still parked in the retry nurse as dropped.
+  void drop_deferred();
+  /// Completes one deferred job as dropped and releases its slot.
+  void complete_dropped(JobState& job);
+
+  template <typename T>
+  void save_checkpoint(JobState& job, const sim::StateVector<T>& state,
+                       std::uint64_t blocks_done);
+  template <typename T>
+  std::uint64_t try_restore_checkpoint(JobState& job,
+                                       sim::StateVector<T>* state);
+  void remove_checkpoint(JobState& job);
 
   Options opts_;
   unsigned num_workers_ = 1;
@@ -125,6 +184,22 @@ class SimService {
   sim::EngineStats folded_stats_;
   bool shut_down_ = false;
   std::mutex lifecycle_mutex_;  // serializes drain/shutdown
+
+  // Retry nurse: a min-heap of deferred jobs ordered by due time,
+  // drained by one thread that re-enqueues each job when its backoff
+  // expires. Guarded by retry_mutex_.
+  struct DeferredJob {
+    Clock::time_point due;
+    std::shared_ptr<JobState> job;
+    bool operator>(const DeferredJob& o) const { return due > o.due; }
+  };
+  std::mutex retry_mutex_;
+  std::condition_variable retry_cv_;
+  std::vector<DeferredJob> retry_heap_;
+  std::map<std::string, std::uint64_t> tenant_retries_;
+  bool retry_stop_ = false;
+  std::atomic<bool> dropping_{false};  ///< non-graceful shutdown in progress
+  std::thread retry_thread_;
 };
 
 }  // namespace qgear::serve

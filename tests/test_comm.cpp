@@ -5,6 +5,9 @@
 #include <atomic>
 #include <numeric>
 
+#include "qgear/common/error.hpp"
+#include "qgear/fault/fault.hpp"
+
 namespace qgear::comm {
 namespace {
 
@@ -238,6 +241,92 @@ TEST(Comm, ChunkedExchangeDegeneratesToOneShot) {
           });
       EXPECT_EQ(calls, 1);
     }
+  });
+}
+
+TEST(Comm, ResilientExchangeSurvivesDroppedChunks) {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.site(fault::Site::comm_drop).probability = 0.3;
+  fault::ArmScope arm(plan);
+
+  World w(2);
+  w.run([](Communicator& c) {
+    std::vector<std::int32_t> mine(64);
+    for (int i = 0; i < 64; ++i) mine[i] = c.rank() * 1000 + i;
+    std::vector<std::int32_t> got(64, -1);
+    ResilienceOptions res;
+    res.timeout_s = 0.02;
+    res.max_resends = 50;  // plenty: re-sent chunks can be dropped again
+    c.sendrecv_chunked<std::int32_t>(
+        1 - c.rank(), 9, mine, /*chunk_elems=*/8,
+        [&](std::uint64_t off, std::span<const std::int32_t> chunk) {
+          std::copy(chunk.begin(), chunk.end(),
+                    got.begin() + static_cast<std::ptrdiff_t>(off));
+        },
+        res);
+    // Integrity: every element arrives exactly where it belongs despite
+    // the 30% per-chunk drop rate.
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(got[i], (1 - c.rank()) * 1000 + i) << "element " << i;
+    }
+  });
+}
+
+TEST(Comm, ResilientExchangeExhaustsResendBudget) {
+  fault::FaultPlan plan;
+  plan.site(fault::Site::comm_drop).probability = 1.0;  // black hole
+  fault::ArmScope arm(plan);
+
+  World w(2);
+  w.run([](Communicator& c) {
+    const std::vector<double> mine = {1.0, 2.0, 3.0, 4.0};
+    ResilienceOptions res;
+    res.timeout_s = 0.005;
+    res.max_resends = 2;
+    EXPECT_THROW(c.sendrecv_chunked<double>(
+                     1 - c.rank(), 9, mine, /*chunk_elems=*/2,
+                     [](std::uint64_t, std::span<const double>) {}, res),
+                 CommError);
+  });
+}
+
+TEST(Comm, ResilientExchangeRejectsBadArguments) {
+  World w(2);
+  w.run([](Communicator& c) {
+    const std::vector<double> mine = {1.0, 2.0};
+    ResilienceOptions res;
+    res.timeout_s = 0.01;
+    const auto sink = [](std::uint64_t, std::span<const double>) {};
+    if (c.rank() == 0) {
+      // Self-exchange and negative tags are caller bugs, not faults.
+      EXPECT_THROW(c.sendrecv_chunked<double>(0, 9, mine, 1, sink, res),
+                   InvalidArgument);
+      EXPECT_THROW(c.sendrecv_chunked<double>(1, -3, mine, 1, sink, res),
+                   InvalidArgument);
+      EXPECT_THROW(c.sendrecv_chunked<double>(5, 9, mine, 1, sink, res),
+                   InvalidArgument);
+    }
+  });
+}
+
+TEST(Comm, ResilientExchangeRejectsMalformedFrames) {
+  World w(2);
+  w.run([](Communicator& c) {
+    ResilienceOptions res;
+    res.timeout_s = 0.05;
+    res.max_resends = 1;
+    if (c.rank() == 1) {
+      // A rogue 3-byte message on the data tag: too short to carry the
+      // u64 offset frame.
+      c.send(0, 9, std::vector<std::uint8_t>{1, 2, 3});
+      return;
+    }
+    const std::vector<double> mine = {1.0, 2.0};
+    EXPECT_THROW(c.sendrecv_chunked<double>(
+                     1, 9, mine, /*chunk_elems=*/1,
+                     [](std::uint64_t, std::span<const double>) {}, res),
+                 FormatError);
   });
 }
 

@@ -9,7 +9,8 @@ namespace qgear::obs {
 namespace {
 
 JsonValue bench_report(double stage_seconds, double sweeps,
-                       double route_chosen = 7.0) {
+                       double route_chosen = 7.0,
+                       double faults_injected = 5.0) {
   JsonValue root{JsonValue::Object{}};
   root.set("schema", "qgear.bench.report/v1");
   root.set("bench", "synthetic");
@@ -24,6 +25,8 @@ JsonValue bench_report(double stage_seconds, double sweeps,
   counters.set("serve.submitted", 123.0);  // scheduling-noise: not gated
   counters.set("perf.cycles", 1e9);        // hardware-noise: not gated
   counters.set("route.chosen.fused", route_chosen);  // calibration-dependent
+  counters.set("fault.injected.serve.worker", faults_injected);  // chaos
+  counters.set("serve.retries", faults_injected);  // follows fault.* rates
   JsonValue metrics{JsonValue::Object{}};
   metrics.set("counters", std::move(counters));
   root.set("metrics", std::move(metrics));
@@ -109,6 +112,17 @@ TEST(PerfDiff, RouteCountersAreExemptFromDriftGating) {
       diff_reports(bench_report(1.0, 500, 7.0), bench_report(1.0, 500, 3.0));
   EXPECT_FALSE(result.regressed());
   EXPECT_EQ(find_entry(result, "counter:route.chosen.fused"), nullptr);
+}
+
+TEST(PerfDiff, ChaosCountersAreExemptFromDriftGating) {
+  // fault.* counts injected faults and serve.retries follows them — both
+  // move with the configured fault rates, never a perf regression.
+  const auto result = diff_reports(bench_report(1.0, 500, 7.0, 5.0),
+                                   bench_report(1.0, 500, 7.0, 40.0));
+  EXPECT_FALSE(result.regressed());
+  EXPECT_EQ(find_entry(result, "counter:fault.injected.serve.worker"),
+            nullptr);
+  EXPECT_EQ(find_entry(result, "counter:serve.retries"), nullptr);
 }
 
 TEST(PerfDiff, MissingKeysFailOnlyWhenAsked) {

@@ -1,0 +1,230 @@
+// Resilient-execution paths of SimService: retry/backoff after transient
+// faults, tenant retry budgets, OOM backend degradation with a recorded
+// fallback chain, segment-checkpoint resume, and deferred-job lifecycle
+// during drain and non-graceful shutdown. Faults come from the
+// deterministic injector in qgear/fault, scoped per test via ArmScope.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qgear/fault/fault.hpp"
+#include "qgear/qiskit/circuit.hpp"
+#include "qgear/serve/service.hpp"
+
+namespace qgear::serve {
+namespace {
+
+qiskit::QuantumCircuit layered_circuit(unsigned qubits, unsigned layers,
+                                       double phase = 0.1) {
+  qiskit::QuantumCircuit qc(qubits);
+  for (unsigned l = 0; l < layers; ++l) {
+    for (unsigned q = 0; q < qubits; ++q) {
+      qc.h(q).ry(phase + 0.01 * static_cast<double>(l * qubits + q), q);
+    }
+    for (unsigned q = 0; q + 1 < qubits; ++q) qc.cx(q, q + 1);
+  }
+  return qc;
+}
+
+JobSpec spec_for(qiskit::QuantumCircuit qc, std::string tenant = "default") {
+  JobSpec spec;
+  spec.tenant = std::move(tenant);
+  spec.circuit = std::move(qc);
+  return spec;
+}
+
+SimService::Options retrying_service(unsigned workers, unsigned max_attempts,
+                                     double backoff_ms = 1.0) {
+  SimService::Options opts;
+  opts.workers = workers;
+  opts.retry.max_attempts = max_attempts;
+  opts.retry.backoff_ms = backoff_ms;
+  return opts;
+}
+
+TEST(ServeRetry, TransientFaultIsRetriedToCompletion) {
+  fault::FaultPlan plan;
+  plan.site(fault::Site::serve_worker).probability = 1.0;
+  plan.site(fault::Site::serve_worker).max_triggers = 1;
+  fault::ArmScope arm(plan);
+
+  SimService svc(retrying_service(1, /*max_attempts=*/3));
+  JobTicket ticket = svc.submit(spec_for(layered_circuit(4, 3)));
+  ASSERT_TRUE(ticket.accepted());
+
+  const JobResult result = ticket.result().get();
+  EXPECT_EQ(result.status, JobStatus::completed);
+  EXPECT_EQ(result.attempts, 2u);  // one injected failure, one clean run
+  EXPECT_FALSE(result.degraded);
+  EXPECT_GT(result.stats.sweeps, 0u);
+  // All attempts ride the same trace.
+  EXPECT_EQ(result.trace_id, ticket.trace_id());
+  svc.drain();
+}
+
+TEST(ServeRetry, MaxAttemptsExhaustionFailsTheJob) {
+  fault::FaultPlan plan;
+  plan.site(fault::Site::serve_worker).probability = 1.0;  // never recovers
+  fault::ArmScope arm(plan);
+
+  SimService svc(retrying_service(1, /*max_attempts=*/2));
+  const JobResult result =
+      svc.submit(spec_for(layered_circuit(4, 3))).result().get();
+  EXPECT_EQ(result.status, JobStatus::failed);
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_NE(result.error.find("injected"), std::string::npos);
+}
+
+TEST(ServeRetry, NoRetryPolicyFailsOnFirstFault) {
+  fault::FaultPlan plan;
+  plan.site(fault::Site::serve_worker).probability = 1.0;
+  plan.site(fault::Site::serve_worker).max_triggers = 1;
+  fault::ArmScope arm(plan);
+
+  SimService svc(retrying_service(1, /*max_attempts=*/1));
+  const JobResult result =
+      svc.submit(spec_for(layered_circuit(4, 3))).result().get();
+  EXPECT_EQ(result.status, JobStatus::failed);
+  EXPECT_EQ(result.attempts, 1u);
+}
+
+TEST(ServeRetry, TenantRetryBudgetCapsRetriesAcrossJobs) {
+  fault::FaultPlan plan;
+  plan.site(fault::Site::serve_worker).probability = 1.0;
+  fault::ArmScope arm(plan);
+
+  SimService::Options opts = retrying_service(1, /*max_attempts=*/10);
+  opts.retry.tenant_retry_budget = 2;
+  SimService svc(opts);
+
+  // First job burns the whole tenant budget: initial attempt + 2 retries.
+  const JobResult first =
+      svc.submit(spec_for(layered_circuit(4, 3), "capped")).result().get();
+  EXPECT_EQ(first.status, JobStatus::failed);
+  EXPECT_EQ(first.attempts, 3u);
+
+  // The budget is per tenant and cumulative: the next job gets no retries.
+  const JobResult second =
+      svc.submit(spec_for(layered_circuit(4, 3), "capped")).result().get();
+  EXPECT_EQ(second.status, JobStatus::failed);
+  EXPECT_EQ(second.attempts, 1u);
+
+  // Other tenants are unaffected by the exhausted budget.
+  const JobResult other =
+      svc.submit(spec_for(layered_circuit(4, 3), "fresh")).result().get();
+  EXPECT_EQ(other.attempts, 3u);
+}
+
+TEST(ServeRetry, OomDegradesToFallbackBackend) {
+  fault::FaultPlan plan;
+  plan.site(fault::Site::backend_oom).probability = 1.0;
+  plan.site(fault::Site::backend_oom).max_triggers = 1;
+  fault::ArmScope arm(plan);
+
+  // max_attempts=1: degradation is not charged against the retry policy.
+  SimService svc(retrying_service(2, /*max_attempts=*/1));
+  const JobResult result =
+      svc.submit(spec_for(layered_circuit(4, 3))).result().get();
+  EXPECT_EQ(result.status, JobStatus::completed);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.attempts, 2u);
+  ASSERT_EQ(result.fallback_chain.size(), 2u);
+  EXPECT_EQ(result.fallback_chain.front(), "fused");
+  EXPECT_NE(result.fallback_chain.back(), "fused");
+}
+
+TEST(ServeRetry, OomWithDegradeDisabledJustFails) {
+  fault::FaultPlan plan;
+  plan.site(fault::Site::backend_oom).probability = 1.0;
+  fault::ArmScope arm(plan);
+
+  SimService::Options opts = retrying_service(1, /*max_attempts=*/1);
+  opts.degrade_on_oom = false;
+  SimService svc(opts);
+  const JobResult result =
+      svc.submit(spec_for(layered_circuit(4, 3))).result().get();
+  EXPECT_EQ(result.status, JobStatus::failed);
+  EXPECT_FALSE(result.degraded);
+}
+
+TEST(ServeRetry, CheckpointResumeSkipsCompletedBlocks) {
+  // Find where the injected OOM fires in the deterministic draw stream so
+  // the test can assert the retry resumed from exactly that block.
+  fault::FaultPlan plan;
+  plan.seed = 1;  // fires at draw 5 of this stream
+  plan.site(fault::Site::backend_oom).probability = 0.25;
+  plan.site(fault::Site::backend_oom).max_triggers = 1;
+  unsigned first_fire = 0;
+  {
+    fault::ArmScope probe(plan);
+    while (!fault::should_inject(fault::Site::backend_oom)) ++first_fire;
+  }
+  // The fault must hit after at least one per-block checkpoint was saved
+  // and before the final block of the fused plan (the circuit below fuses
+  // into far more blocks than this).
+  ASSERT_GE(first_fire, 1u);
+  ASSERT_LT(first_fire, 20u);
+
+  fault::ArmScope arm(plan);
+  SimService::Options opts = retrying_service(1, /*max_attempts=*/2);
+  opts.degrade_on_oom = false;  // force the retry path, not a fallback
+  opts.checkpoint_every = 1;
+  SimService svc(opts);
+  const JobResult result =
+      svc.submit(spec_for(layered_circuit(8, 30))).result().get();
+  EXPECT_EQ(result.status, JobStatus::completed);
+  EXPECT_EQ(result.attempts, 2u);
+  // checkpoint_every=1 saves after every block, so the resume picks up at
+  // the block the OOM interrupted.
+  EXPECT_EQ(result.checkpoint_blocks, first_fire);
+  EXPECT_GT(result.stats.sweeps, 0u);
+}
+
+TEST(ServeRetry, DrainWaitsForDeferredJobsToComplete) {
+  fault::FaultPlan plan;
+  plan.site(fault::Site::serve_worker).probability = 1.0;
+  plan.site(fault::Site::serve_worker).max_triggers = 3;
+  fault::ArmScope arm(plan);
+
+  SimService svc(retrying_service(2, /*max_attempts=*/5));
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(
+        svc.submit(spec_for(layered_circuit(4, 2, 0.1 + 0.05 * i))));
+    ASSERT_TRUE(tickets.back().accepted());
+  }
+  svc.drain();  // must wait out backoff timers, not just the run queue
+  std::uint64_t attempts = 0;
+  for (auto& t : tickets) {
+    const JobResult r = t.result().get();
+    EXPECT_EQ(r.status, JobStatus::completed) << job_status_name(r.status);
+    attempts += r.attempts;
+  }
+  EXPECT_EQ(attempts, 4u + 3u);  // three injected failures were retried
+  EXPECT_EQ(svc.dropped_jobs(), 0u);
+}
+
+TEST(ServeRetry, NonGracefulShutdownDropsDeferredJobs) {
+  fault::FaultPlan plan;
+  plan.site(fault::Site::serve_worker).probability = 1.0;
+  fault::ArmScope arm(plan);
+
+  // Long backoff parks the job with the retry nurse until shutdown.
+  auto svc = std::make_unique<SimService>(
+      retrying_service(1, /*max_attempts=*/100, /*backoff_ms=*/60000.0));
+  JobTicket ticket = svc->submit(spec_for(layered_circuit(4, 3)));
+  ASSERT_TRUE(ticket.accepted());
+  while (svc->scheduler().deferred() == 0) std::this_thread::yield();
+
+  svc->shutdown(/*graceful=*/false);
+  const JobResult result = ticket.result().get();
+  EXPECT_EQ(result.status, JobStatus::dropped);
+  EXPECT_EQ(svc->dropped_jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace qgear::serve

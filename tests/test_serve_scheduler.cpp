@@ -36,6 +36,40 @@ std::string pop_tenant(FairScheduler& sched) {
   return tenant;
 }
 
+// The name tables must stay exhaustive as enums grow: every enumerator
+// round-trips through its string form, and unknown names are rejected
+// rather than mapped to a default.
+TEST(JobEnums, PriorityNamesRoundTrip) {
+  for (int i = 0; i < kNumPriorities; ++i) {
+    const auto p = static_cast<Priority>(i);
+    const auto back = priority_from_name(priority_name(p));
+    ASSERT_TRUE(back.has_value()) << priority_name(p);
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(priority_from_name("urgent-ish").has_value());
+  EXPECT_FALSE(priority_from_name("").has_value());
+}
+
+TEST(JobEnums, RejectReasonNamesRoundTrip) {
+  for (int i = 0; i < kNumRejectReasons; ++i) {
+    const auto r = static_cast<RejectReason>(i);
+    const auto back = reject_reason_from_name(reject_reason_name(r));
+    ASSERT_TRUE(back.has_value()) << reject_reason_name(r);
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_FALSE(reject_reason_from_name("cosmic_rays").has_value());
+}
+
+TEST(JobEnums, JobStatusNamesRoundTrip) {
+  for (int i = 0; i < kNumJobStatuses; ++i) {
+    const auto s = static_cast<JobStatus>(i);
+    const auto back = job_status_from_name(job_status_name(s));
+    ASSERT_TRUE(back.has_value()) << job_status_name(s);
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_FALSE(job_status_from_name("vanished").has_value());
+}
+
 TEST(FairScheduler, HigherPriorityClassAlwaysWins) {
   FairScheduler sched;
   ASSERT_EQ(sched.push(make_job("t", Priority::batch)), RejectReason::none);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "qgear/fault/fault.hpp"
+
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -153,6 +155,49 @@ TEST(ThreadPool, ConcurrentCallersSerialized) {
   }
   for (auto& t : callers) t.join();
   EXPECT_EQ(total.load(), 4u * 20000u);
+}
+
+TEST(ThreadPool, SurvivesInjectedJobAborts) {
+  fault::FaultPlan plan;
+  plan.site(fault::Site::pool_abort).probability = 1.0;
+  plan.site(fault::Site::pool_abort).max_triggers = 2;
+  fault::ArmScope arm(plan);
+
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.try_submit([&] { ran++; }));
+  }
+  pool.wait_idle();
+  // Exactly two pickups were aborted; the workers themselves survived and
+  // drained the rest of the queue.
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(fault::FaultInjector::global().triggered(fault::Site::pool_abort),
+            2u);
+
+  // The pool stays fully usable once the injector is quiet.
+  pool.parallel_for(0, 1000, [&](std::uint64_t b, std::uint64_t e) {
+    ran += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(ran.load(), 8 + 1000);
+}
+
+TEST(ThreadPool, TrySubmitUnderSaturationNeverLosesAcceptedJobs) {
+  ThreadPool pool(2, /*queue_capacity=*/4);
+  std::atomic<int> ran{0};
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (pool.try_submit([&] { ran++; })) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), accepted);
+  EXPECT_EQ(accepted + rejected, 2000);
+  EXPECT_GT(accepted, 0);
 }
 
 }  // namespace

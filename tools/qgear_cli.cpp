@@ -18,7 +18,8 @@
 //   qgear_cli run         --in circuits.qh5 --backend NAME [--shots S]
 //                         [--seed S] [--mps-cutoff C] [--mps-max-bond B]
 //                         [--dd-max-nodes N] [--dist-ranks R] [--fusion W]
-//                         [--report out.json]
+//                         [--retries N] [--retry-backoff-ms MS]
+//                         [--checkpoint-every N] [--report out.json]
 //   qgear_cli run         --in circuits.qh5 --auto [--budget-mb M]
 //                         [--max-error E] [--calibration cal.json]
 //                         [--shots S] [--seed S] [--report out.json]
@@ -59,12 +60,15 @@
 // JSON, and `--log <level>` (or QGEAR_LOG) sets stderr verbosity.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "qgear/circuits/qcrank.hpp"
@@ -76,6 +80,7 @@
 #include "qgear/common/timer.hpp"
 #include "qgear/core/transformer.hpp"
 #include "qgear/dist/dist_backend.hpp"
+#include "qgear/fault/fault.hpp"
 #include "qgear/obs/json.hpp"
 #include "qgear/obs/metrics.hpp"
 #include "qgear/obs/shutdown.hpp"
@@ -285,6 +290,21 @@ int cmd_run_backend(const Args& args) {
   const sim::BackendOptions base = backend_options_from_args(args);
   const std::uint64_t shots = args.u64("shots", 0);
   const std::uint64_t seed = args.u64("seed", 12345);
+  // Resilience (docs/RESILIENCE.md): transient failures replay the whole
+  // circuit up to --retries attempts with exponential backoff; with
+  // --auto an OutOfMemoryBudget instead re-plans with the failed backend
+  // excluded (degraded fallback). --checkpoint-every is accepted for flag
+  // parity with qgear_serve and echoed in the report; segment
+  // checkpointing itself is a serve fused-path feature.
+  const unsigned max_attempts = static_cast<unsigned>(args.u64("retries", 1));
+  QGEAR_CHECK_ARG(max_attempts >= 1,
+                  "--retries must be >= 1 (total attempts per circuit)");
+  const double retry_backoff_ms = args.f64("retry-backoff-ms", 10.0);
+  const std::uint64_t checkpoint_every = args.u64("checkpoint-every", 0);
+  if (const auto plan = fault::FaultPlan::from_env()) {
+    fault::FaultInjector::global().arm(*plan);
+    std::printf("fault injector armed: %s\n", plan->to_string().c_str());
+  }
 
   route::Budget budget;
   route::RouteOptions ropts;
@@ -301,6 +321,8 @@ int cmd_run_backend(const Args& args) {
   report.set("backend", name);
   report.set("shots", shots);
   report.set("seed", seed);
+  report.set("retries", max_attempts);
+  report.set("checkpoint_every", checkpoint_every);
   obs::JsonValue circuits_json{obs::JsonValue::Array{}};
 
   const core::GateTensor tensor = load_circuits(args.required("in"));
@@ -311,50 +333,100 @@ int cmd_run_backend(const Args& args) {
     std::string exec_name = name;
     std::string precision = bo.fp32 ? "fp32" : "fp64";
     route::Placement placement;
-    if (auto_route) {
-      placement = route::plan(qc, budget, ropts);
-      if (!placement.feasible) {
-        std::fprintf(stderr, "[%u] %s: no feasible placement — %s\n", c,
-                     qc.name().c_str(),
-                     placement.rationale.empty()
-                         ? "(no rationale)"
-                         : placement.rationale.back().c_str());
-        return 1;
-      }
-      const route::CandidateConfig& cfg = placement.choice.config;
-      exec_name = cfg.backend;
-      precision = cfg.precision;
-      bo.fp32 = cfg.precision == "fp32";
-      if (cfg.fusion_width > 0) bo.fusion.max_width = cfg.fusion_width;
-      sim::set_active_isa(cfg.isa);
-      for (const std::string& line : placement.rationale) {
-        std::printf("[%u] %s: %s\n", c, qc.name().c_str(), line.c_str());
-      }
-    }
-    auto backend = sim::Backend::create(exec_name, bo);
-    const std::uint64_t mem_bytes = backend->memory_estimate(qc);
-
-    WallTimer timer;
-    backend->init_state(qc.num_qubits());
+    unsigned attempts = 1;
+    bool degraded = false;
+    std::vector<std::string> fallback_chain;
+    std::unique_ptr<sim::Backend> backend;
+    std::uint64_t mem_bytes = 0;
     std::vector<unsigned> measured;
-    backend->apply_circuit(qc, &measured);
-    std::sort(measured.begin(), measured.end());
-    measured.erase(std::unique(measured.begin(), measured.end()),
-                   measured.end());
-
     sim::Counts counts;
-    if (shots > 0) {
-      Rng rng(seed + c);
-      counts = backend->sample(measured, shots, rng);
-    }
     std::vector<double> z(qc.num_qubits());
-    for (unsigned q = 0; q < qc.num_qubits(); ++q) {
-      sim::PauliTerm term;
-      term.ops.assign(q + 1, sim::Pauli::I);
-      term.ops[q] = sim::Pauli::Z;
-      z[q] = backend->expectation(term);
+    double wall = 0;
+    for (;;) {
+      try {
+        bo = base;
+        exec_name = name;
+        precision = bo.fp32 ? "fp32" : "fp64";
+        if (auto_route) {
+          route::RouteOptions attempt_opts = ropts;
+          attempt_opts.exclude_backends = fallback_chain;
+          placement = route::plan(qc, budget, attempt_opts);
+          if (!placement.feasible) {
+            std::fprintf(stderr, "[%u] %s: no feasible placement — %s\n", c,
+                         qc.name().c_str(),
+                         placement.rationale.empty()
+                             ? "(no rationale)"
+                             : placement.rationale.back().c_str());
+            return 1;
+          }
+          const route::CandidateConfig& cfg = placement.choice.config;
+          exec_name = cfg.backend;
+          precision = cfg.precision;
+          bo.fp32 = cfg.precision == "fp32";
+          if (cfg.fusion_width > 0) bo.fusion.max_width = cfg.fusion_width;
+          sim::set_active_isa(cfg.isa);
+          for (const std::string& line : placement.rationale) {
+            std::printf("[%u] %s: %s\n", c, qc.name().c_str(), line.c_str());
+          }
+        }
+        backend = sim::Backend::create(exec_name, bo);
+        mem_bytes = backend->memory_estimate(qc);
+
+        WallTimer timer;
+        backend->init_state(qc.num_qubits());
+        measured.clear();
+        backend->apply_circuit(qc, &measured);
+        std::sort(measured.begin(), measured.end());
+        measured.erase(std::unique(measured.begin(), measured.end()),
+                       measured.end());
+
+        counts.clear();
+        if (shots > 0) {
+          Rng rng(seed + c);
+          counts = backend->sample(measured, shots, rng);
+        }
+        for (unsigned q = 0; q < qc.num_qubits(); ++q) {
+          sim::PauliTerm term;
+          term.ops.assign(q + 1, sim::Pauli::I);
+          term.ops[q] = sim::Pauli::Z;
+          z[q] = backend->expectation(term);
+        }
+        wall = timer.seconds();
+        break;
+      } catch (const OutOfMemoryBudget& e) {
+        if (!auto_route) {
+          std::fprintf(stderr, "[%u] %s: %s\n", c, qc.name().c_str(),
+                       e.what());
+          return 1;
+        }
+        std::printf("[%u] %s: backend %s out of memory budget (%s); "
+                    "replanning without it\n",
+                    c, qc.name().c_str(), exec_name.c_str(), e.what());
+        fallback_chain.push_back(exec_name);
+        degraded = true;
+        // Bounded: each pass excludes one more backend; route::plan goes
+        // infeasible (handled above) once the candidate space is empty.
+      } catch (const InvalidArgument& e) {
+        std::fprintf(stderr, "[%u] %s: %s\n", c, qc.name().c_str(), e.what());
+        return 1;
+      } catch (const FormatError& e) {
+        std::fprintf(stderr, "[%u] %s: %s\n", c, qc.name().c_str(), e.what());
+        return 1;
+      } catch (const std::exception& e) {
+        if (attempts >= max_attempts) {
+          std::fprintf(stderr, "[%u] %s: failed after %u attempt(s): %s\n", c,
+                       qc.name().c_str(), attempts, e.what());
+          return 1;
+        }
+        const double backoff_ms =
+            retry_backoff_ms * std::pow(2.0, static_cast<double>(attempts - 1));
+        std::printf("[%u] %s: attempt %u failed (%s); retrying in %.0f ms\n",
+                    c, qc.name().c_str(), attempts, e.what(), backoff_ms);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+        ++attempts;
+      }
     }
-    const double wall = timer.seconds();
 
     std::printf("[%u] %s via %s/%s: %u qubits, %zu gates, %s wall, "
                 "mem estimate %s\n",
@@ -368,6 +440,14 @@ int cmd_run_backend(const Args& args) {
     cj.set("gates", std::uint64_t{qc.size()});
     cj.set("memory_estimate_bytes", mem_bytes);
     cj.set("wall_seconds", wall);
+    cj.set("attempts", attempts);
+    if (degraded) {
+      cj.set("degraded", true);
+      obs::JsonValue fb{obs::JsonValue::Array{}};
+      for (const std::string& b : fallback_chain) fb.push_back(b);
+      fb.push_back(exec_name);
+      cj.set("fallback_chain", std::move(fb));
+    }
     if (auto_route) {
       cj.set("precision", precision);
       obs::JsonValue rj{obs::JsonValue::Object{}};

@@ -11,10 +11,20 @@
 //                    [--cache on|off] [--cache-mb M] [--fusion W]
 //                    [--precision fp32|fp64] [--seed S]
 //                    [--backend NAME|auto] [--memory-budget-mb M]
+//                    [--retries N] [--retry-backoff-ms MS]
+//                    [--retry-budget B] [--checkpoint-every N]
+//                    [--checkpoint-dir DIR] [--no-degrade]
 //                    [--report out.json] [--trace-out trace.json]
 //                    [--metrics-out metrics.json] [--log level]
 //                    [--listen PORT] [--snapshot-prefix P]
 //                    [--snapshot-period-s S] [--perf]
+//
+// Resilience (docs/RESILIENCE.md): --retries is total attempts per job
+// (1 = never retry); --retry-budget caps retries per tenant;
+// --checkpoint-every N checkpoints fused-path state every N blocks so
+// retries resume. The QGEAR_FAULT_PLAN environment variable arms the
+// deterministic fault injector (src/qgear/fault) for chaos runs, e.g.
+//   QGEAR_FAULT_PLAN='seed=7;serve.worker=0.05;backend.oom=0.02'
 //
 // --listen starts the live HTTP exporter (obs/exporter.hpp): /metrics is
 // Prometheus text, /snapshot and /trace are JSON, all computed from the
@@ -38,6 +48,7 @@
 
 #include "qgear/common/log.hpp"
 #include "qgear/common/strings.hpp"
+#include "qgear/fault/fault.hpp"
 #include "qgear/obs/exporter.hpp"
 #include "qgear/obs/json.hpp"
 #include "qgear/obs/metrics.hpp"
@@ -167,6 +178,22 @@ int cmd_load(const Args& args) {
       "--backend: unknown backend '" + sopts.backend + "' (use a registered "
       "backend or 'auto' to route per job)");
   sopts.memory_budget_bytes = args.u64("memory-budget-mb", 0) << 20;
+  sopts.retry.max_attempts =
+      static_cast<unsigned>(args.u64("retries", 1));
+  QGEAR_CHECK_ARG(sopts.retry.max_attempts >= 1,
+                  "--retries must be >= 1 (total attempts per job)");
+  sopts.retry.backoff_ms = args.f64("retry-backoff-ms", 10.0);
+  sopts.retry.tenant_retry_budget = args.u64("retry-budget", 0);
+  sopts.checkpoint_every = args.u64("checkpoint-every", 0);
+  sopts.checkpoint_dir = args.opt("checkpoint-dir");
+  sopts.degrade_on_oom = !args.has("no-degrade");
+
+  // Chaos runs: QGEAR_FAULT_PLAN arms the deterministic fault injector
+  // for the whole load (fault.* counters land in --metrics-out).
+  if (const auto plan = fault::FaultPlan::from_env()) {
+    fault::FaultInjector::global().arm(*plan);
+    std::printf("fault injector armed: %s\n", plan->to_string().c_str());
+  }
 
   serve::LoadGenOptions lopts;
   lopts.total_jobs = args.u64("jobs", 400);
