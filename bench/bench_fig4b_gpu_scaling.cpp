@@ -13,6 +13,8 @@
 // A measured local section validates the distributed engine's scaling
 // shape on this host at small n.
 
+#include <thread>
+
 #include "bench/bench_util.hpp"
 #include "qgear/circuits/qft.hpp"
 #include "qgear/circuits/random_blocks.hpp"
@@ -41,6 +43,8 @@ struct DistRun {
   std::uint64_t exchange_bytes = 0;
   std::uint64_t slab_swaps = 0;
   std::uint64_t exchange_bytes_saved = 0;
+  std::uint64_t nvlink_bytes = 0;     ///< slab-exchange payload, NVLink tier
+  std::uint64_t internode_bytes = 0;  ///< slab-exchange payload, inter-node
   std::uint64_t trace_id = 0;  ///< correlates the run with its trace spans
   std::vector<dist::RankObsSummary> per_rank;
 };
@@ -58,7 +62,8 @@ void report_remap_ablation() {
       "remap ablation (measured): baseline fused schedule vs "
       "remap+chunk+threads, fp32");
   bench::Table table({"circuit", "ranks", "schedule", "wall",
-                      "exchange bytes", "slab swaps", "bytes saved"});
+                      "exchange bytes", "nvlink", "internode", "slab swaps",
+                      "bytes saved"});
   // Width 2 keeps the fused local sweeps bandwidth-bound; at wider fusion
   // the remapped schedule's long local runs pack dense width-5 blocks whose
   // extra FLOPs mask the communication win on a CPU host.
@@ -76,23 +81,43 @@ void report_remap_ablation() {
         dist::RunOptions opts{.num_ranks = ranks, .fusion_width = 2};
         if (remap) {
           opts.remap = true;
-          opts.threads_per_rank = 2;
-          opts.exchange_chunk_bytes = 1 << 20;
+          // Pooled sweeps only pay off when the host has spare cores
+          // beyond one per rank; on smaller hosts the pool's per-sweep
+          // synchronization is pure overhead against in-process ranks.
+          const unsigned cores = std::thread::hardware_concurrency();
+          opts.threads_per_rank =
+              cores >= 2u * static_cast<unsigned>(ranks) ? 2 : 0;
+          // exchange_chunk_bytes stays 0: chunk size auto-derives from
+          // message size and link tier (comm::auto_chunk_bytes).
         }
-        WallTimer timer;
-        const auto res = dist::run_distributed<float>(qc, opts);
-        const double wall = timer.seconds();
+        const std::string schedule = remap ? "remap" : "baseline";
+        const std::string stage =
+            "remap_ablation/" + name + "/r" + std::to_string(ranks) + "/" +
+            schedule;
+        double wall = 0.0;
+        dist::RunResult<float> res;
+        {
+          bench::StageTimer timer(stage);
+          res = dist::run_distributed<float>(qc, opts);
+          wall = timer.seconds();
+        }
         const std::uint64_t bytes = res.circuit_exchange_bytes;
         const std::uint64_t saved =
             baseline_total > bytes ? baseline_total - bytes : 0;
-        table.row({name, std::to_string(ranks),
-                   remap ? "remap+chunk+threads" : "baseline",
+        std::uint64_t nvlink = 0;
+        std::uint64_t internode = 0;
+        for (const dist::RankObsSummary& r : res.rank_obs) {
+          nvlink += r.nvlink_bytes;
+          internode += r.internode_bytes;
+        }
+        table.row({name, std::to_string(ranks), schedule,
                    human_seconds(wall), human_bytes(bytes),
+                   human_bytes(nvlink), human_bytes(internode),
                    std::to_string(res.remap_slab_swaps),
                    human_bytes(saved)});
         dist_runs().push_back({name, ranks, remap, wall, bytes,
-                               res.remap_slab_swaps, saved, res.trace_id,
-                               res.rank_obs});
+                               res.remap_slab_swaps, saved, nvlink,
+                               internode, res.trace_id, res.rank_obs});
       }
     }
   }
@@ -153,11 +178,18 @@ void write_dist_report() {
     entry.set("slab_swaps", static_cast<double>(run.slab_swaps));
     entry.set("exchange_bytes_saved",
               static_cast<double>(run.exchange_bytes_saved));
+    obs::JsonValue tier_bytes{obs::JsonValue::Object{}};
+    tier_bytes.set("nvlink", static_cast<double>(run.nvlink_bytes));
+    tier_bytes.set("internode", static_cast<double>(run.internode_bytes));
+    entry.set("tier_bytes", std::move(tier_bytes));
     entry.set("trace_id", obs::trace_id_hex(run.trace_id));
     obs::JsonValue per_rank{obs::JsonValue::Array{}};
     for (const dist::RankObsSummary& r : run.per_rank) {
       obs::JsonValue rank_entry{obs::JsonValue::Object{}};
       rank_entry.set("exchange_bytes", static_cast<double>(r.exchange_bytes));
+      rank_entry.set("nvlink_bytes", static_cast<double>(r.nvlink_bytes));
+      rank_entry.set("internode_bytes",
+                     static_cast<double>(r.internode_bytes));
       rank_entry.set("spans", static_cast<double>(r.spans));
       rank_entry.set("span_seconds", r.span_seconds);
       per_rank.push_back(std::move(rank_entry));

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <limits>
+#include <numeric>
 #include <string>
 #include <thread>
 
@@ -93,9 +94,34 @@ class WaitTimer {
 
 }  // namespace
 
+// ---- Topology ----------------------------------------------------------
+
+const char* tier_name(Tier t) {
+  return t == Tier::nvlink ? "nvlink" : "internode";
+}
+
+std::uint64_t auto_chunk_bytes(std::uint64_t message_bytes, Tier tier) {
+  // Below this, framing and per-chunk mailbox traffic cost more than any
+  // pipelining buys back.
+  constexpr std::uint64_t kOneShotLimit = 64ull << 10;
+  if (message_bytes <= kOneShotLimit) return 0;
+  if (tier == Tier::nvlink) {
+    // Fast links: few large chunks keep per-message overhead negligible
+    // while still letting receivers start early.
+    return std::clamp<std::uint64_t>(message_bytes / 4, 256ull << 10,
+                                     4ull << 20);
+  }
+  // Slow links: more, smaller chunks so the receive pipeline stays fed and
+  // re-sends (resilient path) retransmit less.
+  return std::clamp<std::uint64_t>(message_bytes / 8, 128ull << 10,
+                                   1ull << 20);
+}
+
 // ---- Communicator ------------------------------------------------------
 
 int Communicator::size() const { return world_->size(); }
+
+const Topology& Communicator::topology() const { return world_->topology(); }
 
 void Communicator::send(int dest, int tag,
                         std::span<const std::uint8_t> data) {
@@ -315,6 +341,249 @@ void Communicator::broadcast(std::vector<std::uint8_t>& data, int root) {
   }
 }
 
+// ---- BatchExchange -----------------------------------------------------
+
+BatchExchange::BatchExchange(Communicator& comm, int tag,
+                             std::vector<ExchangeRound> rounds,
+                             ResilienceOptions resilience)
+    : comm_(comm),
+      tag_(tag),
+      ctrl_(ctrl_tag_for(tag)),
+      rounds_(std::move(rounds)),
+      resilience_(resilience),
+      resilient_(resilience.timeout_s > 0.0) {
+  QGEAR_CHECK_ARG(tag >= 0 && tag < std::numeric_limits<int>::max() - 100,
+                  "comm: batch exchange needs a non-negative tag");
+  st_.resize(rounds_.size());
+  peer_of_.reserve(rounds_.size());
+  for (std::size_t r = 0; r < rounds_.size(); ++r) {
+    const ExchangeRound& round = rounds_[r];
+    QGEAR_CHECK_ARG(round.peer >= 0 && round.peer < comm_.size() &&
+                        round.peer != comm_.rank(),
+                    "comm: batch exchange peer out of range");
+    QGEAR_CHECK_ARG(!round.send.empty() && round.recv_bytes > 0,
+                    "comm: batch exchange round must move data both ways");
+    for (std::size_t q = 0; q < r; ++q) {
+      QGEAR_CHECK_ARG(rounds_[q].peer != round.peer,
+                      "comm: batch exchange peers must be distinct");
+    }
+    RoundState& st = st_[r];
+    // Both sides must resolve the same chunk size for a leg; deriving from
+    // max(send, recv) is symmetric under the swap of perspective, and the
+    // tier is symmetric by construction.
+    std::uint64_t cb = round.chunk_bytes;
+    if (cb == 0) {
+      cb = auto_chunk_bytes(
+          std::max<std::uint64_t>(round.send.size(), round.recv_bytes),
+          comm_.tier_to(round.peer));
+    }
+    if (cb == 0) {
+      cb = std::max<std::uint64_t>(round.send.size(), round.recv_bytes);
+    }
+    st.chunk_bytes = cb;
+    st.num_chunks = (round.recv_bytes + cb - 1) / cb;
+    st.have.assign(st.num_chunks, false);
+    if (resilient_) {
+      st.resends.assign(st.num_chunks, 0);
+    } else {
+      st.peer_done = true;  // the lossless path has no DONE handshake
+    }
+    peer_of_.push_back(round.peer);
+  }
+  order_.resize(rounds_.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::stable_sort(order_.begin(), order_.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return round_tier(a) < round_tier(b);
+                   });
+}
+
+void BatchExchange::send_chunk(std::size_t r, std::uint64_t offset) {
+  const ExchangeRound& round = rounds_[r];
+  const std::uint64_t len =
+      std::min<std::uint64_t>(st_[r].chunk_bytes, round.send.size() - offset);
+  const std::span<const std::uint8_t> payload = round.send.subspan(offset, len);
+  if (resilient_) {
+    comm_.send_chunk_framed(round.peer, tag_, offset, payload);
+  } else {
+    // Unframed: per-pair FIFO delivery keeps chunks in order on the
+    // lossless path, so the receiver tracks the offset itself and the
+    // wire carries payload bytes only (the trace stays frame-free).
+    comm_.send(round.peer, tag_, payload);
+  }
+  tier_bytes_[static_cast<std::size_t>(round_tier(r))] += len;
+}
+
+void BatchExchange::post() {
+  QGEAR_EXPECTS(!posted_);
+  posted_ = true;
+  for (const std::size_t r : order_) {
+    const std::uint64_t n = rounds_[r].send.size();
+    for (std::uint64_t off = 0; off < n; off += st_[r].chunk_bytes) {
+      send_chunk(r, off);
+    }
+  }
+}
+
+bool BatchExchange::process(std::size_t r, int got_tag,
+                            std::vector<std::uint8_t>& msg,
+                            const ConsumeFn& consume) {
+  RoundState& st = st_[r];
+  const ExchangeRound& round = rounds_[r];
+  if (got_tag == tag_) {
+    std::uint64_t offset = 0;
+    std::size_t header = 0;
+    if (resilient_) {
+      QGEAR_CHECK_FORMAT(msg.size() >= sizeof(std::uint64_t),
+                         "comm: exchange chunk shorter than its frame");
+      std::memcpy(&offset, msg.data(), sizeof(offset));
+      header = sizeof(offset);
+    } else {
+      // Unframed chunks arrive in per-pair FIFO order; the cursor is the
+      // offset.
+      offset = st.next_offset;
+    }
+    QGEAR_CHECK_FORMAT(
+        offset < round.recv_bytes && offset % st.chunk_bytes == 0,
+        "comm: exchange chunk offset out of range");
+    const std::uint64_t idx = offset / st.chunk_bytes;
+    const std::uint64_t expect =
+        std::min<std::uint64_t>(st.chunk_bytes, round.recv_bytes - offset);
+    QGEAR_CHECK_FORMAT(msg.size() - header == expect,
+                       "comm: exchange chunk size mismatch");
+    if (st.have[idx]) return false;  // duplicate from a crossed re-send
+    st.have[idx] = true;
+    ++st.have_count;
+    if (!resilient_) st.next_offset = offset + expect;
+    consume(r, offset, {msg.data() + header, msg.size() - header});
+    maybe_send_done(r);
+    return true;
+  }
+  QGEAR_CHECK_FORMAT(msg.size() == 1 + sizeof(std::uint64_t),
+                     "comm: malformed exchange control message");
+  std::uint64_t offset = 0;
+  std::memcpy(&offset, msg.data() + 1, sizeof(offset));
+  switch (msg[0]) {
+    case kCtrlDone:
+      st.peer_done = true;
+      break;
+    case kCtrlResend: {
+      QGEAR_CHECK_FORMAT(
+          offset < round.send.size() && offset % st.chunk_bytes == 0,
+          "comm: re-send request offset out of range");
+      chunks_resent_counter().add();
+      send_chunk(r, offset);
+      break;
+    }
+    default:
+      throw FormatError("comm: unknown exchange control opcode");
+  }
+  return false;
+}
+
+void BatchExchange::maybe_send_done(std::size_t r) {
+  RoundState& st = st_[r];
+  if (!resilient_ || st.sent_done || st.have_count < st.num_chunks) return;
+  comm_.send(peer_of_[r], ctrl_, encode_ctrl(kCtrlDone, 0));
+  st.sent_done = true;
+}
+
+void BatchExchange::request_missing(std::size_t r) {
+  RoundState& st = st_[r];
+  for (std::uint64_t idx = 0; idx < st.num_chunks; ++idx) {
+    if (st.have[idx]) continue;
+    if (st.resends[idx] >= resilience_.max_resends) {
+      throw CommError(
+          "comm: chunk at offset " + std::to_string(idx * st.chunk_bytes) +
+          " from rank " + std::to_string(peer_of_[r]) + " lost after " +
+          std::to_string(resilience_.max_resends) + " re-send requests");
+    }
+    ++st.resends[idx];
+    resend_requests_counter().add();
+    comm_.send(peer_of_[r], ctrl_, encode_ctrl(kCtrlResend,
+                                               idx * st.chunk_bytes));
+  }
+}
+
+bool BatchExchange::poll(const ConsumeFn& consume) {
+  QGEAR_EXPECTS(posted_);
+  bool consumed = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t r = 0; r < rounds_.size(); ++r) {
+      std::vector<std::uint8_t> msg;
+      if (comm_.try_recv(peer_of_[r], tag_, msg)) {
+        consumed |= process(r, tag_, msg, consume);
+        progress = true;
+      }
+      if (resilient_ && comm_.try_recv(peer_of_[r], ctrl_, msg)) {
+        process(r, ctrl_, msg, consume);
+        progress = true;
+      }
+    }
+  }
+  return consumed;
+}
+
+void BatchExchange::wait(const ConsumeFn& consume) {
+  QGEAR_EXPECTS(posted_);
+  if (done()) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      (resilient_ ? std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(resilience_.timeout_s))
+                  : std::chrono::steady_clock::duration(
+                        std::chrono::hours(1)));
+  std::vector<std::uint8_t> msg;
+  int got_src = 0;
+  int got_tag = 0;
+  if (comm_.world_->take_from_set(peer_of_, comm_.rank(), tag_, ctrl_,
+                                  deadline, msg, &got_src, &got_tag)) {
+    idle_timeouts_ = 0;
+    for (std::size_t r = 0; r < peer_of_.size(); ++r) {
+      if (peer_of_[r] == got_src) {
+        process(r, got_tag, msg, consume);
+        return;
+      }
+    }
+    throw LogicViolation("comm: exchange message from unexpected rank");
+  }
+  chunk_timeouts_counter().add();
+  if (!resilient_) {
+    throw CommError("comm: batch exchange stalled (no resilience enabled)");
+  }
+  bool missing = false;
+  for (std::size_t r = 0; r < rounds_.size(); ++r) {
+    if (st_[r].have_count < st_[r].num_chunks) {
+      request_missing(r);
+      missing = true;
+    }
+  }
+  if (!missing && ++idle_timeouts_ > resilience_.max_resends) {
+    // Everything here; peers are either still computing or recovering
+    // chunks from us, but the budget for silent waits is spent.
+    throw CommError(
+        "comm: timed out waiting for peers to finish batch exchange");
+  }
+}
+
+void BatchExchange::finish(const ConsumeFn& consume) {
+  QGEAR_EXPECTS(posted_);
+  while (!done()) {
+    if (poll(consume)) continue;
+    wait(consume);
+  }
+}
+
+bool BatchExchange::done() const {
+  for (const RoundState& st : st_) {
+    if (st.have_count < st.num_chunks || !st.peer_done) return false;
+  }
+  return true;
+}
+
 // ---- World -------------------------------------------------------------
 
 World::World(int size) : size_(size) {
@@ -405,35 +674,44 @@ std::vector<std::uint8_t> World::take(int src, int dst, int tag) {
 bool World::take_any_until(int src, int dst, int tag_a, int tag_b,
                            std::chrono::steady_clock::time_point deadline,
                            std::vector<std::uint8_t>& out, int* got_tag) {
+  return take_from_set({&src, 1}, dst, tag_a, tag_b, deadline, out, nullptr,
+                       got_tag);
+}
+
+bool World::take_from_set(std::span<const int> srcs, int dst, int tag_a,
+                          int tag_b,
+                          std::chrono::steady_clock::time_point deadline,
+                          std::vector<std::uint8_t>& out, int* got_src,
+                          int* got_tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   check_alive(dst);
-  Mailbox& box = mailbox(src, dst);
-  for (;;) {
-    auto it = std::find_if(box.queue.begin(), box.queue.end(),
-                           [tag_a, tag_b](const Message& m) {
-                             return m.tag == tag_a || m.tag == tag_b;
-                           });
-    if (it != box.queue.end()) {
+  auto scan = [&]() -> bool {
+    for (const int src : srcs) {
+      Mailbox& box = mailbox(src, dst);
+      auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                             [tag_a, tag_b](const Message& m) {
+                               return m.tag == tag_a || m.tag == tag_b;
+                             });
+      if (it == box.queue.end()) continue;
       out = std::move(it->data);
+      if (got_src != nullptr) *got_src = src;
       if (got_tag != nullptr) *got_tag = it->tag;
       box.queue.erase(it);
       return true;
     }
-    if (failed_[src]) {
-      throw CommError("comm: receive from failed rank " +
-                      std::to_string(src));
+    return false;
+  };
+  for (;;) {
+    if (scan()) return true;
+    for (const int src : srcs) {
+      if (failed_[src]) {
+        throw CommError("comm: receive from failed rank " +
+                        std::to_string(src));
+      }
     }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       // One last look: a message may have raced the deadline.
-      auto last = std::find_if(box.queue.begin(), box.queue.end(),
-                               [tag_a, tag_b](const Message& m) {
-                                 return m.tag == tag_a || m.tag == tag_b;
-                               });
-      if (last == box.queue.end()) return false;
-      out = std::move(last->data);
-      if (got_tag != nullptr) *got_tag = last->tag;
-      box.queue.erase(last);
-      return true;
+      return scan();
     }
     if (failed_[dst]) throw CommError("comm: receiving rank failed");
   }

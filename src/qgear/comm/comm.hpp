@@ -54,6 +54,38 @@ struct CommTrace {
 };
 
 class World;
+class BatchExchange;
+
+/// Interconnect tier of a rank pair. Mirrors the hierarchy the
+/// performance model prices (NVLink domain inside a node vs inter-node
+/// Slingshot), surfaced to the *real* schedule so exchanges can order and
+/// chunk transfers per tier.
+enum class Tier : int { nvlink = 0, internode = 1 };
+inline constexpr std::size_t kNumTiers = 2;
+
+const char* tier_name(Tier t);
+
+/// Static rank-to-domain map: ranks [k*ranks_per_domain,
+/// (k+1)*ranks_per_domain) share one NVLink domain. ranks_per_domain == 0
+/// (or 1 domain covering everything) treats every pair as in-domain.
+struct Topology {
+  unsigned ranks_per_domain = 0;
+
+  Tier tier(int a, int b) const {
+    if (ranks_per_domain == 0) return Tier::nvlink;
+    return static_cast<unsigned>(a) / ranks_per_domain ==
+                   static_cast<unsigned>(b) / ranks_per_domain
+               ? Tier::nvlink
+               : Tier::internode;
+  }
+};
+
+/// Default chunk size for a pipelined transfer of `message_bytes` over
+/// `tier`. Small messages return 0 (send in one piece: framing/pipelining
+/// overhead would dominate); large ones pick a chunk that keeps a few
+/// chunks in flight, smaller across the slower inter-node tier so the
+/// pipeline stays fed without oversized store-and-forward hops.
+std::uint64_t auto_chunk_bytes(std::uint64_t message_bytes, Tier tier);
 
 /// Tunables for the fault-tolerant chunked exchange. timeout_s <= 0
 /// selects the legacy lossless path (no framing, no fault hooks).
@@ -198,8 +230,15 @@ class Communicator {
 
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// The world's rank-to-domain topology (set before the SPMD region).
+  const Topology& topology() const;
+
+  /// Interconnect tier between this rank and `peer`.
+  Tier tier_to(int peer) const { return topology().tier(rank_, peer); }
+
  private:
   friend class World;
+  friend class BatchExchange;
   Communicator(World* world, int rank) : world_(world), rank_(rank) {}
 
   /// Byte-level engine behind the resilient sendrecv_chunked overload.
@@ -219,6 +258,110 @@ class Communicator {
   std::uint64_t bytes_sent_ = 0;
 };
 
+/// One pairwise leg of a BatchExchange: `send` goes to `peer`, and
+/// `recv_bytes` bytes are expected back from it. The send span must stay
+/// alive until the exchange finishes (resilient re-sends read from it).
+/// chunk_bytes == 0 derives the chunk size from the message size and the
+/// pair's tier (auto_chunk_bytes).
+struct ExchangeRound {
+  int peer = -1;
+  std::span<const std::uint8_t> send;
+  std::uint64_t recv_bytes = 0;
+  std::uint64_t chunk_bytes = 0;
+};
+
+/// Multi-peer scheduled exchange: every round is posted up front —
+/// NVLink-domain rounds first and wide, inter-node rounds chunk-pipelined
+/// behind them — and incoming chunks are drained from any peer in any
+/// order. The non-blocking poll() lets the caller interleave compute with
+/// the tail of the exchange (compute/comm overlap); finish() drives the
+/// exchange to completion.
+///
+/// With resilience enabled (timeout_s > 0) every leg runs the PR-9
+/// offset-framed protocol: receive timeouts trigger bounded re-send
+/// requests, and each leg ends with a DONE handshake so re-send requests
+/// are serviced until the peer has everything. The comm_delay/comm_drop
+/// fault hooks apply only on this resilient path.
+class BatchExchange {
+ public:
+  /// consume(round, offset_bytes, payload): chunks arrive in any order,
+  /// across rounds; offset_bytes is the chunk's position in the peer's
+  /// recv_bytes stream.
+  using ConsumeFn = std::function<void(
+      std::size_t, std::uint64_t, std::span<const std::uint8_t>)>;
+
+  /// Rounds must target distinct peers (one message stream per peer).
+  BatchExchange(Communicator& comm, int tag, std::vector<ExchangeRound> rounds,
+                ResilienceOptions resilience = {});
+
+  /// Posts every round's chunks, intra-domain rounds first. Buffered
+  /// sends return immediately; call poll()/wait()/finish() to drain.
+  void post();
+
+  /// Drains every chunk already queued without blocking. Returns true if
+  /// at least one data chunk was consumed.
+  bool poll(const ConsumeFn& consume);
+
+  /// Blocks until at least one message arrives (consuming it) or — on the
+  /// resilient path — a receive deadline passes, in which case missing
+  /// chunks are re-requested. No-op when already done.
+  void wait(const ConsumeFn& consume);
+
+  /// Drives the exchange to completion: drains all chunks and, when
+  /// resilient, completes the per-peer DONE handshakes.
+  void finish(const ConsumeFn& consume);
+
+  /// All expected chunks consumed (and, when resilient, all peers done).
+  bool done() const;
+
+  /// Payload bytes this rank sent over `t` links, re-sends included.
+  std::uint64_t sent_tier_bytes(Tier t) const {
+    return tier_bytes_[static_cast<std::size_t>(t)];
+  }
+
+  std::size_t num_rounds() const { return rounds_.size(); }
+  const ExchangeRound& round(std::size_t i) const { return rounds_[i]; }
+  Tier round_tier(std::size_t i) const {
+    return comm_.tier_to(rounds_[i].peer);
+  }
+  /// Resolved chunk size for round i (after auto-derivation).
+  std::uint64_t round_chunk_bytes(std::size_t i) const {
+    return st_[i].chunk_bytes;
+  }
+
+ private:
+  struct RoundState {
+    std::uint64_t chunk_bytes = 0;   ///< resolved (never 0 unless empty)
+    std::uint64_t num_chunks = 0;
+    std::uint64_t have_count = 0;
+    std::vector<bool> have;          ///< incoming chunk bitmap
+    std::vector<unsigned> resends;   ///< per-chunk re-send requests issued
+    std::uint64_t next_offset = 0;   ///< in-order cursor (lossless path)
+    bool sent_done = false;
+    bool peer_done = false;
+  };
+
+  void send_chunk(std::size_t r, std::uint64_t offset);
+  /// Handles one received message (data or ctrl). Returns true for data.
+  bool process(std::size_t r, int got_tag, std::vector<std::uint8_t>& msg,
+               const ConsumeFn& consume);
+  void maybe_send_done(std::size_t r);
+  void request_missing(std::size_t r);
+
+  Communicator& comm_;
+  int tag_;
+  int ctrl_;
+  std::vector<ExchangeRound> rounds_;
+  std::vector<RoundState> st_;
+  std::vector<std::size_t> order_;     ///< posting order, NVLink first
+  std::vector<int> peer_of_;           ///< round -> peer (srcs for waits)
+  ResilienceOptions resilience_;
+  bool resilient_ = false;
+  bool posted_ = false;
+  unsigned idle_timeouts_ = 0;
+  std::uint64_t tier_bytes_[kNumTiers] = {0, 0};
+};
+
 /// Owns the mailboxes and synchronization state for a fixed rank count.
 class World {
  public:
@@ -236,11 +379,17 @@ class World {
   /// Marks a rank failed: blocking operations involving it throw CommError.
   void inject_failure(int rank);
 
+  /// Sets the rank-to-domain topology. Call before run(): the SPMD region
+  /// reads it without locking.
+  void set_topology(Topology t) { topology_ = t; }
+  const Topology& topology() const { return topology_; }
+
   const CommTrace& trace() const { return trace_; }
   void clear_trace();
 
  private:
   friend class Communicator;
+  friend class BatchExchange;
 
   struct Message {
     int tag;
@@ -264,6 +413,12 @@ class World {
   bool take_any_until(int src, int dst, int tag_a, int tag_b,
                       std::chrono::steady_clock::time_point deadline,
                       std::vector<std::uint8_t>& out, int* got_tag);
+  /// Multi-source variant: waits for a message from any rank in `srcs`
+  /// matching tag_a or tag_b. `*got_src` reports which peer delivered.
+  bool take_from_set(std::span<const int> srcs, int dst, int tag_a, int tag_b,
+                     std::chrono::steady_clock::time_point deadline,
+                     std::vector<std::uint8_t>& out, int* got_src,
+                     int* got_tag);
   void check_alive(int rank) const;
 
   int size_;
@@ -282,6 +437,7 @@ class World {
   double reduce_result_ = 0.0;
   std::uint64_t reduce_generation_ = 0;
 
+  Topology topology_;
   CommTrace trace_;
 };
 

@@ -21,14 +21,18 @@
 // exchange's tag: per-pair FIFO ordering keeps them in sequence.
 #pragma once
 
+#include <algorithm>
 #include <complex>
 #include <cstdint>
+#include <cstring>
+#include <span>
 
 #include "qgear/comm/comm.hpp"
 #include "qgear/common/bits.hpp"
 #include "qgear/common/thread_pool.hpp"
 #include "qgear/common/timer.hpp"
 #include "qgear/dist/remap.hpp"
+#include "qgear/obs/metrics.hpp"
 #include "qgear/obs/trace.hpp"
 #include "qgear/qiskit/circuit.hpp"
 #include "qgear/sim/apply.hpp"
@@ -36,6 +40,16 @@
 #include "qgear/sim/stats.hpp"
 
 namespace qgear::dist {
+
+/// Payload bytes moved over each interconnect tier by slab exchanges
+/// (cached registry references; first call takes the registry mutex).
+inline obs::Counter& exchange_tier_counter(comm::Tier t) {
+  static obs::Counter& nv =
+      obs::Registry::global().counter("dist.exchange.tier_bytes.nvlink");
+  static obs::Counter& in =
+      obs::Registry::global().counter("dist.exchange.tier_bytes.internode");
+  return t == comm::Tier::nvlink ? nv : in;
+}
 
 /// Exclusive upper bound of the per-op tag space. DistStateVector::next_tag
 /// wraps below this.
@@ -86,11 +100,38 @@ class DistStateVector {
   void set_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Splits slab exchanges into chunks of this many amplitudes so the 2x2
-  /// update of chunk k overlaps delivery of chunk k+1. 0 = one-shot.
+  /// update of chunk k overlaps delivery of chunk k+1. 0 = auto: the chunk
+  /// size is derived per exchange from the message size and the partner's
+  /// interconnect tier (comm::auto_chunk_bytes; small messages go one-shot).
   void set_exchange_chunk_elems(std::uint64_t elems) {
     exchange_chunk_elems_ = elems;
   }
   std::uint64_t exchange_chunk_elems() const { return exchange_chunk_elems_; }
+
+  /// Runs slab exchanges over the fault-tolerant framed protocol when
+  /// timeout_s > 0 (receive timeouts, bounded re-sends, DONE handshake).
+  /// Also the path the comm_delay/comm_drop fault hooks attach to.
+  void set_exchange_resilience(comm::ResilienceOptions res) {
+    exchange_resilience_ = res;
+  }
+
+  /// Payload bytes this rank sent on slab exchanges over tier `t`.
+  std::uint64_t exchange_tier_bytes(comm::Tier t) const {
+    return tier_bytes_[static_cast<std::size_t>(t)];
+  }
+
+  /// Batched index-bit swap: exchanges local index bit local_phys with
+  /// global bit global_phys for every pair at once, in one pass over the
+  /// state. The slab splits into 2^k groups by the batch's local bits;
+  /// round d > 0 trades group b^d (b = this rank's global-bit pattern over
+  /// the batch) with the rank differing in exactly the global bits set in
+  /// d, so per-rank traffic is slab*(2^k-1)/2^k — vs k half-slabs for
+  /// sequential swaps. Rounds post NVLink-domain peers first; `overlap` is
+  /// invoked whenever no chunk is ready and should do one unit of
+  /// amplitude-free work, returning false when it has nothing left.
+  /// `tag` must be allocated uniformly across ranks.
+  void exchange_index_bit_swap(std::span<const SlabSwap> swaps, int tag,
+                               const std::function<bool()>& overlap = {});
 
   /// Physical index-bit position currently holding logical qubit q.
   /// Identity until apply_circuit_remapped installs a plan's final map.
@@ -233,11 +274,22 @@ class DistStateVector {
                                                const qiskit::Mat2& gate,
                                                int tag);
 
-  // Slab swap: exchanges index bit `lq` (local) with `gq` (global). Every
-  // rank trades the half-slab whose bit `lq` differs from its own global
-  // bit with the partner across `gq` — half the bytes of a full-slab
-  // exchange, after which gates on the swapped-in qubit are local.
-  void exchange_swap_local_global(unsigned lq, unsigned gq, int tag);
+  // Chunk size (in amplitudes) for one exchange leg with `partner`:
+  // explicit override, or auto-derived from the message size and tier.
+  // 0 = one-shot.
+  std::uint64_t chunk_elems_for(std::uint64_t msg_elems, int partner) const {
+    if (exchange_chunk_elems_ != 0) return exchange_chunk_elems_;
+    return comm::auto_chunk_bytes(msg_elems * sizeof(amp_t),
+                                  comm_->tier_to(partner)) /
+           sizeof(amp_t);
+  }
+
+  // Attributes `bytes` sent to `partner` to its interconnect tier.
+  void note_tier_bytes(int partner, std::uint64_t bytes) {
+    const comm::Tier t = comm_->tier_to(partner);
+    tier_bytes_[static_cast<std::size_t>(t)] += bytes;
+    exchange_tier_counter(t).add(bytes);
+  }
 
   unsigned num_qubits_;
   unsigned local_qubits_ = 0;
@@ -247,6 +299,8 @@ class DistStateVector {
   std::vector<amp_t> amps_;
   std::uint64_t op_seq_ = 0;
   std::uint64_t exchange_chunk_elems_ = 0;
+  comm::ResilienceOptions exchange_resilience_;
+  std::uint64_t tier_bytes_[comm::kNumTiers] = {0, 0};
   ThreadPool* pool_ = nullptr;
   std::vector<unsigned> l2p_;  // empty = identity
   sim::EngineStats stats_;
@@ -262,8 +316,10 @@ void DistStateVector<T>::exchange_apply_1q(unsigned q,
   const int partner = rank_ ^ (1 << gbit);
   const unsigned my_bit = global_bit(q);
   const auto m = sim::to_precision<T>(gate);
+  note_tier_bytes(partner, amps_.size() * sizeof(amp_t));
   comm_->template sendrecv_chunked<amp_t>(
-      partner, tag, std::span<const amp_t>(amps_), exchange_chunk_elems_,
+      partner, tag, std::span<const amp_t>(amps_),
+      chunk_elems_for(amps_.size(), partner),
       [&](std::uint64_t off, std::span<const amp_t> theirs) {
         obs::Span chunk(obs::Tracer::global(), "dist.exchange_chunk",
                         "dist");
@@ -304,8 +360,10 @@ void DistStateVector<T>::exchange_apply_controlled_local_control(
     }
   });
   const auto m = sim::to_precision<T>(gate);
+  note_tier_bytes(partner, mine.size() * sizeof(amp_t));
   comm_->template sendrecv_chunked<amp_t>(
-      partner, tag, std::span<const amp_t>(mine), exchange_chunk_elems_,
+      partner, tag, std::span<const amp_t>(mine),
+      chunk_elems_for(mine.size(), partner),
       [&](std::uint64_t off, std::span<const amp_t> theirs) {
         obs::Span chunk(obs::Tracer::global(), "dist.exchange_chunk",
                         "dist");
@@ -328,40 +386,136 @@ void DistStateVector<T>::exchange_apply_controlled_local_control(
 }
 
 template <typename T>
-void DistStateVector<T>::exchange_swap_local_global(unsigned lq, unsigned gq,
-                                                    int tag) {
-  QGEAR_EXPECTS(lq < local_qubits_ && gq >= local_qubits_ &&
-                gq < num_qubits_);
-  const unsigned gbit = gq - local_qubits_;
-  const int partner = rank_ ^ (1 << gbit);
-  // The half that moves is where local bit lq differs from this rank's
-  // global bit: rank ...g... keeps amplitudes whose swapped-in bit already
-  // equals g and trades the rest with the partner.
-  const std::uint64_t sel = global_bit(gq) == 0 ? pow2(lq) : 0;
-  const std::uint64_t half = amps_.size() / 2;
-  std::vector<amp_t> mine(half);
-  sweep(half, [&](std::uint64_t b, std::uint64_t e) {
-    for (std::uint64_t k = b; k < e; ++k) {
-      mine[k] = amps_[insert_zero_bit(k, lq) | sel];
+void DistStateVector<T>::exchange_index_bit_swap(
+    std::span<const SlabSwap> swaps, int tag,
+    const std::function<bool()>& overlap) {
+  QGEAR_CHECK_ARG(!swaps.empty(), "dist: empty index-bit-swap batch");
+  std::vector<SlabSwap> ps(swaps.begin(), swaps.end());
+  std::sort(ps.begin(), ps.end(),
+            [](const SlabSwap& a, const SlabSwap& b) {
+              return a.local_phys < b.local_phys;
+            });
+  const unsigned k = static_cast<unsigned>(ps.size());
+  QGEAR_CHECK_ARG(k <= local_qubits_ && k <= global_qubits_,
+                  "dist: index-bit-swap batch wider than the layout");
+  for (unsigned i = 0; i < k; ++i) {
+    QGEAR_CHECK_ARG(ps[i].local_phys < local_qubits_ &&
+                        ps[i].global_phys >= local_qubits_ &&
+                        ps[i].global_phys < num_qubits_,
+                    "dist: index-bit-swap pair out of range");
+    QGEAR_CHECK_ARG(i == 0 || ps[i].local_phys != ps[i - 1].local_phys,
+                    "dist: duplicate local bit in index-bit-swap batch");
+    for (unsigned j = 0; j < i; ++j) {
+      QGEAR_CHECK_ARG(ps[j].global_phys != ps[i].global_phys,
+                      "dist: duplicate global bit in index-bit-swap batch");
     }
-  });
-  comm_->template sendrecv_chunked<amp_t>(
-      partner, tag, std::span<const amp_t>(mine), exchange_chunk_elems_,
-      [&](std::uint64_t off, std::span<const amp_t> theirs) {
-        obs::Span chunk(obs::Tracer::global(), "dist.exchange_chunk",
-                        "dist");
-        if (chunk.active()) {
-          chunk.arg("offset", off);
-          chunk.arg("amps", std::uint64_t{theirs.size()});
-        }
-        sweep(theirs.size(), [&](std::uint64_t b, std::uint64_t e) {
-          for (std::uint64_t k = b; k < e; ++k) {
-            amps_[insert_zero_bit(off + k, lq) | sel] = theirs[k];
-          }
-        });
-      });
+  }
+  obs::Span span(obs::Tracer::global(), "dist.exchange_batch", "dist");
+  if (span.active()) {
+    span.arg("rank", std::uint64_t{unsigned(rank_)});
+    span.arg("pairs", std::uint64_t{k});
+  }
+
+  // b = this rank's global-bit pattern over the batch. Post-swap, the
+  // amplitudes in local group v (batch local bits = v) of this rank are
+  // the pre-swap group-b amplitudes of the rank whose pattern is v: round
+  // d > 0 therefore trades group b^d, element for element, with the rank
+  // differing in exactly the global bits set in d. Group b stays put.
+  std::uint64_t b = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    b |= static_cast<std::uint64_t>(global_bit(ps[i].global_phys)) << i;
+  }
+  const std::uint64_t groups = pow2(k);
+  const std::uint64_t group_size = amps_.size() >> k;
+
+  // Local index of element j in group v: insert the bits of v at the
+  // batch's local positions (ascending). The planner favors low local
+  // slots, so consecutive j walk nearly consecutive idx — the per-group
+  // gather/scatter passes below stay cache-friendly.
+  auto expand = [&](std::uint64_t j, std::uint64_t v) {
+    std::uint64_t idx = j;
+    for (unsigned i = 0; i < k; ++i) {
+      idx = insert_zero_bit(idx, ps[i].local_phys) |
+            (static_cast<std::uint64_t>((v >> i) & 1u) << ps[i].local_phys);
+    }
+    return idx;
+  };
+
+  std::vector<std::vector<amp_t>> bufs(groups);
+  std::vector<comm::ExchangeRound> rounds;
+  std::vector<std::uint64_t> group_of_round;
+  rounds.reserve(groups - 1);
+  group_of_round.reserve(groups - 1);
+  for (std::uint64_t d = 1; d < groups; ++d) {
+    const std::uint64_t v = b ^ d;
+    std::vector<amp_t>& buf = bufs[d];
+    buf.resize(group_size);
+    sweep(group_size, [&](std::uint64_t lo, std::uint64_t hi) {
+      for (std::uint64_t j = lo; j < hi; ++j) buf[j] = amps_[expand(j, v)];
+    });
+    std::uint64_t gmask = 0;
+    for (unsigned i = 0; i < k; ++i) {
+      if ((d >> i) & 1u) gmask |= pow2(ps[i].global_phys - local_qubits_);
+    }
+    rounds.push_back(
+        {.peer = rank_ ^ static_cast<int>(gmask),
+         .send = {reinterpret_cast<const std::uint8_t*>(buf.data()),
+                  buf.size() * sizeof(amp_t)},
+         .recv_bytes = group_size * sizeof(amp_t),
+         .chunk_bytes = exchange_chunk_elems_ * sizeof(amp_t)});
+    group_of_round.push_back(v);
+  }
+
+  comm::BatchExchange ex(*comm_, tag, std::move(rounds),
+                         exchange_resilience_);
+  std::vector<amp_t> scratch;
+  const auto consume = [&](std::size_t r, std::uint64_t off_bytes,
+                           std::span<const std::uint8_t> payload) {
+    QGEAR_CHECK_FORMAT(off_bytes % sizeof(amp_t) == 0 &&
+                           payload.size() % sizeof(amp_t) == 0,
+                       "dist: exchange chunk not amplitude-aligned");
+    obs::Span chunk(obs::Tracer::global(), "dist.exchange_chunk", "dist");
+    if (chunk.active()) {
+      chunk.arg("offset", off_bytes);
+      chunk.arg("amps", std::uint64_t{payload.size() / sizeof(amp_t)});
+    }
+    const std::uint64_t v = group_of_round[r];
+    const std::uint64_t j0 = off_bytes / sizeof(amp_t);
+    const std::uint64_t cnt = payload.size() / sizeof(amp_t);
+    // Scatter straight from the wire buffer when it is amplitude-aligned
+    // (the unframed fast path always is); bounce through scratch only for
+    // the framed resilient layout.
+    const amp_t* src = nullptr;
+    if (reinterpret_cast<std::uintptr_t>(payload.data()) %
+            alignof(amp_t) == 0) {
+      src = reinterpret_cast<const amp_t*>(payload.data());
+    } else {
+      scratch.resize(cnt);
+      std::memcpy(scratch.data(), payload.data(), payload.size());
+      src = scratch.data();
+    }
+    sweep(cnt, [&](std::uint64_t lo, std::uint64_t hi) {
+      for (std::uint64_t j = lo; j < hi; ++j) {
+        amps_[expand(j0 + j, v)] = src[j];
+      }
+    });
+  };
+  ex.post();
+  while (!ex.done()) {
+    if (ex.poll(consume)) continue;
+    // Nothing landed: hide amplitude-free work in the exchange tail.
+    if (overlap && overlap()) continue;
+    ex.wait(consume);
+  }
+  for (std::size_t t = 0; t < comm::kNumTiers; ++t) {
+    const std::uint64_t sent =
+        ex.sent_tier_bytes(static_cast<comm::Tier>(t));
+    if (sent == 0) continue;
+    tier_bytes_[t] += sent;
+    exchange_tier_counter(static_cast<comm::Tier>(t)).add(sent);
+  }
   ++stats_.sweeps;
-  stats_.amp_ops += half;
+  stats_.amp_ops += amps_.size() - group_size;
 }
 
 template <typename T>
@@ -567,11 +721,7 @@ void DistStateVector<T>::apply_circuit_remapped(
   WallTimer timer;
   const unsigned width = std::min(fusion_width, local_qubits_);
 
-  qiskit::QuantumCircuit segment(local_qubits_, "local_segment");
-  auto flush = [&] {
-    if (segment.empty()) return;
-    const sim::FusionPlan fplan =
-        sim::plan_fusion(segment, {.max_width = width});
+  auto run_blocks = [&](const sim::FusionPlan& fplan) {
     for (const sim::FusedBlock& block : fplan.blocks) {
       sim::apply_fused_block(amps_.data(), local_qubits_, block, pool_);
       switch (block.kernel_class) {
@@ -590,20 +740,20 @@ void DistStateVector<T>::apply_circuit_remapped(
       stats_.amp_ops += amps_.size();
     }
     stats_.gates += fplan.input_gates;
-    segment = qiskit::QuantumCircuit(local_qubits_, "local_segment");
   };
 
   for (const RemapSegment& seg : plan.segments) {
-    // A slab swap re-bases the physical layout, so every gate gathered
-    // under the previous layout must land first.
-    if (!seg.swaps.empty()) flush();
-    for (const SlabSwap& sw : seg.swaps) {
-      const int tag = next_tag();
-      exchange_swap_local_global(sw.local_phys, sw.global_phys, tag);
-    }
+    // Partition the segment into maximal local-unitary runs (fused) and
+    // the non-local instructions between them. A run marker (run >= 0)
+    // stands where the run executes; non-local instructions carry inst.
+    struct Item {
+      int run = -1;
+      const qiskit::Instruction* inst = nullptr;
+    };
+    std::vector<qiskit::QuantumCircuit> runs;
+    std::vector<Item> items;
+    bool open = false;
     for (const qiskit::Instruction& inst : seg.insts) {
-      // Tags stay uniform across ranks: one per instruction, always.
-      const int tag = next_tag();
       const qiskit::GateInfo& info = qiskit::gate_info(inst.kind);
       const bool local_unitary =
           info.unitary && info.num_qubits >= 1 &&
@@ -611,14 +761,48 @@ void DistStateVector<T>::apply_circuit_remapped(
           (info.num_qubits < 2 ||
            static_cast<unsigned>(inst.q1) < local_qubits_);
       if (local_unitary) {
-        segment.append(inst);
+        if (!open) {
+          runs.emplace_back(local_qubits_, "local_segment");
+          items.push_back({static_cast<int>(runs.size()) - 1, nullptr});
+          open = true;
+        }
+        runs.back().append(inst);
+      } else {
+        items.push_back({-1, &inst});
+        open = false;
+      }
+    }
+
+    // Fusion planning is pure compute over the instruction stream (the
+    // expensive part is building each block's matrix) and never touches
+    // the amplitudes — so it doubles as the overlap work hidden in the
+    // exchange tail below.
+    std::vector<sim::FusionPlan> fplans(runs.size());
+    std::size_t built = 0;
+    const auto build_next = [&]() -> bool {
+      if (built >= runs.size()) return false;
+      fplans[built] = sim::plan_fusion(runs[built], {.max_width = width});
+      ++built;
+      return true;
+    };
+
+    if (!seg.swaps.empty()) {
+      // One tag covers the whole batch (allocated on every rank).
+      const int tag = next_tag();
+      exchange_index_bit_swap(seg.swaps, tag, build_next);
+    }
+    for (const Item& item : items) {
+      if (item.run >= 0) {
+        while (built <= static_cast<std::size_t>(item.run)) build_next();
+        run_blocks(fplans[item.run]);
+        // Tags stay uniform across ranks: one per instruction, always.
+        for (std::size_t g = 0; g < runs[item.run].size(); ++g) next_tag();
         continue;
       }
-      flush();
-      apply_with_tag(inst, tag, measured);
+      const int tag = next_tag();
+      apply_with_tag(*item.inst, tag, measured);
     }
   }
-  flush();
   l2p_ = plan.logical_to_physical;
   stats_.seconds += timer.seconds();
 }

@@ -1,6 +1,7 @@
 #include "qgear/dist/remap.hpp"
 
 #include <algorithm>
+#include <complex>
 
 #include "qgear/common/bits.hpp"
 #include "qgear/dist/dist_state.hpp"
@@ -101,11 +102,15 @@ std::uint64_t baseline_bytes_total(const Instruction& inst,
 
 }  // namespace
 
-RemapPlan plan_remap(const qiskit::QuantumCircuit& qc, unsigned num_local,
-                     RemapOptions opts) {
+namespace {
+
+/// One greedy planning pass with a fixed batch-width cap. The greedy
+/// width interacts with the whole downstream schedule (each extra evicts
+/// a local qubit whose later gates then pay per-gate), so plan_remap
+/// prices several caps and keeps the cheapest.
+RemapPlan plan_remap_width(const qiskit::QuantumCircuit& qc,
+                           unsigned num_local, RemapOptions opts) {
   const unsigned n = qc.num_qubits();
-  QGEAR_CHECK_ARG(num_local >= 1 && num_local <= n,
-                  "remap: local qubit count out of range");
   RemapPlan plan;
   plan.num_qubits = n;
   plan.num_local = num_local;
@@ -154,7 +159,7 @@ RemapPlan plan_remap(const qiskit::QuantumCircuit& qc, unsigned num_local,
       const unsigned offender = p2l[offender_phys];
 
       // Benefit of making the offender local, in half-slab units per
-      // rank, over the lookahead window (a slab swap costs 1 unit).
+      // rank, over the lookahead window (a lone slab swap costs 1 unit).
       const std::size_t window =
           std::min(ops.size(), i + std::size_t{opts.lookahead});
       int saved = 0;
@@ -163,10 +168,26 @@ RemapPlan plan_remap(const qiskit::QuantumCircuit& qc, unsigned num_local,
       }
 
       if (saved > 1) {
-        // Victim: the local slot whose logical qubit goes longest without
-        // needing locality itself; ties resolve to the lowest slot.
-        std::size_t best_need = 0;
-        unsigned victim = 0;
+        // The batched exchange moves slab*(2^k-1)/2^k per rank, so the
+        // marginal cost of the i-th swap added to the batch is 2^(1-i)
+        // half-slab units: the trigger pays the full unit, every further
+        // global qubit with any upcoming exchange weight rides along
+        // almost free. Batch width is capped so groups stay coarse.
+        const unsigned max_batch = std::min(
+            {opts.max_batch, num_local, n - num_local});
+
+        // Window weight per logical qubit, and Belady slot ranking: the
+        // local slots whose qubits go longest without needing locality
+        // themselves; ties resolve to the lowest slot.
+        const auto window_weight = [&](unsigned q) {
+          int w = 0;
+          for (std::size_t j = i; j < window; ++j) {
+            w += exchange_weight(ops[j], q);
+          }
+          return w;
+        };
+        std::vector<std::pair<std::size_t, unsigned>> slots;
+        slots.reserve(num_local);
         for (unsigned slot = 0; slot < num_local; ++slot) {
           const unsigned lq = p2l[slot];
           std::size_t need = window;
@@ -176,19 +197,45 @@ RemapPlan plan_remap(const qiskit::QuantumCircuit& qc, unsigned num_local,
               break;
             }
           }
-          if (need > best_need) {
-            best_need = need;
-            victim = slot;
+          slots.push_back({need, slot});
+        }
+        std::stable_sort(slots.begin(), slots.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first > b.first;
+                         });
+
+        std::vector<unsigned> batch = {offender};
+        if (max_batch > 1) {
+          // Other globally-placed qubits ranked by their window weight.
+          std::vector<std::pair<int, unsigned>> extras;
+          for (unsigned q = 0; q < n; ++q) {
+            if (q == offender || l2p[q] < num_local) continue;
+            const int w = window_weight(q);
+            if (w > 0) extras.push_back({w, q});
+          }
+          std::stable_sort(extras.begin(), extras.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first > b.first;
+                           });
+          for (const auto& [w, q] : extras) {
+            if (batch.size() >= max_batch) break;
+            batch.push_back(q);
           }
         }
+        const unsigned k = static_cast<unsigned>(batch.size());
+
         // A slab swap re-bases the layout: pending instructions must run
-        // on the old layout first, so it opens a new segment.
+        // on the old layout first, so the batch opens a new segment.
         if (!cur.insts.empty()) flush_segment();
-        cur.swaps.push_back({victim, offender_phys});
-        ++plan.slab_swaps;
-        std::swap(p2l[victim], p2l[offender_phys]);
-        l2p[p2l[victim]] = victim;
-        l2p[p2l[offender_phys]] = offender_phys;
+        for (unsigned m = 0; m < k; ++m) {
+          const unsigned victim = slots[m].second;
+          const unsigned gphys = l2p[batch[m]];
+          cur.swaps.push_back({victim, gphys});
+          ++plan.slab_swaps;
+          std::swap(p2l[victim], p2l[gphys]);
+          l2p[p2l[victim]] = victim;
+          l2p[p2l[gphys]] = gphys;
+        }
         inst = rewrite(ops[i]);
       }
     }
@@ -199,13 +246,60 @@ RemapPlan plan_remap(const qiskit::QuantumCircuit& qc, unsigned num_local,
   return plan;
 }
 
+}  // namespace
+
+RemapPlan plan_remap(const qiskit::QuantumCircuit& qc, unsigned num_local,
+                     RemapOptions opts) {
+  const unsigned n = qc.num_qubits();
+  QGEAR_CHECK_ARG(num_local >= 1 && num_local <= n,
+                  "remap: local qubit count out of range");
+  QGEAR_CHECK_ARG(opts.max_batch >= 1, "remap: max_batch must be >= 1");
+  // Greedy widening is not monotone: a wider batch (or longer window)
+  // changes every later layout decision, and sometimes for the worse.
+  // Plan once per width cap up to the requested maximum — at the full
+  // and half lookahead — and keep the plan the cost model prices
+  // cheapest (ties go to the earlier, narrower candidate — coarser slab
+  // groups chunk better). Every rank computes the same winner, so tags
+  // stay uniform.
+  const unsigned cap =
+      num_local < n ? std::min({opts.max_batch, num_local, n - num_local})
+                    : 1;
+  RemapPlan best;
+  std::uint64_t best_bytes = 0;
+  bool have_best = false;
+  for (const unsigned look : {opts.lookahead, opts.lookahead / 2}) {
+    if (look < 2 || (have_best && look == opts.lookahead)) continue;
+    for (unsigned width = 1; width <= cap; ++width) {
+      RemapOptions wopts = opts;
+      wopts.lookahead = look;
+      wopts.max_batch = width;
+      RemapPlan plan = plan_remap_width(qc, num_local, wopts);
+      const std::uint64_t bytes =
+          plan_exchange_bytes_total(plan, sizeof(std::complex<double>));
+      if (!have_best || bytes < best_bytes) {
+        best = std::move(plan);
+        best_bytes = bytes;
+        have_best = true;
+      }
+    }
+  }
+  if (!have_best) best = plan_remap_width(qc, num_local, opts);
+  return best;
+}
+
 std::uint64_t plan_exchange_bytes_total(const RemapPlan& plan,
                                         std::size_t amp_bytes) {
   const std::uint64_t ranks = pow2(plan.num_qubits - plan.num_local);
-  const std::uint64_t half_slab = pow2(plan.num_local) * amp_bytes / 2;
+  const std::uint64_t slab = pow2(plan.num_local) * amp_bytes;
   std::uint64_t total = 0;
   for (const RemapSegment& seg : plan.segments) {
-    total += static_cast<std::uint64_t>(seg.swaps.size()) * ranks * half_slab;
+    // A k-wide batch executes as one exchange: every rank keeps 1 of its
+    // 2^k slab groups and trades the rest, slab*(2^k-1)/2^k bytes each
+    // (k = 1 degenerates to the classic half-slab swap).
+    if (!seg.swaps.empty()) {
+      const unsigned k = static_cast<unsigned>(seg.swaps.size());
+      total += ranks * ((slab >> k) * (pow2(k) - 1));
+    }
     for (const qiskit::Instruction& inst : seg.insts) {
       total += baseline_bytes_total(inst, plan.num_qubits, plan.num_local,
                                     amp_bytes, ranks);

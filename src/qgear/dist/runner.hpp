@@ -33,13 +33,23 @@ struct RunOptions {
   /// Worker threads per rank for local sweeps and exchange updates
   /// (0 = scalar loops). Total threads = num_ranks * threads_per_rank.
   unsigned threads_per_rank = 0;
-  /// Chunk size in bytes for pipelined slab exchanges (0 = one-shot).
-  std::uint64_t exchange_chunk_bytes = 1 << 20;
+  /// Chunk size in bytes for pipelined slab exchanges. 0 = auto: derived
+  /// per exchange from the message size and the rank pair's interconnect
+  /// tier (small messages go one-shot, inter-node transfers chunk finer).
+  std::uint64_t exchange_chunk_bytes = 0;
   /// Trace correlation id for the whole run. 0 = adopt the caller's
   /// ambient obs::TraceContext, or start a fresh trace. Every rank's spans
   /// are tagged with this id plus the rank, so a single request exports as
   /// one merged timeline with one lane per rank.
   std::uint64_t trace_id = 0;
+  /// Ranks sharing one NVLink domain (comm::Topology); pairs in different
+  /// domains are inter-node. Mirrors perfmodel's gpus_per_node. 0 = one
+  /// flat domain.
+  unsigned ranks_per_domain = 4;
+  /// Resilient slab exchanges (timeout_s > 0): offset-framed chunks with
+  /// receive timeouts and bounded re-sends — the path the comm fault
+  /// hooks attach to.
+  comm::ResilienceOptions exchange_resilience = {};
 };
 
 /// Per-rank observability summary of one distributed run (meaningful when
@@ -49,6 +59,10 @@ struct RankObsSummary {
   std::uint64_t exchange_bytes = 0;  ///< bytes this rank *sent*
   std::uint64_t spans = 0;           ///< spans recorded under this rank
   double span_seconds = 0.0;         ///< summed span durations (nested incl.)
+  /// Slab-exchange payload sent per interconnect tier (excludes
+  /// sampling/gather traffic, which is tierless collective plumbing).
+  std::uint64_t nvlink_bytes = 0;
+  std::uint64_t internode_bytes = 0;
 };
 
 template <typename T>
@@ -223,8 +237,10 @@ RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
   if (opts.remap) plan.emplace(plan_remap(qc, num_local));
 
   comm::World world(opts.num_ranks);
+  world.set_topology({.ranks_per_domain = opts.ranks_per_domain});
   RunResult<T> result;
   result.rank_stats.resize(opts.num_ranks);
+  result.rank_obs.resize(opts.num_ranks);
   std::mutex result_mutex;
   std::uint64_t circuit_bytes = 0;
 
@@ -242,6 +258,7 @@ RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
     state.set_pool(pool ? &*pool : nullptr);
     state.set_exchange_chunk_elems(opts.exchange_chunk_bytes /
                                    sizeof(std::complex<T>));
+    state.set_exchange_resilience(opts.exchange_resilience);
     std::vector<unsigned> measured;
     if (plan) {
       state.apply_circuit_remapped(*plan, std::max(opts.fusion_width, 1u),
@@ -273,6 +290,10 @@ RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
 
     std::lock_guard<std::mutex> lock(result_mutex);
     result.rank_stats[c.rank()] = state.stats();
+    result.rank_obs[c.rank()].nvlink_bytes =
+        state.exchange_tier_bytes(comm::Tier::nvlink);
+    result.rank_obs[c.rank()].internode_bytes =
+        state.exchange_tier_bytes(comm::Tier::internode);
     if (c.rank() == 0) {
       result.state = std::move(full);
       result.counts = std::move(counts);
@@ -292,7 +313,6 @@ RunResult<T> run_distributed(const qiskit::QuantumCircuit& qc,
   // trace (sender-attributed); span accounting folds the ring buffer's
   // records for this run's trace_id. Sampling/gather traffic is included
   // in exchange_bytes — this summarizes the whole request.
-  result.rank_obs.resize(opts.num_ranks);
   for (const comm::TraceEntry& e : result.trace.entries) {
     if (e.src >= 0 && e.src < opts.num_ranks) {
       result.rank_obs[e.src].exchange_bytes += e.bytes;

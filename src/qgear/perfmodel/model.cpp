@@ -133,7 +133,6 @@ Estimate estimate_gpu(const qiskit::QuantumCircuit& qc,
     // half-slab index-bit swaps replace per-gate exchanges, local runs
     // fuse segment-wise, and elided swap gates cost nothing.
     const dist::RemapPlan rplan = dist::plan_remap(qc, num_local);
-    const std::uint64_t half_slab = local_bytes / 2;
     qiskit::QuantumCircuit run(num_local, "model_segment");
     auto flush_run = [&] {
       if (run.empty()) return;
@@ -143,14 +142,28 @@ Estimate estimate_gpu(const qiskit::QuantumCircuit& qc,
       run = qiskit::QuantumCircuit(num_local, "model_segment");
     };
     for (const dist::RemapSegment& seg : rplan.segments) {
-      if (!seg.swaps.empty()) flush_run();
-      for (const dist::SlabSwap& sw : seg.swaps) {
-        const unsigned gbit = sw.global_phys - num_local;
-        // Gather + scatter touch the slab once each: one sweep.
+      if (!seg.swaps.empty()) {
+        flush_run();
+        // A k-wide batch runs as one exchange: the slab splits into 2^k
+        // groups, one stays put, and round d = 1..2^k-1 trades one group
+        // with the peer across gmask(d). Each round's wall time is set by
+        // the slowest link its mask crosses — the highest global bit.
+        const unsigned k = static_cast<unsigned>(seg.swaps.size());
+        const std::uint64_t group_bytes = local_bytes >> k;
+        // Gather + scatter touch the traded groups once each: one sweep
+        // regardless of batch width.
         ++e.sweeps;
-        e.comm_bytes_per_device += half_slab;
-        e.comm_s += exchange_time(half_slab, gbit, config.devices / 2,
-                                  config.net);
+        for (std::uint64_t d = 1; d < pow2(k); ++d) {
+          unsigned gbit = 0;
+          for (unsigned i = 0; i < k; ++i) {
+            if ((d >> i) & 1) {
+              gbit = std::max(gbit, seg.swaps[i].global_phys - num_local);
+            }
+          }
+          e.comm_bytes_per_device += group_bytes;
+          e.comm_s += exchange_time(group_bytes, gbit, config.devices / 2,
+                                    config.net);
+        }
       }
       for (const qiskit::Instruction& inst : seg.insts) {
         if (inst.kind == qiskit::GateKind::barrier ||

@@ -32,6 +32,10 @@
 //                         [--exp-tol T]
 //   qgear_cli estimate    --in circuits.qh5 [--devices R] [--gpu 40|80]
 //                         [--shots S] [--precision fp32|fp64]
+//                         [--schedule] [--ranks-per-domain D]
+//                         (--schedule prints the planned batched exchange
+//                          schedule: per-batch rounds, peers, link tiers,
+//                          and bytes per rank)
 //   qgear_cli estimate    --in circuits.qh5 --backend NAME|all
 //                         [--budget-mb M] [--max-error E]
 //                         [--calibration cal.json] [--dd-max-nodes N]
@@ -78,8 +82,10 @@
 #include "qgear/common/rng.hpp"
 #include "qgear/common/strings.hpp"
 #include "qgear/common/timer.hpp"
+#include "qgear/comm/comm.hpp"
 #include "qgear/core/transformer.hpp"
 #include "qgear/dist/dist_backend.hpp"
+#include "qgear/dist/remap.hpp"
 #include "qgear/fault/fault.hpp"
 #include "qgear/obs/json.hpp"
 #include "qgear/obs/metrics.hpp"
@@ -915,6 +921,10 @@ int cmd_estimate(const Args& args) {
   cfg.precision = parse_precision(args.str("precision", "fp32"));
   if (args.u64("gpu", 40) == 80) cfg.gpu = perfmodel::a100_80gb();
   const std::uint64_t shots = args.u64("shots", 0);
+  const bool show_schedule = args.has("schedule");
+  const comm::Topology topo{
+      .ranks_per_domain =
+          static_cast<unsigned>(args.u64("ranks-per-domain", 4))};
 
   for (std::uint32_t c = 0; c < tensor.num_circuits(); ++c) {
     const auto qc = core::decode_circuit(tensor, c);
@@ -932,6 +942,47 @@ int cmd_estimate(const Args& args) {
                 human_seconds(e.comm_s).c_str(),
                 human_seconds(e.sample_s).c_str(),
                 human_seconds(e.startup_s).c_str());
+    if (!show_schedule || cfg.devices < 2) continue;
+    // The batched exchange schedule the distributed engine would run:
+    // peers/tiers shown from rank 0's perspective (every rank runs the
+    // same rounds against its own XOR partners).
+    const unsigned r = log2_exact(static_cast<std::uint64_t>(cfg.devices));
+    const unsigned num_local = qc.num_qubits() - r;
+    const std::size_t amp_b = core::amp_bytes(cfg.precision);
+    const dist::RemapPlan plan = dist::plan_remap(qc, num_local);
+    std::printf("  exchange schedule: %llu slab swap(s) in batches, "
+                "%s ranks/domain\n",
+                static_cast<unsigned long long>(plan.slab_swaps),
+                topo.ranks_per_domain == 0
+                    ? "all"
+                    : std::to_string(topo.ranks_per_domain).c_str());
+    std::size_t batch_no = 0;
+    for (const dist::RemapSegment& seg : plan.segments) {
+      if (seg.swaps.empty()) continue;
+      std::vector<dist::SlabSwap> ps(seg.swaps);
+      std::sort(ps.begin(), ps.end(),
+                [](const dist::SlabSwap& a, const dist::SlabSwap& b) {
+                  return a.local_phys < b.local_phys;
+                });
+      const unsigned k = static_cast<unsigned>(ps.size());
+      const std::uint64_t per_round = (pow2(num_local) >> k) * amp_b;
+      std::printf("  batch %zu: k=%u, %llu rounds, %s/rank/round\n",
+                  batch_no++, k,
+                  static_cast<unsigned long long>(pow2(k) - 1),
+                  human_bytes(per_round).c_str());
+      for (std::uint64_t d = 1; d < pow2(k); ++d) {
+        std::uint64_t gmask = 0;
+        for (unsigned i = 0; i < k; ++i) {
+          if ((d >> i) & 1u) gmask |= pow2(ps[i].global_phys - num_local);
+        }
+        const int peer = static_cast<int>(gmask);  // rank 0's partner
+        std::printf("    round %llu: peer ^%llu (rank0<->%d), %s, %s\n",
+                    static_cast<unsigned long long>(d),
+                    static_cast<unsigned long long>(gmask), peer,
+                    comm::tier_name(topo.tier(0, peer)),
+                    human_bytes(per_round).c_str());
+      }
+    }
   }
   return 0;
 }
